@@ -1,0 +1,39 @@
+# Convenience targets for the EDB reproduction.
+
+GO ?= go
+
+.PHONY: all test vet bench results examples fuzz clean
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# One benchmark iteration per table/figure with the headline metrics.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
+
+# Regenerate every table, figure, case study, sweep, and ablation.
+results:
+	$(GO) run ./cmd/edb-bench -exp all -csv -out results
+	$(GO) run ./cmd/edb-bench -exp sweep,fig2,ablations -csv -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/listbug
+	$(GO) run ./examples/energyguard
+	$(GO) run ./examples/profiling
+	$(GO) run ./examples/rfid
+	$(GO) run ./examples/replay
+	$(GO) run ./examples/asm
+	$(GO) run ./examples/datalogger
+
+fuzz:
+	$(GO) test ./internal/debugwire -run '^$$' -fuzz FuzzDecode -fuzztime 20s
+	$(GO) test ./internal/console -run '^$$' -fuzz FuzzExec -fuzztime 20s
+
+clean:
+	rm -rf results

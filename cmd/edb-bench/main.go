@@ -1,0 +1,280 @@
+// Command edb-bench regenerates the paper's evaluation: every table and
+// figure of §5 runs on the simulated platform and prints in the paper's
+// layout. Results are also written under -out as text files.
+//
+// Usage:
+//
+//	edb-bench -exp all
+//	edb-bench -exp table3 -out results
+//
+// Experiments: table2 table3 table4 fig7 fig9 fig11 fig12 sec531 sec532 all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/units"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table2|table3|table4|fig2|fig7|fig9|fig11|fig12|sweep|sec531|sec532|baselines|ablations|all)")
+	out := flag.String("out", "results", "output directory for result files ('' to skip writing)")
+	quick := flag.Bool("quick", false, "shorter runs (coarser statistics)")
+	csv := flag.Bool("csv", false, "also write figure data as CSV files")
+	flag.Parse()
+
+	runner := &benchRunner{outDir: *out, quick: *quick}
+	wanted := strings.Split(*exp, ",")
+	all := *exp == "all"
+	want := func(id string) bool {
+		if all {
+			return true
+		}
+		for _, w := range wanted {
+			if strings.TrimSpace(w) == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("table2") {
+		runner.run("table2", func() (string, error) {
+			return experiments.RunTable2(experiments.DefaultTable2Config()).Format(), nil
+		})
+	}
+	if want("table3") {
+		runner.run("table3", func() (string, error) {
+			cfg := experiments.DefaultTable3Config()
+			if *quick {
+				cfg.Trials = 15
+			}
+			r, err := experiments.RunTable3(cfg)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		})
+	}
+	var t4 *experiments.Table4Result
+	if want("table4") || want("fig11") {
+		runner.run("table4", func() (string, error) {
+			cfg := experiments.DefaultPrintCostConfig()
+			if *quick {
+				cfg.Duration = 15
+			}
+			r, err := experiments.RunPrintCost(cfg)
+			if err != nil {
+				return "", err
+			}
+			t4 = &r
+			return r.Format(), nil
+		})
+	}
+	if want("fig11") && t4 != nil {
+		runner.run("fig11", func() (string, error) {
+			fig := experiments.Fig11FromTable4(*t4)
+			if *csv {
+				runner.writeAux("fig11.csv", fig.CSV())
+			}
+			return fig.Format(), nil
+		})
+	}
+	if want("fig7") {
+		for _, withAssert := range []bool{false, true} {
+			withAssert := withAssert
+			name := "fig7-noassert"
+			if withAssert {
+				name = "fig7-assert"
+			}
+			runner.run(name, func() (string, error) {
+				cfg := experiments.DefaultFig7Config()
+				cfg.WithAssert = withAssert
+				if *quick {
+					cfg.Duration = 8
+				}
+				r, err := experiments.RunFig7(cfg)
+				if err != nil {
+					return "", err
+				}
+				if *csv {
+					runner.writeAux(name+".csv", r.CSV())
+				}
+				return r.Format(), nil
+			})
+		}
+	}
+	if want("fig9") {
+		for _, guarded := range []bool{false, true} {
+			name := "fig9-unguarded"
+			if guarded {
+				name = "fig9-guarded"
+			}
+			guarded := guarded
+			runner.run(name, func() (string, error) {
+				cfg := experiments.DefaultFig9Config()
+				cfg.UseGuards = guarded
+				if *quick {
+					cfg.Duration = 12
+				}
+				r, err := experiments.RunFig9(cfg)
+				if err != nil {
+					return "", err
+				}
+				if *csv {
+					runner.writeAux(name+".csv", r.CSV())
+				}
+				return r.Format(), nil
+			})
+		}
+	}
+	if want("fig12") {
+		runner.run("fig12", func() (string, error) {
+			cfg := experiments.DefaultFig12Config()
+			if *quick {
+				cfg.Duration = 8
+			}
+			r, err := experiments.RunFig12(cfg)
+			if err != nil {
+				return "", err
+			}
+			if *csv {
+				runner.writeAux("fig12.csv", r.CSV())
+			}
+			return r.Format(), nil
+		})
+	}
+	if want("fig2") {
+		runner.run("fig2", func() (string, error) {
+			r, err := experiments.RunFig2(3, 42)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		})
+	}
+	if want("sweep") {
+		runner.run("sweep", func() (string, error) {
+			per := units.Seconds(8)
+			if *quick {
+				per = 5
+			}
+			r, err := experiments.RunRangeSweep(per, 12)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		})
+	}
+	if want("sec531") {
+		runner.run("sec531", func() (string, error) {
+			r, err := experiments.RunSec531(42)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		})
+	}
+	if want("sec532") {
+		runner.run("sec532", func() (string, error) {
+			dur := units.Seconds(40)
+			if *quick {
+				dur = 20
+			}
+			r, err := experiments.RunSec532(dur, 7)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		})
+	}
+
+	if want("baselines") {
+		runner.run("baselines", func() (string, error) {
+			dur := units.Seconds(15)
+			if *quick {
+				dur = 10
+			}
+			r, err := experiments.RunBaselines(dur, 42)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		})
+	}
+	if want("ablations") {
+		runner.run("ablation-restore-margin", func() (string, error) {
+			trials := 20
+			if *quick {
+				trials = 8
+			}
+			r, err := experiments.RunAblateRestoreMargin(trials, 5)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		})
+		runner.run("ablation-sample-period", func() (string, error) {
+			r, err := experiments.RunAblateSamplePeriod(5)
+			if err != nil {
+				return "", err
+			}
+			return r.Format(), nil
+		})
+	}
+
+	if runner.failures > 0 {
+		os.Exit(1)
+	}
+}
+
+type benchRunner struct {
+	outDir   string
+	quick    bool
+	failures int
+}
+
+// writeAux writes a secondary artifact (CSV data) beside the text result.
+func (b *benchRunner) writeAux(name, content string) {
+	if b.outDir == "" {
+		return
+	}
+	if err := os.MkdirAll(b.outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: mkdir: %v\n", name, err)
+		b.failures++
+		return
+	}
+	if err := os.WriteFile(filepath.Join(b.outDir, name), []byte(content), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: write: %v\n", name, err)
+		b.failures++
+	}
+}
+
+func (b *benchRunner) run(id string, fn func() (string, error)) {
+	fmt.Printf("==== %s ====\n", id)
+	text, err := fn()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: error: %v\n", id, err)
+		b.failures++
+		return
+	}
+	fmt.Println(text)
+	if b.outDir == "" {
+		return
+	}
+	if err := os.MkdirAll(b.outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: mkdir: %v\n", id, err)
+		b.failures++
+		return
+	}
+	path := filepath.Join(b.outDir, id+".txt")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: write: %v\n", id, err)
+		b.failures++
+	}
+}

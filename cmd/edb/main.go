@@ -1,0 +1,233 @@
+// Command edb runs a firmware scenario on the simulated energy-harvesting
+// target with the Energy-interference-free Debugger attached, and exposes
+// the debug console.
+//
+// Examples:
+//
+//	edb -app linkedlist -assert -t 30
+//	    run the linked-list app until its keep-alive assert fires, then
+//	    open an interactive console on stdin
+//
+//	edb -app fib -guards -t 20
+//	    run the Fibonacci debug build with energy guards
+//
+//	edb -app activity -print edb -t 10 -trace
+//	    trace the activity app with energy-interference-free printf
+//
+//	edb -app rfid -t 10
+//	    inventory the WISP RFID firmware and print the message trace
+//
+//	edb -app linkedlist -assert -script "vcap;status;halt"
+//	    drive interactive sessions from a script instead of stdin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/rfid"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "linkedlist", "firmware: linkedlist|safelist|fib|activity|rfid|busy")
+		asmFile  = flag.String("asm", "", "run an MSP430-subset assembly file instead of -app")
+		withAsrt = flag.Bool("assert", false, "enable the keep-alive assertions (linkedlist)")
+		guards   = flag.Bool("guards", false, "wrap debug instrumentation in energy guards (fib)")
+		printMd  = flag.String("print", "none", "activity print mode: none|uart|edb")
+		seconds  = flag.Float64("t", 10, "simulated seconds to run")
+		distance = flag.Float64("distance", 1.0, "reader-to-tag distance in meters")
+		seed     = flag.Int64("seed", 42, "deterministic seed")
+		doTrace  = flag.Bool("trace", false, "print the final 150 ms energy trace")
+		script   = flag.String("script", "", "semicolon-separated console commands run in each session")
+		interact = flag.Bool("i", false, "interactive stdin console when a session opens")
+	)
+	flag.Parse()
+
+	var prog device.Program
+	var reader *rfid.ReaderConfig
+	if *asmFile != "" {
+		src, err := os.ReadFile(*asmFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		prog = isa.NewProgram(*asmFile, string(src))
+	} else {
+		var err error
+		prog, reader, err = buildProgram(*appName, *withAsrt, *guards, *printMd)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	opts := []core.Option{core.WithSeed(*seed)}
+	if reader != nil {
+		rc := *reader
+		rc.Distance = units.Meters(*distance)
+		opts = append(opts, core.WithReader(rc))
+	} else {
+		h := energy.NewRFHarvester()
+		h.Distance = units.Meters(*distance)
+		opts = append(opts, core.WithHarvester(h))
+	}
+
+	rig, err := core.NewRig(prog, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rig.EDB.SetConsoleSink(func(s string) { fmt.Println(s) })
+	var vcap *trace.Series
+	if *doTrace {
+		vcap = rig.EDB.TraceVcap()
+	}
+
+	rig.EDB.OnInteractive(func(s *edb.Session) {
+		rig.Console.BindSession(s)
+		defer rig.Console.BindSession(nil)
+		fmt.Printf("\n[edb] interactive session: %s (Vcap=%.3f V)\n", s.Reason, s.Voltage())
+		switch {
+		case *script != "":
+			for _, cmd := range strings.Split(*script, ";") {
+				cmd = strings.TrimSpace(cmd)
+				if cmd == "" {
+					continue
+				}
+				fmt.Printf("(edb) %s\n", cmd)
+				out, err := rig.Console.Exec(cmd)
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Print(out)
+				if cmd == "resume" || cmd == "halt" {
+					return
+				}
+			}
+		case *interact:
+			runStdinConsole(rig)
+		default:
+			fmt.Println("[edb] no -script or -i; resuming target")
+		}
+	})
+
+	res, err := rig.Run(units.Seconds(*seconds))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "run:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\n==== run summary ====")
+	fmt.Println(res)
+	summarize(rig, prog)
+
+	if vcap != nil {
+		fmt.Println("\n==== energy trace (last 150 ms) ====")
+		total := rig.Device.Clock.Now()
+		window := rig.Device.Clock.ToCycles(150 * core.Millisecond)
+		late := trace.NewSeries(vcap.Name, vcap.Unit)
+		late.Samples = vcap.Window(total-window, total)
+		fmt.Print(trace.RenderASCII(late, rig.Device.Clock, 72, 12))
+	}
+	if out, err := rig.Exec("status"); err == nil {
+		fmt.Println("\n==== debugger status ====")
+		fmt.Print(out)
+	}
+}
+
+// buildProgram maps the -app flag to a firmware image (plus a reader for
+// the RFID scenario).
+func buildProgram(name string, withAssert, guards bool, printMode string) (device.Program, *rfid.ReaderConfig, error) {
+	switch name {
+	case "linkedlist":
+		return &apps.LinkedList{WithAssert: withAssert}, nil, nil
+	case "safelist":
+		return &apps.SafeLinkedList{WithAssert: withAssert}, nil, nil
+	case "fib":
+		return &apps.Fib{DebugBuild: true, UseGuards: guards, MaxNodes: 4000}, nil, nil
+	case "activity":
+		mode := apps.NoPrint
+		switch printMode {
+		case "uart":
+			mode = apps.UARTPrint
+		case "edb":
+			mode = apps.EDBPrint
+		case "none", "":
+		default:
+			return nil, nil, fmt.Errorf("edb: unknown print mode %q", printMode)
+		}
+		return &apps.Activity{Print: mode}, nil, nil
+	case "rfid":
+		rc := rfid.DefaultReaderConfig()
+		return &apps.WispRFID{}, &rc, nil
+	case "busy":
+		return &apps.Busy{}, nil, nil
+	}
+	return nil, nil, fmt.Errorf("edb: unknown app %q (linkedlist|safelist|fib|activity|rfid|busy)", name)
+}
+
+// summarize prints app-specific results.
+func summarize(rig *core.Rig, prog device.Program) {
+	switch app := prog.(type) {
+	case *apps.LinkedList:
+		fmt.Printf("iterations=%d tail-consistent=%v\n",
+			app.Iterations(rig.Device), app.ConsistentTail(rig.Device))
+	case *apps.SafeLinkedList:
+		fmt.Printf("iterations=%d consistent=%v (task-boundary build)\n",
+			app.Iterations(rig.Device), app.Consistent(rig.Device))
+	case *apps.Fib:
+		fmt.Printf("items=%d check-violations=%d guards=%d\n",
+			app.Count(rig.Device), app.CheckErrors(rig.Device), rig.EDB.Stats().Guards)
+	case *apps.Activity:
+		st := app.Stats(rig.Device)
+		fmt.Printf("iterations=%d/%d (%.0f%% success) moving=%d stationary=%d\n",
+			st.Completed, st.Attempted, 100*st.SuccessRate(), st.Moving, st.Stationary)
+	case *apps.WispRFID:
+		st := app.Stats(rig.Device)
+		fmt.Printf("queries=%d replies=%d corrupt=%d", st.Queries, st.Replies, st.Corrupt)
+		if rig.Reader != nil {
+			fmt.Printf("  response-rate=%.0f%%", 100*rig.Reader.ResponseRate())
+		}
+		fmt.Println()
+	case *apps.Busy:
+		fmt.Printf("iterations=%d\n", app.Iterations(rig.Device))
+	case *isa.Program:
+		img := app.Image()
+		fmt.Printf("image: %d words at %#04x; instructions retired this power cycle: %d\n",
+			len(img.Words), img.Org, app.CPU().Retired())
+	}
+}
+
+// runStdinConsole reads console commands from stdin until resume/halt/EOF.
+func runStdinConsole(rig *core.Rig) {
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("(edb) ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		out, err := rig.Console.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Print(out)
+		if line == "resume" || line == "halt" {
+			return
+		}
+	}
+}

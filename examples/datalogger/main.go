@@ -1,0 +1,70 @@
+// Datalogger demonstrates a second intermittence-bug shape — a torn
+// multi-word update — and the two ways out of it.
+//
+// The app samples a temperature sensor into a non-volatile ring log whose
+// head index and count must move together. On harvested power the unsafe
+// build eventually reboots between the two writes and the metadata tears.
+// The demo shows three runs:
+//
+//  1. unsafe: the tear happens silently,
+//  2. unsafe + EDB assert: the tear is caught live on a tethered target,
+//  3. safe (DINO-style task boundaries): the tear cannot happen.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/edb"
+)
+
+func main() {
+	run := func(label string, app *apps.Datalogger, seed int64, handler func(*core.Rig)) {
+		rig, err := core.NewRig(app, core.WithSeed(seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if handler != nil {
+			handler(rig)
+		}
+		res, err := rig.Run(20 * core.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := app.Stats(rig.Device)
+		fmt.Printf("%-22s reboots=%-4d samples=%-6d meta-consistent=%-5v halted=%q\n",
+			label, res.Reboots, st.Count, st.MetaConsistent, res.Halted)
+	}
+
+	// Find a seed whose trajectory tears within the demo window, then
+	// show all three builds on it.
+	seed := int64(300)
+	for s := int64(300); s < 320; s++ {
+		app := &apps.Datalogger{SampleEvery: 200e-6}
+		rig, err := core.NewRig(app, core.WithSeed(s), core.WithoutEDB())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := rig.Run(20 * core.Second); err != nil {
+			log.Fatal(err)
+		}
+		if !app.Stats(rig.Device).MetaConsistent {
+			seed = s
+			break
+		}
+	}
+	fmt.Printf("demonstration seed: %d\n\n", seed)
+
+	run("unsafe", &apps.Datalogger{SampleEvery: 200e-6}, seed, nil)
+	run("unsafe + EDB assert", &apps.Datalogger{SampleEvery: 200e-6, WithAssert: true}, seed,
+		func(rig *core.Rig) {
+			rig.EDB.OnInteractive(func(s *edb.Session) {
+				fmt.Printf("  [session] %s at Vcap=%.3f V — log metadata inspectable live\n",
+					s.Reason, s.Voltage())
+				s.Halt()
+			})
+		})
+	run("safe (task bounds)", &apps.Datalogger{SampleEvery: 200e-6, Safe: true}, seed, nil)
+}

@@ -1,0 +1,56 @@
+// Energyguard demonstrates §5.3.2: instrumentation of arbitrary energy
+// cost made non-disruptive by EDB's energy guards.
+//
+// The Fibonacci app's debug build opens main() with a consistency check
+// whose cost grows with the list. Unguarded, the check eventually consumes
+// the whole charge-discharge budget and the application hangs forever.
+// Wrapped in energy guards, the check runs on tethered power and the main
+// loop keeps its full budget at any list length.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+func main() {
+	run := func(guarded bool, seconds int) {
+		label := "UNGUARDED"
+		if guarded {
+			label = "GUARDED"
+		}
+		app := &apps.Fib{DebugBuild: true, UseGuards: guarded, MaxNodes: 4000}
+		rig, err := core.NewRig(app, core.WithSeed(7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Track progress second by second.
+		fmt.Printf("=== %s debug build ===\n", label)
+		prev := 0
+		for s := 0; s < seconds; s++ {
+			res, err := rig.Run(core.Second)
+			if err != nil {
+				log.Fatal(err)
+			}
+			count := app.Count(rig.Device)
+			fmt.Printf("t=%2ds items=%4d (+%3d this second, %d reboots total)\n",
+				s+1, count, count-prev, res.Reboots)
+			prev = count
+			if res.Completed {
+				fmt.Println("sequence complete")
+				break
+			}
+			if rig.EDB.Active() {
+				rig.EDB.ForceIdle()
+			}
+		}
+		fmt.Printf("energy guards used: %d; consistency violations found: %d\n\n",
+			rig.EDB.Stats().Guards, app.CheckErrors(rig.Device))
+	}
+
+	run(false, 18) // hangs near the prototype's ~555 items
+	run(true, 18)  // keeps appending at a steady rate
+}

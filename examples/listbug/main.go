@@ -1,0 +1,92 @@
+// Listbug walks through the paper's §5.3.1 case study end to end:
+//
+//  1. Run the linked-list app WITHOUT a debugger: intermittence corrupts
+//     the non-volatile list, the MCU wedges on a wild pointer, and the
+//     main loop stops forever.
+//  2. Run it again WITH EDB and the keep-alive assertion: the corruption
+//     is caught at its source, the target is tethered alive, and an
+//     interactive console session inspects the broken structure over the
+//     debug wire.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/edb"
+	"repro/internal/memsim"
+)
+
+func main() {
+	fmt.Println("=== phase 1: no debugger — observe the failure, gain no insight ===")
+	app1 := &apps.LinkedList{}
+	rig1, err := core.NewRig(app1, core.WithSeed(42), core.WithoutEDB())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res1, err := rig1.Run(15 * core.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reboots=%d faults=%d iterations=%d\n",
+		res1.Reboots, res1.Faults, app1.Iterations(rig1.Device))
+	fmt.Println("the device wedges every charge cycle; only re-flashing recovers it —")
+	fmt.Println("and nothing above says WHY: the root cause is invisible without EDB")
+
+	fmt.Println("\n=== phase 2: EDB keep-alive assert + interactive diagnosis ===")
+	app2 := &apps.LinkedList{WithAssert: true}
+	rig2, err := core.NewRig(app2, core.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rig2.EDB.OnInteractive(func(s *edb.Session) {
+		rig2.Console.BindSession(s)
+		defer rig2.Console.BindSession(nil)
+		fmt.Printf("\n[session] %s — target tethered, Vcap=%.3f V\n", s.Reason, s.Voltage())
+		hdr := app2.HeaderAddr()
+		for _, cmd := range []string{
+			fmt.Sprintf("read %#04x", uint16(hdr)),   // sentinel
+			fmt.Sprintf("read %#04x", uint16(hdr+2)), // tail
+			"vcap",
+		} {
+			out, err := rig2.Exec(cmd)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("(edb) %s\n%s", cmd, out)
+		}
+		read := func(a memsim.Addr) uint16 {
+			v, err := s.ReadWord(a)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return v
+		}
+		sentinel := read(hdr)
+		tail := read(hdr + 2)
+		tailNext := read(memsim.Addr(tail))
+		first := read(memsim.Addr(sentinel))
+		fmt.Printf("diagnosis: tail=%#04x tail->next=%#04x first=%#04x\n", tail, tailNext, first)
+		switch {
+		case tailNext != 0:
+			fmt.Println("  -> interrupted append: tail points at the penultimate element")
+		case first == 0:
+			fmt.Println("  -> interrupted remove drained the chain: head is NULL")
+		default:
+			firstPrev := read(memsim.Addr(first) + 2)
+			fmt.Printf("  -> head linkage broken: first->prev=%#04x, sentinel=%#04x\n", firstPrev, sentinel)
+		}
+		s.Halt() // keep the device alive for further inspection
+	})
+
+	res2, err := rig2.Run(30 * core.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrun ended: halted=%q faults=%d (the wild write never executed)\n",
+		res2.Halted, res2.Faults)
+	fmt.Printf("target still tethered: %v\n", rig2.Device.Supply.Tethered())
+}

@@ -1,0 +1,70 @@
+// Profiling demonstrates §5.3.3: tracing events and profiling energy cost
+// with watchpoints and the energy-interference-free printf.
+//
+// The activity-recognition app marks each iteration with watchpoints; EDB
+// timestamps each marker and snapshots the energy level, yielding a time
+// and energy profile of the loop without meaningfully perturbing it — then
+// the same run is repeated with a conventional UART printf to show how
+// ordinary tracing changes the application's behavior.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/trace"
+)
+
+func main() {
+	profile := func(mode apps.PrintMode) (success float64, energyPct, timeMs []float64) {
+		app := &apps.Activity{Print: mode}
+		h := energy.NewRFHarvester()
+		h.Distance = 1.4
+		rig, err := core.NewRig(app, core.WithSeed(4), core.WithHarvester(h))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := rig.Run(20 * core.Second); err != nil {
+			log.Fatal(err)
+		}
+
+		// Pair watchpoint 1 (iteration start) with 2/3 (classified) into
+		// per-iteration deltas.
+		hits := rig.EDB.WatchHits()
+		ref := float64(rig.Device.Supply.ReferenceEnergy())
+		for i := 0; i+1 < len(hits); i++ {
+			if hits[i].ID != apps.WPIterStart {
+				continue
+			}
+			n := hits[i+1]
+			if n.ID != apps.WPMoving && n.ID != apps.WPStationary {
+				continue
+			}
+			dt := rig.Device.Clock.ToSeconds(n.At - hits[i].At)
+			if dt <= 0 || dt > 0.05 {
+				continue
+			}
+			de := float64(rig.Device.Supply.Cap.EnergyBetween(n.V, hits[i].V))
+			energyPct = append(energyPct, 100*de/ref)
+			timeMs = append(timeMs, 1e3*float64(dt))
+		}
+		return app.Stats(rig.Device).SuccessRate(), energyPct, timeMs
+	}
+
+	fmt.Printf("%-14s %10s %14s %12s %6s\n", "build", "success", "energy/iter", "time/iter", "n")
+	var cdfs []*trace.CDF
+	var names []string
+	for _, mode := range []apps.PrintMode{apps.NoPrint, apps.UARTPrint, apps.EDBPrint} {
+		success, e, ts := profile(mode)
+		fmt.Printf("%-14s %9.0f%% %13.2f%% %10.2fms %6d\n",
+			mode, 100*success, trace.Summarize(e).Mean, trace.Summarize(ts).Mean, len(e))
+		cdfs = append(cdfs, trace.NewCDF(e))
+		names = append(names, mode.String())
+	}
+
+	fmt.Println("\nCDF of per-iteration energy cost (% of storage capacity):")
+	fmt.Print(trace.RenderCDFASCII(names, cdfs, 64, 14))
+}

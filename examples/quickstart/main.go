@@ -1,0 +1,64 @@
+// Quickstart: assemble a WISP-like intermittent target with EDB attached,
+// run firmware on harvested RF power, and watch the debugger's passive
+// streams — the 60-second tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/energy"
+	"repro/internal/trace"
+)
+
+func main() {
+	// The target runs the activity-recognition app with EDB's
+	// energy-interference-free printf for per-iteration tracing. The
+	// reader sits 1.4 m away, so the tag charges and browns out many
+	// times per second — genuinely intermittent execution.
+	app := &apps.Activity{Print: apps.EDBPrint}
+	harvester := energy.NewRFHarvester()
+	harvester.Distance = 1.4
+	rig, err := core.NewRig(app, core.WithSeed(7), core.WithHarvester(harvester))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Passive mode: trace the capacitor voltage while the program runs.
+	vcap := rig.EDB.TraceVcap()
+
+	res, err := rig.Run(3 * core.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== run ==")
+	fmt.Println(res)
+	st := app.Stats(rig.Device)
+	fmt.Printf("iterations: %d attempted, %d completed (%.0f%% success)\n",
+		st.Attempted, st.Completed, 100*st.SuccessRate())
+	fmt.Printf("classified: %d moving / %d stationary\n", st.Moving, st.Stationary)
+
+	fmt.Println("\n== energy trace (last 150 ms) ==")
+	total := rig.Device.Clock.Now()
+	window := rig.Device.Clock.ToCycles(150 * core.Millisecond)
+	late := trace.NewSeries(vcap.Name, vcap.Unit)
+	late.Samples = vcap.Window(total-window, total)
+	fmt.Print(trace.RenderASCII(late, rig.Device.Clock, 72, 12))
+
+	fmt.Println("== first lines of EDB printf output ==")
+	out := rig.EDB.PrintfOutput()
+	if len(out) > 200 {
+		out = out[:200] + "…"
+	}
+	fmt.Println(out)
+
+	fmt.Println("== debugger status ==")
+	status, err := rig.Exec("status")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(status)
+}

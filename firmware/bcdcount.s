@@ -1,0 +1,74 @@
+; bcdcount.s — a decimal (BCD) non-volatile counter using DADD.
+;
+; The count lives in FRAM as packed BCD, incremented decimally each pass;
+; every 0x100 passes the four digits print through the EDB printf port.
+; Exercises dadd, clrc, .ascii data, and nibble->ASCII conversion.
+	.equ PUTC, 0x0124
+
+main:	clrc
+	mov &bcd, r5
+	dadd #1, r5          ; decimal increment
+	mov r5, &bcd
+
+	mov &n, r6           ; binary pass counter for pacing
+	inc r6
+	mov r6, &n
+	and #0x00FF, r6
+	jnz main
+
+	; print "bcd=DDDD\n"
+	mov #label, r9
+lchr:	mov.b @r9+, r7
+	tst r7
+	jz digits
+	mov r7, &PUTC
+	jmp lchr
+
+digits:	mov &bcd, r5
+	mov #4, r8           ; four nibbles, high first
+dig:	mov r5, r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	and #0x000F, r7
+	add #0x30, r7
+	mov r7, &PUTC
+	; rotate left by 4: r5 = r5<<4 | r5>>12 (via adds)
+	mov r5, r7
+	add r5, r5           ; <<1
+	add r5, r5           ; <<2... need carry-free: values are BCD so ok
+	add r5, r5
+	add r5, r5
+	; bring in the high nibble we just printed
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	and #0x000F, r7
+	bis r7, r5
+	dec r8
+	jnz dig
+	mov #10, &PUTC       ; newline flushes
+	jmp main
+
+label:	.ascii "bcd="
+	.byte 0
+bcd:	.word 0
+n:	.word 0

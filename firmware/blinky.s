@@ -1,0 +1,22 @@
+; blinky.s — the embedded hello-world, intermittent edition.
+;
+; Toggles the application pin and blinks the LED every 4096 iterations.
+; On harvested power the LED blink visibly stretches the discharge (the
+; paper's §2.2 point: an LED draws ~5x the MCU), so the blink rate is a
+; worse progress indicator than it looks.
+	.equ APPPIN, 0x0128
+	.equ LED,    0x012A
+
+main:	mov #2, &APPPIN       ; toggle progress pin
+	mov &n, r5
+	inc r5
+	mov r5, &n
+	and #0x0FFF, r5
+	jnz main
+	mov #1, &LED          ; blink: expensive!
+	mov #200, r6
+hold:	dec r6
+	jnz hold
+	mov #0, &LED
+	jmp main
+n:	.word 0

@@ -1,0 +1,16 @@
+; counter.s — a non-volatile counter with watchpoint instrumentation.
+;
+; The count lives in FRAM and survives reboots; registers are volatile.
+; Watchpoint 1 marks each completed increment; EDB timestamps it and
+; snapshots the energy level, giving a progress/energy profile for free.
+	.equ WP, 0x0120
+
+main:	mov #1, &WP
+	mov &count, r5
+	inc r5
+	mov r5, &count
+	mov #16, r6           ; per-iteration work
+spin:	dec r6
+	jnz spin
+	jmp main
+count:	.word 0

@@ -1,0 +1,37 @@
+; printer.s — energy-interference-free tracing from assembly.
+;
+; Prints "n=<lo byte as two hex digits>" every 512 iterations through the
+; EDB printf port. The print travels on tethered power; its energy cost to
+; the application is the restore loop's resolution, not the UART's burn.
+	.equ PUTC, 0x0124
+
+main:	mov &n, r5
+	inc r5
+	mov r5, &n
+	mov r5, r6
+	and #0x01FF, r6
+	jnz main
+
+	mov #0x6E, &PUTC      ; 'n'
+	mov #0x3D, &PUTC      ; '='
+	mov r5, r7            ; high nibble of low byte
+	rra r7
+	rra r7
+	rra r7
+	rra r7
+	and #0x000F, r7
+	call #putnib
+	mov r5, r7            ; low nibble
+	and #0x000F, r7
+	call #putnib
+	mov #10, &PUTC        ; newline flushes
+	jmp main
+
+putnib:	cmp #10, r7
+	jge alpha
+	add #0x30, r7         ; '0'..'9'
+	jmp emit
+alpha:	add #0x37, r7         ; 'A'..'F'
+emit:	mov r7, &PUTC
+	ret
+n:	.word 0

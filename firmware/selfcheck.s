@@ -1,0 +1,30 @@
+; selfcheck.s — energy-guarded instrumentation (the Fig. 8/9 pattern).
+;
+; Each pass appends to a FRAM log; every 64 passes an expensive self-check
+; runs between energy guards, so it costs the application nothing. Without
+; the guard writes (try deleting them) the check eventually consumes the
+; whole charge-discharge budget and progress stops.
+	.equ GUARD, 0x0126
+	.equ WP,    0x0120
+
+main:	mov #1, &WP
+	mov &idx, r5
+	inc r5
+	mov r5, &idx
+
+	mov r5, r6
+	and #0x003F, r6
+	jnz work
+
+	mov #1, &GUARD        ; tethered self-check
+	mov #0x2000, r7
+check:	dec r7
+	jnz check
+	mov #2, &WP           ; watchpoint 2: check completed
+	mov #0, &GUARD
+
+work:	mov #12, r8
+spin:	dec r8
+	jnz spin
+	jmp main
+idx:	.word 0

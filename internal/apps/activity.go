@@ -1,0 +1,248 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/libedb"
+	"repro/internal/memsim"
+	"repro/internal/periph"
+	"repro/internal/units"
+)
+
+// PrintMode selects the tracing instrumentation in the Activity app —
+// the three rows of Table 4.
+type PrintMode int
+
+const (
+	// NoPrint: bare application.
+	NoPrint PrintMode = iota
+	// UARTPrint: a conventional printf over the target's UART, paid for
+	// out of the target's energy store.
+	UARTPrint
+	// EDBPrint: libEDB's energy-interference-free printf.
+	EDBPrint
+)
+
+func (m PrintMode) String() string {
+	switch m {
+	case UARTPrint:
+		return "UART printf"
+	case EDBPrint:
+		return "EDB printf"
+	}
+	return "No print"
+}
+
+// Watchpoint ids used by the Activity app (Fig. 10): 1 marks the start of
+// an iteration; 2 marks a "moving" classification; 3 marks "stationary".
+// The difference between watchpoint 1 and 2/3 energy snapshots yields the
+// iteration's time and energy profile (Fig. 11), and counting 2s and 3s
+// reproduces the classification statistics for manual verification.
+const (
+	WPIterStart  = 1
+	WPMoving     = 2
+	WPStationary = 3
+)
+
+// SensorRailCurrent is the sensing subsystem's supply rail draw while an
+// iteration is active (accelerometer measurement mode + analog front end).
+const SensorRailCurrent = 0.8e-3
+
+// Activity is the §5.3.3 case study: a machine-learning-based activity
+// recognition application (from the DINO work) that reads an accelerometer
+// sample, classifies it as "moving" or "stationary" with a
+// nearest-centroid classifier trained at flash time, and records class
+// statistics in non-volatile memory.
+type Activity struct {
+	// Print selects the instrumentation build.
+	Print PrintMode
+	// SleepBetween is the inter-sample wait (sensor pacing), default 6 ms.
+	SleepBetween units.Seconds
+	// ClassifyCycles is the feature-extraction + classification compute
+	// cost per iteration (default 3400, ~0.85 ms at 4 MHz).
+	ClassifyCycles int
+
+	accel *periph.Accelerometer
+
+	lib *libedb.Lib
+	// FRAM statistics block.
+	attemptedAddr  memsim.Addr // iterations started
+	completedAddr  memsim.Addr // iterations finished
+	movingAddr     memsim.Addr // samples classified "moving"
+	stationaryAddr memsim.Addr // samples classified "stationary"
+	centroidAddr   memsim.Addr // trained decision threshold
+}
+
+// Name implements device.Program.
+func (p *Activity) Name() string { return "activity-recognition" }
+
+// Flash implements device.Program: attach the accelerometer, allocate the
+// statistics block, and train the classifier.
+func (p *Activity) Flash(d *device.Device) error {
+	if p.SleepBetween == 0 {
+		p.SleepBetween = units.MilliSeconds(6)
+	}
+	if p.ClassifyCycles == 0 {
+		p.ClassifyCycles = 3400
+	}
+	lib, err := libedb.Init(d)
+	if err != nil {
+		return err
+	}
+	p.lib = lib
+
+	p.accel = periph.NewAccelerometer(d.Clock, d.RNG.Split("accel"))
+	d.I2C.Attach(p.accel)
+
+	for _, w := range []*memsim.Addr{
+		&p.attemptedAddr, &p.completedAddr, &p.movingAddr, &p.stationaryAddr, &p.centroidAddr,
+	} {
+		if *w, err = d.FRAM.Alloc(2); err != nil {
+			return fmt.Errorf("activity: %w", err)
+		}
+	}
+
+	// Train at flash time: sample both phases, compute class centroids of
+	// the |magnitude - gravity| feature, store the midpoint threshold.
+	threshold := p.train()
+	mustWrite(d, p.centroidAddr, threshold)
+	return nil
+}
+
+// train computes the nearest-centroid decision threshold from labeled
+// synthetic data (the developer trains on the bench, flashes the model).
+func (p *Activity) train() uint16 {
+	phase := periph.Stationary
+	p.accel.Forced = &phase
+	var sumStat, sumMov int
+	const n = 200
+	for i := 0; i < n; i++ {
+		phase = periph.Stationary
+		sumStat += trainFeature(p.accel)
+		phase = periph.Moving
+		sumMov += trainFeature(p.accel)
+	}
+	p.accel.Forced = nil
+	centStat := sumStat / n
+	centMov := sumMov / n
+	return uint16((centStat + centMov) / 2)
+}
+
+// trainFeature reads one raw sample off the sensor (no device cost — this
+// is flash-time training, not firmware).
+func trainFeature(a *periph.Accelerometer) int {
+	var axes [3]int16
+	for axis := 0; axis < 3; axis++ {
+		lo := a.ReadReg(byte(periph.RegDataX + 2*axis))
+		hi := a.ReadReg(byte(periph.RegDataX + 2*axis + 1))
+		axes[axis] = int16(uint16(lo) | uint16(hi)<<8)
+	}
+	return feature(axes)
+}
+
+// feature is the classifier's scalar: total absolute deviation from the
+// rest pose (gravity on Z only).
+func feature(axes [3]int16) int {
+	f := abs(int(axes[0])) + abs(int(axes[1])) + abs(int(axes[2])-250)
+	return f
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Main implements device.Program — the loop of Fig. 10.
+func (p *Activity) Main(env *device.Env) {
+	for {
+		env.Branch()
+		p.lib.Watchpoint(env, WPIterStart)
+		// The sensing subsystem rail is up for the whole active portion.
+		env.D.SetLoad("sensor-rail", SensorRailCurrent)
+		env.StoreWord(p.attemptedAddr, env.LoadWord(p.attemptedAddr)+1)
+
+		// sample = read_accelerometer(): a 6-byte I2C burst.
+		raw, err := env.I2CReadRegs(periph.AccelAddr, periph.RegDataX, 6)
+		if err != nil {
+			// Sensor fault: skip this iteration.
+			env.SleepFor(p.SleepBetween)
+			continue
+		}
+		var axes [3]int16
+		for i := 0; i < 3; i++ {
+			axes[i] = int16(uint16(raw[2*i]) | uint16(raw[2*i+1])<<8)
+		}
+
+		// class = classify(sample, model): feature + threshold compare.
+		env.Compute(p.ClassifyCycles)
+		f := feature(axes)
+		threshold := int(env.LoadWord(p.centroidAddr))
+		moving := f > threshold
+
+		// update_stats(class) in non-volatile memory.
+		if moving {
+			env.StoreWord(p.movingAddr, env.LoadWord(p.movingAddr)+1)
+		} else {
+			env.StoreWord(p.stationaryAddr, env.LoadWord(p.stationaryAddr)+1)
+		}
+
+		// Debug output per build (Table 4).
+		switch p.Print {
+		case UARTPrint:
+			msg := formatResult(moving, f)
+			env.UARTWrite([]byte(msg))
+		case EDBPrint:
+			p.lib.Printf(env, "%s", formatResult(moving, f))
+		}
+
+		if moving {
+			p.lib.Watchpoint(env, WPMoving)
+		} else {
+			p.lib.Watchpoint(env, WPStationary)
+		}
+		env.StoreWord(p.completedAddr, env.LoadWord(p.completedAddr)+1)
+
+		env.D.SetLoad("sensor-rail", 0)
+		env.SleepFor(p.SleepBetween)
+	}
+}
+
+// formatResult builds the ~12-character per-iteration trace line.
+func formatResult(moving bool, f int) string {
+	c := byte('S')
+	if moving {
+		c = 'M'
+	}
+	return fmt.Sprintf("c=%c f=%04d\n", c, f%10000)
+}
+
+// ActivityStats is the app's non-volatile statistics block (inspection).
+type ActivityStats struct {
+	Attempted, Completed int
+	Moving, Stationary   int
+}
+
+// Stats reads the FRAM statistics (inspection).
+func (p *Activity) Stats(d *device.Device) ActivityStats {
+	return ActivityStats{
+		Attempted:  int(mustRead(d, p.attemptedAddr)),
+		Completed:  int(mustRead(d, p.completedAddr)),
+		Moving:     int(mustRead(d, p.movingAddr)),
+		Stationary: int(mustRead(d, p.stationaryAddr)),
+	}
+}
+
+// SuccessRate returns completed/attempted — Table 4's "iteration success
+// rate".
+func (s ActivityStats) SuccessRate() float64 {
+	if s.Attempted == 0 {
+		return 0
+	}
+	return float64(s.Completed) / float64(s.Attempted)
+}
+
+// Accel exposes the sensor (tests force phases through it).
+func (p *Activity) Accel() *periph.Accelerometer { return p.accel }

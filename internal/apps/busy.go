@@ -1,0 +1,48 @@
+package apps
+
+import (
+	"repro/internal/device"
+	"repro/internal/libedb"
+	"repro/internal/memsim"
+)
+
+// Busy is a minimal compute-bound program: it spins incrementing a
+// non-volatile counter. The Table 3 experiment uses it as the workload
+// whose execution an energy breakpoint interrupts; it is also handy as a
+// baseline load in tests.
+type Busy struct {
+	// WorkCycles is the computation per iteration (default 200).
+	WorkCycles int
+
+	lib      *libedb.Lib
+	iterAddr memsim.Addr
+}
+
+// Name implements device.Program.
+func (p *Busy) Name() string { return "busy" }
+
+// Flash implements device.Program.
+func (p *Busy) Flash(d *device.Device) error {
+	if p.WorkCycles == 0 {
+		p.WorkCycles = 200
+	}
+	lib, err := libedb.Init(d)
+	if err != nil {
+		return err
+	}
+	p.lib = lib
+	p.iterAddr, err = d.FRAM.Alloc(2)
+	return err
+}
+
+// Main implements device.Program.
+func (p *Busy) Main(env *device.Env) {
+	for {
+		env.Branch()
+		env.Compute(p.WorkCycles)
+		env.StoreWord(p.iterAddr, env.LoadWord(p.iterAddr)+1)
+	}
+}
+
+// Iterations reads the iteration counter (inspection).
+func (p *Busy) Iterations(d *device.Device) int { return int(mustRead(d, p.iterAddr)) }

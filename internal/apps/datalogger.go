@@ -1,0 +1,164 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/device"
+	"repro/internal/libedb"
+	"repro/internal/memsim"
+	"repro/internal/periph"
+	"repro/internal/units"
+)
+
+// Datalogger is a classic intermittent-computing workload: periodically
+// sample a temperature sensor and append the reading to a non-volatile
+// ring log. The log's metadata is two words — a head index and a count —
+// that must move together; the unsafe build updates them separately, so a
+// reboot between the entry write and the metadata writes (or between the
+// two metadata writes) leaves torn state: entries overwritten, counts
+// drifting, or stale garbage read back as data.
+//
+// The Safe build commits each append at a DINO-style task boundary. The
+// app exists to exercise the temperature peripheral and to provide a
+// second, structurally different intermittence-bug shape (torn multi-word
+// update, vs. the linked list's dangling pointers) for the debugger to
+// catch: the keep-alive assertion checks the metadata invariant
+// count <= capacity && head == count mod capacity.
+type Datalogger struct {
+	// Capacity is the ring size in entries (default 32).
+	Capacity int
+	// Safe commits appends at task boundaries.
+	Safe bool
+	// WithAssert enables the metadata invariant assertion.
+	WithAssert bool
+	// SampleEvery is the sensing period (default 4 ms).
+	SampleEvery units.Seconds
+
+	temp  *periph.TempSensor
+	lib   *libedb.Lib
+	tasks *checkpoint.Tasks
+
+	headAddr  memsim.Addr // next slot to write
+	countAddr memsim.Addr // total entries ever appended
+	ring      memsim.Addr // Capacity words of samples
+}
+
+// AssertLogMeta is the metadata-invariant assertion id.
+const AssertLogMeta = 3
+
+// Name implements device.Program.
+func (p *Datalogger) Name() string { return "datalogger" }
+
+// Flash implements device.Program.
+func (p *Datalogger) Flash(d *device.Device) error {
+	if p.Capacity == 0 {
+		p.Capacity = 32
+	}
+	if p.SampleEvery == 0 {
+		p.SampleEvery = units.MilliSeconds(4)
+	}
+	lib, err := libedb.Init(d)
+	if err != nil {
+		return err
+	}
+	p.lib = lib
+
+	p.temp = periph.NewTempSensor(d.Clock, d.RNG.Split("temp"))
+	d.I2C.Attach(p.temp)
+
+	for _, w := range []*memsim.Addr{&p.headAddr, &p.countAddr} {
+		if *w, err = d.FRAM.Alloc(2); err != nil {
+			return fmt.Errorf("datalogger: %w", err)
+		}
+	}
+	if p.ring, err = d.FRAM.Alloc(2 * p.Capacity); err != nil {
+		return err
+	}
+	if p.Safe {
+		p.tasks, err = checkpoint.NewTasks(d, 2*p.Capacity+16)
+		if err != nil {
+			return err
+		}
+		if err := p.tasks.RegisterVar(p.headAddr, 2); err != nil {
+			return err
+		}
+		if err := p.tasks.RegisterVar(p.countAddr, 2); err != nil {
+			return err
+		}
+		if err := p.tasks.RegisterVar(p.ring, 2*p.Capacity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Main implements device.Program.
+func (p *Datalogger) Main(env *device.Env) {
+	if p.Safe {
+		if _, ok := p.tasks.Recover(env); !ok {
+			p.tasks.Boundary(env, 0)
+		}
+	}
+	for {
+		env.Branch()
+		env.TogglePin(device.LineAppPin)
+
+		head := env.LoadWord(p.headAddr)
+		count := env.LoadWord(p.countAddr)
+
+		if p.WithAssert {
+			ok := int(head) < p.Capacity && head == count%uint16(p.Capacity)
+			p.lib.Assert(env, AssertLogMeta, ok)
+		}
+
+		// sample = read_temperature(): one-register I2C read.
+		raw, err := env.I2CReadRegs(periph.TempAddr, 0, 1)
+		if err != nil {
+			env.SleepFor(p.SampleEvery)
+			continue
+		}
+		env.Compute(900) // scaling, filtering, CRC over the ring header
+
+		// Append: entry first, then head, then count. A reboot between
+		// any two of these tears the structure (unsafe build).
+		env.StoreWord(p.ring+memsim.Addr(2*head), uint16(raw[0])|0xA500)
+		next := (head + 1) % uint16(p.Capacity)
+		env.StorePtr(p.headAddr, memsim.Addr(next))
+		env.StoreWord(p.countAddr, count+1)
+
+		if p.Safe {
+			p.tasks.Boundary(env, count+1)
+		}
+
+		env.TogglePin(device.LineAppPin)
+		env.SleepFor(p.SampleEvery)
+	}
+}
+
+// LogStats summarizes the log's on-device state (inspection).
+type LogStats struct {
+	Head, Count int
+	// MetaConsistent is the invariant the assertion checks.
+	MetaConsistent bool
+	// ValidEntries counts ring slots carrying the 0xA5 tag (written at
+	// least once).
+	ValidEntries int
+}
+
+// Stats inspects the log.
+func (p *Datalogger) Stats(d *device.Device) LogStats {
+	head := int(mustRead(d, p.headAddr))
+	count := int(mustRead(d, p.countAddr))
+	st := LogStats{
+		Head:           head,
+		Count:          count,
+		MetaConsistent: head < p.Capacity && head == count%p.Capacity,
+	}
+	for i := 0; i < p.Capacity; i++ {
+		if mustRead(d, p.ring+memsim.Addr(2*i))&0xFF00 == 0xA500 {
+			st.ValidEntries++
+		}
+	}
+	return st
+}

@@ -1,0 +1,118 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+func TestDataloggerContinuousPowerConsistent(t *testing.T) {
+	d := continuous(201)
+	app := &Datalogger{SampleEvery: units.MicroSeconds(200)}
+	r := device.NewRunner(d, app)
+	if err := r.Flash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunFor(units.MilliSeconds(200)); err != nil {
+		t.Fatal(err)
+	}
+	st := app.Stats(d)
+	if st.Count < 50 {
+		t.Fatalf("too few samples: %+v", st)
+	}
+	if !st.MetaConsistent {
+		t.Fatalf("metadata torn on continuous power: %+v", st)
+	}
+	if st.ValidEntries != 32 && st.ValidEntries != st.Count {
+		t.Fatalf("ring contents: %+v", st)
+	}
+}
+
+// TestDataloggerTornMetadataUnderIntermittence: on harvested power the
+// unsafe build's multi-word append tears sooner or later — the head/count
+// invariant breaks and stays broken in FRAM.
+func TestDataloggerTornMetadataUnderIntermittence(t *testing.T) {
+	torn := false
+	for seed := int64(0); seed < 6 && !torn; seed++ {
+		d := device.NewWISP5(energy.NewRFHarvester(), 300+seed)
+		app := &Datalogger{SampleEvery: units.MicroSeconds(200)}
+		r := device.NewRunner(d, app)
+		if err := r.Flash(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunFor(units.Seconds(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reboots == 0 {
+			t.Fatalf("seed %d: not intermittent", seed)
+		}
+		if !app.Stats(d).MetaConsistent {
+			torn = true
+		}
+	}
+	if !torn {
+		t.Fatal("unsafe datalogger never tore its metadata across 6 seeds")
+	}
+}
+
+// TestDataloggerSafeBuildConsistent: task boundaries make the same
+// workload consistent through heavy intermittence.
+func TestDataloggerSafeBuildConsistent(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		d := device.NewWISP5(energy.NewRFHarvester(), 300+seed)
+		app := &Datalogger{Safe: true, SampleEvery: units.MicroSeconds(200)}
+		r := device.NewRunner(d, app)
+		if err := r.Flash(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunFor(units.Seconds(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := app.Stats(d)
+		if !st.MetaConsistent {
+			t.Fatalf("seed %d: safe build torn: %+v (%+v)", seed, st, res)
+		}
+		if st.Count == 0 {
+			t.Fatalf("seed %d: no progress", seed)
+		}
+	}
+}
+
+// TestDataloggerAssertCatchesTear: with EDB attached, the metadata
+// assertion catches the torn state at the top of the next iteration and
+// the keep-alive session can inspect it.
+func TestDataloggerAssertCatchesTear(t *testing.T) {
+	caught := false
+	for seed := int64(0); seed < 20 && !caught; seed++ {
+		d := device.NewWISP5(energy.NewRFHarvester(), 300+seed)
+		e := edb.New(edb.DefaultConfig())
+		e.Attach(d)
+		app := &Datalogger{WithAssert: true, SampleEvery: units.MicroSeconds(200)}
+		r := device.NewRunner(d, app)
+		if err := r.Flash(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.RunFor(units.Seconds(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(res.Halted, "assert 3") {
+			caught = true
+			if app.Stats(d).MetaConsistent {
+				t.Fatal("assert fired but metadata looks consistent")
+			}
+			if !d.Supply.Tethered() {
+				t.Fatal("keep-alive must tether")
+			}
+		}
+	}
+	if !caught {
+		t.Fatal("assertion never caught a tear across 20 seeds")
+	}
+}

@@ -1,0 +1,167 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/libedb"
+	"repro/internal/memsim"
+)
+
+// Fib is the §5.3.2 case study: the application generates the Fibonacci
+// sequence and appends each number to a non-volatile doubly-linked list.
+// The debug build begins main with an energy-hungry consistency check that
+// traverses the whole list verifying prev/next linkage and the Fibonacci
+// recurrence. The check's cost grows with the list, and once the list is
+// long enough (~555 items on the paper's prototype) the check consumes the
+// entire charge-discharge budget: every boot reboots inside the check and
+// the main loop never runs again.
+//
+// With UseGuards, the check runs between libEDB energy guards — on
+// tethered power, at no energy cost to the application — and the main loop
+// keeps the same energy budget whether the list is short or long (Fig. 9).
+type Fib struct {
+	// DebugBuild includes the consistency check at the top of main.
+	DebugBuild bool
+	// UseGuards wraps the check in EDB energy guards.
+	UseGuards bool
+	// MaxNodes bounds the list (pool size; default 1500).
+	MaxNodes int
+	// PerNodeCheckCycles is the extra verification work per node beyond
+	// the pointer loads (default 330 — calibrated so the hang point lands
+	// near the prototype's ~555).
+	PerNodeCheckCycles int
+	// IterCycles is the main loop's per-iteration computation beyond the
+	// list manipulation (default 600), so appending the full sequence
+	// spans many charge-discharge cycles as in Fig. 9.
+	IterCycles int
+
+	lib       *libedb.Lib
+	hdr       memsim.Addr
+	countAddr memsim.Addr // number of appended items
+	aAddr     memsim.Addr // F(n-2)
+	bAddr     memsim.Addr // F(n-1)
+	pool      memsim.Addr
+	errAddr   memsim.Addr // consistency-violation counter
+}
+
+// Name implements device.Program.
+func (p *Fib) Name() string { return "fib" }
+
+// Flash implements device.Program.
+func (p *Fib) Flash(d *device.Device) error {
+	if p.MaxNodes == 0 {
+		p.MaxNodes = 1500
+	}
+	if p.PerNodeCheckCycles == 0 {
+		p.PerNodeCheckCycles = 330
+	}
+	if p.IterCycles == 0 {
+		p.IterCycles = 600
+	}
+	lib, err := libedb.Init(d)
+	if err != nil {
+		return err
+	}
+	p.lib = lib
+	if p.hdr, err = initList(d); err != nil {
+		return fmt.Errorf("fib: %w", err)
+	}
+	words := []*memsim.Addr{&p.countAddr, &p.aAddr, &p.bAddr, &p.errAddr}
+	for _, w := range words {
+		if *w, err = d.FRAM.Alloc(2); err != nil {
+			return err
+		}
+	}
+	if p.pool, err = d.FRAM.Alloc(p.MaxNodes * nodeSize); err != nil {
+		return err
+	}
+	// Seed the sequence: F(0)=0, F(1)=1.
+	mustWrite(d, p.aAddr, 0)
+	mustWrite(d, p.bAddr, 1)
+	return nil
+}
+
+// Main implements device.Program: consistency check (debug build), then
+// the append loop.
+func (p *Fib) Main(env *device.Env) {
+	if p.DebugBuild {
+		if p.UseGuards {
+			p.lib.GuardBegin(env)
+		}
+		p.checkConsistency(env)
+		if p.UseGuards {
+			p.lib.GuardEnd(env)
+		}
+	}
+	for {
+		env.Branch()
+		env.TogglePin(device.LineAppPin)
+
+		n := env.LoadWord(p.countAddr)
+		if int(n) >= p.MaxNodes {
+			return // sequence complete
+		}
+		a := env.LoadWord(p.aAddr)
+		b := env.LoadWord(p.bAddr)
+		v := a + b // mod 2^16, as 16-bit firmware arithmetic would
+		env.Compute(p.IterCycles)
+
+		node := p.pool + memsim.Addr(int(n)*nodeSize)
+		env.StoreWord(node+offVal, v)
+		env.StorePtr(node+offBuf, memsim.Null)
+		ListAppend(env, p.hdr, node)
+
+		env.StoreWord(p.aAddr, b)
+		env.StoreWord(p.bAddr, v)
+		env.StoreWord(p.countAddr, n+1)
+
+		env.TogglePin(device.LineAppPin)
+	}
+}
+
+// checkConsistency traverses the list verifying structural linkage and the
+// Fibonacci recurrence; its cost is proportional to the list length.
+func (p *Fib) checkConsistency(env *device.Env) {
+	sentinel := env.LoadPtr(p.hdr + hdrSentinel)
+	prev := sentinel
+	cur := env.LoadPtr(sentinel + offNext)
+	var pv2, pv1 uint16 = 0, 0
+	idx := 0
+	for cur != memsim.Null {
+		env.Branch()
+		// Structural invariant: cur.prev == prev.
+		if env.LoadPtr(cur+offPrev) != prev {
+			env.StoreWord(p.errAddr, env.LoadWord(p.errAddr)+1)
+		}
+		// Value invariant: F(n) = F(n-1) + F(n-2) once past the seeds.
+		v := env.LoadWord(cur + offVal)
+		if idx >= 2 && v != pv1+pv2 {
+			env.StoreWord(p.errAddr, env.LoadWord(p.errAddr)+1)
+		}
+		env.Compute(p.PerNodeCheckCycles)
+		pv2, pv1 = pv1, v
+		idx++
+		prev = cur
+		cur = env.LoadPtr(cur + offNext)
+	}
+}
+
+// Count reads the number of appended items (inspection).
+func (p *Fib) Count(d *device.Device) int { return int(mustRead(d, p.countAddr)) }
+
+// CheckErrors reads the consistency-violation counter (inspection).
+func (p *Fib) CheckErrors(d *device.Device) int { return int(mustRead(d, p.errAddr)) }
+
+// Values returns the first n stored Fibonacci values (inspection).
+func (p *Fib) Values(d *device.Device, n int) []uint16 {
+	count := p.Count(d)
+	if n > count {
+		n = count
+	}
+	out := make([]uint16, n)
+	for i := 0; i < n; i++ {
+		out[i] = mustRead(d, p.pool+memsim.Addr(i*nodeSize)+offVal)
+	}
+	return out
+}

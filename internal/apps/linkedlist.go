@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/libedb"
+	"repro/internal/memsim"
+)
+
+// LinkedList is the §5.3.1 case study: a program that maintains a
+// doubly-linked list in non-volatile memory, removing a node from the
+// front, writing through the node's pointer to a volatile buffer, and
+// appending the node back at the tail. On each iteration it toggles a GPIO
+// pin at the top and bottom of the loop to indicate that the main loop is
+// running.
+//
+// On continuous power the program runs forever. On harvested power, a
+// reboot that lands inside ListAppend's critical window corrupts the list
+// invariant; a few iterations later ListRemove writes through a wild
+// pointer, the MCU wedges, and — because the corruption persists in FRAM —
+// the main loop never runs again on any subsequent charge cycle. Only
+// re-flashing recovers the device.
+//
+// With WithAssert set, the keep-alive assertion checks the tail invariant
+// at the top of every iteration and catches the inconsistency before the
+// wild write, tethering the device for interactive diagnosis (Fig. 6–7).
+type LinkedList struct {
+	// WithAssert enables the libEDB keep-alive assertion on the tail
+	// invariant.
+	WithAssert bool
+	// GuardIterations wraps every loop iteration in an energy guard —
+	// the §3.3.3 gradual-porting starting point: the whole body runs on
+	// tethered power, so intermittence failures cannot occur inside it.
+	GuardIterations bool
+	// NumNodes is the number of real list elements (default 6).
+	NumNodes int
+	// BufBytes is the size of each volatile buffer written per iteration
+	// (default 16).
+	BufBytes int
+
+	lib      *libedb.Lib
+	hdr      memsim.Addr // list header in FRAM
+	iterAddr memsim.Addr // completed-iteration counter in FRAM
+	nodes    memsim.Addr // node pool base
+}
+
+// Assertion ids used by this app. §5.3.2 observes that asserting data
+// structure invariants "whenever it is manipulated" catches corruption at
+// its source; both halves of the doubly-linked invariant are needed because
+// an interrupted append breaks the tail side while an interrupted remove
+// breaks the head side.
+const (
+	// AssertTailInvariant: list->tail->next == NULL (Fig. 6's assert).
+	AssertTailInvariant = 1
+	// AssertHeadInvariant: the first element exists and points back at
+	// the sentinel.
+	AssertHeadInvariant = 2
+)
+
+// Name implements device.Program.
+func (p *LinkedList) Name() string { return "linked-list" }
+
+// Flash implements device.Program: lay out the list (sentinel + NumNodes
+// chained elements), each node pointing at a buffer in volatile SRAM.
+func (p *LinkedList) Flash(d *device.Device) error {
+	if p.NumNodes == 0 {
+		p.NumNodes = 6
+	}
+	if p.BufBytes == 0 {
+		p.BufBytes = 16
+	}
+	lib, err := libedb.Init(d)
+	if err != nil {
+		return err
+	}
+	p.lib = lib
+
+	p.hdr, err = initList(d)
+	if err != nil {
+		return fmt.Errorf("linked-list: %w", err)
+	}
+	p.iterAddr, err = d.FRAM.Alloc(2)
+	if err != nil {
+		return err
+	}
+	p.nodes, err = d.FRAM.Alloc(p.NumNodes * nodeSize)
+	if err != nil {
+		return err
+	}
+
+	// Chain sentinel → n0 → n1 → … → tail, and point each node's buf at a
+	// volatile SRAM buffer ("the node is initialized with a pointer to a
+	// buffer in volatile memory").
+	sentinel := memsim.Addr(mustRead(d, p.hdr+hdrSentinel))
+	prev := sentinel
+	for i := 0; i < p.NumNodes; i++ {
+		n := p.nodes + memsim.Addr(i*nodeSize)
+		buf, err := d.SRAM.Alloc(p.BufBytes)
+		if err != nil {
+			return err
+		}
+		mustWrite(d, prev+offNext, uint16(n))
+		mustWrite(d, n+offPrev, uint16(prev))
+		mustWrite(d, n+offNext, 0)
+		mustWrite(d, n+offBuf, uint16(buf))
+		mustWrite(d, n+offVal, uint16(i))
+		prev = n
+	}
+	mustWrite(d, p.hdr+hdrTail, uint16(prev))
+	return nil
+}
+
+// Main implements device.Program — the while(true) loop of Fig. 6.
+func (p *LinkedList) Main(env *device.Env) {
+	for {
+		env.Branch()
+		env.TogglePin(device.LineAppPin) // main loop alive (top)
+
+		if p.GuardIterations {
+			p.lib.GuardBegin(env)
+		}
+
+		if p.WithAssert {
+			// assert(list->tail->next == NULL)
+			tn := ListTailNext(env, p.hdr)
+			p.lib.Assert(env, AssertTailInvariant, tn == memsim.Null)
+			// assert(list->head != NULL && list->head->prev == sentinel)
+			s := env.LoadPtr(p.hdr + hdrSentinel)
+			first := env.LoadPtr(s + offNext)
+			ok := first != memsim.Null && env.LoadPtr(first+offPrev) == s
+			p.lib.Assert(env, AssertHeadInvariant, ok)
+		}
+
+		// select(e): first real element.
+		e := ListFirst(env, p.hdr)
+		ListRemove(env, p.hdr, e)
+
+		// update(e): retrieve the volatile-buffer pointer and memset it.
+		buf := env.LoadPtr(e + offBuf)
+		iter := env.LoadWord(p.iterAddr)
+		for i := 0; i < p.BufBytes; i += 2 {
+			env.StoreWord(buf+memsim.Addr(i), iter)
+		}
+		env.Compute(40) // the rest of update's work
+
+		ListAppend(env, p.hdr, e)
+
+		env.StoreWord(p.iterAddr, iter+1)
+
+		if p.GuardIterations {
+			p.lib.GuardEnd(env)
+		}
+		env.TogglePin(device.LineAppPin) // main loop alive (bottom)
+	}
+}
+
+// Iterations reads the completed-iteration counter from FRAM (inspection
+// helper for tests and benches; costs nothing).
+func (p *LinkedList) Iterations(d *device.Device) int {
+	return int(mustRead(d, p.iterAddr))
+}
+
+// HeaderAddr returns the list header's FRAM address so interactive
+// sessions can inspect the structure the way §5.3.1's console transcript
+// does.
+func (p *LinkedList) HeaderAddr() memsim.Addr { return p.hdr }
+
+// TailAddrs returns (tail, tail.next) read via direct inspection.
+func (p *LinkedList) TailAddrs(d *device.Device) (memsim.Addr, memsim.Addr) {
+	tail := memsim.Addr(mustRead(d, p.hdr+hdrTail))
+	return tail, memsim.Addr(mustRead(d, tail+offNext))
+}
+
+// ConsistentTail reports whether the tail invariant holds (inspection).
+func (p *LinkedList) ConsistentTail(d *device.Device) bool {
+	_, tn := p.TailAddrs(d)
+	return tn == memsim.Null
+}

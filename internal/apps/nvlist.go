@@ -1,0 +1,136 @@
+// Package apps contains the evaluation applications from §5 of the paper,
+// written as firmware against the device API:
+//
+//   - LinkedList: the non-volatile doubly-linked-list test whose
+//     intermittence bug corrupts memory (§5.3.1, Figures 6–7).
+//   - Fib: the Fibonacci list generator with an energy-hungry consistency
+//     check (§5.3.2, Figures 8–9).
+//   - Activity: the machine-learning activity-recognition application
+//     traced and profiled in §5.3.3 (Table 4, Figures 10–11).
+//   - WispRFID: the WISP RFID firmware that decodes reader queries in
+//     software and replies (§5.3.4, Figure 12).
+//
+// All persistent state lives in simulated FRAM through real 16-bit
+// addresses; the applications are deliberately written in the paper's
+// not-intermittence-safe style so the bugs it describes actually occur.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/memsim"
+)
+
+// Non-volatile doubly-linked list layout. A node is four 16-bit words;
+// the list header holds the sentinel address, tail pointer, and a magic
+// word marking "already initialized" so reboots do not re-run first-boot
+// initialization (the apps run without checkpointing support: a reboot
+// returns to the program entry point).
+const (
+	offNext  = 0 // node.next
+	offPrev  = 2 // node.prev
+	offBuf   = 4 // node.buf: pointer to a buffer in volatile memory
+	offVal   = 6 // node.val
+	nodeSize = 8
+
+	hdrSentinel = 0 // address of the sentinel node
+	hdrTail     = 2 // list tail pointer
+	hdrMagic    = 4 // initialization magic
+	hdrSize     = 6
+
+	listMagic = 0xBEEF
+)
+
+// ListAppend is the paper's append (Fig. 3):
+//
+//	e->next = NULL
+//	e->prev = list->tail
+//	list->tail->next = e
+//	list->tail = e
+//
+// A power failure after the third store but before the fourth leaves the
+// tail pointing at the penultimate element while the true last element has
+// a NULL next — the inconsistency at the heart of §5.3.1.
+func ListAppend(env *device.Env, hdr, e memsim.Addr) {
+	env.StorePtr(e+offNext, memsim.Null)
+	tail := env.LoadPtr(hdr + hdrTail)
+	env.StorePtr(e+offPrev, tail)
+	env.StorePtr(tail+offNext, e)
+	// ← intermittence window: a reboot here corrupts the list invariant.
+	env.StorePtr(hdr+hdrTail, e)
+}
+
+// ListRemove is the paper's remove (Fig. 3):
+//
+//	e->prev->next = e->next
+//	if (e == list->tail) tail = e->prev
+//	else e->next->prev = e->prev
+//
+// The pre-condition is that only the tail's next is NULL. When the
+// invariant is broken by an interrupted append, the else branch
+// dereferences a NULL next pointer and writes through a wild pointer.
+func ListRemove(env *device.Env, hdr, e memsim.Addr) {
+	prev := env.LoadPtr(e + offPrev)
+	next := env.LoadPtr(e + offNext)
+	env.StorePtr(prev+offNext, next)
+	tail := env.LoadPtr(hdr + hdrTail)
+	if e == tail {
+		env.StorePtr(hdr+hdrTail, prev)
+	} else {
+		// Wild write when next == NULL: address 0x0002 is unmapped.
+		env.StorePtr(next+offPrev, prev)
+	}
+}
+
+// ListFirst returns the first real element (after the sentinel), which may
+// be Null for an empty list.
+func ListFirst(env *device.Env, hdr memsim.Addr) memsim.Addr {
+	s := env.LoadPtr(hdr + hdrSentinel)
+	return env.LoadPtr(s + offNext)
+}
+
+// ListTailNext reads tail->next — the invariant the keep-alive assertion
+// checks: it must be Null in a consistent list.
+func ListTailNext(env *device.Env, hdr memsim.Addr) memsim.Addr {
+	tail := env.LoadPtr(hdr + hdrTail)
+	return env.LoadPtr(tail + offNext)
+}
+
+// initList lays out a header plus a sentinel in FRAM at flash time and
+// returns the header address.
+func initList(d *device.Device) (memsim.Addr, error) {
+	hdr, err := d.FRAM.Alloc(hdrSize)
+	if err != nil {
+		return 0, err
+	}
+	sentinel, err := d.FRAM.Alloc(nodeSize)
+	if err != nil {
+		return 0, err
+	}
+	// Flash-time initialization writes simulated memory directly (no
+	// runtime energy cost — this is the programmer flashing the board).
+	mustWrite(d, hdr+hdrSentinel, uint16(sentinel))
+	mustWrite(d, hdr+hdrTail, uint16(sentinel))
+	mustWrite(d, hdr+hdrMagic, listMagic)
+	mustWrite(d, sentinel+offNext, 0)
+	mustWrite(d, sentinel+offPrev, 0)
+	return hdr, nil
+}
+
+// mustWrite is a flash-time word write; the layout is static so failures
+// are programming errors.
+func mustWrite(d *device.Device, a memsim.Addr, v uint16) {
+	if err := d.Mem.WriteWord(a, v); err != nil {
+		panic(fmt.Sprintf("apps: flash-time write at %#04x: %v", uint16(a), err))
+	}
+}
+
+// mustRead is a flash/inspection-time word read.
+func mustRead(d *device.Device, a memsim.Addr) uint16 {
+	v, err := d.Mem.ReadWord(a)
+	if err != nil {
+		panic(fmt.Sprintf("apps: inspection read at %#04x: %v", uint16(a), err))
+	}
+	return v
+}

@@ -1,0 +1,168 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/device"
+	"repro/internal/libedb"
+	"repro/internal/memsim"
+)
+
+// SafeLinkedList is the intermittence-safe counterpart of LinkedList: the
+// same remove/update/append workload, but every iteration runs between
+// DINO-style task boundaries (internal/checkpoint.Tasks) that version the
+// list header and node pool. A reboot that lands mid-iteration rolls the
+// structure back to the last boundary instead of leaving the Fig. 3
+// inconsistency, so the wild-pointer write can never occur.
+//
+// The paper positions EDB as orthogonal to such runtime systems (§6.2):
+// they change the execution model; EDB provides visibility into it. This
+// app demonstrates the composition — its watchpoints and assertions work
+// unchanged on top of the task runtime.
+type SafeLinkedList struct {
+	// NumNodes is the number of list elements (default 6).
+	NumNodes int
+	// WithAssert keeps the libEDB invariant assertions enabled; on this
+	// app they must never fire.
+	WithAssert bool
+
+	lib      *libedb.Lib
+	tasks    *checkpoint.Tasks
+	hdr      memsim.Addr
+	iterAddr memsim.Addr
+	nodes    memsim.Addr
+}
+
+// Name implements device.Program.
+func (p *SafeLinkedList) Name() string { return "safe-linked-list" }
+
+// Flash implements device.Program.
+func (p *SafeLinkedList) Flash(d *device.Device) error {
+	if p.NumNodes == 0 {
+		p.NumNodes = 6
+	}
+	lib, err := libedb.Init(d)
+	if err != nil {
+		return err
+	}
+	p.lib = lib
+
+	if p.hdr, err = initList(d); err != nil {
+		return fmt.Errorf("safe-linked-list: %w", err)
+	}
+	if p.iterAddr, err = d.FRAM.Alloc(2); err != nil {
+		return err
+	}
+	if p.nodes, err = d.FRAM.Alloc(p.NumNodes * nodeSize); err != nil {
+		return err
+	}
+	sentinel := memsim.Addr(mustRead(d, p.hdr+hdrSentinel))
+	prev := sentinel
+	for i := 0; i < p.NumNodes; i++ {
+		n := p.nodes + memsim.Addr(i*nodeSize)
+		mustWrite(d, prev+offNext, uint16(n))
+		mustWrite(d, n+offPrev, uint16(prev))
+		mustWrite(d, n+offNext, 0)
+		mustWrite(d, n+offVal, uint16(i))
+		prev = n
+	}
+	mustWrite(d, p.hdr+hdrTail, uint16(prev))
+
+	// Version everything an iteration writes: header, sentinel + nodes,
+	// and the iteration counter.
+	versioned := hdrSize + (p.NumNodes+1)*nodeSize + 2
+	p.tasks, err = checkpoint.NewTasks(d, versioned+16)
+	if err != nil {
+		return err
+	}
+	if err := p.tasks.RegisterVar(p.hdr, hdrSize); err != nil {
+		return err
+	}
+	if err := p.tasks.RegisterVar(sentinel, nodeSize); err != nil {
+		return err
+	}
+	if err := p.tasks.RegisterVar(p.nodes, p.NumNodes*nodeSize); err != nil {
+		return err
+	}
+	return p.tasks.RegisterVar(p.iterAddr, 2)
+}
+
+// Main implements device.Program: recover to the last committed boundary,
+// then iterate with a boundary per loop.
+func (p *SafeLinkedList) Main(env *device.Env) {
+	if _, ok := p.tasks.Recover(env); !ok {
+		// First boot: commit the initial state as boundary zero.
+		p.tasks.Boundary(env, 0)
+	}
+	for {
+		env.Branch()
+		env.TogglePin(device.LineAppPin)
+
+		if p.WithAssert {
+			tn := ListTailNext(env, p.hdr)
+			p.lib.Assert(env, AssertTailInvariant, tn == memsim.Null)
+			s := env.LoadPtr(p.hdr + hdrSentinel)
+			first := env.LoadPtr(s + offNext)
+			ok := first != memsim.Null && env.LoadPtr(first+offPrev) == s
+			p.lib.Assert(env, AssertHeadInvariant, ok)
+		}
+
+		e := ListFirst(env, p.hdr)
+		ListRemove(env, p.hdr, e)
+		iter := env.LoadWord(p.iterAddr)
+		env.StoreWord(e+offVal, iter)
+		env.Compute(40)
+		ListAppend(env, p.hdr, e)
+		env.StoreWord(p.iterAddr, iter+1)
+
+		// Task boundary: commit the iteration's writes atomically (from
+		// the recovery protocol's point of view).
+		p.tasks.Boundary(env, iter+1)
+
+		env.TogglePin(device.LineAppPin)
+	}
+}
+
+// Iterations reads the committed iteration counter (inspection).
+func (p *SafeLinkedList) Iterations(d *device.Device) int {
+	return int(mustRead(d, p.iterAddr))
+}
+
+// Consistent checks both list invariants on the *committed* state: raw
+// FRAM may legitimately hold a mid-task image if the run was cut between
+// boundaries, so inspection first applies the rollback the next boot's
+// Recover would perform.
+func (p *SafeLinkedList) Consistent(d *device.Device) bool {
+	p.tasks.RecoverInspect()
+	return p.consistentRaw(d)
+}
+
+// consistentRaw walks the structure as stored.
+func (p *SafeLinkedList) consistentRaw(d *device.Device) bool {
+	sentinel := memsim.Addr(mustRead(d, p.hdr+hdrSentinel))
+	tail := memsim.Addr(mustRead(d, p.hdr+hdrTail))
+	if mustRead(d, tail+offNext) != 0 {
+		return false
+	}
+	first := memsim.Addr(mustRead(d, sentinel+offNext))
+	if first == memsim.Null || memsim.Addr(mustRead(d, first+offPrev)) != sentinel {
+		return false
+	}
+	// Full forward walk: every element's prev must point backwards, and
+	// the walk must reach the tail in NumNodes steps.
+	prev, cur := sentinel, first
+	count := 0
+	for cur != memsim.Null {
+		if memsim.Addr(mustRead(d, cur+offPrev)) != prev {
+			return false
+		}
+		prev = cur
+		cur = memsim.Addr(mustRead(d, cur+offNext))
+		count++
+		if count > p.NumNodes {
+			return false
+		}
+	}
+	return prev == tail && count == p.NumNodes
+}

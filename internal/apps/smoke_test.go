@@ -1,0 +1,33 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+// TestLinkedListIntermittentSmoke runs the linked-list app on harvested
+// power with no debugger: it must reboot repeatedly (intermittence) and,
+// given enough time, hit the intermittence bug (memory fault).
+func TestLinkedListIntermittentSmoke(t *testing.T) {
+	h := energy.NewRFHarvester()
+	d := device.NewWISP5(h, 42)
+	app := &LinkedList{}
+	r := device.NewRunner(d, app)
+	if err := r.Flash(); err != nil {
+		t.Fatalf("flash: %v", err)
+	}
+	res, err := r.RunFor(units.Seconds(20))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	t.Logf("%v iterations=%d consistent=%v", res, app.Iterations(d), app.ConsistentTail(d))
+	if res.Reboots == 0 {
+		t.Fatalf("expected intermittent execution (reboots > 0), got %+v", res)
+	}
+	if app.Iterations(d) == 0 {
+		t.Fatalf("app made no progress")
+	}
+}

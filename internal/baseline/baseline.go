@@ -1,0 +1,187 @@
+// Package baseline models the conventional debugging tools the paper's §2.2
+// argues are inadequate for intermittent systems, so their failure modes
+// can be demonstrated and quantified against EDB:
+//
+//   - JTAGDebugger supplies continuous power to the device under test. It
+//     offers full memory visibility — and masks intermittence entirely:
+//     "using a JTAG debugger … would only ever result in the non-failing,
+//     continuous execution; the programmer would never see unexpected
+//     behavior." With a power isolator the supply problem goes away but
+//     the protocol fails the moment the target powers off.
+//   - USBSerialAdapter is the off-the-shelf UART bridge used for printf
+//     debugging: "not electrically isolated from the target UART and
+//     permit[s] energy to flow into or out of the device."
+//   - LEDTracer is the toggle-an-LED idiom: on a WISP, lighting the LED
+//     quintuples the current draw, so the act of tracing starves the
+//     application.
+//
+// None of these are straw men — each works fine on tethered embedded
+// systems. The point, reproduced in this package's tests, is that each one
+// either hides intermittent behavior or perturbs the energy state that
+// causes it.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/memsim"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// JTAGDebugger is a conventional on-chip debugger. Attaching it powers the
+// target from the debug adapter: the capacitor is held at the adapter rail
+// and the brown-out comparator never fires.
+type JTAGDebugger struct {
+	// Rail is the adapter's supply voltage.
+	Rail units.Volts
+	// Isolated models a JTAG power isolator (e.g. the SEGGER J-Link
+	// isolator the paper cites): the adapter no longer powers the target,
+	// but the debug session dies whenever the target browns out.
+	Isolated bool
+
+	target       *device.Device
+	sessionAlive bool
+	drops        int
+}
+
+// NewJTAG returns a 3.0 V adapter.
+func NewJTAG() *JTAGDebugger { return &JTAGDebugger{Rail: 3.0} }
+
+// Attach wires the adapter to the target. Without isolation, the target is
+// tethered to the adapter rail for as long as the adapter is attached —
+// the masking effect.
+func (j *JTAGDebugger) Attach(t *device.Device) {
+	j.target = t
+	j.sessionAlive = true
+	if !j.Isolated {
+		t.Supply.Cap.SetVoltage(j.Rail)
+		t.Supply.SetTethered(true)
+		return
+	}
+	// Isolated: watch for power loss, which kills the JTAG session.
+	t.AddMonitor(&jtagWatch{j: j})
+}
+
+// Detach releases the target.
+func (j *JTAGDebugger) Detach() {
+	if j.target == nil {
+		return
+	}
+	if !j.Isolated {
+		j.target.Supply.SetTethered(false)
+	}
+	j.target = nil
+}
+
+// SessionAlive reports whether the debug session is usable. For an
+// isolated adapter this is false from the first target power failure until
+// the operator re-establishes the session.
+func (j *JTAGDebugger) SessionAlive() bool { return j.sessionAlive }
+
+// SessionDrops counts how many times target power loss killed the session.
+func (j *JTAGDebugger) SessionDrops() int { return j.drops }
+
+// Reconnect re-establishes a dropped session (the manual step a developer
+// performs — by which time the interesting state is gone).
+func (j *JTAGDebugger) Reconnect() { j.sessionAlive = true }
+
+// ReadWord reads target memory through the debug port. It fails when the
+// session is down (isolated adapter after a brown-out) — the reason "the
+// JTAG protocol fails if the DUT powers off".
+func (j *JTAGDebugger) ReadWord(a memsim.Addr) (uint16, error) {
+	if j.target == nil {
+		return 0, fmt.Errorf("jtag: not attached")
+	}
+	if !j.sessionAlive {
+		return 0, fmt.Errorf("jtag: session lost (target powered off)")
+	}
+	return j.target.Mem.ReadWord(a)
+}
+
+// jtagWatch monitors the isolated adapter's session across power failures.
+type jtagWatch struct{ j *JTAGDebugger }
+
+func (w *jtagWatch) Period() sim.Cycles { return 1024 }
+func (w *jtagWatch) Sample(now sim.Cycles) {
+	if w.j.target == nil {
+		return
+	}
+	if w.j.target.Supply.Voltage() < w.j.target.Supply.VBrownOut && w.j.sessionAlive {
+		w.j.sessionAlive = false
+		w.j.drops++
+	}
+}
+
+// USBSerialAdapter is an unisolated UART bridge. Its idle-high TX line
+// back-feeds the target through the protection network; the paper's point
+// is that this leakage is orders of magnitude above EDB's and visibly
+// alters charge timing.
+type USBSerialAdapter struct {
+	// BackfeedCurrent is the current pushed into the target's rail
+	// through the unisolated lines (negative leakage: it *feeds* the
+	// store). Typical protection-diode paths leak tens of µA.
+	BackfeedCurrent units.Amps
+
+	received []byte
+}
+
+// NewUSBSerial returns an adapter back-feeding 40 µA.
+func NewUSBSerial() *USBSerialAdapter {
+	return &USBSerialAdapter{BackfeedCurrent: units.MicroAmps(40)}
+}
+
+// LeakageCurrent implements device.PassiveProbe: negative = current into
+// the target's store.
+func (u *USBSerialAdapter) LeakageCurrent() units.Amps { return -u.BackfeedCurrent }
+
+// Attach hooks the adapter to the target's UART and power rail.
+func (u *USBSerialAdapter) Attach(t *device.Device) func() {
+	removeProbe := t.AddProbe(u)
+	removeSub := t.UART.Subscribe(func(at sim.Cycles, b byte) {
+		u.received = append(u.received, b)
+	})
+	return func() {
+		removeProbe()
+		removeSub()
+	}
+}
+
+// Received returns the bytes captured on the host side.
+func (u *USBSerialAdapter) Received() []byte { return u.received }
+
+// TraceWithLED wraps a device.Program so that every rising edge of the
+// application's progress pin also lights the LED briefly — the ad hoc
+// tracing idiom of §2.2. The wrapper demonstrates the cost: the LED's
+// 4+ mA draw dwarfs the MCU's and changes where in the program the energy
+// runs out (or prevents progress at all). The LED pulse is charged to the
+// running program through the same Env, exactly like instrumentation
+// compiled into the firmware.
+type TraceWithLED struct {
+	device.Program
+	// OnCycles is how long the LED stays lit per pulse (default 4000,
+	// i.e. 1 ms at 4 MHz — a barely-visible blink).
+	OnCycles sim.Cycles
+}
+
+// Main implements device.Program.
+func (p *TraceWithLED) Main(env *device.Env) {
+	on := p.OnCycles
+	if on == 0 {
+		on = 4000
+	}
+	pulsing := false
+	remove := env.D.GPIO.Subscribe(func(e device.GPIOEdge) {
+		if e.Line != device.LineAppPin || !e.Level || pulsing {
+			return
+		}
+		pulsing = true
+		env.SetPin(device.LineLED, true)
+		env.Compute(int(on))
+		env.SetPin(device.LineLED, false)
+		pulsing = false
+	})
+	defer remove()
+	p.Program.Main(env)
+}

@@ -1,0 +1,181 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+// TestJTAGMasksIntermittenceBug reproduces §2.2's central claim: under a
+// conventional JTAG debugger the target runs continuously, so the
+// linked-list intermittence bug never manifests — the exact same seed that
+// corrupts memory on harvested power runs clean for the same duration.
+func TestJTAGMasksIntermittenceBug(t *testing.T) {
+	// Harvested: the bug fires.
+	d1 := device.NewWISP5(energy.NewRFHarvester(), 42)
+	app1 := &apps.LinkedList{}
+	r1 := device.NewRunner(d1, app1)
+	if err := r1.Flash(); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := r1.RunFor(units.Seconds(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Faults == 0 {
+		t.Fatalf("control run must hit the bug: %+v", res1)
+	}
+
+	// Same firmware, same seed, JTAG attached: continuous execution,
+	// no reboots, no faults, list consistent — and no insight.
+	d2 := device.NewWISP5(energy.NewRFHarvester(), 42)
+	app2 := &apps.LinkedList{}
+	r2 := device.NewRunner(d2, app2)
+	if err := r2.Flash(); err != nil {
+		t.Fatal(err)
+	}
+	jtag := baseline.NewJTAG()
+	jtag.Attach(d2)
+	defer jtag.Detach()
+	res2, err := r2.RunFor(units.Seconds(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reboots != 0 || res2.Faults != 0 {
+		t.Fatalf("JTAG must mask intermittence: %+v", res2)
+	}
+	if !app2.ConsistentTail(d2) {
+		t.Fatal("list must stay consistent under continuous power")
+	}
+	// The debugger does see memory — that's not the problem.
+	if _, err := jtag.ReadWord(app2.HeaderAddr()); err != nil {
+		t.Fatalf("jtag read: %v", err)
+	}
+}
+
+// TestIsolatedJTAGDiesAtBrownout: a JTAG power isolator removes the
+// masking but the protocol fails when the DUT powers off, so the session
+// drops every charge cycle — "the inapplicability of JTAG precludes
+// interactive debugging for intermittent executions."
+func TestIsolatedJTAGDiesAtBrownout(t *testing.T) {
+	d := device.NewWISP5(energy.NewRFHarvester(), 42)
+	app := &apps.LinkedList{}
+	r := device.NewRunner(d, app)
+	if err := r.Flash(); err != nil {
+		t.Fatal(err)
+	}
+	jtag := baseline.NewJTAG()
+	jtag.Isolated = true
+	jtag.Attach(d)
+	res, err := r.RunFor(units.Seconds(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reboots == 0 {
+		t.Fatalf("isolated JTAG must not mask intermittence: %+v", res)
+	}
+	if jtag.SessionAlive() {
+		t.Fatal("session must be dead after a brown-out")
+	}
+	if jtag.SessionDrops() == 0 {
+		t.Fatal("drops must be counted")
+	}
+	if _, err := jtag.ReadWord(app.HeaderAddr()); err == nil {
+		t.Fatal("reads through a dead session must fail")
+	}
+	jtag.Reconnect()
+	if _, err := jtag.ReadWord(app.HeaderAddr()); err != nil {
+		t.Fatalf("read after reconnect: %v", err)
+	}
+}
+
+// TestUSBSerialBackfeedsEnergy quantifies the unisolated UART adapter's
+// interference: attaching it measurably accelerates charging (energy flows
+// into the device), where EDB's sub-µA leakage does not.
+func TestUSBSerialBackfeedsEnergy(t *testing.T) {
+	chargeTime := func(attach func(*device.Device) func()) units.Seconds {
+		d := device.NewWISP5(&energy.ConstantHarvester{I: units.MicroAmps(150), Voc: 3.3}, 9)
+		if attach != nil {
+			detach := attach(d)
+			defer detach()
+		}
+		t0 := d.Clock.Time()
+		if !d.IdleCharge(units.Seconds(10)) {
+			t.Fatal("never charged")
+		}
+		return units.Seconds(float64(d.Clock.Time()) - float64(t0))
+	}
+
+	bare := chargeTime(nil)
+	serial := chargeTime(func(d *device.Device) func() {
+		return baseline.NewUSBSerial().Attach(d)
+	})
+	edbTime := chargeTime(func(d *device.Device) func() {
+		e := edb.New(edb.DefaultConfig())
+		e.Attach(d)
+		return e.Detach
+	})
+
+	// The serial adapter's 40 µA back-feed against a 150 µA harvester
+	// must shorten charging by over 15 %.
+	if float64(serial) > 0.85*float64(bare) {
+		t.Fatalf("usb-serial interference invisible: bare=%v serial=%v", bare, serial)
+	}
+	// EDB's leakage must leave charge time within 2 %.
+	ratio := float64(edbTime) / float64(bare)
+	if ratio < 0.98 || ratio > 1.02 {
+		t.Fatalf("EDB perturbed charging by %.1f%% (bare=%v edb=%v)",
+			100*(ratio-1), bare, edbTime)
+	}
+}
+
+// TestUSBSerialStillReceives confirms the adapter functions as a serial
+// bridge (its problem is interference, not brokenness).
+func TestUSBSerialStillReceives(t *testing.T) {
+	d := device.NewWISP5(&energy.ConstantHarvester{I: units.MilliAmps(5), Voc: 3.3}, 10)
+	u := baseline.NewUSBSerial()
+	detach := u.Attach(d)
+	defer detach()
+	d.Supply.Cap.SetVoltage(2.4)
+	d.Supply.Step(0, 0)
+	env := &device.Env{D: d}
+	env.UARTWrite([]byte("log line"))
+	if string(u.Received()) != "log line" {
+		t.Fatalf("received %q", u.Received())
+	}
+}
+
+// TestLEDTracingStarvesApplication reproduces the LED observation: with
+// per-iteration LED pulses, the linked-list app's progress collapses
+// relative to the untraced build under identical harvest.
+func TestLEDTracingStarvesApplication(t *testing.T) {
+	run := func(led bool) int {
+		d := device.NewWISP5(energy.NewRFHarvester(), 77)
+		app := &apps.LinkedList{}
+		var prog device.Program = app
+		if led {
+			prog = &baseline.TraceWithLED{Program: app}
+		}
+		r := device.NewRunner(d, prog)
+		if err := r.Flash(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.RunFor(units.Seconds(4)); err != nil {
+			t.Fatal(err)
+		}
+		return app.Iterations(d)
+	}
+	plain := run(false)
+	led := run(true)
+	if plain < 100 {
+		t.Fatalf("plain run too short: %d", plain)
+	}
+	if float64(led) > 0.4*float64(plain) {
+		t.Fatalf("LED tracing must starve the app: plain=%d led=%d", plain, led)
+	}
+}

@@ -1,0 +1,241 @@
+// Package checkpoint implements the runtime-support substrates the paper's
+// §2 assumes and §6.2 surveys: a Mementos-style volatile-state
+// checkpointing runtime [Ransford et al., ASPLOS'11] and a DINO-style
+// task-boundary versioning runtime [Lucia & Ransford, PLDI'15].
+//
+// These systems are what intermittent software runs on top of — and the
+// paper's point is that even with them, intermittence bugs occur (Fig. 3
+// shows a checkpointed execution corrupting a list), so a debugger that can
+// observe intermittent executions is still required. EDB is orthogonal to
+// and composes with both runtimes; this package makes that concrete and
+// testable.
+package checkpoint
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/memsim"
+	"repro/internal/units"
+)
+
+// Layout of a checkpoint buffer header (all 16-bit words):
+const (
+	cpSeq   = 0 // monotone sequence number
+	cpValid = 2 // commit flag: 0xC0DE when the buffer is complete
+	cpCtx   = 4 // application context word (resume point)
+	cpLen   = 6 // snapshot length in bytes
+	cpHdr   = 8
+
+	validMagic = 0xC0DE
+)
+
+// Mementos is a voltage-triggered volatile-state checkpointing runtime:
+// when the application polls at a trigger point and the supply is below the
+// threshold, the runtime copies the volatile SRAM image and a context word
+// into one of two alternating non-volatile buffers, committing with a
+// single final flag write so a power failure during checkpointing never
+// leaves a half checkpoint that restore would trust.
+type Mementos struct {
+	d *device.Device
+	// Threshold is the self-measured voltage below which a trigger point
+	// takes a checkpoint (Mementos' "voltage check at trigger points").
+	Threshold units.Volts
+
+	bufs [2]memsim.Addr
+	snap int // snapshot payload capacity in bytes
+}
+
+// NewMementos allocates the double-buffered checkpoint area. snapBytes is
+// the volatile footprint to preserve (commonly SRAM.InUse() after Flash).
+func NewMementos(d *device.Device, threshold units.Volts, snapBytes int) (*Mementos, error) {
+	if snapBytes <= 0 || snapBytes > d.SRAM.Size() {
+		return nil, fmt.Errorf("checkpoint: bad snapshot size %d", snapBytes)
+	}
+	m := &Mementos{d: d, Threshold: threshold, snap: snapBytes}
+	for i := range m.bufs {
+		a, err := d.FRAM.Alloc(cpHdr + snapBytes)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: allocating buffer %d: %w", i, err)
+		}
+		m.bufs[i] = a
+	}
+	return m, nil
+}
+
+// TriggerPoint is the call the application inserts at loop back-edges and
+// function returns: if energy is low, checkpoint with the given context
+// word. It reports whether a checkpoint was taken.
+func (m *Mementos) TriggerPoint(env *device.Env, ctx uint16) bool {
+	v := env.MeasureSelfVoltage() // costs energy: measuring perturbs (§4.1)
+	if units.Volts(v) >= m.Threshold {
+		return false
+	}
+	m.Checkpoint(env, ctx)
+	return true
+}
+
+// Checkpoint copies the volatile image and context into the inactive
+// buffer and commits it. Cost is real: one load+store pair per word.
+func (m *Mementos) Checkpoint(env *device.Env, ctx uint16) {
+	active, seq := m.newest(env)
+	target := m.bufs[(active+1)%2]
+
+	// Invalidate the target before filling it, so a failure mid-copy
+	// leaves the previous checkpoint as the newest valid one.
+	env.StoreWord(target+cpValid, 0)
+	src := memsim.SRAMBase
+	for off := 0; off < m.snap; off += 2 {
+		w := env.LoadWord(src + memsim.Addr(off))
+		env.StoreWord(target+cpHdr+memsim.Addr(off), w)
+	}
+	env.StoreWord(target+cpCtx, ctx)
+	env.StoreWord(target+cpLen, uint16(m.snap))
+	env.StoreWord(target+cpSeq, seq+1)
+	// Linearization point: the commit flag is the last write.
+	env.StoreWord(target+cpValid, validMagic)
+}
+
+// Restore copies the newest valid checkpoint back into SRAM and returns
+// its context word. ok is false when no checkpoint exists (first boot).
+func (m *Mementos) Restore(env *device.Env) (ctx uint16, ok bool) {
+	idx, seq := m.newest(env)
+	if seq == 0 {
+		return 0, false
+	}
+	buf := m.bufs[idx]
+	n := int(env.LoadWord(buf + cpLen))
+	if n > m.snap {
+		n = m.snap
+	}
+	for off := 0; off < n; off += 2 {
+		w := env.LoadWord(buf + cpHdr + memsim.Addr(off))
+		env.StoreWord(memsim.SRAMBase+memsim.Addr(off), w)
+	}
+	return env.LoadWord(buf + cpCtx), true
+}
+
+// newest returns the index and sequence of the newest valid buffer
+// (sequence 0 when neither is valid).
+func (m *Mementos) newest(env *device.Env) (int, uint16) {
+	bestIdx, bestSeq := 0, uint16(0)
+	for i, b := range m.bufs {
+		if env.LoadWord(b+cpValid) != validMagic {
+			continue
+		}
+		s := env.LoadWord(b + cpSeq)
+		if s > bestSeq {
+			bestIdx, bestSeq = i, s
+		}
+	}
+	return bestIdx, bestSeq
+}
+
+// nvVar is one non-volatile variable protected by task versioning.
+type nvVar struct {
+	addr memsim.Addr
+	size int
+}
+
+// Tasks is a DINO-style task-boundary runtime: the application declares
+// which non-volatile variables each task may write; at every task boundary
+// the runtime versions those variables and commits the boundary. After a
+// reboot, Recover rolls the variables back to the last committed boundary,
+// so a task that was interrupted mid-way re-executes from a consistent
+// snapshot instead of operating on partially-updated state (the failure
+// mode of Fig. 3).
+type Tasks struct {
+	d    *device.Device
+	vars []nvVar
+
+	logBase  memsim.Addr // versioned copies, laid out in registration order
+	metaAddr memsim.Addr // seq(2) valid(2) task(2)
+	capacity int
+}
+
+// NewTasks allocates a versioning log of the given byte capacity.
+func NewTasks(d *device.Device, capacity int) (*Tasks, error) {
+	log, err := d.FRAM.Alloc(capacity)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: tasks log: %w", err)
+	}
+	meta, err := d.FRAM.Alloc(6)
+	if err != nil {
+		return nil, err
+	}
+	return &Tasks{d: d, logBase: log, metaAddr: meta, capacity: capacity}, nil
+}
+
+// RegisterVar declares a non-volatile variable (addr, size bytes) to be
+// versioned at boundaries. Registration happens at flash time.
+func (t *Tasks) RegisterVar(addr memsim.Addr, size int) error {
+	used := 0
+	for _, v := range t.vars {
+		used += (v.size + 1) &^ 1
+	}
+	if used+size > t.capacity {
+		return fmt.Errorf("checkpoint: versioning log full (%d + %d > %d)", used, size, t.capacity)
+	}
+	t.vars = append(t.vars, nvVar{addr: addr, size: size})
+	return nil
+}
+
+// Boundary commits a task boundary: version every registered variable,
+// then publish (task id + valid flag last).
+func (t *Tasks) Boundary(env *device.Env, taskID uint16) {
+	env.StoreWord(t.metaAddr+2, 0) // invalidate during copy
+	off := memsim.Addr(0)
+	for _, v := range t.vars {
+		for b := 0; b < v.size; b += 2 {
+			w := env.LoadWord(v.addr + memsim.Addr(b))
+			env.StoreWord(t.logBase+off, w)
+			off += 2
+		}
+	}
+	env.StoreWord(t.metaAddr+4, taskID)
+	seq := env.LoadWord(t.metaAddr)
+	env.StoreWord(t.metaAddr, seq+1)
+	env.StoreWord(t.metaAddr+2, validMagic)
+}
+
+// RecoverInspect applies the rollback directly against device memory with
+// no energy cost — for post-mortem inspection of the committed state (what
+// the next boot's Recover would observe). It returns the committed task id.
+func (t *Tasks) RecoverInspect() (taskID uint16, ok bool) {
+	v, err := t.d.Mem.ReadWord(t.metaAddr + 2)
+	if err != nil || v != validMagic {
+		return 0, false
+	}
+	off := memsim.Addr(0)
+	for _, vr := range t.vars {
+		for b := 0; b < vr.size; b += 2 {
+			w, err := t.d.Mem.ReadWord(t.logBase + off)
+			if err != nil {
+				return 0, false
+			}
+			if t.d.Mem.WriteWord(vr.addr+memsim.Addr(b), w) != nil {
+				return 0, false
+			}
+			off += 2
+		}
+	}
+	id, _ := t.d.Mem.ReadWord(t.metaAddr + 4)
+	return id, true
+}
+
+// Recover rolls registered variables back to the last committed boundary
+// and returns its task id. ok is false if no boundary ever committed.
+func (t *Tasks) Recover(env *device.Env) (taskID uint16, ok bool) {
+	if env.LoadWord(t.metaAddr+2) != validMagic {
+		return 0, false
+	}
+	off := memsim.Addr(0)
+	for _, v := range t.vars {
+		for b := 0; b < v.size; b += 2 {
+			w := env.LoadWord(t.logBase + off)
+			env.StoreWord(v.addr+memsim.Addr(b), w)
+			off += 2
+		}
+	}
+	return env.LoadWord(t.metaAddr + 4), true
+}

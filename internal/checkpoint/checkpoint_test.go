@@ -1,0 +1,239 @@
+package checkpoint_test
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/device"
+	"repro/internal/energy"
+	"repro/internal/memsim"
+	"repro/internal/units"
+)
+
+func powered(seed int64) (*device.Device, *device.Env) {
+	d := device.NewWISP5(&energy.ConstantHarvester{I: units.MilliAmps(2), Voc: 3.3}, seed)
+	d.Supply.Cap.SetVoltage(2.4)
+	d.Supply.Step(0, 0)
+	return d, &device.Env{D: d}
+}
+
+func TestMementosCheckpointRestore(t *testing.T) {
+	d, env := powered(71)
+	m, err := checkpoint.NewMementos(d, 2.0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First boot: no checkpoint.
+	if _, ok := m.Restore(env); ok {
+		t.Fatal("fresh device must have no checkpoint")
+	}
+	// Fill volatile state, checkpoint, wipe, restore.
+	for i := 0; i < 32; i += 2 {
+		env.StoreWord(memsim.SRAMBase+memsim.Addr(i), uint16(i*7))
+	}
+	m.Checkpoint(env, 42)
+	d.Mem.ClearVolatile()
+	ctx, ok := m.Restore(env)
+	if !ok || ctx != 42 {
+		t.Fatalf("restore ctx=%d ok=%v", ctx, ok)
+	}
+	for i := 0; i < 32; i += 2 {
+		if got := env.LoadWord(memsim.SRAMBase + memsim.Addr(i)); got != uint16(i*7) {
+			t.Fatalf("word %d = %d", i, got)
+		}
+	}
+}
+
+func TestMementosDoubleBufferingSurvivesInterruptedCheckpoint(t *testing.T) {
+	// A harvest-free device so the copy loop genuinely drains the store.
+	d := device.NewWISP5(energy.NullHarvester{}, 72)
+	d.Supply.Cap.SetVoltage(2.4)
+	d.Supply.Step(0, 0)
+	env := &device.Env{D: d}
+	m, err := checkpoint.NewMementos(d, 2.0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.StoreWord(memsim.SRAMBase, 0x1111)
+	m.Checkpoint(env, 1)
+
+	// A power failure mid-second-checkpoint: the device dies during the
+	// copy, before the commit flag is written. Only ~1 mV of headroom is
+	// left, a fraction of the copy's energy cost.
+	env.StoreWord(memsim.SRAMBase, 0x2222)
+	d.Supply.Cap.SetVoltage(1.801)
+	func() {
+		defer func() {
+			if _, ok := recover().(*device.PowerFailure); !ok {
+				t.Fatal("expected power failure during checkpoint")
+			}
+		}()
+		m.Checkpoint(env, 2)
+	}()
+
+	// After reboot, restore must yield the COMPLETE first checkpoint.
+	d.Reboot()
+	d.Supply.Cap.SetVoltage(2.4)
+	d.Supply.Step(0, 0)
+	ctx, ok := m.Restore(env)
+	if !ok || ctx != 1 {
+		t.Fatalf("restore after torn checkpoint: ctx=%d ok=%v", ctx, ok)
+	}
+	if env.LoadWord(memsim.SRAMBase) != 0x1111 {
+		t.Fatal("restored snapshot must be the committed one")
+	}
+}
+
+func TestMementosTriggerPoint(t *testing.T) {
+	d, env := powered(73)
+	m, err := checkpoint.NewMementos(d, 2.0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TriggerPoint(env, 9) {
+		t.Fatal("no checkpoint above threshold")
+	}
+	d.Supply.Cap.SetVoltage(1.95)
+	if !m.TriggerPoint(env, 9) {
+		t.Fatal("checkpoint below threshold")
+	}
+	d.Mem.ClearVolatile()
+	ctx, ok := m.Restore(env)
+	if !ok || ctx != 9 {
+		t.Fatalf("ctx=%d ok=%v", ctx, ok)
+	}
+}
+
+func TestMementosBadSize(t *testing.T) {
+	d, _ := powered(74)
+	if _, err := checkpoint.NewMementos(d, 2.0, 0); err == nil {
+		t.Fatal("zero snapshot must be rejected")
+	}
+	if _, err := checkpoint.NewMementos(d, 2.0, 1<<20); err == nil {
+		t.Fatal("oversize snapshot must be rejected")
+	}
+}
+
+func TestTasksRollBackPartialWrites(t *testing.T) {
+	// The DINO idea: an interrupted task's partial NV writes roll back to
+	// the last boundary, restoring consistency between two variables that
+	// must move together (the Fig. 3 failure class).
+	d, env := powered(75)
+	tasks, err := checkpoint.NewTasks(d, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := d.FRAM.Alloc(2)
+	b, _ := d.FRAM.Alloc(2)
+	if err := tasks.RegisterVar(a, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tasks.RegisterVar(b, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	env.StoreWord(a, 10)
+	env.StoreWord(b, 10)
+	tasks.Boundary(env, 1)
+
+	// Task 2 updates a but dies before updating b.
+	env.StoreWord(a, 11)
+	// (power failure here)
+	d.Reboot()
+	d.Supply.Cap.SetVoltage(2.4)
+	d.Supply.Step(0, 0)
+
+	id, ok := tasks.Recover(env)
+	if !ok || id != 1 {
+		t.Fatalf("recover id=%d ok=%v", id, ok)
+	}
+	if env.LoadWord(a) != 10 || env.LoadWord(b) != 10 {
+		t.Fatalf("rollback failed: a=%d b=%d", env.LoadWord(a), env.LoadWord(b))
+	}
+}
+
+func TestTasksRecoverWithoutBoundary(t *testing.T) {
+	d, env := powered(76)
+	tasks, err := checkpoint.NewTasks(d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tasks.Recover(env); ok {
+		t.Fatal("no boundary yet")
+	}
+}
+
+func TestTasksLogCapacity(t *testing.T) {
+	d, _ := powered(77)
+	tasks, err := checkpoint.NewTasks(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := d.FRAM.Alloc(4)
+	if err := tasks.RegisterVar(a, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tasks.RegisterVar(a, 2); err == nil {
+		t.Fatal("over-capacity registration must fail")
+	}
+}
+
+func TestCheckpointedProgramMakesProgressIntermittently(t *testing.T) {
+	// End to end: a state-machine program using Mementos survives
+	// intermittent power and completes a multi-stage computation that
+	// could never fit one charge cycle.
+	d := device.NewWISP5(&energy.ConstantHarvester{I: units.MicroAmps(600), Voc: 3.3}, 78)
+	prog := &stagedProgram{stages: 40, workPerStage: 60_000}
+	r := device.NewRunner(d, prog)
+	if err := r.Flash(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunFor(units.Seconds(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("checkpointed program must complete: %+v (stage %d)", res, prog.finalStage)
+	}
+	if res.Reboots == 0 {
+		t.Fatal("the run must actually have been intermittent")
+	}
+}
+
+// stagedProgram runs N stages, each too expensive to batch; its stage index
+// lives in volatile SRAM, preserved across reboots only by Mementos.
+type stagedProgram struct {
+	stages       int
+	workPerStage int
+	m            *checkpoint.Mementos
+	stageAddr    memsim.Addr
+	finalStage   int
+}
+
+func (p *stagedProgram) Name() string { return "staged" }
+
+func (p *stagedProgram) Flash(d *device.Device) error {
+	var err error
+	p.stageAddr, err = d.SRAM.Alloc(2)
+	if err != nil {
+		return err
+	}
+	p.m, err = checkpoint.NewMementos(d, 2.1, d.SRAM.InUse())
+	return err
+}
+
+func (p *stagedProgram) Main(env *device.Env) {
+	if _, ok := p.m.Restore(env); ok {
+		// stage index restored with SRAM image
+	}
+	for {
+		stage := int(env.LoadWord(p.stageAddr))
+		p.finalStage = stage
+		if stage >= p.stages {
+			return
+		}
+		env.Compute(p.workPerStage)
+		env.StoreWord(p.stageAddr, uint16(stage+1))
+		p.m.TriggerPoint(env, uint16(stage+1))
+	}
+}

@@ -1,0 +1,225 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestConnectionsMatchTable2Rows(t *testing.T) {
+	conns := EDBConnections()
+	names := map[string]int{}
+	lines := 0
+	for _, c := range conns {
+		names[c.Name] = c.Count
+		lines += c.Count
+	}
+	// The prototype wires 12 physical lines (code marker ×2).
+	if lines != 12 {
+		t.Fatalf("physical lines = %d", lines)
+	}
+	for _, want := range []string{
+		"Capacitor sense, manipulate", "Regulator sense, level reference",
+		"Debugger->Target comm.", "Target->Debugger comm.", "Code marker",
+		"UART RX", "UART TX", "RF RX", "RF TX", "I2C SCL", "I2C SDA",
+	} {
+		if _, ok := names[want]; !ok {
+			t.Fatalf("missing connection %q", want)
+		}
+	}
+	if names["Code marker"] != 2 {
+		t.Fatal("code marker must have two lines")
+	}
+}
+
+func TestWorstCaseTotalUnderOneMicroamp(t *testing.T) {
+	// The paper's headline: every connection together leaks < 1 µA,
+	// ~0.2 % of the MCU's active current.
+	rng := sim.NewRNG(5)
+	sm := NewSourceMeter(rng.Split("sm"))
+	var total float64
+	for _, c := range EDBConnections() {
+		inst := c.Instantiate(rng.Split(c.Name))
+		worst := 0.0
+		for _, state := range []LogicState{High, Low} {
+			v := VCharacterize
+			if state == Low {
+				v = 0
+			}
+			st := sm.Characterize(inst, state, v, 25)
+			if w := math.Abs(float64(st.WorstCase())); w > worst {
+				worst = w
+			}
+		}
+		total += worst * float64(c.Count)
+	}
+	if total >= 1e-6 {
+		t.Fatalf("worst-case total = %v A, must be < 1 µA", total)
+	}
+	if total < 100e-9 {
+		t.Fatalf("worst-case total = %v A, implausibly small", total)
+	}
+}
+
+func TestHighStateDominates(t *testing.T) {
+	// On target-driven digital lines, high-state leakage dominates
+	// low-state by an order of magnitude (Table 2's structure).
+	rng := sim.NewRNG(6)
+	sm := NewSourceMeter(rng.Split("sm"))
+	for _, c := range EDBConnections() {
+		if c.Kind != DigitalTargetDriven {
+			continue
+		}
+		inst := c.Instantiate(rng.Split(c.Name))
+		hi := sm.Characterize(inst, High, VCharacterize, 25)
+		lo := sm.Characterize(inst, Low, 0, 25)
+		if float64(hi.Avg) < 10*math.Abs(float64(lo.Avg)) {
+			t.Fatalf("%s: high %v not >> low %v", c.Name, hi.Avg, lo.Avg)
+		}
+	}
+}
+
+func TestLeakageScalesWithVoltage(t *testing.T) {
+	// The CMOS-leakage mean scales linearly with the applied voltage
+	// (part-to-part deviation is a fixed offset, so test with Part = 0).
+	conn := &Connection{
+		Name: "test-line", Kind: DigitalTargetDriven, Count: 1,
+		Chain: []*Component{{
+			Name:      "buffer",
+			HighState: Leakage{Mean: units.NanoAmps(64)},
+		}},
+	}
+	inst := conn.Instantiate(sim.NewRNG(7))
+	at24 := float64(inst.Typical(High, 2.4))
+	at12 := float64(inst.Typical(High, 1.2))
+	if math.Abs(at24/at12-2.0) > 0.01 {
+		t.Fatalf("leakage should scale ~linearly with V: %v vs %v", at24, at12)
+	}
+}
+
+func TestTypicalIsDeterministic(t *testing.T) {
+	rng := sim.NewRNG(8)
+	inst := EDBConnections()[0].Instantiate(rng.Split("x"))
+	a := inst.Typical(High, 2.0)
+	b := inst.Typical(High, 2.0)
+	if a != b {
+		t.Fatal("Typical must not consume randomness")
+	}
+}
+
+func TestMeasurementStatsOrdering(t *testing.T) {
+	rng := sim.NewRNG(9)
+	sm := NewSourceMeter(rng.Split("sm"))
+	inst := EDBConnections()[4].Instantiate(rng.Split("cm"))
+	st := sm.Characterize(inst, High, VCharacterize, 50)
+	if !(st.Min <= st.Avg && st.Avg <= st.Max) {
+		t.Fatalf("stats ordering: %v", st)
+	}
+	if st.N != 50 {
+		t.Fatalf("n = %d", st.N)
+	}
+	if st.String() == "" {
+		t.Fatal("stats string")
+	}
+}
+
+func TestWorstCasePicksLargerMagnitude(t *testing.T) {
+	st := MeasurementStats{Min: -5, Max: 3}
+	if st.WorstCase() != -5 {
+		t.Fatal("worst case must be the larger magnitude")
+	}
+	st = MeasurementStats{Min: -1, Max: 4}
+	if st.WorstCase() != 4 {
+		t.Fatal("worst case must be the larger magnitude")
+	}
+}
+
+func TestADCQuantization(t *testing.T) {
+	adc := NewADC(sim.NewRNG(10))
+	if adc.Levels() != 4096 {
+		t.Fatalf("levels = %d", adc.Levels())
+	}
+	lsb := float64(adc.LSB())
+	if lsb < 0.0007 || lsb > 0.0008 {
+		t.Fatalf("LSB = %v, want ~0.73 mV", lsb)
+	}
+	if adc.String() == "" {
+		t.Fatal("adc string")
+	}
+}
+
+func TestADCAccuracyNearOneMillivolt(t *testing.T) {
+	// §5.2.2: "A 12-bit ADC with effective resolution of approximately
+	// 1 mV". Repeated readings of a fixed input should scatter ~1 mV.
+	adc := NewADC(sim.NewRNG(11))
+	var sum, sq float64
+	n := 2000
+	for i := 0; i < n; i++ {
+		v := float64(adc.Read(2.3))
+		sum += v
+		sq += (v - 2.3) * (v - 2.3)
+	}
+	rmse := math.Sqrt(sq / float64(n))
+	if rmse > 0.002 {
+		t.Fatalf("ADC rmse = %v V, want ~1 mV", rmse)
+	}
+	if math.Abs(sum/float64(n)-2.3) > 0.002 {
+		t.Fatalf("ADC mean = %v", sum/float64(n))
+	}
+}
+
+func TestADCClamps(t *testing.T) {
+	adc := NewADC(sim.NewRNG(12))
+	if adc.Sample(-1) != 0 {
+		t.Fatal("negative input must clamp to code 0")
+	}
+	if int(adc.Sample(10)) != adc.Levels()-1 {
+		t.Fatal("over-range input must clamp to full scale")
+	}
+}
+
+func TestADCMonotone(t *testing.T) {
+	adc := NewADC(sim.NewRNG(13))
+	adc.NoiseSD = 0 // pure quantization
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 3))
+		b = math.Abs(math.Mod(b, 3))
+		if a > b {
+			a, b = b, a
+		}
+		return adc.Sample(units.Volts(a)) <= adc.Sample(units.Volts(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargeDischargePulses(t *testing.T) {
+	cd := NewChargeDischarge()
+	c := units.MicroFarads(47)
+	v1 := cd.ChargePulse(2.0, c)
+	if v1 <= 2.0 {
+		t.Fatal("charge pulse must raise voltage")
+	}
+	// dV = I·dt/C = 5 mA · 500 µs / 47 µF ≈ 53 mV.
+	if math.Abs(float64(v1-2.0)-0.0532) > 0.002 {
+		t.Fatalf("charge pulse dV = %v", v1-2.0)
+	}
+	v2 := cd.DischargePulse(2.0, c)
+	if v2 >= 2.0 {
+		t.Fatal("discharge pulse must lower voltage")
+	}
+	// Exponential decay: dt/RC = 500µs/47ms ≈ 1.06 % of V.
+	if math.Abs(float64(2.0-v2)-2.0*0.010582) > 0.002 {
+		t.Fatalf("discharge pulse dV = %v", 2.0-v2)
+	}
+}
+
+func TestLogicStateString(t *testing.T) {
+	if High.String() != "high" || Low.String() != "low" {
+		t.Fatal("state strings")
+	}
+}

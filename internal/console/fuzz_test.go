@@ -1,0 +1,33 @@
+package console_test
+
+import (
+	"testing"
+
+	"repro/internal/console"
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+// FuzzExec feeds arbitrary command lines to the console: it must never
+// panic, with or without an interactive session bound.
+func FuzzExec(f *testing.F) {
+	f.Add("charge 2.4")
+	f.Add("break en 1 2.0")
+	f.Add("read 0x4400")
+	f.Add("write 4400 beef")
+	f.Add("trace iobus")
+	f.Add("watch dis 2")
+	f.Add("   ")
+	f.Add("charge -1e308")
+	f.Add("break en 99999999999999999999")
+	f.Fuzz(func(t *testing.T, line string) {
+		d := device.NewWISP5(&energy.ConstantHarvester{I: units.MilliAmps(1), Voc: 3.3}, 1)
+		e := edb.New(edb.DefaultConfig())
+		e.Attach(d)
+		c := console.New(e)
+		// Errors are fine; panics are not.
+		_, _ = c.Exec(line)
+	})
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/energy"
+	"repro/internal/rfid"
+	"repro/internal/units"
+)
+
+func TestNewRigDefaults(t *testing.T) {
+	rig, err := NewRig(&apps.Busy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rig.Device == nil || rig.EDB == nil || rig.Console == nil || rig.Runner == nil {
+		t.Fatal("rig incomplete")
+	}
+	if rig.Reader != nil {
+		t.Fatal("no reader requested")
+	}
+	res, err := rig.Run(2 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DeadlineHit {
+		t.Fatalf("busy must run to deadline: %+v", res)
+	}
+	if out, err := rig.Exec("status"); err != nil || !strings.Contains(out, "Vcap") {
+		t.Fatalf("console passthrough: %v %q", err, out)
+	}
+}
+
+func TestWithoutEDB(t *testing.T) {
+	rig, err := NewRig(&apps.Busy{}, WithoutEDB(), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rig.EDB != nil || rig.Console != nil {
+		t.Fatal("WithoutEDB must omit the debugger")
+	}
+	if _, err := rig.Exec("status"); err == nil {
+		t.Fatal("Exec without EDB must error")
+	}
+	if _, err := rig.Run(Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithHarvesterAndSeedDeterminism(t *testing.T) {
+	run := func() int {
+		rig, err := NewRig(&apps.LinkedList{},
+			WithSeed(9),
+			WithHarvester(energy.NewRFHarvester()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rig.Run(5 * Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Reboots
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed must reproduce: %d vs %d", a, b)
+	}
+}
+
+func TestWithReader(t *testing.T) {
+	rig, err := NewRig(&apps.WispRFID{}, WithReader(rfid.DefaultReaderConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rig.Reader == nil {
+		t.Fatal("reader missing")
+	}
+	if _, err := rig.Run(2 * Second); err != nil {
+		t.Fatal(err)
+	}
+	if rig.Reader.Stats().QueriesSent == 0 {
+		t.Fatal("reader must inventory during Run")
+	}
+	if rig.Reader.Stats().RN16Heard == 0 {
+		t.Fatal("tag must reply during Run")
+	}
+	// EDB monitored the messages concurrently.
+	if rig.EDB.Events().Count("rfid-rx") == 0 {
+		t.Fatal("EDB must trace RFID I/O")
+	}
+}
+
+func TestUnitsConstants(t *testing.T) {
+	if units.Seconds(Second) != 1 || units.Seconds(Millisecond) != 1e-3 {
+		t.Fatal("time constants")
+	}
+}

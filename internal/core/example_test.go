@@ -1,0 +1,34 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+)
+
+// Example assembles the standard rig — WISP-like target, EDB attached,
+// console ready — runs the linked-list case study with its keep-alive
+// assertion, and shows the outcome: intermittent execution, zero wild
+// writes, and the debugger holding the target alive at the failure.
+func Example() {
+	app := &apps.LinkedList{WithAssert: true}
+	rig, err := core.NewRig(app, core.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := rig.Run(30 * core.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("intermittent:", res.Reboots > 0)
+	fmt.Println("wild writes:", res.Faults)
+	fmt.Println("halted by assert:", res.Halted != "")
+	fmt.Println("kept alive on tethered power:", rig.Device.Supply.Tethered())
+	// Output:
+	// intermittent: true
+	// wild writes: 0
+	// halted by assert: true
+	// kept alive on tethered power: true
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+// TestSolarNodeProfile exercises the paper's portability claim (§4): EDB
+// connects to "any energy-harvesting device with a microcontroller and a
+// capacitor". This profile is a solar sensor node — a 100 µF store, 3.0 V
+// turn-on, 2.2 V brown-out, fed by a varying indoor-solar harvester — and
+// every EDB primitive must work unchanged on it.
+func TestSolarNodeProfile(t *testing.T) {
+	clockSeconds := 0.0
+	solar := &energy.SolarHarvester{
+		IMax: units.MilliAmps(1.4),
+		Voc:  4.0,
+		Scale: func() float64 {
+			// Illumination swings between 35 % and 100 % with a ~1 s
+			// period keyed off accumulated samples (deterministic).
+			clockSeconds += 0.001
+			phase := clockSeconds - float64(int(clockSeconds))
+			if phase < 0.5 {
+				return 0.35
+			}
+			return 1.0
+		},
+	}
+	supply := energy.NewSupply(units.MicroFarads(100), 3.6, 3.0, 2.2, solar)
+
+	app := &apps.Activity{Print: apps.EDBPrint}
+	rig, err := NewRig(app, WithSeed(5), WithSupply(supply))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.EDB.TraceVcap()
+
+	res, err := rig.Run(5 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reboots == 0 {
+		t.Fatalf("solar node must run intermittently: %+v", res)
+	}
+	st := app.Stats(rig.Device)
+	if st.Completed == 0 {
+		t.Fatalf("no progress: %+v", st)
+	}
+	// EDB primitives work on the foreign profile:
+	if rig.EDB.Stats().Printfs == 0 {
+		t.Fatal("EDB printf must work on the solar profile")
+	}
+	if len(rig.EDB.WatchHits()) == 0 {
+		t.Fatal("watchpoints must work on the solar profile")
+	}
+	// Compensation respected the profile's own thresholds.
+	for _, sr := range rig.EDB.SaveRestoreSamples() {
+		if sr.RestoredTrue < 2.2 {
+			t.Fatalf("restore pushed the solar node below its brown-out: %+v", sr)
+		}
+	}
+	if out, err := rig.Exec("status"); err != nil || !strings.Contains(out, "printfs") {
+		t.Fatalf("console on solar profile: %v", err)
+	}
+	// The trace spans the profile's thresholds, not the WISP's.
+	vc := rig.EDB.VcapSeries()
+	if vc.Max() < 2.9 {
+		t.Fatalf("trace max = %v; the node must reach its 3.0 V turn-on", vc.Max())
+	}
+}
+
+// TestBigCapacitorProfile: a supercap-class store (1 mF) charges slowly
+// and runs long — the intermittence period scales with C as the physics
+// says it must.
+func TestBigCapacitorProfile(t *testing.T) {
+	period := func(c units.Farads) float64 {
+		h := &energy.ConstantHarvester{I: units.MilliAmps(1), Voc: 3.3}
+		supply := energy.NewSupply(c, 3.0, 2.4, 1.8, h)
+		rig, err := NewRig(&apps.Busy{}, WithSeed(6), WithSupply(supply))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rig.Run(20 * Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reboots == 0 {
+			t.Fatalf("no reboots with C=%v: %+v", c, res)
+		}
+		return 20.0 / float64(res.Reboots)
+	}
+	small := period(units.MicroFarads(47))
+	big := period(units.MicroFarads(470))
+	ratio := big / small
+	if ratio < 7 || ratio > 13 {
+		t.Fatalf("10x capacitance must give ~10x period: ratio=%v", ratio)
+	}
+	_ = edb.DefaultConfig()
+}

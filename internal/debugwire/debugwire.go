@@ -1,0 +1,190 @@
+// Package debugwire defines the framed byte protocol spoken between the
+// target-side libEDB library and the EDB debugger over the dedicated UART
+// link (§4.2: "the library implements the target-side half of the protocol
+// for communicating with the debugger over a dedicated GPIO line and a
+// UART link, which includes routines for reading from and writing to target
+// address space").
+//
+// Frame layout:
+//
+//	+------+-----+-----+---------+-----+
+//	| 0xED | cmd | len | payload | sum |
+//	+------+-----+-----+---------+-----+
+//
+// where len counts payload bytes and sum is the additive checksum of cmd,
+// len, and payload. Word fields inside payloads are little-endian.
+package debugwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// SOF is the start-of-frame marker.
+const SOF byte = 0xED
+
+// Command codes. Host→target commands request debug services from the
+// target's service loop; target→host frames carry responses and
+// asynchronous messages.
+const (
+	// CmdReadWord requests a 16-bit read; payload: addr(2).
+	CmdReadWord byte = 0x01
+	// CmdWriteWord requests a 16-bit write; payload: addr(2), value(2).
+	CmdWriteWord byte = 0x02
+	// CmdReadBlock requests a block read; payload: addr(2), n(2).
+	CmdReadBlock byte = 0x03
+	// CmdResume ends the interactive session; no payload.
+	CmdResume byte = 0x04
+	// CmdWriteBlock requests a block write; payload: addr(2), data(n).
+	CmdWriteBlock byte = 0x05
+
+	// RspData carries read results back; payload: the data bytes.
+	RspData byte = 0x81
+	// RspAck acknowledges a write; no payload.
+	RspAck byte = 0x82
+	// RspPrintf carries an energy-interference-free printf's text.
+	RspPrintf byte = 0x83
+	// RspAssert announces a failed assertion; payload: id(2).
+	RspAssert byte = 0x84
+	// RspNak reports a malformed or unserviceable command.
+	RspNak byte = 0x85
+)
+
+// MaxPayload is the largest payload a frame can carry.
+const MaxPayload = 255
+
+// Errors returned by the decoder.
+var (
+	ErrShort    = errors.New("debugwire: incomplete frame")
+	ErrBadSOF   = errors.New("debugwire: bad start-of-frame")
+	ErrChecksum = errors.New("debugwire: checksum mismatch")
+	ErrTooLong  = errors.New("debugwire: payload too long")
+)
+
+// Encode builds a frame for cmd with the given payload.
+func Encode(cmd byte, payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return nil, ErrTooLong
+	}
+	f := make([]byte, 0, len(payload)+4)
+	f = append(f, SOF, cmd, byte(len(payload)))
+	f = append(f, payload...)
+	f = append(f, checksum(cmd, payload))
+	return f, nil
+}
+
+// MustEncode is Encode for payloads known to fit.
+func MustEncode(cmd byte, payload []byte) []byte {
+	f, err := Encode(cmd, payload)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// EncodeWord builds a frame whose payload is one little-endian word.
+func EncodeWord(cmd byte, w uint16) []byte {
+	var p [2]byte
+	binary.LittleEndian.PutUint16(p[:], w)
+	return MustEncode(cmd, p[:])
+}
+
+// EncodeWords builds a frame whose payload is the given words.
+func EncodeWords(cmd byte, ws ...uint16) []byte {
+	p := make([]byte, 2*len(ws))
+	for i, w := range ws {
+		binary.LittleEndian.PutUint16(p[2*i:], w)
+	}
+	return MustEncode(cmd, p)
+}
+
+// Frame is a decoded protocol frame.
+type Frame struct {
+	Cmd     byte
+	Payload []byte
+}
+
+// Word returns the i-th little-endian word of the payload.
+func (f Frame) Word(i int) (uint16, error) {
+	if 2*i+2 > len(f.Payload) {
+		return 0, fmt.Errorf("debugwire: frame %#02x payload too short for word %d", f.Cmd, i)
+	}
+	return binary.LittleEndian.Uint16(f.Payload[2*i:]), nil
+}
+
+// Decode parses one frame from the front of buf, returning the frame and
+// the number of bytes consumed. It returns ErrShort if more bytes are
+// needed.
+func Decode(buf []byte) (Frame, int, error) {
+	if len(buf) < 4 {
+		return Frame{}, 0, ErrShort
+	}
+	if buf[0] != SOF {
+		return Frame{}, 1, ErrBadSOF
+	}
+	n := int(buf[2])
+	total := 4 + n
+	if len(buf) < total {
+		return Frame{}, 0, ErrShort
+	}
+	payload := buf[3 : 3+n]
+	if checksum(buf[1], payload) != buf[total-1] {
+		return Frame{}, total, ErrChecksum
+	}
+	return Frame{Cmd: buf[1], Payload: append([]byte(nil), payload...)}, total, nil
+}
+
+func checksum(cmd byte, payload []byte) byte {
+	s := cmd + byte(len(payload))
+	for _, b := range payload {
+		s += b
+	}
+	return s
+}
+
+// Accumulator reassembles frames from a byte stream delivered in arbitrary
+// chunks (the UART delivers one byte at a time).
+type Accumulator struct {
+	buf    []byte
+	frames []Frame
+	errs   int
+}
+
+// Feed appends stream bytes and extracts any completed frames.
+func (a *Accumulator) Feed(data ...byte) {
+	a.buf = append(a.buf, data...)
+	for {
+		f, n, err := Decode(a.buf)
+		switch {
+		case err == nil:
+			a.frames = append(a.frames, f)
+			a.buf = a.buf[n:]
+		case errors.Is(err, ErrShort):
+			return
+		default:
+			// Resynchronize past the bad byte(s).
+			a.errs++
+			if n == 0 {
+				n = 1
+			}
+			a.buf = a.buf[n:]
+		}
+	}
+}
+
+// Next pops the oldest completed frame.
+func (a *Accumulator) Next() (Frame, bool) {
+	if len(a.frames) == 0 {
+		return Frame{}, false
+	}
+	f := a.frames[0]
+	a.frames = a.frames[1:]
+	return f, true
+}
+
+// Pending returns the number of completed frames waiting.
+func (a *Accumulator) Pending() int { return len(a.frames) }
+
+// Errors returns the count of framing errors seen.
+func (a *Accumulator) Errors() int { return a.errs }

@@ -1,0 +1,146 @@
+package debugwire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(cmd byte, payload []byte) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		frame, err := Encode(cmd, payload)
+		if err != nil {
+			return false
+		}
+		got, n, err := Decode(frame)
+		return err == nil && n == len(frame) && got.Cmd == cmd &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeTooLong(t *testing.T) {
+	if _, err := Encode(CmdReadWord, make([]byte, MaxPayload+1)); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	frame := EncodeWord(CmdReadWord, 0x1234)
+	for i := 0; i < len(frame); i++ {
+		if _, _, err := Decode(frame[:i]); !errors.Is(err, ErrShort) {
+			t.Fatalf("prefix %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestDecodeBadSOF(t *testing.T) {
+	_, n, err := Decode([]byte{0x00, 0x01, 0x00, 0x01})
+	if !errors.Is(err, ErrBadSOF) || n != 1 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+}
+
+func TestDecodeChecksum(t *testing.T) {
+	frame := EncodeWord(CmdWriteWord, 0xBEEF)
+	frame[3] ^= 0xFF // corrupt payload
+	_, _, err := Decode(frame)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFrameWord(t *testing.T) {
+	frame := EncodeWords(CmdWriteWord, 0x1234, 0xABCD)
+	f, _, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, err := f.Word(0)
+	if err != nil || w0 != 0x1234 {
+		t.Fatalf("w0=%#x err=%v", w0, err)
+	}
+	w1, err := f.Word(1)
+	if err != nil || w1 != 0xABCD {
+		t.Fatalf("w1=%#x err=%v", w1, err)
+	}
+	if _, err := f.Word(2); err == nil {
+		t.Fatal("word 2 must be out of range")
+	}
+}
+
+func TestAccumulatorByteAtATime(t *testing.T) {
+	var a Accumulator
+	frames := [][]byte{
+		EncodeWord(CmdReadWord, 0x4400),
+		MustEncode(RspPrintf, []byte("hello")),
+		MustEncode(CmdResume, nil),
+	}
+	for _, fr := range frames {
+		for _, b := range fr {
+			a.Feed(b)
+		}
+	}
+	if a.Pending() != 3 {
+		t.Fatalf("pending = %d", a.Pending())
+	}
+	f1, _ := a.Next()
+	f2, _ := a.Next()
+	f3, _ := a.Next()
+	if f1.Cmd != CmdReadWord || f2.Cmd != RspPrintf || f3.Cmd != CmdResume {
+		t.Fatalf("cmds = %#x %#x %#x", f1.Cmd, f2.Cmd, f3.Cmd)
+	}
+	if string(f2.Payload) != "hello" {
+		t.Fatalf("payload = %q", f2.Payload)
+	}
+	if _, ok := a.Next(); ok {
+		t.Fatal("Next on empty accumulator returned a frame")
+	}
+}
+
+func TestAccumulatorResync(t *testing.T) {
+	var a Accumulator
+	a.Feed(0xde, 0xad) // garbage
+	a.Feed(EncodeWord(RspData, 42)...)
+	f, ok := a.Next()
+	if !ok || f.Cmd != RspData {
+		t.Fatalf("frame = %+v ok=%v", f, ok)
+	}
+	if a.Errors() == 0 {
+		t.Fatal("garbage bytes must count framing errors")
+	}
+}
+
+func TestAccumulatorResyncAfterCorruptFrame(t *testing.T) {
+	var a Accumulator
+	bad := EncodeWord(RspData, 42)
+	bad[4] ^= 0x55 // corrupt
+	a.Feed(bad...)
+	a.Feed(EncodeWord(RspData, 43)...)
+	f, ok := a.Next()
+	if !ok {
+		t.Fatal("no frame after resync")
+	}
+	if w, _ := f.Word(0); w != 43 {
+		t.Fatalf("w = %d", w)
+	}
+}
+
+func TestAccumulatorInterleavedChunks(t *testing.T) {
+	var a Accumulator
+	frame := MustEncode(RspData, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	a.Feed(frame[:3]...)
+	if a.Pending() != 0 {
+		t.Fatal("incomplete frame must not complete")
+	}
+	a.Feed(frame[3:]...)
+	if a.Pending() != 1 {
+		t.Fatal("frame must complete once all bytes arrive")
+	}
+}

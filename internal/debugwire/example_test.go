@@ -1,0 +1,22 @@
+package debugwire_test
+
+import (
+	"fmt"
+
+	"repro/internal/debugwire"
+)
+
+// ExampleEncode frames a memory-read command the way libEDB puts it on the
+// UART, and the host-side accumulator reassembles it from single bytes.
+func ExampleEncode() {
+	frame := debugwire.EncodeWord(debugwire.CmdReadWord, 0x4400)
+	var acc debugwire.Accumulator
+	for _, b := range frame {
+		acc.Feed(b)
+	}
+	f, _ := acc.Next()
+	addr, _ := f.Word(0)
+	fmt.Printf("cmd=%#02x addr=%#04x\n", f.Cmd, addr)
+	// Output:
+	// cmd=0x01 addr=0x4400
+}

@@ -1,0 +1,70 @@
+package debugwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary byte streams through the frame decoder and
+// accumulator: neither may panic, and any frame that decodes must
+// re-encode to the bytes it was decoded from.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{SOF, CmdReadWord, 2, 0x00, 0x44, 0x47})
+	f.Add([]byte{SOF, RspPrintf, 5, 'h', 'e', 'l', 'l', 'o', 0x00})
+	f.Add([]byte{0x00, 0x01, 0x02})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := Decode(data)
+		if err == nil {
+			if n < 4 || n > len(data) {
+				t.Fatalf("consumed %d of %d", n, len(data))
+			}
+			re, eerr := Encode(fr.Cmd, fr.Payload)
+			if eerr != nil {
+				t.Fatalf("re-encode: %v", eerr)
+			}
+			if !bytes.Equal(re, data[:n]) {
+				t.Fatalf("re-encode mismatch: %x vs %x", re, data[:n])
+			}
+		}
+		// The accumulator must absorb anything.
+		var a Accumulator
+		a.Feed(data...)
+		for {
+			if _, ok := a.Next(); !ok {
+				break
+			}
+		}
+	})
+}
+
+// FuzzAccumulatorChunking verifies that frame reassembly is independent of
+// how the stream is chunked.
+func FuzzAccumulatorChunking(f *testing.F) {
+	f.Add([]byte("hello world"), uint8(3))
+	f.Fuzz(func(t *testing.T, payload []byte, chunk uint8) {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		frame := MustEncode(RspData, payload)
+		step := int(chunk%7) + 1
+
+		var whole, pieces Accumulator
+		whole.Feed(frame...)
+		for i := 0; i < len(frame); i += step {
+			end := i + step
+			if end > len(frame) {
+				end = len(frame)
+			}
+			pieces.Feed(frame[i:end]...)
+		}
+		fw, okw := whole.Next()
+		fp, okp := pieces.Next()
+		if !okw || !okp {
+			t.Fatal("frame lost")
+		}
+		if fw.Cmd != fp.Cmd || !bytes.Equal(fw.Payload, fp.Payload) {
+			t.Fatal("chunking changed the frame")
+		}
+	})
+}

@@ -1,0 +1,135 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Well-known GPIO line names wired between the target and EDB (Fig. 5) or
+// used by the evaluation applications.
+const (
+	// LineCodeMarker0/1 are the code-marker lines EDB decodes into
+	// watchpoint identifiers (§4.1.3). With n marker lines the target can
+	// signal 2ⁿ−1 distinct watchpoints.
+	LineCodeMarker0 = "code-marker-0"
+	LineCodeMarker1 = "code-marker-1"
+	// LineDebugSignal is the dedicated target→debugger line that opens
+	// active-mode exchanges (§4.2).
+	LineDebugSignal = "debug-signal"
+	// LineInterrupt is the debugger→target interrupt wire (Fig. 5).
+	LineInterrupt = "interrupt"
+	// LineAppPin is the application progress indicator the case studies
+	// toggle at the top and bottom of their main loops (§5.3.1).
+	LineAppPin = "app-pin"
+	// LineLED is an indicator LED; lighting it raises the WISP's current
+	// draw from ~1 mA to over 5 mA (§2.2), which is why LED-based tracing
+	// is unusable on harvested power.
+	LineLED = "led"
+)
+
+// LEDCurrent is the extra load while the LED is lit: the paper reports
+// powering an LED increases the WISP's draw by five times, from around
+// 1 mA to over 5 mA.
+const LEDCurrent = units.Amps(4.2e-3)
+
+// GPIOEdge describes a level transition on a line.
+type GPIOEdge struct {
+	Line  string
+	At    sim.Cycles
+	Level bool
+}
+
+// GPIOPorts is the device's GPIO controller. Lines are created on first
+// use; every level change notifies subscribers (EDB's monitors, traces).
+type GPIOPorts struct {
+	d     *Device
+	lines map[string]*gpioLine
+	subs  []func(GPIOEdge)
+}
+
+type gpioLine struct {
+	name    string
+	level   bool
+	toggles uint64
+}
+
+func newGPIOPorts(d *Device) *GPIOPorts {
+	return &GPIOPorts{d: d, lines: make(map[string]*gpioLine)}
+}
+
+func (g *GPIOPorts) line(name string) *gpioLine {
+	l, ok := g.lines[name]
+	if !ok {
+		l = &gpioLine{name: name}
+		g.lines[name] = l
+	}
+	return l
+}
+
+// Subscribe registers fn to observe every edge on every line. It returns a
+// remove function.
+func (g *GPIOPorts) Subscribe(fn func(GPIOEdge)) func() {
+	g.subs = append(g.subs, fn)
+	idx := len(g.subs) - 1
+	return func() { g.subs[idx] = nil }
+}
+
+// set drives a line to the given level, notifying subscribers on change.
+func (g *GPIOPorts) set(name string, level bool) {
+	l := g.line(name)
+	if l.level == level {
+		return
+	}
+	l.level = level
+	l.toggles++
+	edge := GPIOEdge{Line: name, At: g.d.Clock.Now(), Level: level}
+	for _, fn := range g.subs {
+		if fn != nil {
+			fn(edge)
+		}
+	}
+	// The LED is a real load.
+	if name == LineLED {
+		if level {
+			g.d.SetLoad("led", LEDCurrent)
+		} else {
+			g.d.SetLoad("led", 0)
+		}
+	}
+}
+
+// Level returns the present level of a line (false if never driven).
+func (g *GPIOPorts) Level(name string) bool { return g.line(name).level }
+
+// Toggles returns the number of level changes a line has seen — a cheap way
+// for tests to ask "is the main loop still running?".
+func (g *GPIOPorts) Toggles(name string) uint64 { return g.line(name).toggles }
+
+// Names returns the lines that exist, sorted.
+func (g *GPIOPorts) Names() []string {
+	out := make([]string, 0, len(g.lines))
+	for n := range g.lines {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// reset drives all outputs low without counting toggles (power-on state).
+func (g *GPIOPorts) reset() {
+	for _, l := range g.lines {
+		l.level = false
+	}
+	g.d.SetLoad("led", 0)
+}
+
+func (e GPIOEdge) String() string {
+	lv := "↓"
+	if e.Level {
+		lv = "↑"
+	}
+	return fmt.Sprintf("%s%s@%d", e.Line, lv, e.At)
+}

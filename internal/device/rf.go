@@ -1,0 +1,137 @@
+package device
+
+import (
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// RFFrame is a demodulated or to-be-modulated RFID frame on the air
+// interface. The rfid package defines the frame contents; the device treats
+// them as opaque bytes, exactly as the WISP's demodulator hands raw bit
+// patterns to firmware for software decoding (§5.3.4).
+type RFFrame struct {
+	At sim.Cycles
+	// Bits is the raw frame payload.
+	Bits []byte
+	// Corrupted marks frames damaged in flight; the software decoder on
+	// the target will fail to parse them, but EDB's external monitor can
+	// still classify them (it decodes "even if the target does not
+	// correctly decode them due to power failures").
+	Corrupted bool
+}
+
+// RFPort models the target's RF front end: a demodulator that queues
+// incoming frames and a backscatter modulator for replies. The RX and TX
+// data lines are mirrored onto GPIO-like events so EDB can monitor them
+// externally.
+type RFPort struct {
+	d *Device
+
+	// DecodeCyclesPerByte is the software decoding cost: the WISP decodes
+	// RFID query commands in software (§5.3.4).
+	DecodeCyclesPerByte sim.Cycles
+	// ModulateCurrent is the extra load while backscattering a reply.
+	ModulateCurrent units.Amps
+
+	rxq []RFFrame
+
+	// OnTransmit is invoked when the target backscatters a frame; the
+	// rfid reader hooks it to close the protocol loop.
+	OnTransmit func(at sim.Cycles, frame RFFrame)
+
+	rxSubs []func(RFFrame)
+	txSubs []func(RFFrame)
+}
+
+func newRFPort(d *Device) *RFPort {
+	return &RFPort{
+		d:                   d,
+		DecodeCyclesPerByte: 220,
+		ModulateCurrent:     units.MicroAmps(600),
+	}
+}
+
+// Deliver hands an incoming frame from the air interface to the target and
+// notifies RX monitors. Called by the rfid reader model; costs the target
+// nothing until firmware decodes it.
+func (r *RFPort) Deliver(f RFFrame) {
+	f.At = r.d.Clock.Now()
+	// The demodulated waveform wiggles the RF RX line regardless of
+	// whether firmware is alive to decode it — EDB's external monitor
+	// classifies frames the target never sees (§4.1.2).
+	for _, fn := range r.rxSubs {
+		if fn != nil {
+			fn(f)
+		}
+	}
+	// An unpowered demodulator retains nothing: frames arriving while the
+	// device is off (charging) are lost to the firmware.
+	if r.d.Supply.State() != energy.PowerOn {
+		return
+	}
+	r.rxq = append(r.rxq, f)
+	// Bound the queue: the demodulator has no deep buffer; stale frames
+	// are lost if firmware never drains them.
+	if len(r.rxq) > 8 {
+		r.rxq = r.rxq[len(r.rxq)-8:]
+	}
+}
+
+// SubscribeRx registers an RX-line monitor (EDB). Returns a remove func.
+func (r *RFPort) SubscribeRx(fn func(RFFrame)) func() {
+	r.rxSubs = append(r.rxSubs, fn)
+	idx := len(r.rxSubs) - 1
+	return func() { r.rxSubs[idx] = nil }
+}
+
+// SubscribeTx registers a TX-line monitor (EDB). Returns a remove func.
+func (r *RFPort) SubscribeTx(fn func(RFFrame)) func() {
+	r.txSubs = append(r.txSubs, fn)
+	idx := len(r.txSubs) - 1
+	return func() { r.txSubs[idx] = nil }
+}
+
+// Pending returns the number of undecoded frames in the demodulator queue.
+func (r *RFPort) Pending() int { return len(r.rxq) }
+
+// Receive pops and software-decodes the oldest queued frame, charging the
+// decode cost. The second result is false when the queue is empty. A
+// corrupted frame consumes the decode cost but yields ok=false with
+// corrupted=true — the firmware burned energy failing to parse it.
+func (r *RFPort) Receive(env *Env) (frame RFFrame, ok bool, corrupted bool) {
+	if len(r.rxq) == 0 {
+		return RFFrame{}, false, false
+	}
+	f := r.rxq[0]
+	r.rxq = r.rxq[1:]
+	env.tick(r.DecodeCyclesPerByte * sim.Cycles(len(f.Bits)))
+	if f.Corrupted {
+		return RFFrame{}, false, true
+	}
+	return f, true, false
+}
+
+// Transmit backscatters a reply frame, charging modulation time and energy,
+// then hands it to the reader and TX monitors.
+func (r *RFPort) Transmit(env *Env, bits []byte) {
+	r.d.SetLoad("rf-tx", r.ModulateCurrent)
+	defer r.d.SetLoad("rf-tx", 0)
+	// Backscatter at ~40 kbps effective: 8 bits/byte at 25 µs/bit.
+	perByte := r.d.Clock.ToCycles(units.Seconds(8 * 25e-6))
+	env.tick(perByte * sim.Cycles(len(bits)))
+	f := RFFrame{At: r.d.Clock.Now(), Bits: append([]byte(nil), bits...)}
+	for _, fn := range r.txSubs {
+		if fn != nil {
+			fn(f)
+		}
+	}
+	if r.OnTransmit != nil {
+		r.OnTransmit(f.At, f)
+	}
+}
+
+func (r *RFPort) reset() {
+	r.rxq = nil
+	r.d.SetLoad("rf-tx", 0)
+}

@@ -1,0 +1,193 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+// Program is a firmware image. Flash runs once when the program is loaded
+// onto the device (laying out FRAM data structures costs no runtime
+// energy, like flashing a real board); Main is the reset-vector entry
+// point, re-entered after every reboot with all volatile state cleared.
+type Program interface {
+	// Name identifies the program in traces and results.
+	Name() string
+	// Flash lays out the program's memory image on the device.
+	Flash(d *Device) error
+	// Main executes until power fails (a *PowerFailure panic unwinds it),
+	// a memory fault wedges the MCU, or it returns (app complete).
+	Main(env *Env)
+}
+
+// RunResult summarizes an intermittent execution.
+type RunResult struct {
+	// Completed is true if Main returned normally at least once.
+	Completed bool
+	// Reboots counts power-failure restarts.
+	Reboots int
+	// Faults counts memory-fault wedges.
+	Faults int
+	// Halted is non-empty if a debugger decision stopped the run.
+	Halted string
+	// DeadlineHit is true if the simulation deadline expired mid-run.
+	DeadlineHit bool
+	// SimTime is the total simulated time elapsed.
+	SimTime units.Seconds
+	// Stats is the device's accumulated statistics.
+	Stats Stats
+}
+
+func (r RunResult) String() string {
+	return fmt.Sprintf("run: completed=%v reboots=%d faults=%d halted=%q deadline=%v t=%s",
+		r.Completed, r.Reboots, r.Faults, r.Halted, r.DeadlineHit, r.SimTime)
+}
+
+// ErrNeverPowered is returned when the harvester cannot bring the device to
+// its turn-on threshold.
+var ErrNeverPowered = errors.New("device: harvester never reached turn-on threshold")
+
+// Runner drives a Program through the intermittent execution model:
+// charge → run → brown-out → reboot → charge → …, until a deadline or a
+// terminal condition.
+type Runner struct {
+	D *Device
+	P Program
+
+	// MaxChargeTime bounds one charging phase; if the harvester cannot
+	// reach turn-on within it, the run aborts with ErrNeverPowered.
+	MaxChargeTime units.Seconds
+
+	// OnReboot, if set, is called after each power-failure reboot.
+	OnReboot func(n int)
+}
+
+// NewRunner returns a runner for program p on device d.
+func NewRunner(d *Device, p Program) *Runner {
+	return &Runner{D: d, P: p, MaxChargeTime: units.Seconds(10)}
+}
+
+// Flash loads the program image onto the device.
+func (r *Runner) Flash() error { return r.P.Flash(r.D) }
+
+// RunFor executes the program intermittently for the given simulated
+// duration. The program must already be flashed.
+func (r *Runner) RunFor(d units.Seconds) (RunResult, error) {
+	r.D.SetDeadline(r.D.Clock.Now() + r.D.Clock.ToCycles(d))
+	defer r.D.ClearDeadline()
+	start := r.D.Clock.Time()
+
+	var res RunResult
+	env := &Env{D: r.D}
+
+	for {
+		// Charging phase: wait for turn-on (deadline may fire inside).
+		powered, stop := r.charge(&res)
+		if stop {
+			break
+		}
+		if !powered {
+			res.SimTime = units.Seconds(float64(r.D.Clock.Time()) - float64(start))
+			res.Stats = r.D.Stats()
+			return res, ErrNeverPowered
+		}
+
+		// Execution phase.
+		outcome := r.executeOnce(env)
+		switch o := outcome.(type) {
+		case nil:
+			res.Completed = true
+		case *PowerFailure:
+			res.Reboots++
+			r.D.Reboot()
+			if r.OnReboot != nil {
+				r.OnReboot(res.Reboots)
+			}
+			continue
+		case *MemoryFault:
+			res.Faults++
+			// The MCU is wedged executing garbage: it burns energy at the
+			// active rate until brown-out, then reboots like any power
+			// failure. If the corrupt state persists in FRAM, the next
+			// cycle wedges again — forever, as in §5.3.1.
+			if r.burnUntilBrownout(&res) {
+				break
+			}
+			res.Reboots++
+			r.D.Reboot()
+			if r.OnReboot != nil {
+				r.OnReboot(res.Reboots)
+			}
+			continue
+		case *Halted:
+			res.Halted = o.Reason
+		case *DeadlineReached:
+			res.DeadlineHit = true
+		default:
+			panic(outcome) // real bug in the simulator or firmware harness
+		}
+		break
+	}
+
+	res.SimTime = units.Seconds(float64(r.D.Clock.Time()) - float64(start))
+	res.Stats = r.D.Stats()
+	return res, nil
+}
+
+// charge waits for power-on. It returns stop=true if the deadline fired.
+func (r *Runner) charge(res *RunResult) (powered, stop bool) {
+	if r.D.Supply.State() == energy.PowerOn && r.D.Supply.Voltage() >= r.D.Supply.VBrownOut {
+		return true, false
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(*DeadlineReached); ok {
+				res.DeadlineHit = true
+				powered, stop = false, true
+				return
+			}
+			panic(p)
+		}
+	}()
+	return r.D.IdleCharge(r.MaxChargeTime), false
+}
+
+// executeOnce runs Main, converting terminal panics into outcome values.
+func (r *Runner) executeOnce(env *Env) (outcome any) {
+	defer func() {
+		if p := recover(); p != nil {
+			switch p.(type) {
+			case *PowerFailure, *MemoryFault, *Halted, *DeadlineReached:
+				outcome = p
+			default:
+				panic(p)
+			}
+		}
+	}()
+	r.P.Main(env)
+	return nil
+}
+
+// burnUntilBrownout models a wedged MCU spinning garbage until the supply
+// collapses. Returns true if the deadline fired first.
+func (r *Runner) burnUntilBrownout(res *RunResult) (deadline bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			switch p.(type) {
+			case *PowerFailure:
+				deadline = false
+			case *DeadlineReached:
+				res.DeadlineHit = true
+				deadline = true
+			default:
+				panic(p)
+			}
+		}
+	}()
+	env := &Env{D: r.D}
+	for {
+		env.tick(1024)
+	}
+}

@@ -1,0 +1,105 @@
+package device
+
+import (
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// UART models the target's serial port. Transmitting costs real time (the
+// byte must be clocked out at the configured baud rate) and real energy
+// (the USCI peripheral draws current while enabled) — which is exactly why
+// §2.2 and §5.3.3 find UART-based tracing disruptive on harvested power:
+// the energy cost of each printf changes where in the program the energy
+// runs out.
+type UART struct {
+	d *Device
+
+	// Baud is the line rate in bits per second (default 115200).
+	Baud int
+	// TxCurrent is the extra load while the transmitter is active. The
+	// activity-recognition case study measures a UART printf at ~2.5 % of
+	// the 47 µF store per ~13-character line.
+	TxCurrent units.Amps
+
+	rxq  []byte
+	subs []func(at sim.Cycles, b byte)
+
+	bytesSent uint64
+}
+
+func newUART(d *Device) *UART {
+	return &UART{
+		d:         d,
+		Baud:      115200,
+		TxCurrent: units.MilliAmps(1.4),
+	}
+}
+
+// byteCycles returns the cycles to clock one byte (10 bits: start + 8 data
+// + stop) at the configured baud rate.
+func (u *UART) byteCycles() sim.Cycles {
+	secPerByte := 10.0 / float64(u.Baud)
+	return u.d.Clock.ToCycles(units.Seconds(secPerByte))
+}
+
+// Subscribe registers a listener for transmitted bytes (EDB's monitor or a
+// USB-serial adapter). It returns a remove function.
+func (u *UART) Subscribe(fn func(at sim.Cycles, b byte)) func() {
+	u.subs = append(u.subs, fn)
+	idx := len(u.subs) - 1
+	return func() { u.subs[idx] = nil }
+}
+
+// transmit clocks bytes out, charging time and energy to the firmware
+// context. Each byte is delivered to subscribers when its stop bit lands.
+func (u *UART) transmit(env *Env, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	u.d.SetLoad("uart-tx", u.TxCurrent)
+	defer u.d.SetLoad("uart-tx", 0)
+	cyc := u.byteCycles()
+	for _, b := range data {
+		env.tick(cyc)
+		u.bytesSent++
+		u.d.stats.UARTBytesSent++
+		for _, fn := range u.subs {
+			if fn != nil {
+				fn(u.d.Clock.Now(), b)
+			}
+		}
+	}
+}
+
+// Inject places bytes in the receive queue (used by the debugger's host
+// side and by tests).
+func (u *UART) Inject(data []byte) { u.rxq = append(u.rxq, data...) }
+
+// RxPending returns the number of buffered receive bytes.
+func (u *UART) RxPending() int { return len(u.rxq) }
+
+// receive pops one byte from the receive queue, busy-waiting (burning time
+// and energy) up to maxWait. The second result is false on timeout.
+func (u *UART) receive(env *Env, maxWait sim.Cycles) (byte, bool) {
+	var waited sim.Cycles
+	const pollCycles = 8
+	for len(u.rxq) == 0 {
+		if waited >= maxWait {
+			return 0, false
+		}
+		env.tick(pollCycles)
+		waited += pollCycles
+	}
+	b := u.rxq[0]
+	u.rxq = u.rxq[1:]
+	env.tick(u.byteCycles())
+	return b, true
+}
+
+// BytesSent returns the number of bytes transmitted since reset.
+func (u *UART) BytesSent() uint64 { return u.bytesSent }
+
+func (u *UART) reset() {
+	u.rxq = nil
+	u.d.SetLoad("uart-tx", 0)
+}

@@ -1,0 +1,96 @@
+package edb
+
+import (
+	"repro/internal/energy"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Breakpoints (§3.3.1). EDB implements three types:
+//
+//   - A code breakpoint triggers when a marked code point executes.
+//   - An energy breakpoint triggers when the target's energy level falls
+//     to or below a threshold, regardless of code position (EDB interrupts
+//     the target over the interrupt wire).
+//   - A combined breakpoint triggers when a marked code point executes
+//     while the energy level is at or below a threshold — "precisely in
+//     problematic iterations when more energy was consumed than expected
+//     or when the device is about to brown out."
+
+// Breakpoint is a code or combined breakpoint.
+type Breakpoint struct {
+	ID      int
+	Enabled bool
+	// Energy, when non-zero, makes this a combined breakpoint: it only
+	// triggers when EDB's latest Vcap reading is at or below this level.
+	Energy units.Volts
+}
+
+// EnergyBreakpoint triggers on energy level alone.
+type EnergyBreakpoint struct {
+	Threshold units.Volts
+	Enabled   bool
+
+	armed bool // re-arms when the level rises back above threshold
+}
+
+// EnableBreak enables (or disables) code breakpoint id; a non-zero energy
+// threshold makes it a combined breakpoint. Mirrors the console command
+// `break en|dis id [energy level]`.
+func (e *EDB) EnableBreak(id int, on bool, energyLevel units.Volts) {
+	b, ok := e.breaks[id]
+	if !ok {
+		b = &Breakpoint{ID: id}
+		e.breaks[id] = b
+	}
+	b.Enabled = on
+	b.Energy = energyLevel
+}
+
+// AddEnergyBreakpoint arms an energy breakpoint at the given threshold and
+// returns it.
+func (e *EDB) AddEnergyBreakpoint(threshold units.Volts) *EnergyBreakpoint {
+	bp := &EnergyBreakpoint{Threshold: threshold, Enabled: true, armed: true}
+	e.energyBreaks = append(e.energyBreaks, bp)
+	return bp
+}
+
+// BreakpointEnabled implements device.Debugger: the target's libEDB checks
+// it before trapping at a marked breakpoint. For combined breakpoints the
+// energy condition is evaluated against EDB's most recent ADC sample.
+func (e *EDB) BreakpointEnabled(id int) bool {
+	b, ok := e.breaks[id]
+	if !ok || !b.Enabled {
+		return false
+	}
+	if b.Energy > 0 && e.lastReading > b.Energy {
+		return false
+	}
+	return true
+}
+
+// checkEnergyBreakpoints runs inside the passive sampler: when an armed
+// energy breakpoint's threshold is crossed from above while the target is
+// executing, EDB asserts the interrupt wire; the target's libEDB ISR opens
+// the interactive session.
+func (e *EDB) checkEnergyBreakpoints(reading units.Volts) {
+	for _, bp := range e.energyBreaks {
+		if !bp.Enabled {
+			continue
+		}
+		if !bp.armed {
+			// Re-arm with hysteresis once the level recovers.
+			if reading > bp.Threshold+units.MilliVolts(50) {
+				bp.armed = true
+			}
+			continue
+		}
+		if reading <= bp.Threshold && e.activeDepth == 0 &&
+			e.target.Supply.State() == energy.PowerOn && !e.target.Supply.Tethered() {
+			bp.armed = false
+			e.events.Add(trace.Event{At: e.target.Clock.Now(), Kind: "energy-break",
+				Text: bp.Threshold.String()})
+			e.target.RaiseInterrupt()
+		}
+	}
+}

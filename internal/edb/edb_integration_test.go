@@ -1,0 +1,193 @@
+package edb_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/memsim"
+	"repro/internal/units"
+)
+
+// newRig builds a WISP-like device with EDB attached and the given program
+// flashed. EDB must attach before Flash so libEDB registers its service.
+func newRig(t *testing.T, p device.Program, seed int64) (*device.Device, *edb.EDB, *device.Runner) {
+	t.Helper()
+	h := energy.NewRFHarvester()
+	d := device.NewWISP5(h, seed)
+	e := edb.New(edb.DefaultConfig())
+	e.Attach(d)
+	r := device.NewRunner(d, p)
+	if err := r.Flash(); err != nil {
+		t.Fatalf("flash: %v", err)
+	}
+	return d, e, r
+}
+
+// TestAssertKeepAlive reproduces §5.3.1: the linked-list app with the
+// keep-alive assertion. When intermittence corrupts the tail invariant,
+// the assertion fails, EDB tethers the target, and (without a handler) the
+// run halts with the device held alive — instead of wedging on a wild
+// pointer.
+func TestAssertKeepAlive(t *testing.T) {
+	app := &apps.LinkedList{WithAssert: true}
+	d, e, r := newRig(t, app, 42)
+
+	res, err := r.RunFor(units.Seconds(30))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	t.Logf("%v iterations=%d", res, app.Iterations(d))
+	if res.Faults != 0 {
+		t.Fatalf("assert should catch corruption before the wild write; got %d faults", res.Faults)
+	}
+	if !strings.Contains(res.Halted, "assert") {
+		t.Fatalf("expected halt on assert, got %+v", res)
+	}
+	// Keep-alive: target must still be tethered at the failure.
+	if !d.Supply.Tethered() {
+		t.Fatal("keep-alive assert must leave the target tethered")
+	}
+	if got := e.Stats().Asserts; got != 1 {
+		t.Fatalf("want 1 assert event, got %d", got)
+	}
+	// One of the list invariants really is broken (that is what the
+	// assert saw): either tail->next != NULL (interrupted append) or the
+	// head linkage is broken (interrupted remove).
+	if app.ConsistentTail(d) && consistentHead(d, app) {
+		t.Fatal("assert fired but both invariants look consistent")
+	}
+}
+
+// consistentHead checks first != NULL && first.prev == sentinel by direct
+// inspection.
+func consistentHead(d *device.Device, app *apps.LinkedList) bool {
+	hdr := app.HeaderAddr()
+	sentinel, err := d.Mem.ReadWord(hdr)
+	if err != nil {
+		return false
+	}
+	first, err := d.Mem.ReadWord(memsim.Addr(sentinel))
+	if err != nil || first == 0 {
+		return false
+	}
+	prev, err := d.Mem.ReadWord(memsim.Addr(first) + 2)
+	return err == nil && prev == sentinel
+}
+
+// TestInteractiveSession reproduces the diagnosis flow of Fig. 6: an
+// interactive handler inspects the list through real debugwire round trips
+// and finds tail->next != NULL.
+func TestInteractiveSession(t *testing.T) {
+	app := &apps.LinkedList{WithAssert: true}
+	d, e, r := newRig(t, app, 42)
+
+	var sawReason string
+	var corrupted bool
+	var readErr error
+	e.OnInteractive(func(s *edb.Session) {
+		sawReason = s.Reason
+		hdr := app.HeaderAddr()
+		read := func(a memsim.Addr) uint16 {
+			v, err := s.ReadWord(a)
+			if err != nil && readErr == nil {
+				readErr = err
+			}
+			return v
+		}
+		sentinel := read(hdr)
+		tail := read(hdr + 2)
+		tailNext := read(memsim.Addr(tail))
+		first := read(memsim.Addr(sentinel))
+		var firstPrev uint16
+		if first != 0 {
+			firstPrev = read(memsim.Addr(first) + 2)
+		}
+		corrupted = tailNext != 0 || first == 0 || firstPrev != sentinel
+		s.Halt()
+	})
+
+	res, err := r.RunFor(units.Seconds(30))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Halted == "" {
+		t.Fatalf("expected halted run, got %+v", res)
+	}
+	if readErr != nil {
+		t.Fatalf("session read: %v", readErr)
+	}
+	if !strings.Contains(sawReason, "assert") {
+		t.Fatalf("session reason = %q", sawReason)
+	}
+	if !corrupted {
+		t.Fatal("diagnosis should find a broken list invariant over the debug wire")
+	}
+	_ = d
+}
+
+// TestEnergyGuards reproduces §5.3.2's fix: the fib app's debug build with
+// guards makes progress far past the unguarded hang point, because the
+// consistency check runs on tethered power.
+func TestEnergyGuards(t *testing.T) {
+	guarded := &apps.Fib{DebugBuild: true, UseGuards: true, MaxNodes: 900}
+	d, e, r := newRig(t, guarded, 7)
+	res, err := r.RunFor(units.Seconds(60))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	count := guarded.Count(d)
+	t.Logf("guarded: %v count=%d guards=%d", res, count, e.Stats().Guards)
+	if e.Stats().Guards == 0 {
+		t.Fatal("no energy guards opened")
+	}
+	if count < 700 {
+		t.Fatalf("guarded debug build should keep making progress; count=%d", count)
+	}
+
+	// Save/restore must have happened for each guard pair, leaving only a
+	// tiny energy discrepancy.
+	srs := e.SaveRestoreSamples()
+	if len(srs) == 0 {
+		t.Fatal("no save/restore samples recorded")
+	}
+	for _, sr := range srs[:min(5, len(srs))] {
+		dv := float64(sr.RestoredTrue - sr.SavedTrue)
+		if dv < -0.05 || dv > 0.1 {
+			t.Fatalf("guard restore discrepancy too large: %+v", sr)
+		}
+	}
+}
+
+// TestEDBPrintf checks the energy-interference-free printf: text reaches
+// the console, and the energy state is compensated.
+func TestEDBPrintf(t *testing.T) {
+	app := &apps.Activity{Print: apps.EDBPrint}
+	d, e, r := newRig(t, app, 9)
+	res, err := r.RunFor(units.Seconds(3))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	st := app.Stats(d)
+	t.Logf("%v stats=%+v printfs=%d", res, st, e.Stats().Printfs)
+	if e.Stats().Printfs == 0 {
+		t.Fatal("no EDB printfs recorded")
+	}
+	out := e.PrintfOutput()
+	if !strings.Contains(out, "c=") {
+		t.Fatalf("printf output missing: %q", out[:min(len(out), 80)])
+	}
+	if st.Completed == 0 {
+		t.Fatal("app made no progress")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

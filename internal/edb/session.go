@@ -1,0 +1,144 @@
+package edb
+
+import (
+	"fmt"
+
+	"repro/internal/debugwire"
+	"repro/internal/device"
+	"repro/internal/memsim"
+	"repro/internal/trace"
+)
+
+// Session is an interactive debugging session (§3.3.4): full access to view
+// and modify the target's memory while the target sits in its debug service
+// loop on tethered power. Every read and write really crosses the simulated
+// UART as debugwire frames; the target-side service loop (libEDB) decodes
+// and executes them.
+type Session struct {
+	e      *EDB
+	env    *device.Env
+	Reason string
+	halted bool
+}
+
+// ReadWord reads a 16-bit word from target memory over the debug protocol.
+func (s *Session) ReadWord(a memsim.Addr) (uint16, error) {
+	f, err := s.roundTrip(debugwire.EncodeWord(debugwire.CmdReadWord, uint16(a)))
+	if err != nil {
+		return 0, err
+	}
+	if f.Cmd != debugwire.RspData {
+		return 0, fmt.Errorf("edb: unexpected response %#02x to read", f.Cmd)
+	}
+	return f.Word(0)
+}
+
+// WriteWord writes a 16-bit word into target memory over the debug protocol.
+func (s *Session) WriteWord(a memsim.Addr, v uint16) error {
+	f, err := s.roundTrip(debugwire.EncodeWords(debugwire.CmdWriteWord, uint16(a), v))
+	if err != nil {
+		return err
+	}
+	if f.Cmd != debugwire.RspAck {
+		return fmt.Errorf("edb: unexpected response %#02x to write", f.Cmd)
+	}
+	return nil
+}
+
+// WriteBlock writes bytes into target memory over the debug protocol.
+func (s *Session) WriteBlock(a memsim.Addr, data []byte) error {
+	if len(data) > debugwire.MaxPayload-2 {
+		return fmt.Errorf("edb: block write of %d exceeds frame limit", len(data))
+	}
+	payload := make([]byte, 2+len(data))
+	payload[0], payload[1] = byte(a), byte(a>>8)
+	copy(payload[2:], data)
+	f, err := s.roundTrip(debugwire.MustEncode(debugwire.CmdWriteBlock, payload))
+	if err != nil {
+		return err
+	}
+	if f.Cmd != debugwire.RspAck {
+		return fmt.Errorf("edb: unexpected response %#02x to block write", f.Cmd)
+	}
+	return nil
+}
+
+// ReadBlock reads n bytes from target memory.
+func (s *Session) ReadBlock(a memsim.Addr, n int) ([]byte, error) {
+	if n > debugwire.MaxPayload {
+		return nil, fmt.Errorf("edb: block read of %d exceeds frame limit", n)
+	}
+	f, err := s.roundTrip(debugwire.EncodeWords(debugwire.CmdReadBlock, uint16(a), uint16(n)))
+	if err != nil {
+		return nil, err
+	}
+	if f.Cmd != debugwire.RspData {
+		return nil, fmt.Errorf("edb: unexpected response %#02x to block read", f.Cmd)
+	}
+	return f.Payload, nil
+}
+
+// Voltage returns EDB's present ADC reading of the target capacitor.
+func (s *Session) Voltage() float64 {
+	return float64(s.e.adc.Read(s.e.target.Supply.Voltage()))
+}
+
+// EnableBreak enables/disables a code breakpoint from inside the session
+// (console `break en|dis id [energy]`).
+func (s *Session) EnableBreak(id int, on bool) { s.e.EnableBreak(id, on, 0) }
+
+// Halt marks the session terminal: the target stays tethered (keep-alive)
+// and the run stops when the handler returns.
+func (s *Session) Halt() { s.halted = true }
+
+// roundTrip injects a command frame into the target's UART RX, runs the
+// target's debug service loop until a response frame emerges, and returns
+// it.
+func (s *Session) roundTrip(frame []byte) (debugwire.Frame, error) {
+	e := s.e
+	if e.service == nil {
+		return debugwire.Frame{}, fmt.Errorf("edb: no target service registered (libEDB not initialized)")
+	}
+	e.target.UART.Inject(frame)
+	// The target's service loop consumes the frame and transmits the
+	// response; each service step costs tethered target cycles. Bound the
+	// wait so a broken service cannot hang the simulation.
+	for i := 0; i < 10000; i++ {
+		if len(e.respQueue) > 0 {
+			f := e.respQueue[0]
+			e.respQueue = e.respQueue[1:]
+			return f, nil
+		}
+		if !e.service(s.env) {
+			break
+		}
+	}
+	if len(e.respQueue) > 0 {
+		f := e.respQueue[0]
+		e.respQueue = e.respQueue[1:]
+		return f, nil
+	}
+	return debugwire.Frame{}, fmt.Errorf("edb: target did not respond to command %#02x", frame[1])
+}
+
+// drainFrames dispatches completed frames from the UART capture: printf and
+// assert announcements are handled immediately; data/ack responses queue
+// for the session's round-trip.
+func (e *EDB) drainFrames() {
+	for {
+		f, ok := e.acc.Next()
+		if !ok {
+			return
+		}
+		switch f.Cmd {
+		case debugwire.RspPrintf:
+			e.handlePrintf(e.target.Clock.Now(), string(f.Payload))
+		case debugwire.RspAssert:
+			id, _ := f.Word(0)
+			e.events.Add(trace.Event{At: e.target.Clock.Now(), Kind: "assert", Arg: int(id)})
+			e.notifyConsole(fmt.Sprintf("[edb] assertion %d FAILED — target tethered", id))
+		default:
+			e.respQueue = append(e.respQueue, f)
+		}
+	}
+}

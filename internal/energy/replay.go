@@ -1,0 +1,166 @@
+package energy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Recording and replay of energy environments, in the spirit of Ekho
+// (Hester et al., SenSys'14), which the paper's §6.1 positions as
+// complementary to EDB: Ekho records the energy a harvesting circuit
+// delivers and reproduces the trace as power input, making problematic
+// intermittent behavior repeatable; EDB then provides the visibility to
+// diagnose it. This file implements both halves in simulation: a Recorder
+// samples a live harvester's delivered current against the store's
+// voltage trajectory, and a ReplayHarvester plays the recorded trace back
+// bit-for-bit, independent of the original source's randomness.
+
+// HarvestSample is one point of a recorded energy environment.
+type HarvestSample struct {
+	T units.Seconds
+	I units.Amps
+}
+
+// HarvestTrace is a recorded energy environment.
+type HarvestTrace struct {
+	Name    string
+	Samples []HarvestSample
+}
+
+// Duration returns the trace length.
+func (tr *HarvestTrace) Duration() units.Seconds {
+	if len(tr.Samples) == 0 {
+		return 0
+	}
+	return tr.Samples[len(tr.Samples)-1].T
+}
+
+// At returns the recorded current at time t (zero-order hold; t past the
+// end wraps around, so short recordings can power long replays).
+func (tr *HarvestTrace) At(t units.Seconds) units.Amps {
+	n := len(tr.Samples)
+	if n == 0 {
+		return 0
+	}
+	d := tr.Duration()
+	if d > 0 && t > d {
+		t = units.Seconds(float64(t) - float64(d)*float64(int(float64(t)/float64(d))))
+	}
+	i := sort.Search(n, func(k int) bool { return tr.Samples[k].T > t })
+	if i == 0 {
+		return tr.Samples[0].I
+	}
+	return tr.Samples[i-1].I
+}
+
+// WriteTo serializes the trace as "t_seconds,amps" CSV.
+func (tr *HarvestTrace) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	k, err := fmt.Fprintf(w, "# harvest trace %q\nt_seconds,amps\n", tr.Name)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	for _, s := range tr.Samples {
+		k, err := fmt.Fprintf(w, "%.9f,%.9e\n", float64(s.T), float64(s.I))
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// ReadHarvestTrace parses the CSV form written by WriteTo.
+func ReadHarvestTrace(r io.Reader) (*HarvestTrace, error) {
+	sc := bufio.NewScanner(r)
+	tr := &HarvestTrace{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "t_seconds") {
+			continue
+		}
+		var t, i float64
+		if _, err := fmt.Sscanf(text, "%g,%g", &t, &i); err != nil {
+			return nil, fmt.Errorf("energy: trace line %d: %w", line, err)
+		}
+		tr.Samples = append(tr.Samples, HarvestSample{T: units.Seconds(t), I: units.Amps(i)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Recorder wraps a live harvester and records the current it delivers.
+// It implements Harvester, so it drops into a Supply transparently; the
+// caller advances RecordAt as simulated time passes (the Supply queries
+// Current once per integration step, and the Recorder timestamps each
+// query with the clock function provided).
+type Recorder struct {
+	Source Harvester
+	// Now returns the present simulated time (wired to a sim.Clock).
+	Now func() units.Seconds
+	// MinInterval limits the recording density (default: keep everything).
+	MinInterval units.Seconds
+
+	trace HarvestTrace
+	last  units.Seconds
+	first bool
+}
+
+// NewRecorder wraps source, timestamping with now.
+func NewRecorder(source Harvester, now func() units.Seconds) *Recorder {
+	return &Recorder{Source: source, Now: now, trace: HarvestTrace{Name: source.Name()}}
+}
+
+// Current implements Harvester: sample the source and record it.
+func (r *Recorder) Current(v units.Volts) units.Amps {
+	i := r.Source.Current(v)
+	t := r.Now()
+	if !r.first || float64(t-r.last) >= float64(r.MinInterval) {
+		r.trace.Samples = append(r.trace.Samples, HarvestSample{T: t, I: i})
+		r.last = t
+		r.first = true
+	}
+	return i
+}
+
+// Name implements Harvester.
+func (r *Recorder) Name() string { return "record(" + r.Source.Name() + ")" }
+
+// Trace returns the recording so far.
+func (r *Recorder) Trace() *HarvestTrace {
+	cp := r.trace
+	cp.Samples = append([]HarvestSample(nil), r.trace.Samples...)
+	return &cp
+}
+
+// ReplayHarvester plays a recorded trace back: the delivered current is a
+// pure function of simulated time, so a problematic run reproduces exactly
+// regardless of what the device does — Ekho's "realistic and repeatable
+// experimentation".
+type ReplayHarvester struct {
+	Trace *HarvestTrace
+	// Now returns the present simulated time.
+	Now func() units.Seconds
+}
+
+// Current implements Harvester.
+func (r *ReplayHarvester) Current(v units.Volts) units.Amps {
+	// The recorded current already embeds the source's V-dependence along
+	// the recorded trajectory; replay reproduces the power environment,
+	// not the I–V surface (Ekho records I–V surfaces from hardware; the
+	// simulation's surface is the source model itself).
+	return r.Trace.At(r.Now())
+}
+
+// Name implements Harvester.
+func (r *ReplayHarvester) Name() string { return "replay(" + r.Trace.Name + ")" }

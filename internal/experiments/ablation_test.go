@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblateRestoreMarginMonotone(t *testing.T) {
+	r, err := RunAblateRestoreMargin(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) < 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Mean ΔV tracks the requested margin (the loop actually controls).
+	for _, p := range r.Points {
+		lo, hi := 0.6*float64(p.Margin)-0.002, 1.4*float64(p.Margin)+0.003
+		if float64(p.MeanDV) < lo || float64(p.MeanDV) > hi {
+			t.Fatalf("margin %v produced mean dV %v", p.Margin, p.MeanDV)
+		}
+	}
+	// The default band (52 mV) must never undershoot.
+	for _, p := range r.Points {
+		if float64(p.Margin) >= 0.05 && p.Undershoots != 0 {
+			t.Fatalf("default-class margin %v undershot %d times", p.Margin, p.Undershoots)
+		}
+	}
+	if !strings.Contains(r.Format(), "guard band") {
+		t.Fatal("format")
+	}
+}
+
+func TestAblateSamplePeriodMonotone(t *testing.T) {
+	r, err := RunAblateSamplePeriod(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) < 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.Hits == 0 {
+			t.Fatalf("period %v never triggered", p.Period)
+		}
+	}
+	// Slower sampling → later detection (allow slack for noise, compare
+	// the fastest against the slowest).
+	first := float64(r.Points[0].TriggerBelow)
+	last := float64(r.Points[len(r.Points)-1].TriggerBelow)
+	if last <= first {
+		t.Fatalf("trigger lag must grow with period: %v vs %v", first, last)
+	}
+	if !strings.Contains(r.Format(), "sampler period") {
+		t.Fatal("format")
+	}
+}

@@ -1,0 +1,390 @@
+// Tests in this file assert the *shape criteria* of DESIGN.md §3: each
+// experiment must reproduce the qualitative structure of the paper's
+// result (who wins, by roughly what factor, where behavior changes), not
+// its absolute numbers.
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+func TestTable2Shape(t *testing.T) {
+	r := RunTable2(DefaultTable2Config())
+	if len(r.Rows) != 2+2*9 { // 2 analog rows + 9 digital connections × 2 states
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Headline: total worst case < 1 µA, well under 1 % of active current.
+	if r.TotalWorstCase >= units.MicroAmps(1) {
+		t.Fatalf("total worst case = %v", r.TotalWorstCase)
+	}
+	if r.ActiveFraction >= 0.01 {
+		t.Fatalf("interference fraction = %v", r.ActiveFraction)
+	}
+	// Structure: target-driven high-state lines dominate; analog and I2C
+	// are sub-nA.
+	byName := map[string]Table2Row{}
+	for _, row := range r.Rows {
+		byName[row.Connection+"/"+row.State] = row
+	}
+	for _, name := range []string{"Code marker", "UART RX", "UART TX", "RF RX", "RF TX", "Target->Debugger comm."} {
+		hi := byName[name+"/high"]
+		if float64(hi.Stats.Avg) < 30e-9 || float64(hi.Stats.Avg) > 120e-9 {
+			t.Fatalf("%s high avg = %v", name, hi.Stats.Avg)
+		}
+	}
+	for _, name := range []string{"I2C SCL/high", "I2C SDA/high", "Debugger->Target comm./high"} {
+		if row := byName[name]; float64(row.Stats.Avg) > 1e-9 {
+			t.Fatalf("%s avg = %v, want sub-nA", name, row.Stats.Avg)
+		}
+	}
+	out := r.Format()
+	if !strings.Contains(out, "Worst-Case Total Current") {
+		t.Fatal("format missing total")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	cfg := DefaultTable3Config()
+	cfg.Trials = 20
+	r, err := RunTable3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Trials < cfg.Trials {
+		t.Fatalf("completed trials = %d", r.Trials)
+	}
+	sv := trace.Summarize(r.DVScope)
+	// ΔV: positive (restore lands above saved, never pushing toward
+	// brown-out), tens of mV (the prototype's 54 mV class), spread well
+	// under the mean.
+	if sv.Mean < 0.02 || sv.Mean > 0.09 {
+		t.Fatalf("scope dV mean = %v", sv.Mean)
+	}
+	if sv.Min < 0 {
+		t.Fatalf("restore must never land below the saved level: min=%v", sv.Min)
+	}
+	if sv.SD > sv.Mean {
+		t.Fatalf("dV spread too wide: %+v", sv)
+	}
+	// ΔE%: a few percent of the 47 µF store (paper: 4.34 %).
+	ps := trace.Summarize(r.DEPctScope)
+	if ps.Mean < 1 || ps.Mean > 8 {
+		t.Fatalf("dE%% mean = %v", ps.Mean)
+	}
+	// The ADC view agrees with the scope to within its resolution class.
+	sa := trace.Summarize(r.DVADC)
+	if diff := sv.Mean - sa.Mean; diff > 0.005 || diff < -0.005 {
+		t.Fatalf("ADC and scope disagree: %v vs %v", sa.Mean, sv.Mean)
+	}
+	if !strings.Contains(r.Format(), "Table 3") {
+		t.Fatal("format")
+	}
+}
+
+func TestTable4AndFig11Shape(t *testing.T) {
+	cfg := DefaultPrintCostConfig()
+	cfg.Duration = 20
+	r, err := RunPrintCost(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Modes) != 3 {
+		t.Fatalf("modes = %d", len(r.Modes))
+	}
+	no, uart, edbp := r.Modes[0], r.Modes[1], r.Modes[2]
+
+	// Success-rate ordering: no-print >= EDB printf > UART printf.
+	if !(no.SuccessRate >= edbp.SuccessRate-0.03) {
+		t.Fatalf("success: no=%v edb=%v", no.SuccessRate, edbp.SuccessRate)
+	}
+	if !(edbp.SuccessRate > uart.SuccessRate) {
+		t.Fatalf("success: edb=%v uart=%v", edbp.SuccessRate, uart.SuccessRate)
+	}
+	// Energy: UART print costs percent-scale energy; EDB print costs an
+	// order of magnitude less.
+	if uart.PrintEnergyPct < 1 {
+		t.Fatalf("uart print energy = %v%%", uart.PrintEnergyPct)
+	}
+	if edbp.PrintEnergyPct > uart.PrintEnergyPct/5 {
+		t.Fatalf("edb print energy %v%% not << uart %v%%", edbp.PrintEnergyPct, uart.PrintEnergyPct)
+	}
+	// Time: EDB printf costs more wall-clock than UART (save/restore
+	// bracketing), as in the paper (3.1 ms vs 1.1 ms).
+	if edbp.PrintTimeMs <= uart.PrintTimeMs {
+		t.Fatalf("edb print time %v must exceed uart %v", edbp.PrintTimeMs, uart.PrintTimeMs)
+	}
+	// Iteration energy: EDB build within noise of the bare build; UART
+	// build substantially higher (Fig. 11's CDF separation).
+	if mean(edbp.IterEnergyPct) > 1.3*mean(no.IterEnergyPct) {
+		t.Fatalf("edb iteration energy %v strays from baseline %v",
+			mean(edbp.IterEnergyPct), mean(no.IterEnergyPct))
+	}
+	if mean(uart.IterEnergyPct) < 1.5*mean(no.IterEnergyPct) {
+		t.Fatalf("uart iteration energy %v not separated from baseline %v",
+			mean(uart.IterEnergyPct), mean(no.IterEnergyPct))
+	}
+
+	fig := Fig11FromTable4(r)
+	if len(fig.CDFs) != 3 {
+		t.Fatal("fig11 cdfs")
+	}
+	// Median ordering matches the figure.
+	if !(fig.CDFs[0].Quantile(0.5) < fig.CDFs[1].Quantile(0.5)) {
+		t.Fatal("no-print median must sit left of uart median")
+	}
+	if !strings.Contains(fig.Format(), "CDF") || !strings.Contains(r.Format(), "Table 4") {
+		t.Fatal("formats")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	noAssert, err := RunFig7(Fig7Config{Duration: 12, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top panel: the main loop runs early, then stops forever.
+	if noAssert.EarlyRate < 100 {
+		t.Fatalf("early rate = %v", noAssert.EarlyRate)
+	}
+	if noAssert.LateRate > noAssert.EarlyRate/50 {
+		t.Fatalf("late rate %v must collapse from early %v", noAssert.LateRate, noAssert.EarlyRate)
+	}
+	if noAssert.Result.Faults == 0 || !noAssert.CorruptionFound {
+		t.Fatalf("bug must manifest: %+v", noAssert.Result)
+	}
+
+	withAssert, err := RunFig7(Fig7Config{Duration: 12, Seed: 42, WithAssert: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bottom panel: assert catches the corruption before the wild write;
+	// the device ends tethered at the rail.
+	if withAssert.Result.Faults != 0 {
+		t.Fatalf("assert build must not fault: %+v", withAssert.Result)
+	}
+	if !strings.Contains(withAssert.Result.Halted, "assert") {
+		t.Fatalf("halted = %q", withAssert.Result.Halted)
+	}
+	if !withAssert.TetheredAtEnd || withAssert.VcapAtEnd < 2.8 {
+		t.Fatalf("keep-alive: tethered=%v v=%v", withAssert.TetheredAtEnd, withAssert.VcapAtEnd)
+	}
+	if !strings.Contains(noAssert.Format(), "Figure 7") {
+		t.Fatal("format")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	unguarded, err := RunFig9(Fig9Config{Duration: 15, Seed: 7, MaxNodes: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unguarded: progress collapses once the check eats the budget.
+	if unguarded.EarlyRate < 20 {
+		t.Fatalf("unguarded early rate = %v", unguarded.EarlyRate)
+	}
+	if unguarded.LateRate > unguarded.EarlyRate/10 {
+		t.Fatalf("unguarded late rate %v must collapse from %v",
+			unguarded.LateRate, unguarded.EarlyRate)
+	}
+
+	guarded, err := RunFig9(Fig9Config{Duration: 15, Seed: 7, MaxNodes: 4000, UseGuards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded.Guards == 0 {
+		t.Fatal("guards must engage")
+	}
+	// Guarded: strictly more progress, and the check itself keeps running
+	// at lengths far past the unguarded hang point.
+	if guarded.Count < 2*unguarded.Count {
+		t.Fatalf("guarded count %d vs unguarded %d", guarded.Count, unguarded.Count)
+	}
+	if !strings.Contains(guarded.Format(), "Figure 9") {
+		t.Fatal("format")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	cfg := DefaultFig12Config()
+	cfg.Duration = 10
+	r, err := RunFig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tag responds to most but not all queries (the paper's 86 %).
+	if r.ResponseRate < 0.5 || r.ResponseRate > 0.999 {
+		t.Fatalf("response rate = %v", r.ResponseRate)
+	}
+	if r.RepliesPerSecond < 5 || r.RepliesPerSecond > 25 {
+		t.Fatalf("replies/s = %v", r.RepliesPerSecond)
+	}
+	// EDB classified both directions, including corrupted frames the
+	// firmware could not decode.
+	if len(r.Messages) == 0 || r.CorruptSeen == 0 {
+		t.Fatalf("messages=%d corrupt=%d", len(r.Messages), r.CorruptSeen)
+	}
+	// EDB's external decode agrees with the firmware's own corrupt count.
+	if r.CorruptSeen < r.Firmware.Corrupt {
+		t.Fatalf("external decode %d must see at least the firmware's %d",
+			r.CorruptSeen, r.Firmware.Corrupt)
+	}
+	if !strings.Contains(r.Format(), "Figure 12") {
+		t.Fatal("format")
+	}
+}
+
+func TestSec531Transcript(t *testing.T) {
+	r, err := RunSec531(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.InvariantBroken {
+		t.Fatal("diagnosis must find the corruption")
+	}
+	for _, want := range []string{"(edb) vcap", "(edb) read", "diagnosis:", "halt"} {
+		if !strings.Contains(r.Transcript, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, r.Transcript)
+		}
+	}
+	if r.AssertID == 0 {
+		t.Fatal("assert id must parse")
+	}
+}
+
+func TestSec532HangPoint(t *testing.T) {
+	r, err := RunSec532(25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ProgressStopped {
+		t.Fatal("unguarded debug build must hang")
+	}
+	// The hang point lands in the several-hundred range (prototype: ~555)
+	// and within 2× of the energy model's prediction.
+	if r.HangCount < 250 || r.HangCount > 1100 {
+		t.Fatalf("hang count = %d", r.HangCount)
+	}
+	ratio := float64(r.HangCount) / float64(r.PredictedHang)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("measured %d vs predicted %d", r.HangCount, r.PredictedHang)
+	}
+	if !strings.Contains(r.Format(), "hang point") {
+		t.Fatal("format")
+	}
+}
+
+func TestPrintModesEnumerate(t *testing.T) {
+	r, err := RunPrintCost(PrintCostConfig{Duration: 5, Distance: 1.4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []apps.PrintMode{apps.NoPrint, apps.UARTPrint, apps.EDBPrint}
+	for i, m := range r.Modes {
+		if m.Mode != want[i] {
+			t.Fatalf("mode %d = %v", i, m.Mode)
+		}
+		if m.Iterations == 0 {
+			t.Fatalf("mode %v made no progress", m.Mode)
+		}
+	}
+}
+
+func TestRangeSweepShape(t *testing.T) {
+	r, err := RunRangeSweep(5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) < 5 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Harvest power decreases monotonically with distance (Friis).
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].HarvestPower >= r.Points[i-1].HarvestPower {
+			t.Fatalf("harvest power must fall with distance: %+v", r.Points)
+		}
+	}
+	// Near points respond nearly always; the far end collapses.
+	near, far := r.Points[0], r.Points[len(r.Points)-1]
+	if near.ResponseRate < 0.85 {
+		t.Fatalf("near response = %v", near.ResponseRate)
+	}
+	if far.ResponseRate > 0.6*near.ResponseRate {
+		t.Fatalf("far response %v must collapse from near %v", far.ResponseRate, near.ResponseRate)
+	}
+	if !strings.Contains(r.Format(), "operating curve") {
+		t.Fatal("format")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r, err := RunFig2(3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "tens to hundreds of times per second" — our WISP profile cycles
+	// around 10 Hz.
+	if r.CyclesPerSecond < 3 || r.CyclesPerSecond > 100 {
+		t.Fatalf("cycle rate = %v", r.CyclesPerSecond)
+	}
+	if r.ActiveFraction <= 0.1 || r.ActiveFraction >= 0.9 {
+		t.Fatalf("active duty = %v", r.ActiveFraction)
+	}
+	// The sawtooth spans the comparator thresholds.
+	if r.Vcap.Min() > 1.85 || r.Vcap.Max() < 2.35 {
+		t.Fatalf("sawtooth range [%v, %v]", r.Vcap.Min(), r.Vcap.Max())
+	}
+	// Vreg sags below its 2.0 V setpoint through failures.
+	if r.Vreg.Min() > 1.9 {
+		t.Fatalf("vreg min = %v, must sag below the setpoint", r.Vreg.Min())
+	}
+	if !strings.Contains(r.Format(), "Figure 2B") {
+		t.Fatal("format")
+	}
+}
+
+func TestBaselinesShape(t *testing.T) {
+	r, err := RunBaselines(12, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTool := map[string]BaselineRow{}
+	for _, row := range r.Rows {
+		byTool[row.Tool] = row
+	}
+	if !byTool["none"].BugManifested {
+		t.Fatal("unobserved run must hit the bug")
+	}
+	if byTool["jtag"].BugManifested {
+		t.Fatal("JTAG must mask the bug")
+	}
+	if !byTool["jtag (isolated)"].BugManifested {
+		t.Fatal("isolated JTAG must not mask the bug")
+	}
+	edbRow := byTool["edb"]
+	if !edbRow.BugManifested || !edbRow.RootCauseVisible {
+		t.Fatalf("EDB must both observe and expose: %+v", edbRow)
+	}
+	// EDB's interference is orders of magnitude under the LED's and the
+	// JTAG rail.
+	if abs64(float64(edbRow.Interference)) > 1e-6 {
+		t.Fatalf("EDB interference = %v", edbRow.Interference)
+	}
+	if abs64(float64(byTool["led tracing"].Interference)) < 1e-3 {
+		t.Fatal("LED interference must be mA-scale")
+	}
+	if !strings.Contains(r.Format(), "tool") {
+		t.Fatal("format")
+	}
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Fig7Config parameterizes the §5.3.1 memory-corruption case study.
+type Fig7Config struct {
+	WithAssert bool
+	Duration   units.Seconds
+	Seed       int64
+}
+
+// DefaultFig7Config runs 15 simulated seconds.
+func DefaultFig7Config() Fig7Config { return Fig7Config{Duration: 15, Seed: 42} }
+
+// Fig7Result reproduces Figure 7: the oscilloscope trace of the
+// memory-corrupting intermittence bug, without (top) and with (bottom) the
+// intermittence-aware assert.
+type Fig7Result struct {
+	WithAssert bool
+	Vcap       *trace.Series
+	Clock      *sim.Clock
+	// FirstOn is when the device first reached the turn-on threshold.
+	FirstOn sim.Cycles
+	// EarlyRate and LateRate are completed main-loop iterations per
+	// second in the first and last fifth of the powered run — the
+	// paper's "main loop runs at first (left) but mysteriously stops in
+	// later discharge cycles (right)".
+	EarlyRate, LateRate float64
+	// Result summarizes the intermittent run.
+	Result device.RunResult
+	// Iterations completed (from the app's FRAM counter).
+	Iterations int
+	// TetheredAtEnd is true when EDB's keep-alive held the target.
+	TetheredAtEnd bool
+	// VcapAtEnd is the final capacitor voltage (≈ the tethered rail when
+	// the keep-alive assert fired).
+	VcapAtEnd units.Volts
+	// CorruptionFound notes whether the run hit the intermittence bug.
+	CorruptionFound bool
+}
+
+// RunFig7 executes the linked-list case study, sampling progress from the
+// app's non-volatile iteration counter.
+func RunFig7(cfg Fig7Config) (Fig7Result, error) {
+	if cfg.Duration == 0 {
+		cfg = DefaultFig7Config()
+		cfg.WithAssert = false
+	}
+	h := energy.NewRFHarvester()
+	d := device.NewWISP5(h, cfg.Seed)
+	e := edb.New(edb.DefaultConfig())
+	e.Attach(d)
+	e.TraceVcap()
+
+	app := &apps.LinkedList{WithAssert: cfg.WithAssert}
+	r := device.NewRunner(d, app)
+	if err := r.Flash(); err != nil {
+		return Fig7Result{}, err
+	}
+
+	// Slice the run to sample progress over time.
+	type point struct {
+		at    sim.Cycles
+		iters int
+	}
+	var points []point
+	var agg device.RunResult
+	slices := 20
+	slice := units.Seconds(float64(cfg.Duration) / float64(slices))
+	halted := false
+	for i := 0; i < slices; i++ {
+		res, err := r.RunFor(slice)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		agg.Reboots += res.Reboots
+		agg.Faults += res.Faults
+		if res.Halted != "" {
+			agg.Halted = res.Halted
+			halted = true
+		}
+		points = append(points, point{at: d.Clock.Now(), iters: app.Iterations(d)})
+		if halted {
+			break
+		}
+	}
+	if halted {
+		// Keep observing the keep-alive hold: EDB keeps the target
+		// tethered at the rail, which the trace records.
+		d.AdvanceIdle(units.MilliSeconds(60))
+	}
+
+	rate := func(i0, i1 int) float64 {
+		if i1 <= i0 || i1 >= len(points) {
+			return 0
+		}
+		dt := float64(d.Clock.ToSeconds(points[i1].at - points[i0].at))
+		if dt <= 0 {
+			return 0
+		}
+		return float64(points[i1].iters-points[i0].iters) / dt
+	}
+	n := len(points)
+	// Early rate: progress up to the first sample (the bug can strike
+	// within the first slice, so a window between later samples could
+	// miss the healthy phase entirely).
+	early := 0.0
+	if n > 0 {
+		if dt := float64(d.Clock.ToSeconds(points[0].at)); dt > 0 {
+			early = float64(points[0].iters) / dt
+		}
+	}
+	late := rate(n-1-n/5, n-1)
+	if halted && n > 0 {
+		// The keep-alive assert stopped the run early; report the rate up
+		// to the halt as "early" and zero after (the device is held).
+		elapsed := float64(d.Clock.ToSeconds(points[n-1].at))
+		if elapsed > 0 {
+			early = float64(points[n-1].iters) / elapsed
+		}
+		late = 0
+	}
+
+	return Fig7Result{
+		WithAssert:      cfg.WithAssert,
+		Vcap:            e.VcapSeries(),
+		Clock:           d.Clock,
+		FirstOn:         firstAbove(e.VcapSeries(), float64(d.Supply.VTurnOn)),
+		EarlyRate:       early,
+		LateRate:        late,
+		Result:          agg,
+		Iterations:      app.Iterations(d),
+		TetheredAtEnd:   d.Supply.Tethered(),
+		VcapAtEnd:       d.Supply.Voltage(),
+		CorruptionFound: !app.ConsistentTail(d) || agg.Faults > 0 || agg.Halted != "",
+	}, nil
+}
+
+// firstAbove returns the time of the first sample at or above the level.
+func firstAbove(s *trace.Series, level float64) sim.Cycles {
+	for _, smp := range s.Samples {
+		if smp.V >= level {
+			return smp.At
+		}
+	}
+	return 0
+}
+
+// Format renders the run as two trace windows plus the summary.
+func (r Fig7Result) Format() string {
+	var b strings.Builder
+	label := "without assert (top panel of Fig. 7)"
+	if r.WithAssert {
+		label = "with intermittence-aware assert (bottom panel of Fig. 7)"
+	}
+	fmt.Fprintf(&b, "Figure 7 — linked-list intermittence bug, %s\n", label)
+	total := r.Clock.Now()
+	window := r.Clock.ToCycles(units.MilliSeconds(120))
+	b.WriteString("Early discharge cycles:\n")
+	b.WriteString(trace.RenderASCII(windowSeries(r.Vcap, r.FirstOn, r.FirstOn+window), r.Clock, 72, 10))
+	b.WriteString("Late discharge cycles:\n")
+	b.WriteString(trace.RenderASCII(windowSeries(r.Vcap, total-window, total), r.Clock, 72, 10))
+	fmt.Fprintf(&b, "main-loop progress: early %.0f iter/s → late %.0f iter/s\n", r.EarlyRate, r.LateRate)
+	fmt.Fprintf(&b, "iterations=%d reboots=%d faults=%d halted=%q tethered=%v Vcap(end)=%s corruption=%v\n",
+		r.Iterations, r.Result.Reboots, r.Result.Faults, r.Result.Halted,
+		r.TetheredAtEnd, r.VcapAtEnd, r.CorruptionFound)
+	return b.String()
+}
+
+// CSV returns the full Vcap trace as "t_seconds,volts" lines.
+func (r Fig7Result) CSV() string { return trace.CSV(r.Vcap, r.Clock) }
+
+// windowSeries copies a window of samples into a new series.
+func windowSeries(s *trace.Series, from, to sim.Cycles) *trace.Series {
+	out := trace.NewSeries(s.Name, s.Unit)
+	out.Samples = append(out.Samples, s.Window(from, to)...)
+	return out
+}

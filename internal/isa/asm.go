@@ -1,0 +1,602 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Assembler: two-pass, MSP430-style syntax.
+//
+//	; comment
+//	        .org  0x4400
+//	        .equ  LED, 0x0132
+//	start:  mov   #0, r5
+//	loop:   add   #1, r5
+//	        mov   r5, &count
+//	        cmp   #10, r5
+//	        jne   loop
+//	        br    #start
+//	count:  .word 0
+//	buf:    .space 16
+//
+// Operands: rN/pc/sp/sr/cg registers, #imm immediates (decimal, 0x hex,
+// labels, .equ symbols), &addr absolutes (labels allowed), X(rN) indexed,
+// @rN and @rN+ indirects. Bare label operands assemble as absolute (&).
+// Immediates 0, 1, 2, 4, 8 and -1 use the constant generators, like real
+// MSP430 toolchains. Pseudo-instructions: nop, ret, pop, br, clr, inc,
+// incd, dec, decd, tst, clrc, setc, clrz, clrn, jz, jnz.
+//
+// Directives: .org (location counter), .equ (symbol), .word (literal
+// words), .space (zeroed bytes), .entry (reset target; defaults to the
+// first instruction).
+
+// Image is an assembled program: one contiguous segment.
+type Image struct {
+	// Org is the load address of Words[0].
+	Org uint16
+	// Words is the segment contents.
+	Words []uint16
+	// Entry is the reset-vector target.
+	Entry uint16
+	// Symbols maps labels and .equ names to values.
+	Symbols map[string]uint16
+}
+
+// Size returns the segment size in bytes.
+func (img *Image) Size() int { return 2 * len(img.Words) }
+
+// Assemble translates source text into an image.
+func Assemble(src string) (*Image, error) {
+	a := &assembler{
+		symbols: make(map[string]uint16),
+		// Default load address: FRAM base plus a page reserved for the
+		// runtime (libEDB's core-dump area and early allocations).
+		org: 0x4500,
+	}
+	lines := strings.Split(src, "\n")
+
+	// Pass 1: sizes and symbols.
+	if err := a.scan(lines, false); err != nil {
+		return nil, err
+	}
+	pass1End := a.loc
+	// Pass 2: emit.
+	a.loc = a.startLoc
+	a.out = a.out[:0]
+	if err := a.scan(lines, true); err != nil {
+		return nil, err
+	}
+	if a.loc != pass1End {
+		// Defensive: a symbol resolved to a different encoding size
+		// between passes (e.g. a .equ used before its definition whose
+		// value hits a constant generator). Define .equ before use.
+		return nil, fmt.Errorf("isa: pass size mismatch (%#x vs %#x); define .equ symbols before use",
+			a.loc, pass1End)
+	}
+
+	img := &Image{Org: a.startLoc, Words: a.out, Symbols: a.symbols}
+	if a.entrySym != "" {
+		v, ok := a.symbols[a.entrySym]
+		if !ok {
+			return nil, fmt.Errorf("isa: .entry symbol %q undefined", a.entrySym)
+		}
+		img.Entry = v
+	} else if a.firstInst != 0 {
+		img.Entry = a.firstInst
+	} else {
+		img.Entry = img.Org
+	}
+	return img, nil
+}
+
+type assembler struct {
+	symbols   map[string]uint16
+	loc       uint16 // location counter
+	startLoc  uint16
+	org       uint16
+	out       []uint16
+	entrySym  string
+	firstInst uint16
+	emitting  bool
+}
+
+func (a *assembler) scan(lines []string, emit bool) error {
+	a.emitting = emit
+	if !emit {
+		a.startLoc = a.org
+		a.loc = a.org
+	}
+	started := false
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		// Labels: one or more "name:" prefixes.
+		rest := line
+		for {
+			trimmed := strings.TrimSpace(rest)
+			idx := strings.Index(trimmed, ":")
+			if idx <= 0 || strings.ContainsAny(trimmed[:idx], " \t#&@(,") {
+				rest = trimmed
+				break
+			}
+			name := trimmed[:idx]
+			if !emit {
+				if _, dup := a.symbols[name]; dup {
+					return fmt.Errorf("isa: line %d: duplicate label %q", ln+1, name)
+				}
+				a.symbols[name] = a.loc
+			}
+			rest = trimmed[idx+1:]
+		}
+		if rest == "" {
+			continue
+		}
+		fields := splitOperands(rest)
+		mnem := strings.ToLower(fields[0])
+		args := fields[1:]
+
+		switch {
+		case mnem == ".org":
+			v, err := a.value(args[0], ln)
+			if err != nil {
+				return err
+			}
+			if !emit && !started {
+				a.startLoc = v
+			}
+			if started && v != a.loc {
+				return fmt.Errorf("isa: line %d: non-contiguous .org unsupported", ln+1)
+			}
+			a.loc = v
+			if !started {
+				a.startLoc = v
+			}
+			started = true
+			continue
+		case mnem == ".equ":
+			if len(args) != 2 {
+				return fmt.Errorf("isa: line %d: .equ NAME, VALUE", ln+1)
+			}
+			if !emit {
+				v, err := a.value(args[1], ln)
+				if err != nil {
+					return err
+				}
+				a.symbols[args[0]] = v
+			}
+			continue
+		case mnem == ".entry":
+			a.entrySym = args[0]
+			continue
+		case mnem == ".word":
+			started = true
+			for _, arg := range args {
+				v := uint16(0)
+				if emit {
+					var err error
+					if v, err = a.value(arg, ln); err != nil {
+						return err
+					}
+				}
+				a.emit(v)
+			}
+			continue
+		case mnem == ".byte":
+			started = true
+			var pending []byte
+			for _, arg := range args {
+				v := uint16(0)
+				if emit {
+					var err error
+					if v, err = a.value(arg, ln); err != nil {
+						return err
+					}
+				}
+				pending = append(pending, byte(v))
+			}
+			emitBytes(a, pending)
+			continue
+		case mnem == ".ascii":
+			started = true
+			lit, err := parseStringLiteral(strings.TrimSpace(strings.TrimPrefix(rest, fields[0])))
+			if err != nil {
+				return fmt.Errorf("isa: line %d: %v", ln+1, err)
+			}
+			emitBytes(a, []byte(lit))
+			continue
+		case mnem == ".space":
+			started = true
+			n, err := a.value(args[0], ln)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < int(n+1)/2; i++ {
+				a.emit(0)
+			}
+			continue
+		}
+
+		started = true
+		if !emit && a.firstInst == 0 {
+			a.firstInst = a.loc
+		}
+		insts, err := a.instruction(mnem, args, ln)
+		if err != nil {
+			return err
+		}
+		for _, inst := range insts {
+			words, err := Encode(inst)
+			if err != nil {
+				return fmt.Errorf("isa: line %d: %w", ln+1, err)
+			}
+			for _, w := range words {
+				a.emit(w)
+			}
+		}
+	}
+	return nil
+}
+
+// emitBytes packs bytes into little-endian words, zero-padding odd tails.
+func emitBytes(a *assembler, data []byte) {
+	for i := 0; i < len(data); i += 2 {
+		w := uint16(data[i])
+		if i+1 < len(data) {
+			w |= uint16(data[i+1]) << 8
+		}
+		a.emit(w)
+	}
+}
+
+// parseStringLiteral accepts a double-quoted string with \n, \t, \\, \"
+// escapes.
+func parseStringLiteral(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf(".ascii wants a double-quoted string, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		if body[i] != '\\' {
+			b.WriteByte(body[i])
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("dangling escape in %q", s)
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return b.String(), nil
+}
+
+func (a *assembler) emit(w uint16) {
+	if a.emitting {
+		a.out = append(a.out, w)
+	}
+	a.loc += 2
+}
+
+// instruction translates one mnemonic + operands into instructions
+// (pseudo-ops may expand).
+func (a *assembler) instruction(mnem string, args []string, ln int) ([]Inst, error) {
+	byteOp := false
+	if strings.HasSuffix(mnem, ".b") {
+		byteOp = true
+		mnem = strings.TrimSuffix(mnem, ".b")
+	}
+
+	// Pseudo-instructions.
+	switch mnem {
+	case "nop":
+		return a.instruction("mov", []string{"r3", "r3"}, ln)
+	case "ret":
+		return a.instruction("mov", []string{"@sp+", "pc"}, ln)
+	case "pop":
+		return a.instruction("mov", append([]string{"@sp+"}, args...), ln)
+	case "br":
+		return a.instruction("mov", append(args, "pc"), ln)
+	case "clr":
+		return a.instruction("mov", append([]string{"#0"}, args...), ln)
+	case "inc":
+		return a.instruction("add", append([]string{"#1"}, args...), ln)
+	case "incd":
+		return a.instruction("add", append([]string{"#2"}, args...), ln)
+	case "dec":
+		return a.instruction("sub", append([]string{"#1"}, args...), ln)
+	case "decd":
+		return a.instruction("sub", append([]string{"#2"}, args...), ln)
+	case "tst":
+		return a.instruction("cmp", append([]string{"#0"}, args...), ln)
+	case "clrc":
+		return a.instruction("bic", []string{"#1", "sr"}, ln)
+	case "setc":
+		return a.instruction("bis", []string{"#1", "sr"}, ln)
+	case "clrz":
+		return a.instruction("bic", []string{"#2", "sr"}, ln)
+	case "clrn":
+		return a.instruction("bic", []string{"#4", "sr"}, ln)
+	case "jz":
+		mnem = "jeq"
+	case "jnz":
+		mnem = "jne"
+	}
+
+	if op, ok := jumpOps[mnem]; ok {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("isa: line %d: %s takes one target", ln+1, mnem)
+		}
+		target := a.loc + 2 // placeholder until resolved
+		if a.emitting {
+			v, err := a.value(args[0], ln)
+			if err != nil {
+				return nil, err
+			}
+			target = v
+		}
+		off := (int32(target) - int32(a.loc) - 2) / 2
+		return []Inst{{Kind: KindJump, Op: op, Offset: int16(off)}}, nil
+	}
+
+	if op, ok := oneOps[mnem]; ok {
+		if mnem == "reti" {
+			return []Inst{{Kind: KindOne, Op: Op2RETI}}, nil
+		}
+		if len(args) != 1 {
+			return nil, fmt.Errorf("isa: line %d: %s takes one operand", ln+1, mnem)
+		}
+		src, err := a.operand(args[0], ln)
+		if err != nil {
+			return nil, err
+		}
+		return []Inst{{Kind: KindOne, Op: op, Byte: byteOp, Src: src}}, nil
+	}
+
+	if op, ok := twoOps[mnem]; ok {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("isa: line %d: %s takes two operands", ln+1, mnem)
+		}
+		src, err := a.operand(args[0], ln)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := a.operand(args[1], ln)
+		if err != nil {
+			return nil, err
+		}
+		if dst.Mode != ModeRegister && dst.Mode != ModeIndexed {
+			return nil, fmt.Errorf("isa: line %d: destination %q must be register, indexed, or absolute", ln+1, args[1])
+		}
+		return []Inst{{Kind: KindTwo, Op: op, Byte: byteOp, Src: src, Dst: dst}}, nil
+	}
+
+	return nil, fmt.Errorf("isa: line %d: unknown mnemonic %q", ln+1, mnem)
+}
+
+var twoOps = map[string]int{
+	"mov": OpMOV, "add": OpADD, "addc": OpADDC, "subc": OpSUBC, "sub": OpSUB,
+	"cmp": OpCMP, "dadd": OpDADD, "bit": OpBIT, "bic": OpBIC, "bis": OpBIS,
+	"xor": OpXOR, "and": OpAND,
+}
+
+var oneOps = map[string]int{
+	"rrc": Op2RRC, "swpb": Op2SWPB, "rra": Op2RRA, "sxt": Op2SXT,
+	"push": Op2PUSH, "call": Op2CALL, "reti": Op2RETI,
+}
+
+var jumpOps = map[string]int{
+	"jne": JNE, "jeq": JEQ, "jnc": JNC, "jc": JC,
+	"jn": JN, "jge": JGE, "jl": JL, "jmp": JMP,
+}
+
+// operand parses one operand string.
+func (a *assembler) operand(s string, ln int) (Operand, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return Operand{}, fmt.Errorf("isa: line %d: empty operand", ln+1)
+	case strings.HasPrefix(s, "#"):
+		v := uint16(0)
+		if a.emitting {
+			var err error
+			if v, err = a.value(s[1:], ln); err != nil {
+				return Operand{}, err
+			}
+		} else if lit, err := a.value(s[1:], ln); err == nil {
+			v = lit // constants known in pass 1 keep sizes consistent
+		} else {
+			// Unknown label in pass 1: assume it needs an extension word.
+			// Constant-generator values are always literal, so this is
+			// safe: labels are addresses, never CG constants.
+			return Operand{Mode: ModeIndirectInc, Reg: PC, HasX: true}, nil
+		}
+		if op, ok := constGenOperand(v); ok {
+			return op, nil
+		}
+		return Operand{Mode: ModeIndirectInc, Reg: PC, X: v, HasX: true}, nil
+	case strings.HasPrefix(s, "&"):
+		v := uint16(0)
+		if a.emitting {
+			var err error
+			if v, err = a.value(s[1:], ln); err != nil {
+				return Operand{}, err
+			}
+		}
+		return Operand{Mode: ModeIndexed, Reg: SR, X: v, HasX: true}, nil
+	case strings.HasPrefix(s, "@"):
+		inc := strings.HasSuffix(s, "+")
+		name := strings.TrimSuffix(s[1:], "+")
+		r, ok := regByName(name)
+		if !ok {
+			return Operand{}, fmt.Errorf("isa: line %d: bad register %q", ln+1, name)
+		}
+		mode := ModeIndirect
+		if inc {
+			mode = ModeIndirectInc
+		}
+		return Operand{Mode: mode, Reg: r}, nil
+	case strings.HasSuffix(s, ")") && strings.Contains(s, "("):
+		open := strings.Index(s, "(")
+		r, ok := regByName(s[open+1 : len(s)-1])
+		if !ok {
+			return Operand{}, fmt.Errorf("isa: line %d: bad register in %q", ln+1, s)
+		}
+		v := uint16(0)
+		if a.emitting {
+			var err error
+			if v, err = a.value(s[:open], ln); err != nil {
+				return Operand{}, err
+			}
+		}
+		return Operand{Mode: ModeIndexed, Reg: r, X: v, HasX: true}, nil
+	default:
+		if r, ok := regByName(s); ok {
+			return Operand{Mode: ModeRegister, Reg: r}, nil
+		}
+		// Bare label: absolute reference.
+		v := uint16(0)
+		if a.emitting {
+			var err error
+			if v, err = a.value(s, ln); err != nil {
+				return Operand{}, err
+			}
+		}
+		return Operand{Mode: ModeIndexed, Reg: SR, X: v, HasX: true}, nil
+	}
+}
+
+// constGenOperand maps a literal to its constant-generator encoding.
+func constGenOperand(v uint16) (Operand, bool) {
+	switch v {
+	case 0:
+		return Operand{Mode: ModeRegister, Reg: CG}, true
+	case 1:
+		return Operand{Mode: ModeIndexed, Reg: CG}, true
+	case 2:
+		return Operand{Mode: ModeIndirect, Reg: CG}, true
+	case 4:
+		return Operand{Mode: ModeIndirect, Reg: SR}, true
+	case 8:
+		return Operand{Mode: ModeIndirectInc, Reg: SR}, true
+	case 0xFFFF:
+		return Operand{Mode: ModeIndirectInc, Reg: CG}, true
+	}
+	return Operand{}, false
+}
+
+func regByName(s string) (int, bool) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "pc", "r0":
+		return PC, true
+	case "sp", "r1":
+		return SP, true
+	case "sr", "r2":
+		return SR, true
+	case "cg", "r3":
+		return CG, true
+	}
+	s = strings.ToLower(strings.TrimSpace(s))
+	if strings.HasPrefix(s, "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 4 && n <= 15 {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
+// value evaluates a literal or symbol, with negation.
+func (a *assembler) value(s string, ln int) (uint16, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	switch {
+	case strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X"):
+		v, err = strconv.ParseUint(s[2:], 16, 17)
+	case s != "" && s[0] >= '0' && s[0] <= '9':
+		v, err = strconv.ParseUint(s, 10, 17)
+	default:
+		sym, ok := a.symbols[s]
+		if !ok {
+			return 0, fmt.Errorf("isa: line %d: undefined symbol %q", ln+1, s)
+		}
+		v = uint64(sym)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("isa: line %d: bad value %q: %v", ln+1, s, err)
+	}
+	out := uint16(v)
+	if neg {
+		out = -out
+	}
+	return out, nil
+}
+
+func stripComment(s string) string {
+	if i := strings.IndexByte(s, ';'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// splitOperands splits "mnem a, b" into ["mnem", "a", "b"], respecting
+// parentheses like "2(r5)".
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	sp := strings.IndexAny(s, " \t")
+	if sp < 0 {
+		return []string{s}
+	}
+	out := []string{s[:sp]}
+	for _, part := range strings.Split(s[sp+1:], ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// SymbolTable renders the symbol map sorted by address (listing output).
+func (img *Image) SymbolTable() string {
+	type entry struct {
+		name string
+		val  uint16
+	}
+	var list []entry
+	for n, v := range img.Symbols {
+		list = append(list, entry{n, v})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].val != list[j].val {
+			return list[i].val < list[j].val
+		}
+		return list[i].name < list[j].name
+	})
+	var b strings.Builder
+	for _, e := range list {
+		fmt.Fprintf(&b, "%#04x %s\n", e.val, e.name)
+	}
+	return b.String()
+}

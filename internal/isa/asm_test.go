@@ -1,0 +1,206 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasics(t *testing.T) {
+	img, err := Assemble(`
+	; a tiny program
+	.org 0x4600
+start:	mov #0x1234, r5
+	add r5, r6
+	jmp start
+value:	.word 0xBEEF, 2
+buf:	.space 4
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Org != 0x4600 {
+		t.Fatalf("org = %#x", img.Org)
+	}
+	if img.Entry != 0x4600 {
+		t.Fatalf("entry = %#x", img.Entry)
+	}
+	// mov #imm (2 words) + add (1) + jmp (1) + .word (2) + .space (2).
+	if len(img.Words) != 8 {
+		t.Fatalf("words = %d: %04x", len(img.Words), img.Words)
+	}
+	if img.Symbols["value"] != 0x4600+8 {
+		t.Fatalf("value @ %#x", img.Symbols["value"])
+	}
+	if img.Words[4] != 0xBEEF || img.Words[5] != 2 {
+		t.Fatalf(".word emitted %04x", img.Words[4:6])
+	}
+	if !strings.Contains(img.SymbolTable(), "value") {
+		t.Fatal("symbol table")
+	}
+}
+
+func TestAssembleConstantGenerators(t *testing.T) {
+	// Immediates 0,1,2,4,8,-1 must not consume extension words.
+	img, err := Assemble(`
+	clr r5
+	add #1, r5
+	add #2, r5
+	add #4, r5
+	add #8, r5
+	add #-1, r5
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Words) != 6 {
+		t.Fatalf("CG immediates must be single words: %d words", len(img.Words))
+	}
+	// And a non-CG immediate takes two.
+	img2, err := Assemble("add #3, r5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img2.Words) != 2 {
+		t.Fatalf("#3 must take an extension word: %d", len(img2.Words))
+	}
+}
+
+func TestAssembleJumpTargets(t *testing.T) {
+	img, err := Assemble(`
+back:	nop
+	jmp back
+	jmp fwd
+	nop
+fwd:	nop
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// jmp back at word 1: offset = (0 - 1 - 1) = -2 words.
+	d1, err := Decode(img.Words[1], nil)
+	if err != nil || d1.Offset != -2 {
+		t.Fatalf("back offset = %d err=%v", d1.Offset, err)
+	}
+	d2, err := Decode(img.Words[2], nil)
+	if err != nil || d2.Offset != 1 {
+		t.Fatalf("fwd offset = %d err=%v", d2.Offset, err)
+	}
+}
+
+func TestAssembleEquAndEntry(t *testing.T) {
+	img, err := Assemble(`
+	.equ PORT, 0x0120
+	.entry main
+data:	.word 7
+main:	mov #1, &PORT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry != img.Symbols["main"] {
+		t.Fatalf("entry = %#x, main = %#x", img.Entry, img.Symbols["main"])
+	}
+	// mov #1(CG), &abs: word + extension for &PORT.
+	last := img.Words[len(img.Words)-1]
+	if last != 0x0120 {
+		t.Fatalf("absolute extension = %#x", last)
+	}
+}
+
+func TestAssemblePseudoOps(t *testing.T) {
+	img, err := Assemble(`
+	nop
+	clr r5
+	inc r5
+	dec r5
+	tst r5
+	push r5
+	pop r6
+	ret
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nop = mov r3,r3 = 0x4303.
+	if img.Words[0] != 0x4303 {
+		t.Fatalf("nop = %#04x", img.Words[0])
+	}
+	// ret = mov @sp+, pc = 0x4130.
+	if img.Words[len(img.Words)-1] != 0x4130 {
+		t.Fatalf("ret = %#04x", img.Words[len(img.Words)-1])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r5, r6",
+		"mov r5",
+		"jmp",
+		"mov #1, @r5",     // indirect destination illegal
+		"mov #1, nowhere", // undefined symbol
+		"dup: nop\ndup: nop",
+		".equ X",
+	}
+	for i, src := range cases {
+		if _, err := Assemble(src); err == nil {
+			t.Fatalf("case %d (%q) must fail", i, src)
+		}
+	}
+}
+
+func TestAssembleByteOps(t *testing.T) {
+	img, err := Assemble("mov.b #0x12, r5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(img.Words[0], func() (uint16, error) { return img.Words[1], nil })
+	if err != nil || !d.Byte {
+		t.Fatalf("byte flag lost: %+v err=%v", d, err)
+	}
+}
+
+func TestAssembleRegisterAliases(t *testing.T) {
+	img, err := Assemble("mov r0, r4\nmov pc, r5\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Words[0]>>8&0xF != 0 || img.Words[1]>>8&0xF != 0 {
+		t.Fatalf("pc alias: %04x", img.Words[:2])
+	}
+	if _, err := Assemble("mov r16, r4\n"); err == nil {
+		t.Fatal("r16 must not exist")
+	}
+}
+
+func TestAssembleByteAndAsciiDirectives(t *testing.T) {
+	img, err := Assemble(`
+	.org 0x4600
+msg:	.ascii "Hi\n"
+vals:	.byte 1, 2, 3
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Hi\n" = 3 bytes -> 2 words; .byte 1,2,3 -> 2 words.
+	if len(img.Words) != 4 {
+		t.Fatalf("words = %d: %04x", len(img.Words), img.Words)
+	}
+	if img.Words[0] != uint16('H')|uint16('i')<<8 {
+		t.Fatalf("ascii packing: %#04x", img.Words[0])
+	}
+	if img.Words[1] != '\n' {
+		t.Fatalf("ascii tail: %#04x", img.Words[1])
+	}
+	if img.Words[2] != 0x0201 || img.Words[3] != 0x0003 {
+		t.Fatalf("bytes: %04x", img.Words[2:])
+	}
+	if img.Symbols["vals"] != 0x4600+4 {
+		t.Fatalf("vals @ %#x", img.Symbols["vals"])
+	}
+	if _, err := Assemble(".ascii unquoted\n"); err == nil {
+		t.Fatal("unquoted .ascii must fail")
+	}
+	if _, err := Assemble(".ascii \"bad\\q\"\n"); err == nil {
+		t.Fatal("unknown escape must fail")
+	}
+}

@@ -1,0 +1,448 @@
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/memsim"
+)
+
+// Port is a memory-mapped I/O hook: loads and stores to its address are
+// routed to Go handlers instead of simulated RAM. The debug port
+// (program.go) and simple peripherals hang off ports.
+type Port struct {
+	Read  func(env *device.Env) uint16
+	Write func(env *device.Env, v uint16)
+}
+
+// CPU is the MSP430-subset interpreter. All architectural state is
+// volatile: the register file lives here and is zeroed by Reset, exactly
+// like hardware losing power. Memory is the device's simulated address
+// space, reached through the energy-metered Env.
+type CPU struct {
+	R [16]uint16
+
+	ports map[memsim.Addr]Port
+
+	// lastExtAddrVal is the address the most recent extension word was
+	// fetched from; PC-relative (symbolic) operands resolve against it.
+	lastExtAddrVal uint16
+
+	// intDepth tracks nested interrupt service (RETI decrements).
+	intDepth int
+	// halted is set by the HALT debug port; the program wrapper treats it
+	// as normal completion.
+	halted bool
+
+	// instructions retired since reset (diagnostics).
+	retired uint64
+}
+
+// NewCPU returns a CPU with no ports mapped.
+func NewCPU() *CPU {
+	return &CPU{ports: make(map[memsim.Addr]Port)}
+}
+
+// MapPort installs an MMIO port at addr (word access).
+func (c *CPU) MapPort(addr memsim.Addr, p Port) { c.ports[addr] = p }
+
+// Reset models a power-on reset: volatile register state clears, execution
+// restarts at the reset vector (entry), with a fresh stack.
+func (c *CPU) Reset(entry, stackTop uint16) {
+	c.R = [16]uint16{}
+	c.R[PC] = entry
+	c.R[SP] = stackTop
+	c.intDepth = 0
+	c.halted = false
+}
+
+// Halted reports whether the HALT port stopped the program.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Retired returns the number of instructions executed since reset.
+func (c *CPU) Retired() uint64 { return c.retired }
+
+// InInterrupt reports whether an ISR is executing.
+func (c *CPU) InInterrupt() bool { return c.intDepth > 0 }
+
+// Interrupt vectors control to the handler: the hardware pushes PC then
+// SR, clears GIE, and loads the vector.
+func (c *CPU) Interrupt(env *device.Env, vector uint16) {
+	c.push(env, c.R[PC])
+	c.push(env, c.R[SR])
+	c.R[SR] &^= GIE
+	c.R[PC] = vector
+	c.intDepth++
+}
+
+// Step executes one instruction. Power failure unwinds from inside the
+// memory accesses; a decode failure (executing garbage or data) panics
+// with a MemoryFault-equivalent wedge, matching what an MCU does when PC
+// walks into a corrupted region.
+func (c *CPU) Step(env *device.Env) error {
+	c.retired++
+	pc0 := c.R[PC]
+	w0 := c.fetch(env)
+	inst, err := Decode(w0, func() (uint16, error) {
+		// Extension words fetch through the same metered path. Their
+		// addresses matter for PC-relative (symbolic) operands.
+		c.lastExtAddrVal = c.R[PC]
+		return c.fetch(env), nil
+	})
+	if err != nil {
+		return fmt.Errorf("isa: at %#04x: %w", pc0, err)
+	}
+	switch inst.Kind {
+	case KindJump:
+		c.execJump(inst)
+	case KindOne:
+		c.execOne(env, inst)
+	case KindTwo:
+		c.execTwo(env, inst)
+	}
+	return nil
+}
+
+func (c *CPU) fetch(env *device.Env) uint16 {
+	w := c.loadWord(env, memsim.Addr(c.R[PC]))
+	c.R[PC] += 2
+	return w
+}
+
+// loadWord reads through a port or simulated memory.
+func (c *CPU) loadWord(env *device.Env, a memsim.Addr) uint16 {
+	if p, ok := c.ports[a]; ok {
+		env.Compute(device.CyclesLoad)
+		if p.Read != nil {
+			return p.Read(env)
+		}
+		return 0
+	}
+	return env.LoadWord(a)
+}
+
+func (c *CPU) storeWord(env *device.Env, a memsim.Addr, v uint16) {
+	if p, ok := c.ports[a]; ok {
+		env.Compute(device.CyclesStore)
+		if p.Write != nil {
+			p.Write(env, v)
+		}
+		return
+	}
+	env.StoreWord(a, v)
+}
+
+func (c *CPU) loadByte(env *device.Env, a memsim.Addr) uint16 {
+	if _, ok := c.ports[a]; ok {
+		return c.loadWord(env, a) & 0xFF
+	}
+	return uint16(env.LoadByte(a))
+}
+
+func (c *CPU) storeByte(env *device.Env, a memsim.Addr, v uint16) {
+	if _, ok := c.ports[a]; ok {
+		c.storeWord(env, a, v&0xFF)
+		return
+	}
+	env.StoreByte(a, byte(v))
+}
+
+func (c *CPU) push(env *device.Env, v uint16) {
+	c.R[SP] -= 2
+	c.storeWord(env, memsim.Addr(c.R[SP]), v)
+}
+
+func (c *CPU) pop(env *device.Env) uint16 {
+	v := c.loadWord(env, memsim.Addr(c.R[SP]))
+	c.R[SP] += 2
+	return v
+}
+
+// resolved is an evaluated operand: a value plus, for memory operands, the
+// address to write back to.
+type resolved struct {
+	value uint16
+	addr  memsim.Addr
+	isReg bool
+	reg   int
+	isMem bool
+}
+
+// evalOperand reads an operand's value and location.
+func (c *CPU) evalOperand(env *device.Env, o Operand, byteOp bool) resolved {
+	if v, ok := ConstGen(o); ok {
+		return resolved{value: maskByte(v, byteOp)}
+	}
+	switch o.Mode {
+	case ModeRegister:
+		return resolved{value: maskByte(c.R[o.Reg], byteOp), isReg: true, reg: o.Reg}
+	case ModeIndexed:
+		var addr memsim.Addr
+		switch o.Reg {
+		case SR: // absolute
+			addr = memsim.Addr(o.X)
+		case PC: // symbolic: X relative to the extension word's address
+			addr = memsim.Addr(c.lastExtAddrVal + o.X)
+		default:
+			addr = memsim.Addr(c.R[o.Reg] + o.X)
+		}
+		return c.memOperand(env, addr, byteOp)
+	case ModeIndirect:
+		return c.memOperand(env, memsim.Addr(c.R[o.Reg]), byteOp)
+	case ModeIndirectInc:
+		if o.Reg == PC { // immediate
+			return resolved{value: maskByte(o.X, byteOp)}
+		}
+		addr := memsim.Addr(c.R[o.Reg])
+		step := uint16(2)
+		if byteOp {
+			step = 1
+		}
+		c.R[o.Reg] += step
+		return c.memOperand(env, addr, byteOp)
+	}
+	return resolved{}
+}
+
+func (c *CPU) memOperand(env *device.Env, addr memsim.Addr, byteOp bool) resolved {
+	r := resolved{addr: addr, isMem: true}
+	if byteOp {
+		r.value = c.loadByte(env, addr)
+	} else {
+		r.value = c.loadWord(env, addr)
+	}
+	return r
+}
+
+// writeBack stores a result into an evaluated destination.
+func (c *CPU) writeBack(env *device.Env, dst resolved, v uint16, byteOp bool) {
+	switch {
+	case dst.isReg:
+		if byteOp {
+			c.R[dst.reg] = v & 0xFF // byte ops clear the high byte
+		} else {
+			c.R[dst.reg] = v
+		}
+	case dst.isMem:
+		if byteOp {
+			c.storeByte(env, dst.addr, v)
+		} else {
+			c.storeWord(env, dst.addr, v)
+		}
+	}
+}
+
+func maskByte(v uint16, byteOp bool) uint16 {
+	if byteOp {
+		return v & 0xFF
+	}
+	return v
+}
+
+func (c *CPU) execJump(i Inst) {
+	taken := false
+	sr := c.R[SR]
+	switch i.Op {
+	case JNE:
+		taken = sr&FlagZ == 0
+	case JEQ:
+		taken = sr&FlagZ != 0
+	case JNC:
+		taken = sr&FlagC == 0
+	case JC:
+		taken = sr&FlagC != 0
+	case JN:
+		taken = sr&FlagN != 0
+	case JGE:
+		taken = (sr&FlagN != 0) == (sr&FlagV != 0)
+	case JL:
+		taken = (sr&FlagN != 0) != (sr&FlagV != 0)
+	case JMP:
+		taken = true
+	}
+	if taken {
+		c.R[PC] += uint16(2 * i.Offset)
+	}
+}
+
+func (c *CPU) execOne(env *device.Env, i Inst) {
+	if i.Op == Op2RETI {
+		c.R[SR] = c.pop(env)
+		c.R[PC] = c.pop(env)
+		if c.intDepth > 0 {
+			c.intDepth--
+		}
+		return
+	}
+	src := c.evalOperand(env, i.Src, i.Byte)
+	env.Compute(1)
+	switch i.Op {
+	case Op2RRC:
+		carryIn := c.R[SR] & FlagC
+		v := src.value
+		newC := v & 1
+		v >>= 1
+		if carryIn != 0 {
+			if i.Byte {
+				v |= 0x80
+			} else {
+				v |= 0x8000
+			}
+		}
+		c.setFlagsLogic(v, i.Byte)
+		c.setFlag(FlagC, newC != 0)
+		c.setFlag(FlagV, false)
+		c.writeBack(env, src, v, i.Byte)
+	case Op2RRA:
+		v := src.value
+		newC := v & 1
+		if i.Byte {
+			v = (v >> 1) | (v & 0x80)
+		} else {
+			v = (v >> 1) | (v & 0x8000)
+		}
+		c.setFlagsLogic(v, i.Byte)
+		c.setFlag(FlagC, newC != 0)
+		c.setFlag(FlagV, false)
+		c.writeBack(env, src, v, i.Byte)
+	case Op2SWPB:
+		v := src.value>>8 | src.value<<8
+		c.writeBack(env, src, v, false)
+	case Op2SXT:
+		v := src.value & 0xFF
+		if v&0x80 != 0 {
+			v |= 0xFF00
+		}
+		c.setFlagsLogic(v, false)
+		c.setFlag(FlagC, v != 0)
+		c.setFlag(FlagV, false)
+		c.writeBack(env, src, v, false)
+	case Op2PUSH:
+		c.push(env, src.value)
+	case Op2CALL:
+		c.push(env, c.R[PC])
+		c.R[PC] = src.value
+	}
+}
+
+func (c *CPU) execTwo(env *device.Env, i Inst) {
+	src := c.evalOperand(env, i.Src, i.Byte)
+	dst := c.evalOperand(env, i.Dst, i.Byte)
+	env.Compute(1)
+	s, d := src.value, dst.value
+	switch i.Op {
+	case OpMOV:
+		c.writeBack(env, dst, s, i.Byte)
+	case OpADD:
+		c.arith(env, dst, d, s, 0, i.Byte, true)
+	case OpADDC:
+		c.arith(env, dst, d, s, c.carry(), i.Byte, true)
+	case OpSUB:
+		c.arith(env, dst, d, ^s&mask(i.Byte), 1, i.Byte, true)
+	case OpSUBC:
+		c.arith(env, dst, d, ^s&mask(i.Byte), c.carry(), i.Byte, true)
+	case OpCMP:
+		c.arith(env, dst, d, ^s&mask(i.Byte), 1, i.Byte, false)
+	case OpBIT:
+		v := d & s
+		c.setFlagsLogic(v, i.Byte)
+		c.setFlag(FlagC, v != 0)
+		c.setFlag(FlagV, false)
+	case OpBIC:
+		c.writeBack(env, dst, d&^s, i.Byte)
+	case OpBIS:
+		c.writeBack(env, dst, d|s, i.Byte)
+	case OpXOR:
+		v := (d ^ s) & mask(i.Byte)
+		c.setFlagsLogic(v, i.Byte)
+		c.setFlag(FlagC, v != 0)
+		c.setFlag(FlagV, signBit(d, i.Byte) && signBit(s, i.Byte))
+		c.writeBack(env, dst, v, i.Byte)
+	case OpAND:
+		v := d & s & mask(i.Byte)
+		c.setFlagsLogic(v, i.Byte)
+		c.setFlag(FlagC, v != 0)
+		c.setFlag(FlagV, false)
+		c.writeBack(env, dst, v, i.Byte)
+	case OpDADD:
+		v, carry := bcdAdd(d, s, c.carry(), i.Byte)
+		c.setFlagsLogic(v, i.Byte)
+		c.setFlag(FlagC, carry)
+		c.writeBack(env, dst, v, i.Byte)
+	}
+}
+
+// arith performs d + s + cin with full flag semantics, optionally writing
+// back (CMP/BIT do not).
+func (c *CPU) arith(env *device.Env, dst resolved, d, s, cin uint16, byteOp, write bool) {
+	m := mask(byteOp)
+	sum32 := uint32(d&m) + uint32(s&m) + uint32(cin)
+	v := uint16(sum32) & m
+	carry := sum32 > uint32(m)
+	dN, sN, rN := signBit(d, byteOp), signBit(s, byteOp), signBit(v, byteOp)
+	overflow := (dN == sN) && (rN != dN)
+	c.setFlagsLogic(v, byteOp)
+	c.setFlag(FlagC, carry)
+	c.setFlag(FlagV, overflow)
+	if write {
+		c.writeBack(env, dst, v, byteOp)
+	}
+}
+
+// bcdAdd performs the decimal (BCD) addition of DADD: each 4-bit digit
+// adds with decimal carry. Returns the packed-BCD sum and the carry out of
+// the most significant digit.
+func bcdAdd(d, s, cin uint16, byteOp bool) (uint16, bool) {
+	digits := 4
+	if byteOp {
+		digits = 2
+	}
+	var out uint16
+	carry := cin
+	for i := 0; i < digits; i++ {
+		shift := uint(4 * i)
+		sum := (d>>shift)&0xF + (s>>shift)&0xF + carry
+		if sum > 9 {
+			sum -= 10
+			carry = 1
+		} else {
+			carry = 0
+		}
+		out |= sum << shift
+	}
+	return out, carry == 1
+}
+
+func (c *CPU) carry() uint16 {
+	if c.R[SR]&FlagC != 0 {
+		return 1
+	}
+	return 0
+}
+
+func (c *CPU) setFlag(f uint16, on bool) {
+	if on {
+		c.R[SR] |= f
+	} else {
+		c.R[SR] &^= f
+	}
+}
+
+func (c *CPU) setFlagsLogic(v uint16, byteOp bool) {
+	c.setFlag(FlagZ, v&mask(byteOp) == 0)
+	c.setFlag(FlagN, signBit(v, byteOp))
+}
+
+func mask(byteOp bool) uint16 {
+	if byteOp {
+		return 0xFF
+	}
+	return 0xFFFF
+}
+
+func signBit(v uint16, byteOp bool) bool {
+	if byteOp {
+		return v&0x80 != 0
+	}
+	return v&0x8000 != 0
+}

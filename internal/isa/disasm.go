@@ -1,0 +1,72 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DisasmLine is one decoded instruction with its address and raw words.
+type DisasmLine struct {
+	Addr  uint16
+	Words []uint16
+	Text  string
+	// Bad marks words that did not decode (data, or corrupted code).
+	Bad bool
+}
+
+func (l DisasmLine) String() string {
+	raw := make([]string, len(l.Words))
+	for i, w := range l.Words {
+		raw[i] = fmt.Sprintf("%04x", w)
+	}
+	return fmt.Sprintf("%04x: %-14s %s", l.Addr, strings.Join(raw, " "), l.Text)
+}
+
+// Disassemble decodes up to maxInsts instructions from words loaded at
+// base. Undecodable words become ".word 0x…" lines, so a listing over
+// corrupted code degrades readably instead of failing — exactly what a
+// debugger wants when inspecting a wedged target.
+func Disassemble(words []uint16, base uint16, maxInsts int) []DisasmLine {
+	var out []DisasmLine
+	i := 0
+	for i < len(words) && len(out) < maxInsts {
+		start := i
+		w0 := words[i]
+		i++
+		inst, err := Decode(w0, func() (uint16, error) {
+			if i >= len(words) {
+				return 0, fmt.Errorf("isa: truncated instruction")
+			}
+			w := words[i]
+			i++
+			return w, nil
+		})
+		addr := base + uint16(2*start)
+		if err != nil {
+			out = append(out, DisasmLine{
+				Addr:  addr,
+				Words: []uint16{w0},
+				Text:  fmt.Sprintf(".word %#04x", w0),
+				Bad:   true,
+			})
+			i = start + 1
+			continue
+		}
+		out = append(out, DisasmLine{
+			Addr:  addr,
+			Words: append([]uint16(nil), words[start:i]...),
+			Text:  inst.String(),
+		})
+	}
+	return out
+}
+
+// Listing renders a disassembly as text.
+func Listing(lines []DisasmLine) string {
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

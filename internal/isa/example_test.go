@@ -1,0 +1,29 @@
+package isa_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/isa"
+)
+
+// ExampleAssemble turns MSP430-flavored source into real machine words and
+// disassembles them back.
+func ExampleAssemble() {
+	img, err := isa.Assemble(`
+	.org 0x4500
+top:	mov #0x1234, r5
+	add r5, r6
+	jne top
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d words at %#04x\n", len(img.Words), img.Org)
+	fmt.Print(isa.Listing(isa.Disassemble(img.Words, img.Org, 3)))
+	// Output:
+	// 4 words at 0x4500
+	// 4500: 4035 1234      mov #0x1234, r5
+	// 4504: 5506           add r5, r6
+	// 4506: 23fc           jne -4
+}

@@ -1,0 +1,53 @@
+package isa_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/units"
+)
+
+// TestShippedFirmwareAssemblesAndRuns smoke-runs every .s file under
+// firmware/: each must assemble, survive intermittent power, and make
+// progress.
+func TestShippedFirmwareAssemblesAndRuns(t *testing.T) {
+	files, err := filepath.Glob("../../firmware/*.s")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no firmware samples found: %v", err)
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := device.NewWISP5(energy.NewRFHarvester(), 9)
+			e := edb.New(edb.DefaultConfig())
+			e.Attach(d)
+			prog := isa.NewProgram(filepath.Base(f), string(src))
+			r := device.NewRunner(d, prog)
+			if err := r.Flash(); err != nil {
+				t.Fatalf("flash: %v", err)
+			}
+			res, err := r.RunFor(units.Seconds(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Faults != 0 || res.Halted != "" {
+				t.Fatalf("sample misbehaved: %+v", res)
+			}
+			if prog.CPU().Retired() == 0 {
+				t.Fatal("no instructions retired")
+			}
+			if res.Reboots == 0 {
+				t.Fatalf("samples should run intermittently: %+v", res)
+			}
+		})
+	}
+}

@@ -1,0 +1,368 @@
+// Package isa implements an MSP430-subset instruction set — the
+// architecture of the WISP 5's MCU — as a two-pass assembler and a CPU
+// interpreter that executes real machine words out of the target's
+// simulated FRAM.
+//
+// Why an ISA layer exists in this reproduction: the rest of the repository
+// writes firmware as Go code against the device API, which is convenient
+// and energy-faithful; this package closes the remaining realism gap.
+// Programs assembled here are flashed as bytes into simulated non-volatile
+// memory and fetched word by word through the same energy-metered paths as
+// data — so instruction fetch costs energy, a brown-out can land between
+// any two instructions (or mid-instruction operand fetch), volatile
+// registers vanish at reboot, and a wild store can corrupt *code*. The
+// debugger sees ISA programs exactly as it sees Go firmware, through a
+// memory-mapped debug port wired to libEDB (see program.go).
+//
+// Implemented: the complete Format I (double-operand) group except DADD,
+// the Format II (single-operand) group, all eight jumps, every addressing
+// mode including the constant generators, byte and word forms, and
+// RETI-based interrupt return. Encodings are the real MSP430 ones, so the
+// assembler's output is genuine MSP430 machine code for the implemented
+// subset.
+package isa
+
+import "fmt"
+
+// Register names. R0-R3 have architectural roles.
+const (
+	PC = 0 // program counter
+	SP = 1 // stack pointer
+	SR = 2 // status register / constant generator 1
+	CG = 3 // constant generator 2
+)
+
+// Status register flags.
+const (
+	FlagC uint16 = 1 << 0 // carry
+	FlagZ uint16 = 1 << 1 // zero
+	FlagN uint16 = 1 << 2 // negative
+	GIE   uint16 = 1 << 3 // general interrupt enable
+	FlagV uint16 = 1 << 8 // overflow
+)
+
+// Format I (double-operand) opcodes, in their [15:12] encoding positions.
+const (
+	OpMOV  = 0x4
+	OpADD  = 0x5
+	OpADDC = 0x6
+	OpSUBC = 0x7
+	OpSUB  = 0x8
+	OpCMP  = 0x9
+	OpDADD = 0xA // recognized, unimplemented (decimal adjust)
+	OpBIT  = 0xB
+	OpBIC  = 0xC
+	OpBIS  = 0xD
+	OpXOR  = 0xE
+	OpAND  = 0xF
+)
+
+// Format II (single-operand) opcodes, in their [9:7] positions under the
+// 000100 prefix.
+const (
+	Op2RRC  = 0x0
+	Op2SWPB = 0x1
+	Op2RRA  = 0x2
+	Op2SXT  = 0x3
+	Op2PUSH = 0x4
+	Op2CALL = 0x5
+	Op2RETI = 0x6
+)
+
+// Jump conditions, in their [12:10] positions under the 001 prefix.
+const (
+	JNE = 0x0
+	JEQ = 0x1
+	JNC = 0x2
+	JC  = 0x3
+	JN  = 0x4
+	JGE = 0x5
+	JL  = 0x6
+	JMP = 0x7
+)
+
+// AddrMode is a source/destination addressing mode (the As/Ad fields).
+type AddrMode int
+
+const (
+	// ModeRegister: Rn.
+	ModeRegister AddrMode = 0
+	// ModeIndexed: x(Rn); with Rn=PC it is symbolic, with Rn=SR absolute.
+	ModeIndexed AddrMode = 1
+	// ModeIndirect: @Rn.
+	ModeIndirect AddrMode = 2
+	// ModeIndirectInc: @Rn+; with Rn=PC it is immediate.
+	ModeIndirectInc AddrMode = 3
+)
+
+// Operand is a decoded operand: mode + register + optional extension word.
+type Operand struct {
+	Mode AddrMode
+	Reg  int
+	// X is the extension word (index, absolute address, or immediate).
+	X uint16
+	// HasX reports whether the operand consumes an extension word.
+	HasX bool
+}
+
+func (o Operand) String() string {
+	switch o.Mode {
+	case ModeRegister:
+		return regName(o.Reg)
+	case ModeIndexed:
+		if o.Reg == PC {
+			return fmt.Sprintf("%#x(sym)", o.X)
+		}
+		if o.Reg == SR {
+			return fmt.Sprintf("&%#x", o.X)
+		}
+		return fmt.Sprintf("%d(%s)", int16(o.X), regName(o.Reg))
+	case ModeIndirect:
+		return "@" + regName(o.Reg)
+	case ModeIndirectInc:
+		if o.Reg == PC {
+			return fmt.Sprintf("#%#x", o.X)
+		}
+		return "@" + regName(o.Reg) + "+"
+	}
+	return "?"
+}
+
+func regName(r int) string {
+	switch r {
+	case PC:
+		return "pc"
+	case SP:
+		return "sp"
+	case SR:
+		return "sr"
+	case CG:
+		return "cg"
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// Inst is a decoded instruction.
+type Inst struct {
+	// Kind discriminates the three formats.
+	Kind InstKind
+	// Op is the opcode within its format.
+	Op int
+	// Byte is true for .B (byte) operations.
+	Byte bool
+	// Src and Dst are the operands (Dst only for Format I; Src only for
+	// Format II).
+	Src, Dst Operand
+	// Offset is the jump offset in words (Kind == KindJump).
+	Offset int16
+	// Words is the encoded length in words (1-3).
+	Words int
+}
+
+// InstKind is the instruction format.
+type InstKind int
+
+const (
+	// KindTwo is Format I (double operand).
+	KindTwo InstKind = iota
+	// KindOne is Format II (single operand).
+	KindOne
+	// KindJump is the jump format.
+	KindJump
+)
+
+var twoOpNames = map[int]string{
+	OpMOV: "mov", OpADD: "add", OpADDC: "addc", OpSUBC: "subc", OpSUB: "sub",
+	OpCMP: "cmp", OpDADD: "dadd", OpBIT: "bit", OpBIC: "bic", OpBIS: "bis",
+	OpXOR: "xor", OpAND: "and",
+}
+
+var oneOpNames = map[int]string{
+	Op2RRC: "rrc", Op2SWPB: "swpb", Op2RRA: "rra", Op2SXT: "sxt",
+	Op2PUSH: "push", Op2CALL: "call", Op2RETI: "reti",
+}
+
+var jumpNames = map[int]string{
+	JNE: "jne", JEQ: "jeq", JNC: "jnc", JC: "jc",
+	JN: "jn", JGE: "jge", JL: "jl", JMP: "jmp",
+}
+
+func (i Inst) String() string {
+	suffix := ""
+	if i.Byte {
+		suffix = ".b"
+	}
+	switch i.Kind {
+	case KindTwo:
+		return fmt.Sprintf("%s%s %s, %s", twoOpNames[i.Op], suffix, i.Src, i.Dst)
+	case KindOne:
+		if i.Op == Op2RETI {
+			return "reti"
+		}
+		return fmt.Sprintf("%s%s %s", oneOpNames[i.Op], suffix, i.Src)
+	case KindJump:
+		return fmt.Sprintf("%s %+d", jumpNames[i.Op], i.Offset)
+	}
+	return "?"
+}
+
+// Encode produces the machine words for an instruction (1-3 words).
+func Encode(i Inst) ([]uint16, error) {
+	switch i.Kind {
+	case KindTwo:
+		if i.Op < OpMOV || i.Op > OpAND {
+			return nil, fmt.Errorf("isa: bad two-op opcode %#x", i.Op)
+		}
+		w := uint16(i.Op)<<12 |
+			uint16(i.Src.Reg)<<8 |
+			uint16(i.Dst.Mode&1)<<7 |
+			boolBit(i.Byte)<<6 |
+			uint16(i.Src.Mode)<<4 |
+			uint16(i.Dst.Reg)
+		out := []uint16{w}
+		if i.Src.HasX {
+			out = append(out, i.Src.X)
+		}
+		if i.Dst.HasX {
+			out = append(out, i.Dst.X)
+		}
+		return out, nil
+	case KindOne:
+		if i.Op < Op2RRC || i.Op > Op2RETI {
+			return nil, fmt.Errorf("isa: bad one-op opcode %#x", i.Op)
+		}
+		w := uint16(0x1000) |
+			uint16(i.Op)<<7 |
+			boolBit(i.Byte)<<6 |
+			uint16(i.Src.Mode)<<4 |
+			uint16(i.Src.Reg)
+		out := []uint16{w}
+		if i.Src.HasX {
+			out = append(out, i.Src.X)
+		}
+		return out, nil
+	case KindJump:
+		if i.Offset < -512 || i.Offset > 511 {
+			return nil, fmt.Errorf("isa: jump offset %d out of range", i.Offset)
+		}
+		w := uint16(0x2000) | uint16(i.Op)<<10 | uint16(i.Offset)&0x3FF
+		return []uint16{w}, nil
+	}
+	return nil, fmt.Errorf("isa: bad instruction kind %d", i.Kind)
+}
+
+func boolBit(b bool) uint16 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Decode parses one instruction starting at word w0, pulling extension
+// words through next (called in operand order). It mirrors Encode.
+func Decode(w0 uint16, next func() (uint16, error)) (Inst, error) {
+	switch {
+	case w0>>13 == 0x1: // 001x... jump
+		off := int16(w0 & 0x3FF)
+		if off&0x200 != 0 {
+			off |= ^int16(0x3FF) // sign-extend 10 bits
+		}
+		return Inst{Kind: KindJump, Op: int(w0 >> 10 & 0x7), Offset: off, Words: 1}, nil
+	case w0>>10 == 0x4: // 000100... single operand
+		op := int(w0 >> 7 & 0x7)
+		if op == 0x7 {
+			return Inst{}, fmt.Errorf("isa: reserved format-II opcode in %#04x", w0)
+		}
+		i := Inst{
+			Kind: KindOne,
+			Op:   op,
+			Byte: w0>>6&1 == 1,
+			Src: Operand{
+				Mode: AddrMode(w0 >> 4 & 0x3),
+				Reg:  int(w0 & 0xF),
+			},
+			Words: 1,
+		}
+		if operandNeedsX(i.Src) {
+			x, err := next()
+			if err != nil {
+				return Inst{}, err
+			}
+			i.Src.X, i.Src.HasX = x, true
+			i.Words++
+		}
+		return i, nil
+	case w0>>12 >= 0x4: // double operand
+		i := Inst{
+			Kind: KindTwo,
+			Op:   int(w0 >> 12),
+			Byte: w0>>6&1 == 1,
+			Src: Operand{
+				Mode: AddrMode(w0 >> 4 & 0x3),
+				Reg:  int(w0 >> 8 & 0xF),
+			},
+			Dst: Operand{
+				Mode: AddrMode(w0 >> 7 & 0x1),
+				Reg:  int(w0 & 0xF),
+			},
+			Words: 1,
+		}
+		if operandNeedsX(i.Src) {
+			x, err := next()
+			if err != nil {
+				return Inst{}, err
+			}
+			i.Src.X, i.Src.HasX = x, true
+			i.Words++
+		}
+		if operandNeedsX(i.Dst) {
+			x, err := next()
+			if err != nil {
+				return Inst{}, err
+			}
+			i.Dst.X, i.Dst.HasX = x, true
+			i.Words++
+		}
+		return i, nil
+	}
+	return Inst{}, fmt.Errorf("isa: unimplemented or invalid opcode word %#04x", w0)
+}
+
+// operandNeedsX reports whether the operand consumes an extension word:
+// indexed/symbolic/absolute always; @PC+ is #immediate; the constant
+// generators never do.
+func operandNeedsX(o Operand) bool {
+	switch o.Mode {
+	case ModeIndexed:
+		return o.Reg != CG // x(CG) is the constant 1 — no extension
+	case ModeIndirectInc:
+		return o.Reg == PC // #imm
+	}
+	return false
+}
+
+// ConstGen returns the constant-generator value for an operand, and
+// whether the operand is a generated constant (SR/CG special modes).
+func ConstGen(o Operand) (uint16, bool) {
+	switch o.Reg {
+	case SR:
+		switch o.Mode {
+		case ModeIndirect:
+			return 4, true
+		case ModeIndirectInc:
+			return 8, true
+		}
+	case CG:
+		switch o.Mode {
+		case ModeRegister:
+			return 0, true
+		case ModeIndexed:
+			return 1, true
+		case ModeIndirect:
+			return 2, true
+		case ModeIndirectInc:
+			return 0xFFFF, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,216 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	f := func(op uint8, srcReg, dstReg uint8, srcMode, dstMode uint8, byteOp bool, x1, x2 uint16) bool {
+		i := Inst{
+			Kind: KindTwo,
+			Op:   int(op%12) + OpMOV,
+			Byte: byteOp,
+			Src: Operand{
+				Mode: AddrMode(srcMode % 4),
+				Reg:  int(srcReg % 16),
+			},
+			Dst: Operand{
+				Mode: AddrMode(dstMode % 2), // dst is 1-bit
+				Reg:  int(dstReg % 16),
+			},
+		}
+		if operandNeedsX(i.Src) {
+			i.Src.X, i.Src.HasX = x1, true
+		}
+		if operandNeedsX(i.Dst) {
+			i.Dst.X, i.Dst.HasX = x2, true
+		}
+		words, err := Encode(i)
+		if err != nil {
+			return false
+		}
+		rest := words[1:]
+		got, err := Decode(words[0], func() (uint16, error) {
+			w := rest[0]
+			rest = rest[1:]
+			return w, nil
+		})
+		if err != nil {
+			return false
+		}
+		got.Words = 0 // not part of the comparison
+		want := i
+		return got.Kind == want.Kind && got.Op == want.Op && got.Byte == want.Byte &&
+			got.Src == want.Src && got.Dst == want.Dst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJumpEncodeDecode(t *testing.T) {
+	for op := JNE; op <= JMP; op++ {
+		for _, off := range []int16{-512, -1, 0, 1, 511} {
+			words, err := Encode(Inst{Kind: KindJump, Op: op, Offset: off})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Decode(words[0], nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind != KindJump || got.Op != op || got.Offset != off {
+				t.Fatalf("op=%d off=%d decoded %+v", op, off, got)
+			}
+		}
+	}
+	if _, err := Encode(Inst{Kind: KindJump, Op: JMP, Offset: 512}); err == nil {
+		t.Fatal("out-of-range offset must fail")
+	}
+}
+
+func TestRealEncodings(t *testing.T) {
+	// Spot-check against hand-assembled MSP430 words.
+	cases := []struct {
+		inst Inst
+		want []uint16
+	}{
+		{ // mov r5, r6 = 0x4506
+			Inst{Kind: KindTwo, Op: OpMOV,
+				Src: Operand{Mode: ModeRegister, Reg: 5},
+				Dst: Operand{Mode: ModeRegister, Reg: 6}},
+			[]uint16{0x4506},
+		},
+		{ // add #1, r5 via CG: 0x5315... add src=CG(r3) As=01 → 0x5315
+			Inst{Kind: KindTwo, Op: OpADD,
+				Src: Operand{Mode: ModeIndexed, Reg: CG},
+				Dst: Operand{Mode: ModeRegister, Reg: 5}},
+			[]uint16{0x5315},
+		},
+		{ // mov @r4+, r5 = 0x4435
+			Inst{Kind: KindTwo, Op: OpMOV,
+				Src: Operand{Mode: ModeIndirectInc, Reg: 4},
+				Dst: Operand{Mode: ModeRegister, Reg: 5}},
+			[]uint16{0x4435},
+		},
+		{ // push r10 = 0x120A
+			Inst{Kind: KindOne, Op: Op2PUSH,
+				Src: Operand{Mode: ModeRegister, Reg: 10}},
+			[]uint16{0x120A},
+		},
+		{ // reti = 0x1300
+			Inst{Kind: KindOne, Op: Op2RETI,
+				Src: Operand{Mode: ModeRegister, Reg: 0}},
+			[]uint16{0x1300},
+		},
+		{ // jmp $ (offset -1) = 0x3FFF
+			Inst{Kind: KindJump, Op: JMP, Offset: -1},
+			[]uint16{0x3FFF},
+		},
+	}
+	for i, c := range cases {
+		got, err := Encode(c.inst)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: %x vs %x", i, got, c.want)
+		}
+		for k := range got {
+			if got[k] != c.want[k] {
+				t.Fatalf("case %d word %d: %#04x want %#04x", i, k, got[k], c.want[k])
+			}
+		}
+	}
+}
+
+func TestConstGen(t *testing.T) {
+	cases := []struct {
+		op   Operand
+		want uint16
+	}{
+		{Operand{Mode: ModeRegister, Reg: CG}, 0},
+		{Operand{Mode: ModeIndexed, Reg: CG}, 1},
+		{Operand{Mode: ModeIndirect, Reg: CG}, 2},
+		{Operand{Mode: ModeIndirect, Reg: SR}, 4},
+		{Operand{Mode: ModeIndirectInc, Reg: SR}, 8},
+		{Operand{Mode: ModeIndirectInc, Reg: CG}, 0xFFFF},
+	}
+	for i, c := range cases {
+		v, ok := ConstGen(c.op)
+		if !ok || v != c.want {
+			t.Fatalf("case %d: %v %v", i, v, ok)
+		}
+	}
+	if _, ok := ConstGen(Operand{Mode: ModeRegister, Reg: 5}); ok {
+		t.Fatal("plain register is not a constant")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	i := Inst{Kind: KindTwo, Op: OpMOV, Byte: true,
+		Src: Operand{Mode: ModeIndirectInc, Reg: 4},
+		Dst: Operand{Mode: ModeRegister, Reg: 5}}
+	if s := i.String(); s != "mov.b @r4+, r5" {
+		t.Fatalf("string = %q", s)
+	}
+	j := Inst{Kind: KindJump, Op: JNE, Offset: -3}
+	if s := j.String(); s != "jne -3" {
+		t.Fatalf("string = %q", s)
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	if _, err := Decode(0x0000, nil); err == nil {
+		t.Fatal("word 0 must not decode")
+	}
+	if _, err := Decode(0x1380, nil); err == nil { // reserved format-II op 7
+		t.Fatal("reserved format-II opcode must not decode")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	img, err := Assemble(`
+	.org 0x4500
+top:	mov #0x1234, r5
+	add r5, r6
+	jne top
+	mov &0x4600, r7
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := Disassemble(img.Words, img.Org, 10)
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %v", len(lines), lines)
+	}
+	if lines[0].Text != "mov #0x1234, r5" || lines[0].Addr != 0x4500 {
+		t.Fatalf("line 0 = %v", lines[0])
+	}
+	if lines[1].Text != "add r5, r6" {
+		t.Fatalf("line 1 = %v", lines[1])
+	}
+	// jne back to top: 4 words back from the word after the jump.
+	if lines[2].Text != "jne -4" {
+		t.Fatalf("line 2 = %v", lines[2])
+	}
+	out := Listing(lines)
+	if !strings.Contains(out, "4500:") {
+		t.Fatalf("listing:\n%s", out)
+	}
+}
+
+func TestDisassembleGarbageDegrades(t *testing.T) {
+	lines := Disassemble([]uint16{0x0000, 0x4506, 0x0001}, 0x4500, 10)
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !lines[0].Bad || lines[1].Bad || !lines[2].Bad {
+		t.Fatalf("bad flags: %v", lines)
+	}
+	if !strings.Contains(lines[0].Text, ".word") {
+		t.Fatalf("line 0 = %v", lines[0])
+	}
+}

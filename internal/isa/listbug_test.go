@@ -1,0 +1,163 @@
+package isa_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/memsim"
+	"repro/internal/units"
+)
+
+// listBugSrc is the paper's Fig. 3 intermittence bug in actual MSP430
+// assembly: a doubly-linked list in FRAM, remove-from-head then
+// append-to-tail per iteration. The append writes tail->next=e before
+// updating tail; a brown-out between the two corrupts the invariant.
+// Node layout: +0 next, +2 prev. The sentinel never moves.
+//
+// With CHECK=1 the loop head verifies tail->next==NULL and head->prev ==
+// sentinel, reporting a failure through the assert port (EDB keep-alive).
+func listBugSrc(withAssert bool) string {
+	assert := ""
+	if withAssert {
+		assert = `
+	; assert tail->next == 0
+	mov &tail, r7        ; r7 = tail (node address)
+	mov @r7, r8          ; r8 = tail->next
+	tst r8
+	jz okTail
+	mov #1, &AFAIL       ; tail invariant broken
+okTail:	; assert head != 0 && head->prev == sentinel
+	mov &sent, r9        ; r9 = head = sentinel->next
+	tst r9
+	jnz okH1
+	mov #2, &AFAIL
+okH1:	mov 2(r9), r10       ; r10 = head->prev
+	cmp #sent, r10
+	jeq okH2
+	mov #2, &AFAIL
+okH2:
+`
+	}
+	return `
+	.equ AFAIL,  0x0122
+	.equ APPPIN, 0x0128
+
+main:	mov #2, &APPPIN
+` + assert + `
+	; e = sentinel->next (first real node)
+	mov &sent, r5        ; e
+
+	; remove(e): e->prev->next = e->next
+	mov 2(r5), r6        ; prev
+	mov @r5, r7          ; next
+	mov r7, 0(r6)
+	; if e == tail: tail = prev else next->prev = prev
+	cmp &tail, r5
+	jne notTail
+	mov r6, &tail
+	jmp removed
+notTail:
+	mov r6, 2(r7)        ; WILD WRITE when next==0 -> address 0x0002
+removed:
+
+	; update(e): burn a little energy
+	mov #24, r8
+upd:	dec r8
+	jnz upd
+
+	; append(e): e->next=0; e->prev=tail; tail->next=e; tail=e
+	clr 0(r5)
+	mov &tail, r9
+	mov r9, 2(r5)
+	mov r5, 0(r9)
+	; <-- a brown-out here leaves tail stale: the Fig. 3 window
+	mov r5, &tail
+
+	; iter++
+	mov &iter, r11
+	inc r11
+	mov r11, &iter
+	jmp main
+
+	; list image: sentinel -> n1 -> n2 -> n3 (tail), laid out at flash
+sent:	.word n1, 0          ; sentinel: next, prev
+n1:	.word n2, sent
+n2:	.word n3, n1
+n3:	.word 0,  n2
+tail:	.word n3
+iter:	.word 0
+`
+}
+
+func TestISAListBugFaultsWithoutAssert(t *testing.T) {
+	d := device.NewWISP5(energy.NewRFHarvester(), 42)
+	prog := isa.NewProgram("asm-listbug", listBugSrc(false))
+	r := device.NewRunner(d, prog)
+	if err := r.Flash(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunFor(units.Seconds(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reboots == 0 {
+		t.Fatalf("must be intermittent: %+v", res)
+	}
+	if res.Faults == 0 {
+		t.Fatalf("the Fig. 3 bug must eventually wedge the MCU: %+v", res)
+	}
+	iters, _ := d.Mem.ReadWord(memsim.Addr(prog.Image().Symbols["iter"]))
+	if iters == 0 {
+		t.Fatal("no progress before the corruption")
+	}
+}
+
+func TestISAListBugCaughtByAssertPort(t *testing.T) {
+	d := device.NewWISP5(energy.NewRFHarvester(), 42)
+	e := edb.New(edb.DefaultConfig())
+	e.Attach(d)
+	prog := isa.NewProgram("asm-listbug-assert", listBugSrc(true))
+	r := device.NewRunner(d, prog)
+	if err := r.Flash(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunFor(units.Seconds(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults != 0 {
+		t.Fatalf("assert must catch the corruption before the wild write: %+v", res)
+	}
+	if !strings.Contains(res.Halted, "assert") {
+		t.Fatalf("halted = %q (%+v)", res.Halted, res)
+	}
+	if !d.Supply.Tethered() {
+		t.Fatal("keep-alive must tether the assembly target too")
+	}
+	// The diagnosis works over the wire exactly as for Go firmware: read
+	// the tail and its next pointer from the halted, tethered device.
+	tailPtrAddr := memsim.Addr(prog.Image().Symbols["tail"])
+	tail, err := d.Mem.ReadWord(tailPtrAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := prog.Image().Symbols["sent"]
+	tailNext, err := d.Mem.ReadWord(memsim.Addr(tail))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, _ := d.Mem.ReadWord(memsim.Addr(sent))
+	headBroken := head == 0
+	if !headBroken && head != 0 {
+		prev, _ := d.Mem.ReadWord(memsim.Addr(head) + 2)
+		headBroken = prev != sent
+	}
+	if tailNext == 0 && !headBroken {
+		t.Fatalf("assert fired but no invariant looks broken (tail=%#x tail->next=%#x head=%#x)",
+			tail, tailNext, head)
+	}
+}

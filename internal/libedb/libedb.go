@@ -1,0 +1,291 @@
+// Package libedb is the target-side half of EDB: the library an application
+// statically links to gain debugging primitives (Table 1's "libEDB API"):
+//
+//	assert(expr)          → Lib.Assert
+//	break|watch point(id) → Lib.Breakpoint / Lib.Watchpoint
+//	energy_guard(begin|end) → Lib.GuardBegin / Lib.GuardEnd
+//	printf(fmt, ...)      → Lib.Printf
+//
+// Internally it implements the target-side protocol: a dedicated GPIO
+// signal line opens active-mode exchanges, code-marker GPIO lines encode
+// watchpoint identifiers, and a UART link carries debugwire frames,
+// including the debug service loop that lets the host read and write the
+// target's address space during interactive sessions.
+//
+// Every primitive charges the honest target-side cost in cycles and energy;
+// the point of EDB's design is that those costs are either negligible (a
+// GPIO pulse for a watchpoint) or compensated (anything under the tether).
+package libedb
+
+import (
+	"fmt"
+
+	"repro/internal/debugwire"
+	"repro/internal/device"
+	"repro/internal/memsim"
+	"repro/internal/sim"
+)
+
+// MarkerLines is the number of code-marker GPIO lines the prototype wires
+// to EDB; n lines encode 2ⁿ−1 distinct simultaneous watchpoints (§4.1.3).
+const MarkerLines = 2
+
+// MaxWatchpointID is the largest watchpoint identifier encodable on the
+// marker lines.
+const MaxWatchpointID = 1<<MarkerLines - 1
+
+// Lib is the target-side library state. One instance lives per device, set
+// up at flash time.
+type Lib struct {
+	d *device.Device
+
+	// coreDumpAddr is a small reserved FRAM area where the unattached
+	// fallback assert handler saves its post-mortem clues (§3.3.2: "a tiny
+	// ad hoc core dump that a custom fault handler can manage to save").
+	coreDumpAddr memsim.Addr
+
+	// service-loop frame accumulator (survives only within a session).
+	acc debugwire.Accumulator
+}
+
+// ServiceRegistrar is the piece of the debugger that accepts the target's
+// debug service loop; *edb.EDB implements it. The indirection keeps libedb
+// from importing the edb package.
+type ServiceRegistrar interface {
+	SetTargetService(fn func(env *device.Env) bool)
+}
+
+// Init prepares libEDB on a device: reserves the core-dump area, installs
+// the energy-breakpoint ISR, and (if a debugger is present) registers the
+// debug service loop.
+func Init(d *device.Device) (*Lib, error) {
+	l := &Lib{d: d}
+	a, err := d.FRAM.Alloc(8)
+	if err != nil {
+		return nil, fmt.Errorf("libedb: reserving core-dump area: %w", err)
+	}
+	l.coreDumpAddr = a
+	d.SetISR(l.isr)
+	if reg, ok := d.Debugger().(ServiceRegistrar); ok && reg != nil {
+		reg.SetTargetService(l.ServiceOne)
+	}
+	return l, nil
+}
+
+// CoreDumpAddr returns the FRAM address of the fallback assert core dump:
+// word 0 is the failed assert id + 1, word 1 its truncated cycle count.
+func (l *Lib) CoreDumpAddr() memsim.Addr { return l.coreDumpAddr }
+
+// dbg returns the attached debugger, or nil.
+func (l *Lib) dbg() device.Debugger { return l.d.Debugger() }
+
+// Watchpoint marks a program event (§4.1.3): the target encodes id onto
+// the code-marker lines for one cycle; EDB decodes and timestamps it and
+// snapshots the energy level. The cost is a handful of GPIO cycles —
+// "practically energy-interference-free".
+func (l *Lib) Watchpoint(env *device.Env, id int) {
+	if id < 1 || id > MaxWatchpointID {
+		return
+	}
+	env.SetPin(device.LineCodeMarker0, id&1 != 0)
+	env.SetPin(device.LineCodeMarker1, id&2 != 0)
+	if dbg := l.dbg(); dbg != nil {
+		dbg.MarkerEdge(env.Now(), id)
+	}
+	env.SetPin(device.LineCodeMarker0, false)
+	env.SetPin(device.LineCodeMarker1, false)
+}
+
+// Breakpoint is a code breakpoint site (§3.3.1). The check costs a few
+// cycles (reading the enable state); when the breakpoint is enabled — and,
+// for combined breakpoints, the energy condition holds — the target opens
+// an interactive session on tethered power.
+func (l *Lib) Breakpoint(env *device.Env, id int) {
+	env.Compute(6) // enable-flag check
+	dbg := l.dbg()
+	if dbg == nil || !dbg.BreakpointEnabled(id) {
+		return
+	}
+	env.SetPin(device.LineDebugSignal, true)
+	if dbg.DebugRequest(env, device.ReqBreakpoint, uint16(id)) {
+		dbg.EnterInteractive(env, fmt.Sprintf("breakpoint %d", id))
+		dbg.DebugDone(env)
+	}
+	env.SetPin(device.LineDebugSignal, false)
+}
+
+// Assert checks a condition (§3.3.2). On failure with EDB attached, the
+// target is immediately tethered to continuous power (keep-alive) and an
+// interactive session opens with the entire live address space available.
+// Without EDB, the fallback handler saves a tiny core dump to FRAM and the
+// device wedges until it browns out — the unsatisfying post-mortem
+// debugging the paper contrasts against.
+func (l *Lib) Assert(env *device.Env, id int, cond bool) {
+	env.Compute(2) // predicate branch
+	if cond {
+		return
+	}
+	if dbg := l.dbg(); dbg != nil {
+		env.SetPin(device.LineDebugSignal, true)
+		if dbg.DebugRequest(env, device.ReqAssert, uint16(id)) {
+			// Announce the failure over the wire so the console logs it.
+			env.UARTWrite(debugwire.EncodeWord(debugwire.RspAssert, uint16(id)))
+			dbg.EnterInteractive(env, fmt.Sprintf("assert %d", id))
+			dbg.DebugDone(env)
+		}
+		env.SetPin(device.LineDebugSignal, false)
+		return
+	}
+	// Unattached: post-mortem core dump, then wedge until brown-out.
+	env.StoreWord(l.coreDumpAddr, uint16(id)+1)
+	env.StoreWord(l.coreDumpAddr+2, uint16(env.Now()))
+	for {
+		env.Compute(1024)
+	}
+}
+
+// GuardBegin opens an energy guard (§3.3.3): EDB records the energy level
+// and tethers the target, so the code inside the guarded region runs at no
+// energy cost to the application.
+func (l *Lib) GuardBegin(env *device.Env) {
+	if dbg := l.dbg(); dbg != nil {
+		env.SetPin(device.LineDebugSignal, true)
+		dbg.DebugRequest(env, device.ReqGuardBegin, 0)
+	}
+}
+
+// GuardEnd closes an energy guard: EDB restores the recorded energy level
+// and untethers. Code on either side of the region "experiences an
+// illusion of continuity in the energy level… as if no energy was
+// consumed."
+func (l *Lib) GuardEnd(env *device.Env) {
+	if dbg := l.dbg(); dbg != nil {
+		dbg.DebugDone(env)
+		env.SetPin(device.LineDebugSignal, false)
+	}
+}
+
+// Printf is the energy-interference-free printf (§4.2, Table 4): the text
+// travels over the UART while the target is tethered, and the energy spent
+// is compensated on exit. Wall-clock time is longer than a raw UART print
+// (the save/restore bracketing), but the energy cost to the application is
+// near the restore loop's resolution limit. Without EDB attached it is a
+// no-op.
+func (l *Lib) Printf(env *device.Env, format string, args ...any) {
+	dbg := l.dbg()
+	if dbg == nil {
+		return
+	}
+	text := fmt.Sprintf(format, args...)
+	env.SetPin(device.LineDebugSignal, true)
+	if dbg.DebugRequest(env, device.ReqPrintf, 0) {
+		for len(text) > 0 {
+			n := len(text)
+			if n > debugwire.MaxPayload {
+				n = debugwire.MaxPayload
+			}
+			env.UARTWrite(debugwire.MustEncode(debugwire.RspPrintf, []byte(text[:n])))
+			text = text[n:]
+		}
+		dbg.DebugDone(env)
+	}
+	env.SetPin(device.LineDebugSignal, false)
+}
+
+// isr is the energy-breakpoint interrupt handler: EDB asserted the
+// interrupt wire because an armed energy threshold was crossed; open an
+// interactive session.
+func (l *Lib) isr(env *device.Env) {
+	dbg := l.dbg()
+	if dbg == nil {
+		return
+	}
+	env.SetPin(device.LineDebugSignal, true)
+	if dbg.DebugRequest(env, device.ReqBreakpoint, 0xFFFF) {
+		dbg.EnterInteractive(env, "energy breakpoint")
+		dbg.DebugDone(env)
+	}
+	env.SetPin(device.LineDebugSignal, false)
+}
+
+// ServiceOne runs one step of the debug service loop: poll the UART for a
+// command frame, execute it against target memory, transmit the response.
+// It returns false when the host sent CmdResume (session over) or nothing
+// arrived. All costs are tethered target cycles.
+func (l *Lib) ServiceOne(env *device.Env) bool {
+	// Drain available RX bytes into the frame accumulator.
+	for {
+		b, ok := env.UARTRead(sim.Cycles(64))
+		if !ok {
+			break
+		}
+		l.acc.Feed(b)
+		if l.acc.Pending() > 0 {
+			break
+		}
+	}
+	f, ok := l.acc.Next()
+	if !ok {
+		return false
+	}
+	switch f.Cmd {
+	case debugwire.CmdReadWord:
+		a, err := f.Word(0)
+		if err != nil {
+			env.UARTWrite(debugwire.MustEncode(debugwire.RspNak, nil))
+			return true
+		}
+		v, err := l.d.Mem.ReadWord(memsim.Addr(a))
+		env.Compute(device.CyclesLoad)
+		if err != nil {
+			env.UARTWrite(debugwire.MustEncode(debugwire.RspNak, nil))
+			return true
+		}
+		env.UARTWrite(debugwire.EncodeWord(debugwire.RspData, v))
+	case debugwire.CmdWriteWord:
+		a, err1 := f.Word(0)
+		v, err2 := f.Word(1)
+		if err1 != nil || err2 != nil {
+			env.UARTWrite(debugwire.MustEncode(debugwire.RspNak, nil))
+			return true
+		}
+		env.Compute(device.CyclesStore)
+		if err := l.d.Mem.WriteWord(memsim.Addr(a), v); err != nil {
+			env.UARTWrite(debugwire.MustEncode(debugwire.RspNak, nil))
+			return true
+		}
+		env.UARTWrite(debugwire.MustEncode(debugwire.RspAck, nil))
+	case debugwire.CmdWriteBlock:
+		if len(f.Payload) < 2 {
+			env.UARTWrite(debugwire.MustEncode(debugwire.RspNak, nil))
+			return true
+		}
+		a, _ := f.Word(0)
+		data := f.Payload[2:]
+		env.Compute(device.CyclesStore * len(data))
+		if err := l.d.Mem.WriteBytes(memsim.Addr(a), data); err != nil {
+			env.UARTWrite(debugwire.MustEncode(debugwire.RspNak, nil))
+			return true
+		}
+		env.UARTWrite(debugwire.MustEncode(debugwire.RspAck, nil))
+	case debugwire.CmdReadBlock:
+		a, err1 := f.Word(0)
+		n, err2 := f.Word(1)
+		if err1 != nil || err2 != nil || int(n) > debugwire.MaxPayload {
+			env.UARTWrite(debugwire.MustEncode(debugwire.RspNak, nil))
+			return true
+		}
+		data, err := l.d.Mem.ReadBytes(memsim.Addr(a), int(n))
+		env.Compute(device.CyclesLoad * int(n))
+		if err != nil {
+			env.UARTWrite(debugwire.MustEncode(debugwire.RspNak, nil))
+			return true
+		}
+		env.UARTWrite(debugwire.MustEncode(debugwire.RspData, data))
+	case debugwire.CmdResume:
+		return false
+	default:
+		env.UARTWrite(debugwire.MustEncode(debugwire.RspNak, nil))
+	}
+	return true
+}

@@ -1,0 +1,366 @@
+package libedb_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/libedb"
+	"repro/internal/memsim"
+	"repro/internal/units"
+)
+
+func rig(t *testing.T) (*device.Device, *edb.EDB, *libedb.Lib, *device.Env) {
+	t.Helper()
+	d := device.NewWISP5(&energy.ConstantHarvester{I: units.MilliAmps(1), Voc: 3.3}, 33)
+	e := edb.New(edb.DefaultConfig())
+	e.Attach(d)
+	lib, err := libedb.Init(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Supply.Cap.SetVoltage(2.4)
+	d.Supply.Step(0, 0)
+	return d, e, lib, &device.Env{D: d}
+}
+
+func TestWatchpointRecordsIDAndEnergy(t *testing.T) {
+	d, e, lib, env := rig(t)
+	for id := 1; id <= libedb.MaxWatchpointID; id++ {
+		lib.Watchpoint(env, id)
+	}
+	lib.Watchpoint(env, 0)  // invalid: below range
+	lib.Watchpoint(env, 99) // invalid: above range
+	hits := e.WatchHits()
+	if len(hits) != libedb.MaxWatchpointID {
+		t.Fatalf("hits = %d", len(hits))
+	}
+	for i, h := range hits {
+		if h.ID != i+1 {
+			t.Fatalf("hit %d id = %d", i, h.ID)
+		}
+		if h.V < 2.3 || h.V > 2.5 {
+			t.Fatalf("hit %d energy snapshot = %v", i, h.V)
+		}
+	}
+	// Marker lines must be left low.
+	if d.GPIO.Level(device.LineCodeMarker0) || d.GPIO.Level(device.LineCodeMarker1) {
+		t.Fatal("marker lines must return low")
+	}
+}
+
+func TestWatchpointCostIsNegligible(t *testing.T) {
+	// §4.1.3: monitoring program events is "practically
+	// energy-interference-free" — a few GPIO cycles.
+	d, _, lib, env := rig(t)
+	t0 := d.Clock.Now()
+	lib.Watchpoint(env, 1)
+	cost := d.Clock.Now() - t0
+	if cost > 16 {
+		t.Fatalf("watchpoint cost = %d cycles", cost)
+	}
+}
+
+func TestWatchpointEnableFilter(t *testing.T) {
+	_, e, lib, env := rig(t)
+	e.EnableWatchpoint(2, false)
+	lib.Watchpoint(env, 2)
+	if len(e.WatchHits()) != 0 {
+		t.Fatal("disabled watchpoint must not record")
+	}
+	e.EnableWatchpoint(2, true)
+	lib.Watchpoint(env, 2)
+	if len(e.WatchHits()) != 1 {
+		t.Fatal("re-enabled watchpoint must record")
+	}
+}
+
+func TestBreakpointDisabledIsCheap(t *testing.T) {
+	d, _, lib, env := rig(t)
+	t0 := d.Clock.Now()
+	lib.Breakpoint(env, 1) // not enabled: must not trap
+	cost := d.Clock.Now() - t0
+	if cost > 10 {
+		t.Fatalf("disabled breakpoint cost = %d cycles", cost)
+	}
+}
+
+func TestBreakpointTrapsWhenEnabled(t *testing.T) {
+	_, e, lib, env := rig(t)
+	e.EnableBreak(1, true, 0)
+	entered := false
+	e.OnInteractive(func(s *edb.Session) {
+		entered = true
+		if !strings.Contains(s.Reason, "breakpoint 1") {
+			t.Fatalf("reason = %q", s.Reason)
+		}
+	})
+	lib.Breakpoint(env, 1)
+	if !entered {
+		t.Fatal("enabled breakpoint must open a session")
+	}
+	if e.Active() {
+		t.Fatal("session must close after resume")
+	}
+}
+
+func TestCombinedBreakpointEnergyCondition(t *testing.T) {
+	d, e, lib, env := rig(t)
+	e.EnableBreak(2, true, 2.0) // only below 2.0 V
+	hits := 0
+	e.OnInteractive(func(s *edb.Session) { hits++ })
+	env.Compute(400) // let the sampler take a reading at 2.4 V
+	lib.Breakpoint(env, 2)
+	if hits != 0 {
+		t.Fatal("combined breakpoint must not trigger above its level")
+	}
+	d.Supply.Cap.SetVoltage(1.9)
+	env.Compute(800) // sampler refreshes the reading
+	lib.Breakpoint(env, 2)
+	if hits != 1 {
+		t.Fatalf("combined breakpoint hits = %d", hits)
+	}
+}
+
+func TestAssertPassIsCheap(t *testing.T) {
+	d, e, lib, env := rig(t)
+	t0 := d.Clock.Now()
+	lib.Assert(env, 1, true)
+	if cost := d.Clock.Now() - t0; cost > 8 {
+		t.Fatalf("passing assert cost = %d cycles", cost)
+	}
+	if e.Stats().Asserts != 0 {
+		t.Fatal("passing assert must not signal")
+	}
+}
+
+func TestAssertFailureTethersAndHalts(t *testing.T) {
+	d, e, lib, env := rig(t)
+	defer func() {
+		p := recover()
+		h, ok := p.(*device.Halted)
+		if !ok {
+			t.Fatalf("want Halted, got %v", p)
+		}
+		if !strings.Contains(h.Reason, "assert 7") {
+			t.Fatalf("reason = %q", h.Reason)
+		}
+		if !d.Supply.Tethered() {
+			t.Fatal("keep-alive must tether")
+		}
+		if e.Events().Count("assert") != 1 {
+			t.Fatal("assert event missing")
+		}
+	}()
+	lib.Assert(env, 7, false)
+	t.Fatal("unreachable")
+}
+
+func TestAssertWithoutDebuggerCoreDumpsAndWedges(t *testing.T) {
+	d := device.NewWISP5(&energy.ConstantHarvester{I: units.MicroAmps(100), Voc: 3.3}, 34)
+	lib, err := libedb.Init(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Supply.Cap.SetVoltage(2.4)
+	d.Supply.Step(0, 0)
+	env := &device.Env{D: d}
+	func() {
+		defer func() {
+			if _, ok := recover().(*device.PowerFailure); !ok {
+				t.Fatal("unattached assert must wedge until brown-out")
+			}
+		}()
+		lib.Assert(env, 3, false)
+	}()
+	// The ad hoc core dump must carry the assert id.
+	v, err := d.Mem.ReadWord(lib.CoreDumpAddr())
+	if err != nil || v != 4 { // id+1
+		t.Fatalf("core dump id = %d err=%v", v, err)
+	}
+}
+
+func TestPrintfWithoutDebuggerIsNoop(t *testing.T) {
+	d := device.NewWISP5(&energy.ConstantHarvester{I: units.MilliAmps(1), Voc: 3.3}, 35)
+	lib, err := libedb.Init(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Supply.Cap.SetVoltage(2.4)
+	d.Supply.Step(0, 0)
+	env := &device.Env{D: d}
+	t0 := d.Clock.Now()
+	lib.Printf(env, "x=%d", 42)
+	if d.Clock.Now() != t0 {
+		t.Fatal("printf without EDB must cost nothing")
+	}
+}
+
+func TestPrintfDeliversTextAndCompensates(t *testing.T) {
+	d, e, lib, env := rig(t)
+	v0 := d.Supply.Voltage()
+	lib.Printf(env, "n=%d v=%s", 7, "ok")
+	if got := e.PrintfOutput(); got != "n=7 v=ok" {
+		t.Fatalf("printf output = %q", got)
+	}
+	dv := float64(d.Supply.Voltage() - v0)
+	// Fine restore: within a few mV of where it started.
+	if dv < -0.01 || dv > 0.01 {
+		t.Fatalf("printf energy interference dV = %v", dv)
+	}
+	if d.Supply.Tethered() {
+		t.Fatal("tether must drop after printf")
+	}
+}
+
+func TestPrintfLongPayloadChunks(t *testing.T) {
+	_, e, lib, env := rig(t)
+	long := strings.Repeat("abcdefgh", 64) // 512 bytes: > one frame
+	lib.Printf(env, "%s", long)
+	if e.PrintfOutput() != long {
+		t.Fatalf("long printf mangled: %d bytes out", len(e.PrintfOutput()))
+	}
+}
+
+func TestEnergyGuardCompensation(t *testing.T) {
+	d, e, lib, env := rig(t)
+	v0 := d.Supply.Voltage()
+	lib.GuardBegin(env)
+	if !d.Supply.Tethered() {
+		t.Fatal("guard must tether")
+	}
+	env.Compute(2_000_000) // half a second of work: would brown out unguarded
+	lib.GuardEnd(env)
+	if d.Supply.Tethered() {
+		t.Fatal("guard end must untether")
+	}
+	dv := float64(d.Supply.Voltage() - v0)
+	if dv < -0.01 || dv > 0.015 {
+		t.Fatalf("guard energy discrepancy dV = %v", dv)
+	}
+	if e.Stats().Guards != 1 || e.Stats().SaveRestores != 1 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+}
+
+func TestNestedEnergyGuards(t *testing.T) {
+	d, e, lib, env := rig(t)
+	v0 := d.Supply.Voltage()
+	lib.GuardBegin(env)
+	lib.GuardBegin(env)
+	env.Compute(100000)
+	lib.GuardEnd(env)
+	if !d.Supply.Tethered() {
+		t.Fatal("inner guard end must keep the outer tether")
+	}
+	lib.GuardEnd(env)
+	if d.Supply.Tethered() {
+		t.Fatal("outer guard end must untether")
+	}
+	dv := float64(d.Supply.Voltage() - v0)
+	if dv < -0.01 || dv > 0.015 {
+		t.Fatalf("nested guard discrepancy dV = %v", dv)
+	}
+	_ = e
+}
+
+func TestServiceLoopMemoryAccess(t *testing.T) {
+	d, e, lib, env := rig(t)
+	_ = lib
+	addr, err := d.FRAM.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Mem.WriteWord(addr, 0x5A5A); err != nil {
+		t.Fatal(err)
+	}
+	var got uint16
+	var wrote error
+	e.OnInteractive(func(s *edb.Session) {
+		var rerr error
+		got, rerr = s.ReadWord(addr)
+		if rerr != nil {
+			t.Errorf("read: %v", rerr)
+		}
+		wrote = s.WriteWord(addr, 0xA5A5)
+		blk, berr := s.ReadBlock(addr, 2)
+		if berr != nil || len(blk) != 2 {
+			t.Errorf("block: %v %v", blk, berr)
+		}
+		// Unmapped access must NAK, not crash.
+		if _, err := s.ReadWord(0x0002); err == nil {
+			t.Error("unmapped session read must fail")
+		}
+	})
+	e.EnableBreak(1, true, 0)
+	libInternalBreakpoint(t, d, env, 1)
+	if got != 0x5A5A || wrote != nil {
+		t.Fatalf("session io: got=%#x wrote=%v", got, wrote)
+	}
+	v, _ := d.Mem.ReadWord(addr)
+	if v != 0xA5A5 {
+		t.Fatalf("write did not land: %#x", v)
+	}
+}
+
+// libInternalBreakpoint triggers a breakpoint trap via the lib bound to d.
+func libInternalBreakpoint(t *testing.T, d *device.Device, env *device.Env, id int) {
+	t.Helper()
+	// The lib registered in rig() is bound to d's debugger; re-init is
+	// safe for triggering (same device, same FRAM layout tail).
+	lib, err := libedb.Init(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib.Breakpoint(env, id)
+}
+
+func TestMarkerEncodingBijective(t *testing.T) {
+	// n marker lines encode 2ⁿ−1 distinct ids; every id maps to a unique
+	// line pattern.
+	patterns := map[[2]bool]int{}
+	for id := 1; id <= libedb.MaxWatchpointID; id++ {
+		p := [2]bool{id&1 != 0, id&2 != 0}
+		if prev, dup := patterns[p]; dup {
+			t.Fatalf("ids %d and %d share a pattern", prev, id)
+		}
+		patterns[p] = id
+	}
+	if len(patterns) != (1<<libedb.MarkerLines)-1 {
+		t.Fatalf("pattern count = %d", len(patterns))
+	}
+	_ = memsim.Null
+}
+
+func TestServiceBlockWrite(t *testing.T) {
+	d, e, lib, env := rig(t)
+	_ = lib
+	addr, err := d.FRAM.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrote error
+	var back []byte
+	e.OnInteractive(func(s *edb.Session) {
+		wrote = s.WriteBlock(addr, []byte{1, 2, 3, 4, 5, 6})
+		back, _ = s.ReadBlock(addr, 6)
+		// Unmapped block write must NAK.
+		if err := s.WriteBlock(0x0002, []byte{9}); err == nil {
+			t.Error("unmapped block write must fail")
+		}
+		// Oversized payload is rejected host-side.
+		if err := s.WriteBlock(addr, make([]byte, 300)); err == nil {
+			t.Error("oversized block write must fail")
+		}
+	})
+	e.EnableBreak(4, true, 0)
+	libInternalBreakpoint(t, d, env, 4)
+	if wrote != nil {
+		t.Fatalf("block write: %v", wrote)
+	}
+	if string(back) != string([]byte{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("round trip = %v", back)
+	}
+}

@@ -1,0 +1,262 @@
+// Package memsim simulates the target device's byte-addressed memory: a
+// volatile SRAM region and a non-volatile FRAM region in a 16-bit address
+// space, mirroring the MSP430FR-class MCU on the WISP 5.
+//
+// Firmware in this reproduction manipulates data structures through real
+// simulated addresses — a linked-list node's next pointer is a 16-bit
+// address stored in simulated FRAM. This matters: the paper's intermittence
+// bugs (a reboot interrupting an append, leaving a NULL next pointer that a
+// later remove dereferences into a wild write) reproduce mechanically here,
+// because a wild pointer really does read open bus or clobber simulated
+// bytes.
+//
+// A reboot clears SRAM (and the register file, handled by the device) but
+// retains FRAM, exactly as §1 of the paper describes.
+package memsim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Addr is a 16-bit address in the target's memory map.
+type Addr uint16
+
+// Null is the null pointer. The low page of the address space is unmapped,
+// so dereferencing Null (or any address near it) faults, as on real
+// hardware where low memory holds write-protected peripheral registers.
+const Null Addr = 0
+
+// Default memory map, modeled on the MSP430FR5969 (WISP 5's MCU):
+// 2 KiB SRAM at 0x1C00, ~48 KiB FRAM at 0x4400.
+const (
+	SRAMBase Addr = 0x1C00
+	SRAMSize      = 0x0800 // 2 KiB
+	FRAMBase Addr = 0x4400
+	FRAMSize      = 0xBB00 // 47.75 KiB
+)
+
+// Fault describes an illegal memory access: a read or write to an address
+// outside every mapped region. The device treats an untrapped Fault the way
+// real hardware treats a wild access — the MCU wedges until the next reset.
+type Fault struct {
+	Addr  Addr
+	Write bool
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("memsim: illegal %s at %#04x", op, uint16(f.Addr))
+}
+
+// Region is a contiguous mapped range of memory.
+type Region struct {
+	Name     string
+	Base     Addr
+	Volatile bool
+
+	data []byte
+	brk  int // bump-allocator high-water mark
+
+	// Access counters, useful for tests and for energy models that charge
+	// FRAM accesses differently from SRAM.
+	Reads  uint64
+	Writes uint64
+}
+
+// NewRegion returns a zeroed region of the given size.
+func NewRegion(name string, base Addr, size int, volatile bool) *Region {
+	return &Region{Name: name, Base: base, Volatile: volatile, data: make([]byte, size)}
+}
+
+// Size returns the region's length in bytes.
+func (r *Region) Size() int { return len(r.data) }
+
+// End returns one past the last mapped address.
+func (r *Region) End() Addr { return r.Base + Addr(len(r.data)) }
+
+// Contains reports whether a falls inside the region.
+func (r *Region) Contains(a Addr) bool { return a >= r.Base && a < r.End() }
+
+// Alloc reserves n bytes (word-aligned) from the region's bump allocator and
+// returns the base address. Firmware uses this at flash time to lay out its
+// statically allocated structures; there is no free.
+func (r *Region) Alloc(n int) (Addr, error) {
+	if n < 0 {
+		return Null, fmt.Errorf("memsim: negative allocation %d in %s", n, r.Name)
+	}
+	n = (n + 1) &^ 1 // word alignment
+	if r.brk+n > len(r.data) {
+		return Null, fmt.Errorf("memsim: %s exhausted (%d bytes in use, %d requested, %d total)",
+			r.Name, r.brk, n, len(r.data))
+	}
+	a := r.Base + Addr(r.brk)
+	r.brk += n
+	return a, nil
+}
+
+// AllocWords reserves n 16-bit words.
+func (r *Region) AllocWords(n int) (Addr, error) { return r.Alloc(2 * n) }
+
+// InUse returns the number of allocated bytes.
+func (r *Region) InUse() int { return r.brk }
+
+// Clear zeroes the region's contents (but not its allocation map — the
+// layout is part of the flashed program image). Used on SRAM at reboot.
+func (r *Region) Clear() {
+	for i := range r.data {
+		r.data[i] = 0
+	}
+}
+
+// Reset zeroes contents and the allocator. Used when re-flashing.
+func (r *Region) Reset() {
+	r.Clear()
+	r.brk = 0
+	r.Reads = 0
+	r.Writes = 0
+}
+
+// Snapshot returns a copy of the region's contents. Checkpointing runtimes
+// use it to capture volatile state.
+func (r *Region) Snapshot() []byte {
+	cp := make([]byte, len(r.data))
+	copy(cp, r.data)
+	return cp
+}
+
+// Restore overwrites the region's contents from a snapshot.
+func (r *Region) Restore(snap []byte) error {
+	if len(snap) != len(r.data) {
+		return fmt.Errorf("memsim: snapshot size %d does not match %s size %d",
+			len(snap), r.Name, len(r.data))
+	}
+	copy(r.data, snap)
+	return nil
+}
+
+// Memory is the target's full address space: an ordered set of regions.
+type Memory struct {
+	regions []*Region
+}
+
+// NewMemory returns an address space containing the given regions. Regions
+// must not overlap.
+func NewMemory(regions ...*Region) (*Memory, error) {
+	m := &Memory{}
+	for _, r := range regions {
+		for _, prev := range m.regions {
+			if r.Base < prev.End() && prev.Base < r.End() {
+				return nil, fmt.Errorf("memsim: regions %s and %s overlap", prev.Name, r.Name)
+			}
+		}
+		m.regions = append(m.regions, r)
+	}
+	return m, nil
+}
+
+// NewTargetMemory returns the default WISP-like memory map: SRAM + FRAM.
+func NewTargetMemory() (*Memory, *Region, *Region) {
+	sram := NewRegion("SRAM", SRAMBase, SRAMSize, true)
+	fram := NewRegion("FRAM", FRAMBase, FRAMSize, false)
+	m, err := NewMemory(sram, fram)
+	if err != nil {
+		panic(err) // static layout; cannot overlap
+	}
+	return m, sram, fram
+}
+
+// RegionAt returns the region containing a, or nil if a is unmapped.
+func (m *Memory) RegionAt(a Addr) *Region {
+	for _, r := range m.regions {
+		if r.Contains(a) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Regions returns the mapped regions.
+func (m *Memory) Regions() []*Region { return m.regions }
+
+// ReadByte reads one byte, faulting on unmapped addresses.
+func (m *Memory) ReadByteAt(a Addr) (byte, error) {
+	r := m.RegionAt(a)
+	if r == nil {
+		return 0, &Fault{Addr: a}
+	}
+	r.Reads++
+	return r.data[a-r.Base], nil
+}
+
+// WriteByte writes one byte, faulting on unmapped addresses.
+func (m *Memory) WriteByteAt(a Addr, b byte) error {
+	r := m.RegionAt(a)
+	if r == nil {
+		return &Fault{Addr: a, Write: true}
+	}
+	r.Writes++
+	r.data[a-r.Base] = b
+	return nil
+}
+
+// ReadWord reads a little-endian 16-bit word. A word access that straddles a
+// region boundary faults, as it would on hardware.
+func (m *Memory) ReadWord(a Addr) (uint16, error) {
+	r := m.RegionAt(a)
+	if r == nil || !r.Contains(a+1) {
+		return 0, &Fault{Addr: a}
+	}
+	r.Reads++
+	off := a - r.Base
+	return binary.LittleEndian.Uint16(r.data[off : off+2]), nil
+}
+
+// WriteWord writes a little-endian 16-bit word.
+func (m *Memory) WriteWord(a Addr, v uint16) error {
+	r := m.RegionAt(a)
+	if r == nil || !r.Contains(a+1) {
+		return &Fault{Addr: a, Write: true}
+	}
+	r.Writes++
+	off := a - r.Base
+	binary.LittleEndian.PutUint16(r.data[off:off+2], v)
+	return nil
+}
+
+// ReadBytes copies n bytes starting at a into a new slice.
+func (m *Memory) ReadBytes(a Addr, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b, err := m.ReadByteAt(a + Addr(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// WriteBytes writes the given bytes starting at a.
+func (m *Memory) WriteBytes(a Addr, data []byte) error {
+	for i, b := range data {
+		if err := m.WriteByteAt(a+Addr(i), b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClearVolatile zeroes every volatile region — the effect of a power
+// failure on memory.
+func (m *Memory) ClearVolatile() {
+	for _, r := range m.regions {
+		if r.Volatile {
+			r.Clear()
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package memsim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func target(t *testing.T) (*Memory, *Region, *Region) {
+	t.Helper()
+	return NewTargetMemory()
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	m, _, _ := target(t)
+	f := func(off uint16, v uint16) bool {
+		a := FRAMBase + Addr(off%(FRAMSize-2))
+		if err := m.WriteWord(a, v); err != nil {
+			return false
+		}
+		got, err := m.ReadWord(a)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLittleEndianLayout(t *testing.T) {
+	m, _, _ := target(t)
+	if err := m.WriteWord(FRAMBase, 0xABCD); err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := m.ReadByteAt(FRAMBase)
+	hi, _ := m.ReadByteAt(FRAMBase + 1)
+	if lo != 0xCD || hi != 0xAB {
+		t.Fatalf("layout = %#02x %#02x", lo, hi)
+	}
+}
+
+func TestUnmappedFaults(t *testing.T) {
+	m, _, _ := target(t)
+	// NULL dereference — the wild-pointer write of Fig. 3.
+	err := m.WriteWord(Null+2, 0x1234)
+	var f *Fault
+	if !errors.As(err, &f) || !f.Write || f.Addr != 2 {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := m.ReadWord(0x0100); err == nil {
+		t.Fatal("low memory must be unmapped")
+	}
+	if _, err := m.ReadByteAt(0xFFFF); err == nil {
+		t.Fatal("top of address space must be unmapped")
+	}
+	if f.Error() == "" || (&Fault{Addr: 1}).Error() == "" {
+		t.Fatal("fault strings")
+	}
+}
+
+func TestWordStraddlingRegionEndFaults(t *testing.T) {
+	m, sram, _ := target(t)
+	last := sram.End() - 1
+	if _, err := m.ReadWord(last); err == nil {
+		t.Fatal("word read across region end must fault")
+	}
+	if err := m.WriteWord(last, 1); err == nil {
+		t.Fatal("word write across region end must fault")
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	a := NewRegion("a", 0x1000, 0x100, true)
+	b := NewRegion("b", 0x10F0, 0x100, false)
+	if _, err := NewMemory(a, b); err == nil {
+		t.Fatal("overlapping regions must be rejected")
+	}
+	c := NewRegion("c", 0x1100, 0x100, false)
+	if _, err := NewMemory(a, c); err != nil {
+		t.Fatalf("adjacent regions must be fine: %v", err)
+	}
+}
+
+func TestAllocator(t *testing.T) {
+	_, _, fram := target(t)
+	a1, err := fram.Alloc(3) // rounds to 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := fram.Alloc(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a1+4 {
+		t.Fatalf("alignment: a1=%#x a2=%#x", a1, a2)
+	}
+	if fram.InUse() != 6 {
+		t.Fatalf("in use = %d", fram.InUse())
+	}
+	if _, err := fram.Alloc(-1); err == nil {
+		t.Fatal("negative alloc must fail")
+	}
+	if _, err := fram.Alloc(FRAMSize); err == nil {
+		t.Fatal("oversized alloc must fail")
+	}
+	if _, err := fram.AllocWords(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	r := NewRegion("tiny", 0x1000, 8, false)
+	if _, err := r.Alloc(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Alloc(2); err == nil {
+		t.Fatal("exhausted region must refuse")
+	}
+	r.Reset()
+	if _, err := r.Alloc(8); err != nil {
+		t.Fatal("reset must free the allocator")
+	}
+}
+
+func TestClearVolatileSemantics(t *testing.T) {
+	m, sram, fram := target(t)
+	if err := m.WriteWord(SRAMBase, 0x1111); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteWord(FRAMBase, 0x2222); err != nil {
+		t.Fatal(err)
+	}
+	m.ClearVolatile()
+	v, _ := m.ReadWord(SRAMBase)
+	nv, _ := m.ReadWord(FRAMBase)
+	if v != 0 {
+		t.Fatal("SRAM must clear on power failure")
+	}
+	if nv != 0x2222 {
+		t.Fatal("FRAM must survive power failure")
+	}
+	_ = sram
+	_ = fram
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	_, sram, _ := target(t)
+	m, _, _ := NewTargetMemory()
+	_ = m
+	for i := 0; i < 16; i++ {
+		sramWrite(t, sram, i, byte(i*3))
+	}
+	snap := sram.Snapshot()
+	sram.Clear()
+	if err := sram.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if got := sramRead(t, sram, i); got != byte(i*3) {
+			t.Fatalf("byte %d = %d", i, got)
+		}
+	}
+	if err := sram.Restore(make([]byte, 3)); err == nil {
+		t.Fatal("bad snapshot size must error")
+	}
+}
+
+// helpers operating through a Memory wrapper around a single region.
+func sramWrite(t *testing.T, r *Region, off int, b byte) {
+	t.Helper()
+	m, err := NewMemory(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteByteAt(r.Base+Addr(off), b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sramRead(t *testing.T, r *Region, off int) byte {
+	t.Helper()
+	m, err := NewMemory(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ReadByteAt(r.Base + Addr(off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	m, _, _ := target(t)
+	data := []byte{1, 2, 3, 4, 5}
+	if err := m.WriteBytes(FRAMBase+10, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadBytes(FRAMBase+10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %d", i, got[i])
+		}
+	}
+	if _, err := m.ReadBytes(0, 4); err == nil {
+		t.Fatal("unmapped block read must fail")
+	}
+	if err := m.WriteBytes(0, data); err == nil {
+		t.Fatal("unmapped block write must fail")
+	}
+}
+
+func TestAccessCounters(t *testing.T) {
+	m, _, fram := target(t)
+	r0, w0 := fram.Reads, fram.Writes
+	_ = m.WriteWord(FRAMBase, 7)
+	_, _ = m.ReadWord(FRAMBase)
+	if fram.Writes != w0+1 || fram.Reads != r0+1 {
+		t.Fatal("counters must advance")
+	}
+}
+
+func TestRegionAt(t *testing.T) {
+	m, sram, fram := target(t)
+	if m.RegionAt(SRAMBase) != sram || m.RegionAt(FRAMBase) != fram {
+		t.Fatal("region lookup")
+	}
+	if m.RegionAt(0x0000) != nil {
+		t.Fatal("null page must be unmapped")
+	}
+	if len(m.Regions()) != 2 {
+		t.Fatal("regions count")
+	}
+}
+
+// TestMemoryAgainstReferenceModel drives random byte/word operations
+// through the simulated memory and mirrors them in a plain map: contents
+// must match exactly, and fault behavior must be purely a function of the
+// address.
+func TestMemoryAgainstReferenceModel(t *testing.T) {
+	type op struct {
+		Word  bool
+		Write bool
+		Addr  uint16
+		Val   uint16
+	}
+	f := func(ops []op) bool {
+		m, _, _ := NewTargetMemory()
+		ref := map[Addr]byte{}
+		mapped := func(a Addr) bool { return m.RegionAt(a) != nil }
+		for _, o := range ops {
+			a := Addr(o.Addr)
+			switch {
+			case o.Write && o.Word:
+				err := m.WriteWord(a, o.Val)
+				wantOK := mapped(a) && mapped(a+1) && m.RegionAt(a) == m.RegionAt(a+1)
+				if (err == nil) != wantOK {
+					return false
+				}
+				if err == nil {
+					ref[a] = byte(o.Val)
+					ref[a+1] = byte(o.Val >> 8)
+				}
+			case o.Write:
+				err := m.WriteByteAt(a, byte(o.Val))
+				if (err == nil) != mapped(a) {
+					return false
+				}
+				if err == nil {
+					ref[a] = byte(o.Val)
+				}
+			case o.Word:
+				v, err := m.ReadWord(a)
+				wantOK := mapped(a) && mapped(a+1) && m.RegionAt(a) == m.RegionAt(a+1)
+				if (err == nil) != wantOK {
+					return false
+				}
+				if err == nil {
+					want := uint16(ref[a]) | uint16(ref[a+1])<<8
+					if v != want {
+						return false
+					}
+				}
+			default:
+				v, err := m.ReadByteAt(a)
+				if (err == nil) != mapped(a) {
+					return false
+				}
+				if err == nil && v != ref[a] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package periph
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func newAccel() (*Accelerometer, *sim.Clock) {
+	clock := sim.NewClock(4_000_000)
+	return NewAccelerometer(clock, sim.NewRNG(77)), clock
+}
+
+func TestWhoAmIAndStatus(t *testing.T) {
+	a, _ := newAccel()
+	if a.ReadReg(RegWhoAmI) != WhoAmIByte {
+		t.Fatal("who-am-i")
+	}
+	if a.ReadReg(RegStatus)&0x80 == 0 {
+		t.Fatal("data-ready must be set")
+	}
+	if a.ReadReg(0x7F) != 0 {
+		t.Fatal("unknown register must read zero")
+	}
+	a.WriteReg(0x2D, 0x08) // config writes accepted silently
+}
+
+func readSample(a *Accelerometer) [3]int16 {
+	var out [3]int16
+	for axis := 0; axis < 3; axis++ {
+		lo := a.ReadReg(byte(RegDataX + 2*axis))
+		hi := a.ReadReg(byte(RegDataX + 2*axis + 1))
+		out[axis] = int16(uint16(lo) | uint16(hi)<<8)
+	}
+	return out
+}
+
+func TestStationaryShowsGravityOnZ(t *testing.T) {
+	a, _ := newAccel()
+	phase := Stationary
+	a.Forced = &phase
+	var sumZ, sumX float64
+	n := 200
+	for i := 0; i < n; i++ {
+		s := readSample(a)
+		sumZ += float64(s[2])
+		sumX += float64(s[0])
+	}
+	if z := sumZ / float64(n); z < 230 || z > 270 {
+		t.Fatalf("mean Z = %v, want ~250 (1 g)", z)
+	}
+	if x := sumX / float64(n); x < -20 || x > 20 {
+		t.Fatalf("mean X = %v, want ~0", x)
+	}
+}
+
+func TestMovingHasHigherDeviation(t *testing.T) {
+	a, _ := newAccel()
+	dev := func(p MotionPhase) float64 {
+		a.Forced = &p
+		var sum float64
+		n := 300
+		for i := 0; i < n; i++ {
+			s := readSample(a)
+			d := abs3(s)
+			sum += float64(d)
+		}
+		return sum / float64(n)
+	}
+	still := dev(Stationary)
+	moving := dev(Moving)
+	if moving < 4*still {
+		t.Fatalf("moving deviation %v must dwarf stationary %v", moving, still)
+	}
+}
+
+func abs3(s [3]int16) int {
+	a := func(x int) int {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	return a(int(s[0])) + a(int(s[1])) + a(int(s[2])-250)
+}
+
+func TestPhaseAlternatesWithClock(t *testing.T) {
+	a, clock := newAccel()
+	if a.Phase() != Stationary {
+		t.Fatal("phase at t=0 must be stationary")
+	}
+	clock.Advance(clock.ToCycles(2.5)) // into the second phase window
+	if a.Phase() != Moving {
+		t.Fatalf("phase at t=2.5s = %v", a.Phase())
+	}
+	clock.Advance(clock.ToCycles(2.0))
+	if a.Phase() != Stationary {
+		t.Fatalf("phase at t=4.5s = %v", a.Phase())
+	}
+	if Moving.String() != "moving" || Stationary.String() != "stationary" {
+		t.Fatal("phase strings")
+	}
+}
+
+func TestLatchOnFirstDataRegister(t *testing.T) {
+	a, _ := newAccel()
+	n0 := a.Reads()
+	_ = a.ReadReg(RegDataX) // latches
+	_ = a.ReadReg(RegDataX + 1)
+	_ = a.ReadReg(RegDataX + 5)
+	if a.Reads() != n0+1 {
+		t.Fatalf("reads = %d, want one latch per burst", a.Reads()-n0)
+	}
+	_ = a.ReadReg(RegDataX)
+	if a.Reads() != n0+2 {
+		t.Fatal("new burst must latch fresh sample")
+	}
+}
+
+func TestTempSensor(t *testing.T) {
+	clock := sim.NewClock(4_000_000)
+	ts := NewTempSensor(clock, sim.NewRNG(5))
+	if ts.I2CAddr() != TempAddr {
+		t.Fatal("addr")
+	}
+	v := ts.ReadReg(0)
+	if v < 20 || v > 27 {
+		t.Fatalf("temperature = %d", v)
+	}
+	if ts.ReadReg(1) != 0 {
+		t.Fatal("unknown register")
+	}
+	ts.WriteReg(0, 0)
+}

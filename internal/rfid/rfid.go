@@ -1,0 +1,251 @@
+// Package rfid models the RFID substrate of the paper's evaluation: an
+// Impinj-style reader running a Gen2-flavored inventory loop (QUERY /
+// QUERYREP / ACK), the over-the-air frame encoding the WISP firmware
+// decodes in software, and the coupling between the reader's carrier and
+// the target's RF harvester.
+//
+// The reader is both the energy source and the communication peer: its
+// carrier powers the tag (via energy.RFHarvester) and its commands arrive
+// as demodulated frames on the target's RF front end. EDB monitors the
+// RF RX/TX lines externally and can classify messages "even if the target
+// does not correctly decode them due to power failures" (§4.1.2).
+package rfid
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Frame type codes (first byte of every frame).
+const (
+	TypeQuery    byte = 0x01 // reader CMD_QUERY: opens an inventory round
+	TypeQueryRep byte = 0x02 // reader CMD_QUERYREP: advances the slot counter
+	TypeAck      byte = 0x03 // reader CMD_ACK: acknowledges an RN16
+	TypeRN16     byte = 0x81 // tag RSP_GENERIC: 16-bit handle reply
+	TypeEPC      byte = 0x82 // tag EPC reply after ACK
+)
+
+// FrameName classifies a frame for traces, using the paper's Figure 12
+// labels.
+func FrameName(bits []byte) string {
+	if len(bits) == 0 {
+		return "EMPTY"
+	}
+	switch bits[0] {
+	case TypeQuery:
+		return "CMD_QUERY"
+	case TypeQueryRep:
+		return "CMD_QUERYREP"
+	case TypeAck:
+		return "CMD_ACK"
+	case TypeRN16:
+		return "RSP_GENERIC"
+	case TypeEPC:
+		return "RSP_EPC"
+	}
+	return fmt.Sprintf("UNKNOWN(%#02x)", bits[0])
+}
+
+// EncodeQuery builds a CMD_QUERY frame for an inventory round.
+func EncodeQuery(q int, session byte) []byte {
+	return []byte{TypeQuery, byte(q), session}
+}
+
+// EncodeQueryRep builds a CMD_QUERYREP frame for a slot.
+func EncodeQueryRep(slot uint16) []byte {
+	return []byte{TypeQueryRep, byte(slot), byte(slot >> 8)}
+}
+
+// EncodeAck builds a CMD_ACK for an RN16 handle.
+func EncodeAck(rn16 uint16) []byte {
+	return []byte{TypeAck, byte(rn16), byte(rn16 >> 8)}
+}
+
+// EncodeRN16 builds the tag's RSP_GENERIC reply carrying its handle.
+func EncodeRN16(rn16 uint16) []byte {
+	return []byte{TypeRN16, byte(rn16), byte(rn16 >> 8)}
+}
+
+// EncodeEPC builds the tag's EPC reply.
+func EncodeEPC(epc []byte) []byte {
+	return append([]byte{TypeEPC}, epc...)
+}
+
+// DecodeRN16 extracts the handle from an RSP_GENERIC frame.
+func DecodeRN16(bits []byte) (uint16, bool) {
+	if len(bits) != 3 || bits[0] != TypeRN16 {
+		return 0, false
+	}
+	return uint16(bits[1]) | uint16(bits[2])<<8, true
+}
+
+// ReaderConfig parameterizes the reader model.
+type ReaderConfig struct {
+	// TxPower is the reader's transmit power (the paper uses up to
+	// 30 dBm).
+	TxPower units.DBm
+	// Distance is the antenna-to-tag separation (1 m in the evaluation).
+	Distance units.Meters
+	// QueryPeriod is the spacing between inventory commands.
+	QueryPeriod units.Seconds
+	// QueryRepsPerRound is how many QUERYREP follow each QUERY.
+	QueryRepsPerRound int
+	// CorruptProb is the probability a command arrives undecodable
+	// (multipath, collisions) — EDB's external decoder separates these
+	// "messages corrupted in flight from valid messages the target failed
+	// to parse" (§5.3.4).
+	CorruptProb float64
+	// AckReplies makes the reader ACK each RN16 it hears.
+	AckReplies bool
+	// Seed seeds the reader's RNG.
+	Seed int64
+}
+
+// DefaultReaderConfig matches the evaluation setup: 30 dBm at 1 m,
+// continuously inventorying.
+func DefaultReaderConfig() ReaderConfig {
+	return ReaderConfig{
+		TxPower:           30,
+		Distance:          1.0,
+		QueryPeriod:       units.MilliSeconds(65),
+		QueryRepsPerRound: 3,
+		CorruptProb:       0.05,
+		AckReplies:        true,
+		Seed:              21,
+	}
+}
+
+// ReaderStats counts protocol activity from the reader's perspective.
+type ReaderStats struct {
+	QueriesSent   int
+	CorruptedSent int
+	RepliesHeard  int // all tag transmissions heard (RN16 + EPC)
+	RN16Heard     int // query responses (the §5.3.4 response metric)
+	AcksSent      int
+}
+
+// Reader is the RFID reader model. It owns the RF harvester (its carrier is
+// the energy source) and schedules inventory commands on the simulation
+// clock.
+type Reader struct {
+	cfg  ReaderConfig
+	harv *energy.RFHarvester
+	rng  *sim.RNG
+
+	target *device.Device
+	slot   uint16
+	inRep  int
+
+	stats ReaderStats
+
+	running bool
+	next    *sim.Event
+}
+
+// NewReader builds a reader and its coupled harvester.
+func NewReader(cfg ReaderConfig) (*Reader, *energy.RFHarvester) {
+	h := energy.NewRFHarvester()
+	h.TxPower = cfg.TxPower
+	h.Distance = cfg.Distance
+	r := &Reader{cfg: cfg, harv: h, rng: sim.NewRNG(cfg.Seed)}
+	return r, h
+}
+
+// Stats returns the reader-side counters.
+func (r *Reader) Stats() ReaderStats { return r.stats }
+
+// Harvester returns the carrier-coupled harvester.
+func (r *Reader) Harvester() *energy.RFHarvester { return r.harv }
+
+// Attach points the reader at a target device and hooks the tag's
+// backscatter transmissions.
+func (r *Reader) Attach(t *device.Device) {
+	r.target = t
+	t.RF.OnTransmit = r.onBackscatter
+}
+
+// Start begins the continuous inventory loop.
+func (r *Reader) Start() {
+	if r.running || r.target == nil {
+		return
+	}
+	r.running = true
+	r.harv.CarrierOn = true
+	r.schedule()
+}
+
+// Stop halts the inventory loop and drops the carrier (the tag loses its
+// energy source).
+func (r *Reader) Stop() {
+	r.running = false
+	r.harv.CarrierOn = false
+	if r.next != nil {
+		r.next.Cancel()
+		r.next = nil
+	}
+}
+
+func (r *Reader) schedule() {
+	period := r.target.Clock.ToCycles(units.Seconds(
+		r.rng.Jitter(float64(r.cfg.QueryPeriod), 0.15)))
+	if period == 0 {
+		period = 1
+	}
+	r.next = r.target.Clock.ScheduleAfter(period, r.tick)
+}
+
+func (r *Reader) tick() {
+	if !r.running {
+		return
+	}
+	var bits []byte
+	if r.inRep == 0 {
+		bits = EncodeQuery(4, 0)
+		r.inRep = r.cfg.QueryRepsPerRound
+	} else {
+		r.slot++
+		bits = EncodeQueryRep(r.slot)
+		r.inRep--
+	}
+	corrupted := r.rng.Bernoulli(r.cfg.CorruptProb)
+	r.stats.QueriesSent++
+	if corrupted {
+		r.stats.CorruptedSent++
+	}
+	r.target.RF.Deliver(device.RFFrame{Bits: bits, Corrupted: corrupted})
+	r.schedule()
+}
+
+// onBackscatter hears the tag's reply.
+func (r *Reader) onBackscatter(at sim.Cycles, f device.RFFrame) {
+	if rn, ok := DecodeRN16(f.Bits); ok {
+		r.stats.RepliesHeard++
+		r.stats.RN16Heard++
+		if r.cfg.AckReplies && r.running {
+			r.stats.AcksSent++
+			// The ACK goes out after a short turnaround.
+			r.target.Clock.ScheduleAfter(r.target.Clock.ToCycles(units.MicroSeconds(500)), func() {
+				if r.running {
+					r.target.RF.Deliver(device.RFFrame{Bits: EncodeAck(rn)})
+				}
+			})
+		}
+		return
+	}
+	if len(f.Bits) > 0 && f.Bits[0] == TypeEPC {
+		r.stats.RepliesHeard++
+	}
+}
+
+// ResponseRate returns query responses (RN16 replies) heard per query
+// sent — the §5.3.4 metric ("the application responded 86 % of the time").
+func (r *Reader) ResponseRate() float64 {
+	if r.stats.QueriesSent == 0 {
+		return 0
+	}
+	return float64(r.stats.RN16Heard) / float64(r.stats.QueriesSent)
+}

@@ -1,0 +1,223 @@
+package rfid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+func TestFrameNames(t *testing.T) {
+	cases := []struct {
+		bits []byte
+		want string
+	}{
+		{EncodeQuery(4, 0), "CMD_QUERY"},
+		{EncodeQueryRep(7), "CMD_QUERYREP"},
+		{EncodeAck(0x1234), "CMD_ACK"},
+		{EncodeRN16(0xABCD), "RSP_GENERIC"},
+		{EncodeEPC([]byte{1, 2}), "RSP_EPC"},
+		{nil, "EMPTY"},
+		{[]byte{0x77}, "UNKNOWN(0x77)"},
+	}
+	for i, c := range cases {
+		if got := FrameName(c.bits); got != c.want {
+			t.Errorf("case %d: %q want %q", i, got, c.want)
+		}
+	}
+}
+
+func TestRN16RoundTrip(t *testing.T) {
+	f := func(rn uint16) bool {
+		got, ok := DecodeRN16(EncodeRN16(rn))
+		return ok && got == rn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := DecodeRN16([]byte{1, 2, 3}); ok {
+		t.Fatal("wrong type must not decode")
+	}
+	if _, ok := DecodeRN16(EncodeRN16(1)[:2]); ok {
+		t.Fatal("short frame must not decode")
+	}
+}
+
+func TestReaderInventoryLoop(t *testing.T) {
+	cfg := DefaultReaderConfig()
+	cfg.QueryPeriod = units.MilliSeconds(5)
+	cfg.CorruptProb = 0
+	reader, harv := NewReader(cfg)
+	d := device.NewWISP5(harv, 51)
+	reader.Attach(d)
+	reader.Start()
+	defer reader.Stop()
+
+	var frames []device.RFFrame
+	d.RF.SubscribeRx(func(f device.RFFrame) { frames = append(frames, f) })
+	d.Clock.Advance(d.Clock.ToCycles(units.MilliSeconds(100)))
+
+	st := reader.Stats()
+	if st.QueriesSent < 10 {
+		t.Fatalf("queries = %d", st.QueriesSent)
+	}
+	// Round structure: a QUERY followed by QueryRepsPerRound QUERYREPs.
+	var q, qr int
+	for _, f := range frames {
+		switch f.Bits[0] {
+		case TypeQuery:
+			q++
+		case TypeQueryRep:
+			qr++
+		}
+	}
+	if q == 0 || qr == 0 {
+		t.Fatalf("q=%d qr=%d", q, qr)
+	}
+	ratio := float64(qr) / float64(q)
+	if ratio < 2 || ratio > 4 {
+		t.Fatalf("rep/query ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestReaderStopDropsCarrier(t *testing.T) {
+	reader, harv := NewReader(DefaultReaderConfig())
+	d := device.NewWISP5(harv, 52)
+	reader.Attach(d)
+	reader.Start()
+	if !harv.CarrierOn {
+		t.Fatal("start must raise the carrier")
+	}
+	reader.Stop()
+	if harv.CarrierOn {
+		t.Fatal("stop must drop the carrier")
+	}
+	n := d.RF.Pending()
+	d.Clock.Advance(d.Clock.ToCycles(units.Seconds(1)))
+	if d.RF.Pending() != n {
+		t.Fatal("stopped reader must not deliver")
+	}
+}
+
+func TestReaderHearsRepliesAndAcks(t *testing.T) {
+	cfg := DefaultReaderConfig()
+	cfg.QueryPeriod = units.MilliSeconds(5)
+	reader, harv := NewReader(cfg)
+	d := device.NewWISP5(harv, 53)
+	reader.Attach(d)
+	reader.Start()
+	defer reader.Stop()
+
+	d.Supply.Cap.SetVoltage(2.4)
+	d.Supply.Step(0, 0)
+	env := &device.Env{D: d}
+	env.RFTransmit(EncodeRN16(0xBEEF))
+	if reader.Stats().RN16Heard != 1 {
+		t.Fatal("reader must hear the RN16")
+	}
+	// The ACK arrives after the turnaround.
+	d.Clock.Advance(d.Clock.ToCycles(units.MilliSeconds(1)))
+	found := false
+	for d.RF.Pending() > 0 {
+		f, ok, _ := env.RFReceive()
+		if ok && f.Bits[0] == TypeAck {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("tag must receive the ACK")
+	}
+	if reader.Stats().AcksSent != 1 {
+		t.Fatal("ack count")
+	}
+}
+
+func TestCorruptionRate(t *testing.T) {
+	cfg := DefaultReaderConfig()
+	cfg.QueryPeriod = units.MilliSeconds(1)
+	cfg.CorruptProb = 0.3
+	reader, harv := NewReader(cfg)
+	d := device.NewWISP5(harv, 54)
+	reader.Attach(d)
+	reader.Start()
+	defer reader.Stop()
+	d.Clock.Advance(d.Clock.ToCycles(units.Seconds(2)))
+	st := reader.Stats()
+	frac := float64(st.CorruptedSent) / float64(st.QueriesSent)
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("corruption fraction = %v, want ~0.3", frac)
+	}
+}
+
+func TestResponseRateMetric(t *testing.T) {
+	reader, _ := NewReader(DefaultReaderConfig())
+	if reader.ResponseRate() != 0 {
+		t.Fatal("no queries yet")
+	}
+	reader.stats.QueriesSent = 100
+	reader.stats.RN16Heard = 86
+	if reader.ResponseRate() != 0.86 {
+		t.Fatalf("rate = %v", reader.ResponseRate())
+	}
+}
+
+func TestHarvesterCoupling(t *testing.T) {
+	reader, harv := NewReader(DefaultReaderConfig())
+	_ = reader
+	if harv.TxPower != 30 || harv.Distance != 1.0 {
+		t.Fatalf("harvester not configured from reader: %+v", harv)
+	}
+	if harv.Current(1.5) <= 0 {
+		t.Fatal("carrier must deliver harvest current")
+	}
+}
+
+func TestEndToEndInventoryOnWISPFirmware(t *testing.T) {
+	// Integration: real firmware decodes and replies under the reader's
+	// power (energy and protocol coupled through the same model).
+	cfg := DefaultReaderConfig()
+	cfg.CorruptProb = 0
+	reader, harv := NewReader(cfg)
+	d := device.NewWISP5(harv, 55)
+
+	prog := &echoTag{}
+	r := device.NewRunner(d, prog)
+	if err := r.Flash(); err != nil {
+		t.Fatal(err)
+	}
+	reader.Attach(d)
+	reader.Start()
+	defer reader.Stop()
+	if _, err := r.RunFor(units.Seconds(2)); err != nil {
+		t.Fatal(err)
+	}
+	st := reader.Stats()
+	if st.RN16Heard == 0 {
+		t.Fatalf("no replies heard: %+v", st)
+	}
+	if reader.ResponseRate() <= 0.3 {
+		t.Fatalf("response rate = %v", reader.ResponseRate())
+	}
+}
+
+// echoTag is a minimal tag firmware replying RN16 to every query.
+type echoTag struct{}
+
+func (echoTag) Name() string                 { return "echo-tag" }
+func (echoTag) Flash(d *device.Device) error { return nil }
+func (echoTag) Main(env *device.Env) {
+	for {
+		f, ok, _ := env.RFReceive()
+		if !ok {
+			env.SleepFor(units.MilliSeconds(2))
+			continue
+		}
+		if f.Bits[0] == TypeQuery || f.Bits[0] == TypeQueryRep {
+			env.RFTransmit(EncodeRN16(0x1234))
+		}
+	}
+}
+
+var _ energy.Harvester = (*energy.RFHarvester)(nil)

@@ -1,0 +1,111 @@
+// Package scope models the bench instruments the paper uses to validate
+// EDB (§5.1): a mixed-signal oscilloscope whose probes read ground-truth
+// voltages. The scope exists to play the same role as the Tektronix
+// MDO4104 in the evaluation — an external reference that sees the true
+// capacitor voltage, against which EDB's internal ADC view is compared
+// (Table 3) — and to regenerate the voltage traces of Figures 7 and 9.
+//
+// A scope probe is also the paper's example of the best pre-EDB tool: it
+// can show the energy trace but "provides no insight into the internal
+// state of the software running on the DUT".
+package scope
+
+import (
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// Probe samples a voltage source at a fixed rate into a trace series. Its
+// input impedance is effectively infinite (an ideal 10 MΩ probe draws
+// ~0.2 µA — we model it as zero because the paper treats the scope as
+// non-perturbing ground truth).
+type Probe struct {
+	Series *trace.Series
+	period sim.Cycles
+	read   func() float64
+	noise  float64
+	rng    *sim.RNG
+}
+
+// Period implements device.Monitor.
+func (p *Probe) Period() sim.Cycles { return p.period }
+
+// Sample implements device.Monitor.
+func (p *Probe) Sample(now sim.Cycles) {
+	v := p.read()
+	if p.noise > 0 && p.rng != nil {
+		v += p.rng.Gaussian(0, p.noise)
+	}
+	p.Series.Add(now, v)
+}
+
+// Scope is a multi-channel oscilloscope attached to a device.
+type Scope struct {
+	d       *device.Device
+	rng     *sim.RNG
+	probes  []*Probe
+	removes []func()
+}
+
+// New returns a scope for the given device.
+func New(d *device.Device, seed int64) *Scope {
+	return &Scope{d: d, rng: sim.NewRNG(seed)}
+}
+
+// ProbeVcap attaches a channel to the storage capacitor, sampling every
+// period, and returns its series. NoiseSD models the scope's own vertical
+// noise (sub-mV).
+func (s *Scope) ProbeVcap(period units.Seconds) *trace.Series {
+	return s.probe("Vcap", period, func() float64 {
+		return float64(s.d.Supply.Voltage())
+	})
+}
+
+// ProbeVreg attaches a channel to the regulated rail (the Vreg sense line
+// of Fig. 5), sampling every period.
+func (s *Scope) ProbeVreg(period units.Seconds) *trace.Series {
+	return s.probe("Vreg", period, func() float64 {
+		return float64(s.d.VReg())
+	})
+}
+
+// ProbeDigital attaches a channel to a GPIO line (0/1 levels).
+func (s *Scope) ProbeDigital(line string, period units.Seconds) *trace.Series {
+	return s.probe("D:"+line, period, func() float64 {
+		if s.d.GPIO.Level(line) {
+			return 1
+		}
+		return 0
+	})
+}
+
+func (s *Scope) probe(name string, period units.Seconds, read func() float64) *trace.Series {
+	p := &Probe{
+		Series: trace.NewSeries(name, "V"),
+		period: s.d.Clock.ToCycles(period),
+		read:   read,
+		noise:  0.0005,
+		rng:    s.rng.Split(name),
+	}
+	if p.period == 0 {
+		p.period = 1
+	}
+	s.probes = append(s.probes, p)
+	s.removes = append(s.removes, s.d.AddMonitor(p))
+	return p.Series
+}
+
+// MeasureOnce reads the true capacitor voltage immediately (a cursor
+// measurement).
+func (s *Scope) MeasureOnce() units.Volts { return s.d.Supply.Voltage() }
+
+// Detach removes all probes.
+func (s *Scope) Detach() {
+	for _, r := range s.removes {
+		r()
+	}
+	s.removes = nil
+	s.probes = nil
+}

@@ -1,0 +1,69 @@
+package scope
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+func TestProbeVcapRecordsSawtooth(t *testing.T) {
+	d := device.NewWISP5(&energy.ConstantHarvester{I: units.MilliAmps(1), Voc: 3.3}, 61)
+	sc := New(d, 1)
+	series := sc.ProbeVcap(units.MicroSeconds(250))
+	d.IdleCharge(units.Seconds(1))
+	if series.Len() < 100 {
+		t.Fatalf("samples = %d", series.Len())
+	}
+	// Charging: the series must be (noise aside) increasing toward 2.4 V.
+	first := series.Samples[0].V
+	last := series.Samples[series.Len()-1].V
+	if last <= first {
+		t.Fatalf("charge trace not rising: %v -> %v", first, last)
+	}
+	if last < 2.3 || last > 2.5 {
+		t.Fatalf("final sample = %v", last)
+	}
+}
+
+func TestProbeDigital(t *testing.T) {
+	d := device.NewWISP5(&energy.ConstantHarvester{I: units.MilliAmps(5), Voc: 3.3}, 62)
+	d.Supply.Cap.SetVoltage(2.4)
+	d.Supply.Step(0, 0)
+	sc := New(d, 2)
+	series := sc.ProbeDigital(device.LineAppPin, units.MicroSeconds(100))
+	env := &device.Env{D: d}
+	env.SetPin(device.LineAppPin, true)
+	env.Compute(4000)
+	env.SetPin(device.LineAppPin, false)
+	env.Compute(4000)
+	sawHigh, sawLow := false, false
+	for _, s := range series.Samples {
+		if s.V > 0.5 {
+			sawHigh = true
+		} else {
+			sawLow = true
+		}
+	}
+	if !sawHigh || !sawLow {
+		t.Fatalf("digital probe high=%v low=%v", sawHigh, sawLow)
+	}
+}
+
+func TestMeasureOnceAndDetach(t *testing.T) {
+	d := device.NewWISP5(&energy.ConstantHarvester{I: units.MilliAmps(1), Voc: 3.3}, 63)
+	d.Supply.Cap.SetVoltage(1.23)
+	sc := New(d, 3)
+	if v := sc.MeasureOnce(); v != 1.23 {
+		t.Fatalf("cursor = %v", v)
+	}
+	series := sc.ProbeVcap(units.MicroSeconds(500))
+	d.IdleCharge(units.MilliSeconds(10))
+	n := series.Len()
+	sc.Detach()
+	d.IdleCharge(units.MilliSeconds(10))
+	if series.Len() != n {
+		t.Fatal("detached probe must stop sampling")
+	}
+}

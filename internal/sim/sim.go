@@ -1,0 +1,237 @@
+// Package sim provides the discrete-event simulation kernel underneath the
+// EDB reproduction: a cycle-accurate clock, a deterministic event scheduler,
+// and seeded randomness.
+//
+// The target device in the paper (a WISP 5) runs its MSP430FR MCU at 4 MHz;
+// the simulator counts time in clock cycles of a configurable frequency and
+// converts to seconds only at the edges (energy integration, trace
+// timestamps). All randomness used by any experiment flows through RNG so
+// that every table and figure regenerates bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/units"
+)
+
+// Cycles counts MCU clock cycles of simulated time.
+type Cycles uint64
+
+// DefaultClockHz is the default simulated MCU clock: 4 MHz, matching the
+// WISP 5 configuration in the paper's evaluation (§5.1).
+const DefaultClockHz = 4_000_000
+
+// Clock tracks simulated time in cycles and converts to wall-clock seconds.
+type Clock struct {
+	hz    uint64
+	now   Cycles
+	sched *scheduler
+}
+
+// NewClock returns a clock running at hz cycles per second. A non-positive
+// hz falls back to DefaultClockHz.
+func NewClock(hz uint64) *Clock {
+	if hz == 0 {
+		hz = DefaultClockHz
+	}
+	c := &Clock{hz: hz}
+	c.sched = newScheduler(c)
+	return c
+}
+
+// Hz returns the clock frequency in cycles per second.
+func (c *Clock) Hz() uint64 { return c.hz }
+
+// Now returns the current simulated time in cycles.
+func (c *Clock) Now() Cycles { return c.now }
+
+// Time returns the current simulated time in seconds.
+func (c *Clock) Time() units.Seconds { return c.ToSeconds(c.now) }
+
+// ToSeconds converts a cycle count to seconds at this clock's frequency.
+func (c *Clock) ToSeconds(n Cycles) units.Seconds {
+	return units.Seconds(float64(n) / float64(c.hz))
+}
+
+// ToCycles converts a duration in seconds to cycles, rounding to nearest.
+func (c *Clock) ToCycles(s units.Seconds) Cycles {
+	if s <= 0 {
+		return 0
+	}
+	return Cycles(float64(s)*float64(c.hz) + 0.5)
+}
+
+// Advance moves simulated time forward by n cycles, firing any events whose
+// deadline falls inside the window, in deadline order. Events scheduled by
+// callbacks within the window also fire if they land inside it.
+func (c *Clock) Advance(n Cycles) {
+	target := c.now + n
+	for {
+		ev, ok := c.sched.peek()
+		if !ok || ev.at > target {
+			break
+		}
+		c.now = ev.at
+		c.sched.pop()
+		ev.fn()
+	}
+	c.now = target
+}
+
+// Schedule registers fn to run when the clock reaches "at". Events at the
+// same cycle fire in the order they were scheduled. It returns a handle that
+// can cancel the event.
+func (c *Clock) Schedule(at Cycles, fn func()) *Event {
+	return c.sched.add(at, fn)
+}
+
+// ScheduleAfter registers fn to run delta cycles from now.
+func (c *Clock) ScheduleAfter(delta Cycles, fn func()) *Event {
+	return c.Schedule(c.now+delta, fn)
+}
+
+// Pending reports the number of events still scheduled.
+func (c *Clock) Pending() int { return c.sched.len() }
+
+// Event is a scheduled callback. Cancel prevents it from firing.
+type Event struct {
+	at    Cycles
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once fired or cancelled
+	sched *scheduler
+}
+
+// At returns the cycle at which the event fires.
+func (e *Event) At() Cycles { return e.at }
+
+// Cancel removes the event from the schedule. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e.index >= 0 && e.sched != nil {
+		e.sched.remove(e)
+	}
+}
+
+// scheduler is a min-heap of events ordered by (at, seq).
+type scheduler struct {
+	clock *Clock
+	h     eventHeap
+	seq   uint64
+}
+
+func newScheduler(c *Clock) *scheduler { return &scheduler{clock: c} }
+
+func (s *scheduler) add(at Cycles, fn func()) *Event {
+	if at < s.clock.now {
+		at = s.clock.now
+	}
+	s.seq++
+	ev := &Event{at: at, seq: s.seq, fn: fn, sched: s}
+	heap.Push(&s.h, ev)
+	return ev
+}
+
+func (s *scheduler) peek() (*Event, bool) {
+	if len(s.h) == 0 {
+		return nil, false
+	}
+	return s.h[0], true
+}
+
+func (s *scheduler) pop() *Event {
+	ev := heap.Pop(&s.h).(*Event)
+	ev.index = -1
+	return ev
+}
+
+func (s *scheduler) remove(ev *Event) {
+	heap.Remove(&s.h, ev.index)
+	ev.index = -1
+}
+
+func (s *scheduler) len() int { return len(s.h) }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// RNG is a deterministic random source. All stochastic models (harvest
+// jitter, component variation, sensor noise, RF corruption) draw from an RNG
+// seeded per experiment, so results are reproducible.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG with the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// NormFloat64 returns a standard-normal value.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Intn returns a uniform value in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Uint16 returns a uniform 16-bit value (e.g. for RN16 handles).
+func (g *RNG) Uint16() uint16 { return uint16(g.r.Uint32()) }
+
+// Jitter returns base scaled by a uniform factor in [1-frac, 1+frac].
+func (g *RNG) Jitter(base, frac float64) float64 {
+	return base * (1 + frac*(2*g.r.Float64()-1))
+}
+
+// Gaussian returns a normal value with the given mean and standard deviation.
+func (g *RNG) Gaussian(mean, sd float64) float64 {
+	return mean + sd*g.r.NormFloat64()
+}
+
+// Bernoulli returns true with probability p.
+func (g *RNG) Bernoulli(p float64) bool { return g.r.Float64() < p }
+
+// Split derives a child RNG whose stream is independent of, but
+// deterministically derived from, this one. Use it to give each subsystem
+// its own stream so adding draws in one place does not perturb another.
+func (g *RNG) Split(label string) *RNG {
+	h := int64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= int64(label[i])
+		h *= 1099511628211
+	}
+	return NewRNG(h ^ g.r.Int63())
+}
+
+func (e *Event) String() string {
+	return fmt.Sprintf("event@%d", e.at)
+}

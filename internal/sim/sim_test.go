@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestClockConversionsRoundTrip(t *testing.T) {
+	c := NewClock(4_000_000)
+	if c.Hz() != 4_000_000 {
+		t.Fatalf("hz = %d", c.Hz())
+	}
+	// 4000 cycles at 4 MHz = 1 ms.
+	if got := c.ToSeconds(4000); got != units.MilliSeconds(1) {
+		t.Fatalf("4000 cycles = %v", got)
+	}
+	if got := c.ToCycles(units.MilliSeconds(1)); got != 4000 {
+		t.Fatalf("1ms = %d cycles", got)
+	}
+	if c.ToCycles(-1) != 0 {
+		t.Fatal("negative duration must be 0 cycles")
+	}
+}
+
+func TestClockDefault(t *testing.T) {
+	if NewClock(0).Hz() != DefaultClockHz {
+		t.Fatal("zero hz must fall back to default")
+	}
+}
+
+func TestAdvanceFiresEventsInOrder(t *testing.T) {
+	c := NewClock(1000)
+	var order []int
+	c.Schedule(10, func() { order = append(order, 1) })
+	c.Schedule(5, func() { order = append(order, 0) })
+	c.Schedule(10, func() { order = append(order, 2) }) // same cycle: FIFO
+	c.Advance(20)
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	if c.Now() != 20 {
+		t.Fatalf("now = %d", c.Now())
+	}
+}
+
+func TestEventsScheduledDuringAdvance(t *testing.T) {
+	c := NewClock(1000)
+	var fired []Cycles
+	c.Schedule(5, func() {
+		fired = append(fired, c.Now())
+		c.ScheduleAfter(3, func() { fired = append(fired, c.Now()) }) // at 8
+		c.ScheduleAfter(100, func() { fired = append(fired, c.Now()) })
+	})
+	c.Advance(20)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 8 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if c.Pending() != 1 {
+		t.Fatalf("pending = %d", c.Pending())
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	c := NewClock(1000)
+	fired := false
+	ev := c.Schedule(5, func() { fired = true })
+	ev.Cancel()
+	ev.Cancel() // idempotent
+	c.Advance(10)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestSchedulePastClampsToNow(t *testing.T) {
+	c := NewClock(1000)
+	c.Advance(50)
+	fired := false
+	c.Schedule(10, func() { fired = true }) // in the past
+	c.Advance(1)
+	if !fired {
+		t.Fatal("past-scheduled event must fire on the next advance")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	if NewRNG(1).Float64() == NewRNG(2).Float64() {
+		t.Fatal("different seeds gave identical first draw (suspicious)")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	a := NewRNG(7).Split("x")
+	b := NewRNG(7).Split("x")
+	if a.Float64() != b.Float64() {
+		t.Fatal("split with same label/seed must be deterministic")
+	}
+	c := NewRNG(7).Split("y")
+	same := true
+	d := NewRNG(7).Split("x")
+	for i := 0; i < 8; i++ {
+		if c.Float64() != d.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different labels must give different streams")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	g := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := g.Jitter(100, 0.2)
+		if v < 80 || v > 120 {
+			t.Fatalf("jitter out of bounds: %v", v)
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	g := NewRNG(3)
+	for i := 0; i < 100; i++ {
+		if g.Bernoulli(0) {
+			t.Fatal("p=0 returned true")
+		}
+		if !g.Bernoulli(1) {
+			t.Fatal("p=1 returned false")
+		}
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	g := NewRNG(11)
+	n := 20000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := g.Gaussian(5, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	sd := sq/float64(n) - mean*mean
+	if mean < 4.9 || mean > 5.1 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if sd < 3.6 || sd > 4.4 { // variance ≈ 4
+		t.Fatalf("variance = %v", sd)
+	}
+}

@@ -1,0 +1,174 @@
+// Package units defines the physical quantities used throughout the EDB
+// simulator: voltage, current, capacitance, energy, power, and time.
+//
+// Every subsystem — the capacitor model, the harvester, the MCU's energy
+// accounting, EDB's ADC — exchanges values in these types rather than bare
+// float64s, so unit mistakes become type errors. All quantities are SI
+// (volts, amperes, farads, joules, watts, seconds) stored as float64.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Volts is an electric potential in volts.
+type Volts float64
+
+// Amps is an electric current in amperes. Positive current flows into the
+// node under discussion (charging); negative flows out (discharging).
+type Amps float64
+
+// Farads is a capacitance in farads.
+type Farads float64
+
+// Joules is an energy in joules.
+type Joules float64
+
+// Watts is a power in watts.
+type Watts float64
+
+// Seconds is a duration or instant in seconds of simulated time.
+type Seconds float64
+
+// Ohms is a resistance in ohms.
+type Ohms float64
+
+// Hertz is a frequency in hertz.
+type Hertz float64
+
+// DBm is a power level in decibel-milliwatts, used for the RFID reader's
+// transmit power.
+type DBm float64
+
+// Meters is a distance in meters, used for the reader-to-tag separation.
+type Meters float64
+
+// Common scale helpers. They make call sites read like a datasheet:
+// units.MicroFarads(47), units.MilliAmps(0.5), units.MilliVolts(54).
+
+// MicroFarads returns f µF as Farads.
+func MicroFarads(f float64) Farads { return Farads(f * 1e-6) }
+
+// NanoFarads returns f nF as Farads.
+func NanoFarads(f float64) Farads { return Farads(f * 1e-9) }
+
+// MilliAmps returns f mA as Amps.
+func MilliAmps(f float64) Amps { return Amps(f * 1e-3) }
+
+// MicroAmps returns f µA as Amps.
+func MicroAmps(f float64) Amps { return Amps(f * 1e-6) }
+
+// NanoAmps returns f nA as Amps.
+func NanoAmps(f float64) Amps { return Amps(f * 1e-9) }
+
+// MilliVolts returns f mV as Volts.
+func MilliVolts(f float64) Volts { return Volts(f * 1e-3) }
+
+// MicroJoules returns f µJ as Joules.
+func MicroJoules(f float64) Joules { return Joules(f * 1e-6) }
+
+// NanoJoules returns f nJ as Joules.
+func NanoJoules(f float64) Joules { return Joules(f * 1e-9) }
+
+// MilliSeconds returns f ms as Seconds.
+func MilliSeconds(f float64) Seconds { return Seconds(f * 1e-3) }
+
+// MicroSeconds returns f µs as Seconds.
+func MicroSeconds(f float64) Seconds { return Seconds(f * 1e-6) }
+
+// MilliWatts returns f mW as Watts.
+func MilliWatts(f float64) Watts { return Watts(f * 1e-3) }
+
+// CapacitorEnergy returns the energy stored on a capacitor of capacitance c
+// charged to voltage v: E = ½CV².
+func CapacitorEnergy(c Farads, v Volts) Joules {
+	return Joules(0.5 * float64(c) * float64(v) * float64(v))
+}
+
+// CapacitorVoltage returns the voltage of a capacitor of capacitance c
+// holding energy e: V = sqrt(2E/C). It returns 0 for non-positive energy.
+func CapacitorVoltage(c Farads, e Joules) Volts {
+	if e <= 0 || c <= 0 {
+		return 0
+	}
+	return Volts(math.Sqrt(2 * float64(e) / float64(c)))
+}
+
+// MilliwattsFromDBm converts a dBm power level to watts.
+func MilliwattsFromDBm(p DBm) Watts {
+	return Watts(math.Pow(10, float64(p)/10) * 1e-3)
+}
+
+// DBmFromWatts converts a power in watts to dBm.
+func DBmFromWatts(w Watts) DBm {
+	if w <= 0 {
+		return DBm(math.Inf(-1))
+	}
+	return DBm(10 * math.Log10(float64(w)*1e3))
+}
+
+// Clamp limits v to the inclusive range [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// String implementations render quantities with engineering prefixes so
+// traces and console output read naturally.
+
+func (v Volts) String() string   { return engFormat(float64(v), "V") }
+func (a Amps) String() string    { return engFormat(float64(a), "A") }
+func (f Farads) String() string  { return engFormat(float64(f), "F") }
+func (j Joules) String() string  { return engFormat(float64(j), "J") }
+func (w Watts) String() string   { return engFormat(float64(w), "W") }
+func (s Seconds) String() string { return engFormat(float64(s), "s") }
+func (o Ohms) String() string    { return engFormat(float64(o), "Ω") }
+
+// engFormat renders x with an SI prefix chosen so the mantissa falls in
+// [1, 1000), e.g. 0.0047 with unit "F" renders as "4.700mF".
+func engFormat(x float64, unit string) string {
+	if x == 0 {
+		return "0" + unit
+	}
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	prefixes := []struct {
+		scale float64
+		sym   string
+	}{
+		{1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1, ""},
+		{1e-3, "m"}, {1e-6, "µ"}, {1e-9, "n"}, {1e-12, "p"},
+	}
+	for _, p := range prefixes {
+		if x >= p.scale {
+			v := x / p.scale
+			if neg {
+				v = -v
+			}
+			return trimZeros(v) + p.sym + unit
+		}
+	}
+	if neg {
+		x = -x
+	}
+	return trimZeros(x/1e-12) + "p" + unit
+}
+
+func trimZeros(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

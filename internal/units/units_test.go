@@ -1,0 +1,123 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestScaleHelpers(t *testing.T) {
+	cases := []struct {
+		got  float64
+		want float64
+	}{
+		{float64(MicroFarads(47)), 47e-6},
+		{float64(NanoFarads(100)), 100e-9},
+		{float64(MilliAmps(0.5)), 0.5e-3},
+		{float64(MicroAmps(350)), 350e-6},
+		{float64(NanoAmps(836.51)), 836.51e-9},
+		{float64(MilliVolts(54)), 0.054},
+		{float64(MicroJoules(1.25)), 1.25e-6},
+		{float64(NanoJoules(10)), 10e-9},
+		{float64(MilliSeconds(3.1)), 3.1e-3},
+		{float64(MicroSeconds(100)), 100e-6},
+		{float64(MilliWatts(2)), 2e-3},
+	}
+	for i, c := range cases {
+		if !almost(c.got, c.want, 1e-15) {
+			t.Errorf("case %d: got %g want %g", i, c.got, c.want)
+		}
+	}
+}
+
+func TestCapacitorEnergy(t *testing.T) {
+	// The paper's reference store: 47 µF at 2.4 V holds ½CV² ≈ 135.4 µJ.
+	e := CapacitorEnergy(MicroFarads(47), 2.4)
+	if !almost(float64(e), 135.36e-6, 0.1e-6) {
+		t.Fatalf("47uF@2.4V = %v, want ~135.4uJ", e)
+	}
+	if CapacitorEnergy(MicroFarads(47), 0) != 0 {
+		t.Fatal("zero volts must store zero energy")
+	}
+}
+
+func TestCapacitorVoltageInvertsEnergy(t *testing.T) {
+	f := func(v float64) bool {
+		v = math.Abs(math.Mod(v, 10))
+		c := MicroFarads(47)
+		e := CapacitorEnergy(c, Volts(v))
+		back := CapacitorVoltage(c, e)
+		return almost(float64(back), v, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacitorVoltageEdges(t *testing.T) {
+	if CapacitorVoltage(MicroFarads(47), -1) != 0 {
+		t.Fatal("negative energy must give zero volts")
+	}
+	if CapacitorVoltage(0, 1) != 0 {
+		t.Fatal("zero capacitance must give zero volts")
+	}
+}
+
+func TestDBmConversions(t *testing.T) {
+	// 30 dBm = 1 W.
+	if !almost(float64(MilliwattsFromDBm(30)), 1.0, 1e-12) {
+		t.Fatalf("30dBm = %v W, want 1", MilliwattsFromDBm(30))
+	}
+	// 0 dBm = 1 mW.
+	if !almost(float64(MilliwattsFromDBm(0)), 1e-3, 1e-15) {
+		t.Fatalf("0dBm = %v W, want 1mW", MilliwattsFromDBm(0))
+	}
+	if !math.IsInf(float64(DBmFromWatts(0)), -1) {
+		t.Fatal("0 W must be -inf dBm")
+	}
+}
+
+func TestDBmRoundTrip(t *testing.T) {
+	f := func(p float64) bool {
+		p = math.Mod(p, 60) // keep in a sane dBm range
+		w := MilliwattsFromDBm(DBm(p))
+		back := DBmFromWatts(w)
+		return almost(float64(back), p, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatal("clamp misbehaves")
+	}
+}
+
+func TestEngineeringFormat(t *testing.T) {
+	cases := []struct {
+		s    string
+		want string
+	}{
+		{Volts(2.4).String(), "2.4V"},
+		{MilliVolts(54).String(), "54mV"},
+		{NanoAmps(836.51).String(), "836.51nA"},
+		{MicroFarads(47).String(), "47µF"},
+		{MicroJoules(1.25).String(), "1.25µJ"},
+		{Seconds(0.0031).String(), "3.1ms"},
+		{Volts(0).String(), "0V"},
+		{Amps(-2.51e-9).String(), "-2.51nA"},
+	}
+	for i, c := range cases {
+		if c.s != c.want {
+			t.Errorf("case %d: got %q want %q", i, c.s, c.want)
+		}
+	}
+	if !strings.HasSuffix(Ohms(1000).String(), "kΩ") {
+		t.Errorf("1000 ohms = %q", Ohms(1000).String())
+	}
+}
