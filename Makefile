@@ -2,15 +2,20 @@
 
 GO ?= go
 
-.PHONY: all test vet bench results examples fuzz clean
+.PHONY: all test vet race bench results examples fuzz clean
 
-all: vet test
+all: test
 
-test:
+test: vet
 	$(GO) test ./...
 
 vet:
 	$(GO) vet ./...
+
+# Race-detector pass over the whole tree (covers the parallel experiment
+# runner and the golden determinism tests).
+race:
+	$(GO) test -race ./...
 
 # One benchmark iteration per table/figure with the headline metrics.
 bench:

@@ -80,15 +80,11 @@ func BenchmarkTable4PrintCost(b *testing.B) {
 func BenchmarkFig7AssertTrace(b *testing.B) {
 	var noAssert, withAssert experiments.Fig7Result
 	for i := 0; i < b.N; i++ {
-		var err error
-		noAssert, err = experiments.RunFig7(experiments.Fig7Config{Duration: 10, Seed: 42})
+		panels, err := experiments.RunFig7Panels(experiments.Fig7Config{Duration: 10, Seed: 42})
 		if err != nil {
 			b.Fatal(err)
 		}
-		withAssert, err = experiments.RunFig7(experiments.Fig7Config{Duration: 10, Seed: 42, WithAssert: true})
-		if err != nil {
-			b.Fatal(err)
-		}
+		noAssert, withAssert = panels[0], panels[1]
 	}
 	b.ReportMetric(noAssert.EarlyRate, "early-iters-per-s")
 	b.ReportMetric(noAssert.LateRate, "late-iters-per-s")
@@ -101,15 +97,11 @@ func BenchmarkFig7AssertTrace(b *testing.B) {
 func BenchmarkFig9EnergyGuard(b *testing.B) {
 	var ung, gua experiments.Fig9Result
 	for i := 0; i < b.N; i++ {
-		var err error
-		ung, err = experiments.RunFig9(experiments.Fig9Config{Duration: 12, Seed: 7, MaxNodes: 4000})
+		panels, err := experiments.RunFig9Panels(experiments.Fig9Config{Duration: 12, Seed: 7, MaxNodes: 4000})
 		if err != nil {
 			b.Fatal(err)
 		}
-		gua, err = experiments.RunFig9(experiments.Fig9Config{Duration: 12, Seed: 7, MaxNodes: 4000, UseGuards: true})
-		if err != nil {
-			b.Fatal(err)
-		}
+		ung, gua = panels[0], panels[1]
 	}
 	b.ReportMetric(float64(ung.Count), "unguarded-items")
 	b.ReportMetric(float64(gua.Count), "guarded-items")

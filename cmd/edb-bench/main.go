@@ -2,22 +2,33 @@
 // figure of §5 runs on the simulated platform and prints in the paper's
 // layout. Results are also written under -out as text files.
 //
+// Experiments run concurrently on a seed-sharded worker pool
+// (internal/parallel); each owns an independent simulated bench, so the
+// output is bit-for-bit identical to a sequential run — only faster. Output
+// is buffered per experiment and printed in a fixed order.
+//
 // Usage:
 //
 //	edb-bench -exp all
 //	edb-bench -exp table3 -out results
+//	edb-bench -json -quick
 //
-// Experiments: table2 table3 table4 fig7 fig9 fig11 fig12 sec531 sec532 all
+// Experiments: table2 table3 table4 fig2 fig7 fig9 fig11 fig12 sweep
+// sec531 sec532 baselines ablations all
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
+	"repro/internal/trace"
 	"repro/internal/units"
 )
 
@@ -26,9 +37,14 @@ func main() {
 	out := flag.String("out", "results", "output directory for result files ('' to skip writing)")
 	quick := flag.Bool("quick", false, "shorter runs (coarser statistics)")
 	csv := flag.Bool("csv", false, "also write figure data as CSV files")
+	jsonOut := flag.Bool("json", false, "print headline metrics as a single JSON object (text results still go to -out)")
+	par := flag.Int("par", 0, "worker count for the parallel runner (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	runner := &benchRunner{outDir: *out, quick: *quick}
+	if *par > 0 {
+		parallel.SetWorkers(*par)
+	}
+
 	wanted := strings.Split(*exp, ",")
 	all := *exp == "all"
 	want := func(id string) bool {
@@ -43,46 +59,67 @@ func main() {
 		return false
 	}
 
+	var jobs []job
+	add := func(id string, fn func(*jobOut) error) {
+		jobs = append(jobs, job{id: id, fn: fn})
+	}
+
 	if want("table2") {
-		runner.run("table2", func() (string, error) {
-			return experiments.RunTable2(experiments.DefaultTable2Config()).Format(), nil
+		add("table2", func(o *jobOut) error {
+			r := experiments.RunTable2(experiments.Table2Config{})
+			o.text = r.Format()
+			o.metric("table2_worst_case_na", 1e9*float64(r.TotalWorstCase))
+			o.metric("table2_active_fraction_pct", 100*r.ActiveFraction)
+			return nil
 		})
 	}
 	if want("table3") {
-		runner.run("table3", func() (string, error) {
+		add("table3", func(o *jobOut) error {
 			cfg := experiments.DefaultTable3Config()
 			if *quick {
 				cfg.Trials = 15
 			}
 			r, err := experiments.RunTable3(cfg)
 			if err != nil {
-				return "", err
+				return err
 			}
-			return r.Format(), nil
+			o.text = r.Format()
+			o.metric("table3_dv_scope_mean_mv", 1e3*trace.Summarize(r.DVScope).Mean)
+			o.metric("table3_de_pct_mean", trace.Summarize(r.DEPctScope).Mean)
+			return nil
 		})
 	}
-	var t4 *experiments.Table4Result
 	if want("table4") || want("fig11") {
-		runner.run("table4", func() (string, error) {
+		// Fig 11 is derived from the Table 4 runs, so the two share a job.
+		add("table4+fig11", func(o *jobOut) error {
 			cfg := experiments.DefaultPrintCostConfig()
 			if *quick {
 				cfg.Duration = 15
 			}
 			r, err := experiments.RunPrintCost(cfg)
 			if err != nil {
-				return "", err
+				return err
 			}
-			t4 = &r
-			return r.Format(), nil
-		})
-	}
-	if want("fig11") && t4 != nil {
-		runner.run("fig11", func() (string, error) {
-			fig := experiments.Fig11FromTable4(*t4)
-			if *csv {
-				runner.writeAux("fig11.csv", fig.CSV())
+			var b strings.Builder
+			if want("table4") {
+				b.WriteString(r.Format())
+				o.file("table4.txt", r.Format())
 			}
-			return fig.Format(), nil
+			for _, m := range r.Modes {
+				key := strings.ReplaceAll(strings.ToLower(m.Mode.String()), " ", "_")
+				o.metric(fmt.Sprintf("table4_success_%s_pct", key), 100*m.SuccessRate)
+			}
+			if want("fig11") {
+				fig := experiments.Fig11FromTable4(r)
+				b.WriteString(fig.Format())
+				o.file("fig11.txt", fig.Format())
+				if *csv {
+					o.file("fig11.csv", fig.CSV())
+				}
+			}
+			o.text = b.String()
+			o.noDefaultFile = true
+			return nil
 		})
 	}
 	if want("fig7") {
@@ -92,7 +129,7 @@ func main() {
 			if withAssert {
 				name = "fig7-assert"
 			}
-			runner.run(name, func() (string, error) {
+			add(name, func(o *jobOut) error {
 				cfg := experiments.DefaultFig7Config()
 				cfg.WithAssert = withAssert
 				if *quick {
@@ -100,23 +137,24 @@ func main() {
 				}
 				r, err := experiments.RunFig7(cfg)
 				if err != nil {
-					return "", err
+					return err
 				}
 				if *csv {
-					runner.writeAux(name+".csv", r.CSV())
+					o.file(name+".csv", r.CSV())
 				}
-				return r.Format(), nil
+				o.text = r.Format()
+				return nil
 			})
 		}
 	}
 	if want("fig9") {
 		for _, guarded := range []bool{false, true} {
+			guarded := guarded
 			name := "fig9-unguarded"
 			if guarded {
 				name = "fig9-guarded"
 			}
-			guarded := guarded
-			runner.run(name, func() (string, error) {
+			add(name, func(o *jobOut) error {
 				cfg := experiments.DefaultFig9Config()
 				cfg.UseGuards = guarded
 				if *quick {
@@ -124,157 +162,230 @@ func main() {
 				}
 				r, err := experiments.RunFig9(cfg)
 				if err != nil {
-					return "", err
+					return err
 				}
 				if *csv {
-					runner.writeAux(name+".csv", r.CSV())
+					o.file(name+".csv", r.CSV())
 				}
-				return r.Format(), nil
+				o.text = r.Format()
+				return nil
 			})
 		}
 	}
 	if want("fig12") {
-		runner.run("fig12", func() (string, error) {
+		add("fig12", func(o *jobOut) error {
 			cfg := experiments.DefaultFig12Config()
 			if *quick {
 				cfg.Duration = 8
 			}
 			r, err := experiments.RunFig12(cfg)
 			if err != nil {
-				return "", err
+				return err
 			}
 			if *csv {
-				runner.writeAux("fig12.csv", r.CSV())
+				o.file("fig12.csv", r.CSV())
 			}
-			return r.Format(), nil
+			o.text = r.Format()
+			o.metric("fig12_response_rate_pct", 100*r.ResponseRate)
+			o.metric("fig12_replies_per_s", r.RepliesPerSecond)
+			return nil
 		})
 	}
 	if want("fig2") {
-		runner.run("fig2", func() (string, error) {
+		add("fig2", func(o *jobOut) error {
 			r, err := experiments.RunFig2(3, 42)
 			if err != nil {
-				return "", err
+				return err
 			}
-			return r.Format(), nil
+			o.text = r.Format()
+			return nil
 		})
 	}
 	if want("sweep") {
-		runner.run("sweep", func() (string, error) {
+		add("sweep", func(o *jobOut) error {
 			per := units.Seconds(8)
 			if *quick {
 				per = 5
 			}
 			r, err := experiments.RunRangeSweep(per, 12)
 			if err != nil {
-				return "", err
+				return err
 			}
-			return r.Format(), nil
+			o.text = r.Format()
+			return nil
 		})
 	}
 	if want("sec531") {
-		runner.run("sec531", func() (string, error) {
+		add("sec531", func(o *jobOut) error {
 			r, err := experiments.RunSec531(42)
 			if err != nil {
-				return "", err
+				return err
 			}
-			return r.Format(), nil
+			o.text = r.Format()
+			return nil
 		})
 	}
 	if want("sec532") {
-		runner.run("sec532", func() (string, error) {
+		add("sec532", func(o *jobOut) error {
 			dur := units.Seconds(40)
 			if *quick {
 				dur = 20
 			}
 			r, err := experiments.RunSec532(dur, 7)
 			if err != nil {
-				return "", err
+				return err
 			}
-			return r.Format(), nil
+			o.text = r.Format()
+			return nil
 		})
 	}
-
 	if want("baselines") {
-		runner.run("baselines", func() (string, error) {
+		add("baselines", func(o *jobOut) error {
 			dur := units.Seconds(15)
 			if *quick {
 				dur = 10
 			}
 			r, err := experiments.RunBaselines(dur, 42)
 			if err != nil {
-				return "", err
+				return err
 			}
-			return r.Format(), nil
+			o.text = r.Format()
+			return nil
 		})
 	}
 	if want("ablations") {
-		runner.run("ablation-restore-margin", func() (string, error) {
+		add("ablation-restore-margin", func(o *jobOut) error {
 			trials := 20
 			if *quick {
 				trials = 8
 			}
 			r, err := experiments.RunAblateRestoreMargin(trials, 5)
 			if err != nil {
-				return "", err
+				return err
 			}
-			return r.Format(), nil
+			o.text = r.Format()
+			return nil
 		})
-		runner.run("ablation-sample-period", func() (string, error) {
+		add("ablation-sample-period", func(o *jobOut) error {
 			r, err := experiments.RunAblateSamplePeriod(5)
 			if err != nil {
-				return "", err
+				return err
 			}
-			return r.Format(), nil
+			o.text = r.Format()
+			return nil
 		})
 	}
 
-	if runner.failures > 0 {
+	if len(jobs) == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments match -exp %q\n", *exp)
+		os.Exit(2)
+	}
+
+	// Run every selected experiment through the pool. Each job buffers its
+	// output; results print afterwards in the jobs' declared order. Errors
+	// are per-job: one failing experiment does not cancel the rest.
+	start := time.Now()
+	results, _ := parallel.Map(len(jobs), func(i int) (jobOut, error) {
+		var o jobOut
+		o.err = jobs[i].fn(&o)
+		return o, nil
+	})
+	wall := time.Since(start).Seconds()
+
+	failures := 0
+	metrics := map[string]float64{}
+	for i, o := range results {
+		id := jobs[i].id
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "%s: error: %v\n", id, o.err)
+			failures++
+			continue
+		}
+		if !*jsonOut {
+			fmt.Printf("==== %s ====\n", id)
+			fmt.Println(o.text)
+		}
+		for k, v := range o.metrics {
+			metrics[k] = v
+		}
+		if *out != "" {
+			if !o.noDefaultFile {
+				o.file(id+".txt", o.text)
+			}
+			for _, f := range o.files {
+				if err := writeResult(*out, f.name, f.content); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+					failures++
+				}
+			}
+		}
+	}
+
+	metrics["suite_wall_seconds"] = wall
+	metrics["workers"] = float64(parallel.Workers())
+	metrics["experiments"] = float64(len(jobs))
+	metrics["failures"] = float64(failures)
+	blob, err := json.MarshalIndent(metrics, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "json: %v\n", err)
+		failures++
+	} else {
+		if *jsonOut {
+			fmt.Println(string(blob))
+		}
+		if *out != "" {
+			if err := writeResult(*out, "BENCH.json", string(blob)+"\n"); err != nil {
+				fmt.Fprintf(os.Stderr, "BENCH.json: %v\n", err)
+				failures++
+			}
+		}
+	}
+	if !*jsonOut {
+		fmt.Printf("suite: %d experiments in %.2fs on %d workers\n", len(jobs), wall, parallel.Workers())
+	}
+
+	if failures > 0 {
 		os.Exit(1)
 	}
 }
 
-type benchRunner struct {
-	outDir   string
-	quick    bool
-	failures int
+// job is one experiment to run; fn fills the jobOut it is handed.
+type job struct {
+	id string
+	fn func(*jobOut) error
 }
 
-// writeAux writes a secondary artifact (CSV data) beside the text result.
-func (b *benchRunner) writeAux(name, content string) {
-	if b.outDir == "" {
-		return
-	}
-	if err := os.MkdirAll(b.outDir, 0o755); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: mkdir: %v\n", name, err)
-		b.failures++
-		return
-	}
-	if err := os.WriteFile(filepath.Join(b.outDir, name), []byte(content), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: write: %v\n", name, err)
-		b.failures++
-	}
+// jobOut is one experiment's buffered output: the text to print, files to
+// write under -out, and headline metrics for the JSON summary.
+type jobOut struct {
+	text    string
+	files   []resultFile
+	metrics map[string]float64
+	err     error
+	// noDefaultFile suppresses the automatic <id>.txt (for combined jobs
+	// that write their own per-part files).
+	noDefaultFile bool
 }
 
-func (b *benchRunner) run(id string, fn func() (string, error)) {
-	fmt.Printf("==== %s ====\n", id)
-	text, err := fn()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "%s: error: %v\n", id, err)
-		b.failures++
-		return
+type resultFile struct{ name, content string }
+
+func (o *jobOut) file(name, content string) {
+	o.files = append(o.files, resultFile{name, content})
+}
+
+func (o *jobOut) metric(name string, v float64) {
+	if o.metrics == nil {
+		o.metrics = map[string]float64{}
 	}
-	fmt.Println(text)
-	if b.outDir == "" {
-		return
+	o.metrics[name] = v
+}
+
+func writeResult(dir, name, content string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("mkdir: %w", err)
 	}
-	if err := os.MkdirAll(b.outDir, 0o755); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: mkdir: %v\n", id, err)
-		b.failures++
-		return
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		return fmt.Errorf("write: %w", err)
 	}
-	path := filepath.Join(b.outDir, id+".txt")
-	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "%s: write: %v\n", id, err)
-		b.failures++
-	}
+	return nil
 }

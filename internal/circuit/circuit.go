@@ -186,6 +186,24 @@ func (inst *Instance) Typical(state LogicState, v units.Volts) units.Amps {
 	return sum
 }
 
+// TypicalCoeffs decomposes Typical into voltage coefficients:
+// Typical(state, v) = base + slope·(v/VCharacterize). Only high-state mean
+// leakage tracks the applied voltage; low-state leakage is constant, so its
+// slope is zero with the mean folded into base. EDB's energy integrator
+// caches these per line state to avoid walking the component chains every
+// quantum.
+func (inst *Instance) TypicalCoeffs(state LogicState) (base, slope units.Amps) {
+	for _, p := range inst.parts {
+		if state == High {
+			base += p.partHigh
+			slope += units.Amps(p.c.HighState.Mean)
+		} else {
+			base += units.Amps(p.c.LowState.Mean) + p.partLow
+		}
+	}
+	return base, slope
+}
+
 // Standard EDB component library, with leakage parameters calibrated to the
 // prototype characterization published in Table 2 of the paper. The
 // dominant term on target-driven digital lines is the buffer's input

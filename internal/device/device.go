@@ -15,6 +15,7 @@ package device
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/energy"
 	"repro/internal/memsim"
@@ -194,8 +195,11 @@ type Device struct {
 
 	cfg Config
 
-	// dynamic load adders, by name (peripherals turn themselves on/off)
-	loads map[string]units.Amps
+	// dynamic load adders, by name (peripherals turn themselves on/off);
+	// loadSum caches their total, summed in sorted-name order so the value
+	// never depends on map iteration order.
+	loads   map[string]units.Amps
+	loadSum units.Amps
 
 	monitors []*monitorSlot
 	probes   []PassiveProbe
@@ -316,9 +320,29 @@ func (d *Device) AddMonitor(m Monitor) func() {
 func (d *Device) SetLoad(name string, amps units.Amps) {
 	if amps <= 0 {
 		delete(d.loads, name)
-		return
+	} else {
+		d.loads[name] = amps
 	}
-	d.loads[name] = amps
+	d.recalcLoadSum()
+}
+
+func (d *Device) recalcLoadSum() {
+	var sum units.Amps
+	if len(d.loads) > 1 {
+		names := make([]string, 0, len(d.loads))
+		for n := range d.loads {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			sum += d.loads[n]
+		}
+	} else {
+		for _, a := range d.loads {
+			sum += a
+		}
+	}
+	d.loadSum = sum
 }
 
 // VReg returns the regulated rail voltage — the Vreg line EDB senses
@@ -352,14 +376,10 @@ func (d *Device) VReg() units.Volts {
 // TotalLoad returns the present load current: MCU active (or sleep) current
 // plus every peripheral adder.
 func (d *Device) TotalLoad() units.Amps {
-	total := d.cfg.ActiveCurrent
 	if d.lowPower {
-		total = d.cfg.SleepCurrent
+		return d.cfg.SleepCurrent + d.loadSum
 	}
-	for _, a := range d.loads {
-		total += a
-	}
-	return total
+	return d.cfg.ActiveCurrent + d.loadSum
 }
 
 // probeLeakage sums attached tools' leakage (positive = drawn from target).
@@ -432,6 +452,11 @@ func (d *Device) IdleCharge(maxTime units.Seconds) bool {
 	deadlineCycles := d.Clock.Now() + d.Clock.ToCycles(maxTime)
 	quantum := d.cfg.Quantum * 16 // coarser integration while off
 	for d.Clock.Now() < deadlineCycles {
+		// With nothing observing the charge curve, jump straight to the
+		// turn-on crossing when the supply has a closed form for it.
+		if len(d.monitors) == 0 && len(d.probes) == 0 && d.chargeJump(deadlineCycles) {
+			return true
+		}
 		step := quantum
 		d.Clock.Advance(step)
 		dt := d.Clock.ToSeconds(step)
@@ -446,6 +471,36 @@ func (d *Device) IdleCharge(maxTime units.Seconds) bool {
 		d.checkDeadline()
 	}
 	return false
+}
+
+// chargeJump fast-forwards a monitor- and probe-free charging phase straight
+// to the turn-on crossing using the supply's closed-form RC solve. It
+// declines (returns false) whenever a scheduled event, the run deadline, or
+// the end of the charge window could land before the crossing — stepped
+// integration then proceeds and observes whichever comes first.
+func (d *Device) chargeJump(limit sim.Cycles) bool {
+	now := d.Clock.Now()
+	window := limit
+	if d.hasDeadline && d.deadline < window {
+		window = d.deadline
+	}
+	if at, ok := d.Clock.NextEventAt(); ok && at < window {
+		window = at
+	}
+	if window <= now+1 {
+		return false
+	}
+	dt, ok := d.Supply.ChargeJumpToOn(d.Clock.ToSeconds(window - now - 1))
+	if !ok {
+		return false
+	}
+	cycles := d.Clock.ToCycles(dt)
+	if cycles > window-now-1 {
+		cycles = window - now - 1
+	}
+	d.Clock.Advance(cycles)
+	d.stats.ChargeTime += d.Clock.ToSeconds(cycles)
+	return true
 }
 
 // AdvanceIdle advances simulated time with the MCU halted: monitors and
@@ -495,6 +550,7 @@ func (d *Device) Reboot() {
 	d.I2C.reset()
 	d.RF.reset()
 	d.loads = make(map[string]units.Amps)
+	d.loadSum = 0
 	d.interruptPending = false
 	d.lowPower = false
 	d.stats.Reboots++

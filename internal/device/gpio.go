@@ -48,6 +48,11 @@ type GPIOPorts struct {
 	d     *Device
 	lines map[string]*gpioLine
 	subs  []func(GPIOEdge)
+
+	// version increments on every level change, including the silent reset
+	// at reboot. Observers (EDB's leakage model) use it to cache derived
+	// state that is a pure function of the line levels.
+	version uint64
 }
 
 type gpioLine struct {
@@ -85,6 +90,7 @@ func (g *GPIOPorts) set(name string, level bool) {
 	}
 	l.level = level
 	l.toggles++
+	g.version++
 	edge := GPIOEdge{Line: name, At: g.d.Clock.Now(), Level: level}
 	for _, fn := range g.subs {
 		if fn != nil {
@@ -123,8 +129,13 @@ func (g *GPIOPorts) reset() {
 	for _, l := range g.lines {
 		l.level = false
 	}
+	g.version++
 	g.d.SetLoad("led", 0)
 }
+
+// Version returns the level-change counter; it changes whenever any line's
+// level may have changed since a previous Version call.
+func (g *GPIOPorts) Version() uint64 { return g.version }
 
 func (e GPIOEdge) String() string {
 	lv := "↓"

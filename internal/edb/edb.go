@@ -155,13 +155,46 @@ type EDB struct {
 	stats        ActiveStats
 	saveRestores []SaveRestoreSample
 
+	// Cached leakage linearization: total connection leakage is
+	// leakBase + leakSlope·(v/VCharacterize), a pure function of the line
+	// states, recomputed only when the target's GPIO version moves (see
+	// LeakageCurrent).
+	leakValid   bool
+	leakVersion uint64
+	leakBase    float64
+	leakSlope   float64
+
 	detach []func()
 }
 
-// New builds an EDB board (not yet attached).
+// New builds an EDB board (not yet attached). Zero-valued config fields
+// take their defaults individually, so setting only (say) Seed or
+// RestoreMargin does not discard the rest of DefaultConfig.
 func New(cfg Config) *EDB {
+	def := DefaultConfig()
 	if cfg.SamplePeriod == 0 {
-		cfg = DefaultConfig()
+		cfg.SamplePeriod = def.SamplePeriod
+	}
+	if cfg.TetherCurrent == 0 {
+		cfg.TetherCurrent = def.TetherCurrent
+	}
+	if cfg.TetherRail == 0 {
+		cfg.TetherRail = def.TetherRail
+	}
+	if cfg.RestoreMargin == 0 {
+		cfg.RestoreMargin = def.RestoreMargin
+	}
+	if cfg.FineRestoreMargin == 0 {
+		cfg.FineRestoreMargin = def.FineRestoreMargin
+	}
+	if cfg.HandshakeLatency == 0 {
+		cfg.HandshakeLatency = def.HandshakeLatency
+	}
+	if cfg.SampleCost == 0 {
+		cfg.SampleCost = def.SampleCost
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
 	}
 	rng := sim.NewRNG(cfg.Seed)
 	events := trace.NewLog("edb")
@@ -188,6 +221,7 @@ func New(cfg Config) *EDB {
 // passive probe leakage, the periodic ADC sampler, and the I/O monitors.
 func (e *EDB) Attach(t *device.Device) {
 	e.target = t
+	e.leakValid = false
 	e.samplePeriod = t.Clock.ToCycles(e.cfg.SamplePeriod)
 	if e.samplePeriod == 0 {
 		e.samplePeriod = 1
@@ -318,15 +352,23 @@ func (e *EDB) LeakageCurrent() units.Amps {
 	if e.target == nil || e.cfg.OnChip {
 		return 0
 	}
-	v := e.target.Supply.Voltage()
-	var sum units.Amps
-	for _, inst := range e.conn {
-		state := e.lineState(inst.Conn)
-		for i := 0; i < inst.Conn.Count; i++ {
-			sum += inst.Typical(state, v)
+	// This runs every energy quantum. The per-connection leakage is linear
+	// in the target voltage (circuit.Instance.TypicalCoeffs), and the line
+	// states only change on GPIO edges — so fold the whole Table-2 chain
+	// walk into two coefficients keyed on the GPIO version counter.
+	if v := e.target.GPIO.Version(); !e.leakValid || v != e.leakVersion {
+		e.leakBase, e.leakSlope = 0, 0
+		for _, inst := range e.conn {
+			base, slope := inst.TypicalCoeffs(e.lineState(inst.Conn))
+			n := float64(inst.Conn.Count)
+			e.leakBase += n * float64(base)
+			e.leakSlope += n * float64(slope)
 		}
+		e.leakVersion = v
+		e.leakValid = true
 	}
-	return sum
+	scale := float64(e.target.Supply.Voltage()) / float64(circuit.VCharacterize)
+	return units.Amps(e.leakBase + e.leakSlope*scale)
 }
 
 // lineState maps a connection to the present logic state of the line(s) it

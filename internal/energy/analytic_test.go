@@ -1,0 +1,104 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// steppedOnly hides the AnalyticCharger method of the wrapped harvester so a
+// supply is forced onto the stepped-integration path.
+type steppedOnly struct{ h Harvester }
+
+func (s steppedOnly) Current(v units.Volts) units.Amps { return s.h.Current(v) }
+func (s steppedOnly) Name() string                     { return s.h.Name() }
+
+func TestConstantChargeTimeClosedForm(t *testing.T) {
+	h := &ConstantHarvester{I: units.MilliAmps(1), Voc: 3.3}
+	dt, ok := h.ChargeTime(units.MicroFarads(47), 0, 2.4)
+	if !ok {
+		t.Fatal("closed form must apply")
+	}
+	want := 47e-6 * 2.4 / 1e-3 // 112.8 ms
+	if math.Abs(float64(dt)-want) > 1e-9 {
+		t.Fatalf("ChargeTime = %v, want %v", dt, want)
+	}
+	if _, ok := h.ChargeTime(units.MicroFarads(47), 0, 3.3); ok {
+		t.Fatal("target at Voc must be unreachable")
+	}
+}
+
+func TestAnalyticChargeMatchesStepped(t *testing.T) {
+	mk := func(h Harvester) *Supply { return WISP5Supply(h) }
+	noiseless := func() *RFHarvester {
+		h := NewRFHarvester()
+		h.Noise = nil
+		return h
+	}
+
+	dt := units.MicroSeconds(10)
+	stepped := mk(steppedOnly{noiseless()})
+	tStepped, err := stepped.ChargeUntilOn(dt, units.Seconds(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	analytic := mk(noiseless())
+	tAnalytic, err := analytic.ChargeUntilOn(dt, units.Seconds(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The stepped result overshoots by up to one Euler step plus
+	// integration error; 1% agreement confirms the closed form.
+	if rel := math.Abs(float64(tAnalytic-tStepped)) / float64(tStepped); rel > 0.01 {
+		t.Fatalf("analytic %v vs stepped %v: relative error %.4f", tAnalytic, tStepped, rel)
+	}
+	if analytic.State() != PowerOn {
+		t.Fatal("supply must be on after the jump")
+	}
+	if v := analytic.Voltage(); v != 2.4 {
+		t.Fatalf("voltage after jump = %v", v)
+	}
+	if analytic.Harvested() <= 0 {
+		t.Fatal("jump must account harvested energy")
+	}
+	// Energy bookkeeping must agree with the stored energy.
+	if got, want := float64(analytic.Harvested()), float64(analytic.Cap.Energy()); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("harvested %v != stored %v", got, want)
+	}
+}
+
+func TestChargeJumpDeclines(t *testing.T) {
+	// Stochastic harvester: no closed form.
+	s := WISP5Supply(NewRFHarvester())
+	if _, ok := s.ChargeJumpToOn(units.Seconds(10)); ok {
+		t.Fatal("jump must decline with fading noise enabled")
+	}
+	if s.State() != PowerOff || s.Voltage() != 0 {
+		t.Fatal("declined jump must not mutate the supply")
+	}
+
+	// Crossing beyond maxDt: decline, unchanged.
+	s2 := WISP5Supply(&ConstantHarvester{I: units.MicroAmps(1), Voc: 3.3})
+	if _, ok := s2.ChargeJumpToOn(units.MilliSeconds(1)); ok {
+		t.Fatal("jump must decline when the crossing exceeds maxDt")
+	}
+	if s2.Voltage() != 0 {
+		t.Fatal("declined jump must not mutate the capacitor")
+	}
+
+	// Non-analytic harvester still reports the stall error.
+	s3 := WISP5Supply(NullHarvester{})
+	if _, err := s3.ChargeUntilOn(units.MilliSeconds(1), units.MilliSeconds(10)); err == nil {
+		t.Fatal("null harvester must fail to reach turn-on")
+	}
+
+	// Tethered supplies never jump.
+	s4 := WISP5Supply(&ConstantHarvester{I: units.MilliAmps(1), Voc: 3.3})
+	s4.SetTethered(true)
+	if _, ok := s4.ChargeJumpToOn(units.Seconds(10)); ok {
+		t.Fatal("jump must decline while tethered")
+	}
+}

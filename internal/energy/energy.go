@@ -101,6 +101,16 @@ type Harvester interface {
 	Name() string
 }
 
+// AnalyticCharger is implemented by harvesters whose no-load charge curve
+// has a closed form. ChargeTime returns the time to charge capacitance c
+// from v0 to v1 under zero load, and whether the closed form applies.
+// Implementations must return false whenever their current is stochastic or
+// the target voltage is unreachable; callers then fall back to stepped
+// integration.
+type AnalyticCharger interface {
+	ChargeTime(c units.Farads, v0, v1 units.Volts) (units.Seconds, bool)
+}
+
 // RFHarvester models the WISP's RF energy front end: a rectifier fed by a
 // reader's carrier. Received power follows a Friis-style path-loss model
 // from the reader's transmit power and distance; conversion efficiency and
@@ -127,6 +137,13 @@ type RFHarvester struct {
 	// exhibits. Noise is seeded, so runs remain reproducible.
 	Noise     *sim.RNG
 	NoiseFrac float64
+
+	// Memoized Friis result: ReceivedPower is a pure function of the five
+	// fields in prKey, and the hot loop (Supply.Step every quantum) calls it
+	// through Current with the same configuration for millions of steps.
+	prKey   [4]float64
+	prValid bool
+	prCache units.Watts
 }
 
 // NewRFHarvester returns an RF harvester configured like the paper's setup:
@@ -151,11 +168,17 @@ func (h *RFHarvester) ReceivedPower() units.Watts {
 	if !h.CarrierOn || h.Distance <= 0 {
 		return 0
 	}
+	key := [4]float64{float64(h.TxPower), float64(h.Distance), h.FreqMHz, h.AntennaGainDBi}
+	if h.prValid && key == h.prKey {
+		return h.prCache
+	}
 	pt := float64(units.MilliwattsFromDBm(h.TxPower))
 	gain := math.Pow(10, h.AntennaGainDBi/10)
 	lambda := 299.792458 / h.FreqMHz // wavelength in meters
 	denom := 4 * math.Pi * float64(h.Distance) / lambda
-	return units.Watts(pt * gain / (denom * denom))
+	pr := units.Watts(pt * gain / (denom * denom))
+	h.prKey, h.prValid, h.prCache = key, true, pr
+	return pr
 }
 
 // Current implements Harvester. The rectifier behaves like a source with
@@ -183,6 +206,40 @@ func (h *RFHarvester) Current(v units.Volts) units.Amps {
 
 // Name implements Harvester.
 func (h *RFHarvester) Name() string { return "rf" }
+
+// ChargeTime implements AnalyticCharger. The closed form only applies when
+// the fading noise is disabled — with noise, each step's current is a fresh
+// draw and the trajectory has no closed form (and skipping the draws would
+// desynchronize the seeded stream).
+//
+// The no-load ODE splits at the 0.5 V rectifier knee in Current:
+//
+//	v < 0.5:  dv/dt = (2P/C)·(1 − v/Voc)        → exponential toward Voc
+//	v ≥ 0.5:  dv/dt = (P/C)·(Voc − v)/(v·Voc)   → t = (C·Voc/P)·[(v0−v1) + Voc·ln((Voc−v0)/(Voc−v1))]
+func (h *RFHarvester) ChargeTime(c units.Farads, v0, v1 units.Volts) (units.Seconds, bool) {
+	if h.Noise != nil && h.NoiseFrac > 0 {
+		return 0, false
+	}
+	p := float64(h.ReceivedPower()) * h.Efficiency
+	voc := float64(h.Voc)
+	if p <= 0 || voc <= 0 || float64(v1) >= voc {
+		return 0, false
+	}
+	if v1 <= v0 {
+		return 0, true
+	}
+	cf, lo, hi := float64(c), float64(v0), float64(v1)
+	var t float64
+	if lo < 0.5 {
+		seg := math.Min(hi, 0.5)
+		t += (cf * voc / (2 * p)) * math.Log((voc-lo)/(voc-seg))
+		lo = seg
+	}
+	if hi > lo {
+		t += (cf * voc / p) * ((lo - hi) + voc*math.Log((voc-lo)/(voc-hi)))
+	}
+	return units.Seconds(t), true
+}
 
 // Reseed re-derives the fading stream from seed. Device constructors call
 // it so that distinct device seeds see distinct (but reproducible) RF
@@ -215,6 +272,17 @@ func (h *ConstantHarvester) Current(v units.Volts) units.Amps {
 
 // Name implements Harvester.
 func (h *ConstantHarvester) Name() string { return "constant" }
+
+// ChargeTime implements AnalyticCharger: t = C·(v1−v0)/I.
+func (h *ConstantHarvester) ChargeTime(c units.Farads, v0, v1 units.Volts) (units.Seconds, bool) {
+	if h.I <= 0 || v1 >= h.Voc {
+		return 0, false
+	}
+	if v1 <= v0 {
+		return 0, true
+	}
+	return units.Seconds(float64(c) * float64(v1-v0) / float64(h.I)), true
+}
 
 // NullHarvester supplies no energy; the device runs down and dies. Useful
 // for modelling a reader turning off or a tag leaving range.
@@ -381,10 +449,44 @@ func (s *Supply) Step(loadCurrent units.Amps, dt units.Seconds) PowerState {
 	return s.state
 }
 
-// ChargeUntilOn advances the supply in dt steps with no load until the MCU
-// turns on, returning the elapsed time. It fails if the harvester cannot
-// reach the turn-on threshold within maxTime.
+// ChargeJumpToOn analytically advances a no-load charging phase straight to
+// the turn-on crossing: the capacitor is set to VTurnOn, the elapsed time
+// from the harvester's closed-form RC solve is returned, and the supply
+// switches to PowerOn. It declines — returning (0, false) with no state
+// change — when no closed form applies (stochastic or non-analytic
+// harvester), when the target is unreachable, or when the crossing would
+// take longer than maxDt.
+func (s *Supply) ChargeJumpToOn(maxDt units.Seconds) (units.Seconds, bool) {
+	if s.tethered || s.state != PowerOff || maxDt <= 0 {
+		return 0, false
+	}
+	ac, ok := s.Harvester.(AnalyticCharger)
+	if !ok || s.VTurnOn > s.Cap.VMax {
+		return 0, false
+	}
+	v0 := s.Cap.Voltage()
+	if v0 >= s.VTurnOn {
+		s.state = PowerOn
+		return 0, true
+	}
+	dt, ok := ac.ChargeTime(s.Cap.C, v0, s.VTurnOn)
+	if !ok || dt <= 0 || dt > maxDt {
+		return 0, false
+	}
+	s.Cap.SetVoltage(s.VTurnOn)
+	s.harvested += s.Cap.EnergyBetween(v0, s.VTurnOn)
+	s.state = PowerOn
+	return dt, true
+}
+
+// ChargeUntilOn advances the supply with no load until the MCU turns on,
+// returning the elapsed time. Harvesters with a closed-form charge curve
+// jump straight to the turn-on crossing; others integrate in dt steps. It
+// fails if the harvester cannot reach the turn-on threshold within maxTime.
 func (s *Supply) ChargeUntilOn(dt, maxTime units.Seconds) (units.Seconds, error) {
+	if elapsed, ok := s.ChargeJumpToOn(maxTime); ok {
+		return elapsed, nil
+	}
 	var elapsed units.Seconds
 	for elapsed < maxTime {
 		if s.Step(0, dt) == PowerOn {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/edb"
 	"repro/internal/energy"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -37,17 +38,22 @@ type AblateRestoreMarginResult struct {
 // RunAblateRestoreMargin measures ΔV and undershoot incidence across guard
 // bands. Small bands restore tighter but risk landing under the saved
 // level; the default 52 mV never undershoots at the cost of Table 3's
-// documented discrepancy.
+// documented discrepancy. The sweep points are independent benches, so
+// they run in parallel; each point's streams derive only from (seed,
+// point index).
 func RunAblateRestoreMargin(trialsPerPoint int, seed int64) (AblateRestoreMarginResult, error) {
 	if trialsPerPoint == 0 {
 		trialsPerPoint = 20
+	}
+	if seed == 0 {
+		seed = 5
 	}
 	margins := []units.Volts{
 		units.MilliVolts(0.5), units.MilliVolts(2), units.MilliVolts(10),
 		units.MilliVolts(25), units.MilliVolts(52), units.MilliVolts(100),
 	}
-	var out AblateRestoreMarginResult
-	for mi, margin := range margins {
+	points, err := parallel.Map(len(margins), func(mi int) (MarginPoint, error) {
+		margin := margins[mi]
 		cfg := edb.DefaultConfig()
 		cfg.RestoreMargin = margin
 		cfg.Seed = seed + int64(mi)
@@ -56,9 +62,9 @@ func RunAblateRestoreMargin(trialsPerPoint int, seed int64) (AblateRestoreMargin
 			Trials: trialsPerPoint, BreakLevel: 2.3, ChargeLevel: 2.4,
 			Seed: seed + int64(mi),
 		}
-		r, err := runTable3WithEDBConfig(t3cfg, cfg)
+		r, err := runTable3(t3cfg, cfg)
 		if err != nil {
-			return out, err
+			return MarginPoint{}, err
 		}
 		pt := MarginPoint{Margin: margin, Trials: r.Trials}
 		var sum float64
@@ -71,53 +77,12 @@ func RunAblateRestoreMargin(trialsPerPoint int, seed int64) (AblateRestoreMargin
 		if r.Trials > 0 {
 			pt.MeanDV = units.Volts(sum / float64(r.Trials))
 		}
-		out.Points = append(out.Points, pt)
+		return pt, nil
+	})
+	if err != nil {
+		return AblateRestoreMarginResult{}, err
 	}
-	return out, nil
-}
-
-// runTable3WithEDBConfig is RunTable3 parameterized by the EDB config (the
-// ablation knob).
-func runTable3WithEDBConfig(cfg Table3Config, ecfg edb.Config) (Table3Result, error) {
-	h := energy.NewRFHarvester()
-	h.Noise = nil
-	d := device.NewWISP5(h, cfg.Seed)
-	e := edb.New(ecfg)
-	e.Attach(d)
-
-	app := &apps.Busy{}
-	r := device.NewRunner(d, app)
-	if err := r.Flash(); err != nil {
-		return Table3Result{}, err
-	}
-	e.AddEnergyBreakpoint(cfg.BreakLevel)
-	e.OnInteractive(func(s *edb.Session) {})
-	e.CommandCharge(cfg.ChargeLevel)
-
-	for len(e.SaveRestoreSamples()) < cfg.Trials {
-		res, err := r.RunFor(units.MilliSeconds(200))
-		if err != nil {
-			return Table3Result{}, err
-		}
-		if res.Halted != "" || res.Completed {
-			break
-		}
-		if e.Active() {
-			e.ForceIdle()
-		}
-		e.CommandCharge(cfg.ChargeLevel)
-	}
-
-	var out Table3Result
-	for _, sr := range e.SaveRestoreSamples() {
-		if len(out.DVScope) == cfg.Trials {
-			break
-		}
-		out.DVScope = append(out.DVScope, float64(sr.RestoredTrue-sr.SavedTrue))
-		out.DVADC = append(out.DVADC, float64(sr.RestoredADC-sr.SavedADC))
-	}
-	out.Trials = len(out.DVScope)
-	return out, nil
+	return AblateRestoreMarginResult{Points: points}, nil
 }
 
 // Format renders the margin sweep.
@@ -150,15 +115,19 @@ type AblateSamplePeriodResult struct {
 
 // RunAblateSamplePeriod measures energy-breakpoint trigger accuracy versus
 // the sampler period: slower sampling detects the crossing later, so the
-// session opens further below the requested level.
+// session opens further below the requested level. Points run in parallel
+// on independent benches seeded by (seed, point index).
 func RunAblateSamplePeriod(seed int64) (AblateSamplePeriodResult, error) {
+	if seed == 0 {
+		seed = 6
+	}
 	periods := []units.Seconds{
 		units.MicroSeconds(50), units.MicroSeconds(100),
 		units.MicroSeconds(500), units.MilliSeconds(2),
 	}
 	const threshold = 2.2
-	var out AblateSamplePeriodResult
-	for pi, period := range periods {
+	points, err := parallel.Map(len(periods), func(pi int) (PeriodPoint, error) {
+		period := periods[pi]
 		cfg := edb.DefaultConfig()
 		cfg.SamplePeriod = period
 		cfg.Seed = seed + int64(pi)
@@ -170,7 +139,7 @@ func RunAblateSamplePeriod(seed int64) (AblateSamplePeriodResult, error) {
 		app := &apps.Busy{}
 		r := device.NewRunner(d, app)
 		if err := r.Flash(); err != nil {
-			return out, err
+			return PeriodPoint{}, err
 		}
 		e.AddEnergyBreakpoint(threshold)
 		var below []float64
@@ -183,7 +152,7 @@ func RunAblateSamplePeriod(seed int64) (AblateSamplePeriodResult, error) {
 		// Record trigger levels from the save stack via save/restore
 		// samples once each session closes.
 		if _, err := r.RunFor(units.Seconds(3)); err != nil {
-			return out, err
+			return PeriodPoint{}, err
 		}
 		for _, sr := range e.SaveRestoreSamples() {
 			below = append(below, threshold-float64(sr.SavedTrue))
@@ -192,9 +161,12 @@ func RunAblateSamplePeriod(seed int64) (AblateSamplePeriodResult, error) {
 		if len(below) > 0 {
 			pt.TriggerBelow = units.Volts(trace.Summarize(below).Mean)
 		}
-		out.Points = append(out.Points, pt)
+		return pt, nil
+	})
+	if err != nil {
+		return AblateSamplePeriodResult{}, err
 	}
-	return out, nil
+	return AblateSamplePeriodResult{Points: points}, nil
 }
 
 // Format renders the period sweep.

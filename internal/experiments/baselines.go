@@ -9,6 +9,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/edb"
 	"repro/internal/energy"
+	"repro/internal/parallel"
 	"repro/internal/units"
 )
 
@@ -38,130 +39,138 @@ type BaselinesResult struct {
 	Rows []BaselineRow
 }
 
-// RunBaselines runs the linked-list case study under each tool.
+// RunBaselines runs the linked-list case study under each tool. The tool
+// benches share the same workload and seed but are otherwise independent,
+// so they run in parallel and merge in the table's tool order.
 func RunBaselines(duration units.Seconds, seed int64) (BaselinesResult, error) {
 	if duration == 0 {
 		duration = 15
 	}
-	var out BaselinesResult
-
-	// No tool: the failure occurs; nothing observes it.
-	{
-		d := device.NewWISP5(energy.NewRFHarvester(), seed)
-		app := &apps.LinkedList{}
-		r := device.NewRunner(d, app)
-		if err := r.Flash(); err != nil {
-			return out, err
-		}
-		res, err := r.RunFor(duration)
-		if err != nil {
-			return out, err
-		}
-		out.Rows = append(out.Rows, BaselineRow{
-			Tool:          "none",
-			BugManifested: res.Faults > 0,
-			Progress:      app.Iterations(d),
-			Notes:         "failure observed, zero insight",
-		})
+	if seed == 0 {
+		seed = 42
 	}
 
-	// JTAG: powers the target; the bug cannot occur.
-	{
-		d := device.NewWISP5(energy.NewRFHarvester(), seed)
-		app := &apps.LinkedList{}
-		r := device.NewRunner(d, app)
-		if err := r.Flash(); err != nil {
-			return out, err
-		}
-		jtag := baseline.NewJTAG()
-		jtag.Attach(d)
-		res, err := r.RunFor(duration)
-		jtag.Detach()
-		if err != nil {
-			return out, err
-		}
-		out.Rows = append(out.Rows, BaselineRow{
-			Tool:             "jtag",
-			BugManifested:    res.Faults > 0,
-			RootCauseVisible: false, // nothing to see: the bug never fires
-			Interference:     units.MilliAmps(-5),
-			Progress:         app.Iterations(d),
-			Notes:            "continuous power masks intermittence entirely",
-		})
+	benches := []func() (BaselineRow, error){
+		// No tool: the failure occurs; nothing observes it.
+		func() (BaselineRow, error) {
+			d := device.NewWISP5(energy.NewRFHarvester(), seed)
+			app := &apps.LinkedList{}
+			r := device.NewRunner(d, app)
+			if err := r.Flash(); err != nil {
+				return BaselineRow{}, err
+			}
+			res, err := r.RunFor(duration)
+			if err != nil {
+				return BaselineRow{}, err
+			}
+			return BaselineRow{
+				Tool:          "none",
+				BugManifested: res.Faults > 0,
+				Progress:      app.Iterations(d),
+				Notes:         "failure observed, zero insight",
+			}, nil
+		},
+		// JTAG: powers the target; the bug cannot occur.
+		func() (BaselineRow, error) {
+			d := device.NewWISP5(energy.NewRFHarvester(), seed)
+			app := &apps.LinkedList{}
+			r := device.NewRunner(d, app)
+			if err := r.Flash(); err != nil {
+				return BaselineRow{}, err
+			}
+			jtag := baseline.NewJTAG()
+			jtag.Attach(d)
+			res, err := r.RunFor(duration)
+			jtag.Detach()
+			if err != nil {
+				return BaselineRow{}, err
+			}
+			return BaselineRow{
+				Tool:             "jtag",
+				BugManifested:    res.Faults > 0,
+				RootCauseVisible: false, // nothing to see: the bug never fires
+				Interference:     units.MilliAmps(-5),
+				Progress:         app.Iterations(d),
+				Notes:            "continuous power masks intermittence entirely",
+			}, nil
+		},
+		// Isolated JTAG: intermittence survives but the session dies at
+		// every brown-out.
+		func() (BaselineRow, error) {
+			d := device.NewWISP5(energy.NewRFHarvester(), seed)
+			app := &apps.LinkedList{}
+			r := device.NewRunner(d, app)
+			if err := r.Flash(); err != nil {
+				return BaselineRow{}, err
+			}
+			jtag := baseline.NewJTAG()
+			jtag.Isolated = true
+			jtag.Attach(d)
+			res, err := r.RunFor(duration)
+			if err != nil {
+				return BaselineRow{}, err
+			}
+			return BaselineRow{
+				Tool:          "jtag (isolated)",
+				BugManifested: res.Faults > 0,
+				Progress:      app.Iterations(d),
+				Notes: fmt.Sprintf("session dropped %d times; dead at the moment of failure",
+					jtag.SessionDrops()),
+			}, nil
+		},
+		// LED tracing: visible progress indicator, prohibitive energy cost.
+		func() (BaselineRow, error) {
+			d := device.NewWISP5(energy.NewRFHarvester(), seed)
+			app := &apps.LinkedList{}
+			prog := &baseline.TraceWithLED{Program: app}
+			r := device.NewRunner(d, prog)
+			if err := r.Flash(); err != nil {
+				return BaselineRow{}, err
+			}
+			res, err := r.RunFor(duration)
+			if err != nil {
+				return BaselineRow{}, err
+			}
+			return BaselineRow{
+				Tool:          "led tracing",
+				BugManifested: res.Faults > 0,
+				Interference:  device.LEDCurrent,
+				Progress:      app.Iterations(d),
+				Notes:         "5x current draw changes where energy runs out",
+			}, nil
+		},
+		// EDB with the keep-alive assert: the bug occurs, is caught at its
+		// source, and the device is held alive for inspection.
+		func() (BaselineRow, error) {
+			d := device.NewWISP5(energy.NewRFHarvester(), seed)
+			e := edb.New(edb.DefaultConfig())
+			e.Attach(d)
+			app := &apps.LinkedList{WithAssert: true}
+			r := device.NewRunner(d, app)
+			if err := r.Flash(); err != nil {
+				return BaselineRow{}, err
+			}
+			res, err := r.RunFor(2 * duration)
+			if err != nil {
+				return BaselineRow{}, err
+			}
+			return BaselineRow{
+				Tool:             "edb",
+				BugManifested:    res.Halted != "",
+				RootCauseVisible: res.Halted != "",
+				Interference:     e.LeakageCurrent(),
+				Progress:         app.Iterations(d),
+				Notes:            "corruption caught pre-wild-write; target tethered alive",
+			}, nil
+		},
 	}
-
-	// Isolated JTAG: intermittence survives but the session dies at every
-	// brown-out.
-	{
-		d := device.NewWISP5(energy.NewRFHarvester(), seed)
-		app := &apps.LinkedList{}
-		r := device.NewRunner(d, app)
-		if err := r.Flash(); err != nil {
-			return out, err
-		}
-		jtag := baseline.NewJTAG()
-		jtag.Isolated = true
-		jtag.Attach(d)
-		res, err := r.RunFor(duration)
-		if err != nil {
-			return out, err
-		}
-		out.Rows = append(out.Rows, BaselineRow{
-			Tool:          "jtag (isolated)",
-			BugManifested: res.Faults > 0,
-			Progress:      app.Iterations(d),
-			Notes: fmt.Sprintf("session dropped %d times; dead at the moment of failure",
-				jtag.SessionDrops()),
-		})
+	rows, err := parallel.Map(len(benches), func(i int) (BaselineRow, error) {
+		return benches[i]()
+	})
+	if err != nil {
+		return BaselinesResult{}, err
 	}
-
-	// LED tracing: visible progress indicator, prohibitive energy cost.
-	{
-		d := device.NewWISP5(energy.NewRFHarvester(), seed)
-		app := &apps.LinkedList{}
-		prog := &baseline.TraceWithLED{Program: app}
-		r := device.NewRunner(d, prog)
-		if err := r.Flash(); err != nil {
-			return out, err
-		}
-		res, err := r.RunFor(duration)
-		if err != nil {
-			return out, err
-		}
-		out.Rows = append(out.Rows, BaselineRow{
-			Tool:          "led tracing",
-			BugManifested: res.Faults > 0,
-			Interference:  device.LEDCurrent,
-			Progress:      app.Iterations(d),
-			Notes:         "5x current draw changes where energy runs out",
-		})
-	}
-
-	// EDB with the keep-alive assert: the bug occurs, is caught at its
-	// source, and the device is held alive for inspection.
-	{
-		d := device.NewWISP5(energy.NewRFHarvester(), seed)
-		e := edb.New(edb.DefaultConfig())
-		e.Attach(d)
-		app := &apps.LinkedList{WithAssert: true}
-		r := device.NewRunner(d, app)
-		if err := r.Flash(); err != nil {
-			return out, err
-		}
-		res, err := r.RunFor(2 * duration)
-		if err != nil {
-			return out, err
-		}
-		out.Rows = append(out.Rows, BaselineRow{
-			Tool:             "edb",
-			BugManifested:    res.Halted != "",
-			RootCauseVisible: res.Halted != "",
-			Interference:     e.LeakageCurrent(),
-			Progress:         app.Iterations(d),
-			Notes:            "corruption caught pre-wild-write; target tethered alive",
-		})
-	}
-	return out, nil
+	return BaselinesResult{Rows: rows}, nil
 }
 
 // Format renders the comparison table.

@@ -1,0 +1,94 @@
+// Golden determinism test: the parallel runner must produce bit-for-bit
+// the results of a sequential run. Every work item's streams derive only
+// from (seed, index), and each owns a private clock/device/RNG, so worker
+// count and scheduling order must be unobservable. Run under -race this
+// test also exercises the pool for data races.
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// withWorkers runs fn with the pool clamped to n workers, restoring the
+// previous setting afterwards.
+func withWorkers(t *testing.T, n int, fn func()) {
+	t.Helper()
+	prev := parallel.SetWorkers(n)
+	defer parallel.SetWorkers(prev)
+	fn()
+}
+
+func TestTable3ParallelMatchesSequential(t *testing.T) {
+	cfg := DefaultTable3Config()
+	cfg.Trials = 25 // 3 shards: two full, one remainder
+
+	var seq, par Table3Result
+	withWorkers(t, 1, func() {
+		r, err := RunTable3(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = r
+	})
+	withWorkers(t, 4, func() {
+		r, err := RunTable3(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par = r
+	})
+
+	if seq.Trials != cfg.Trials {
+		t.Fatalf("sequential run completed %d/%d trials", seq.Trials, cfg.Trials)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel Table 3 differs from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+func TestFig7PanelsParallelMatchesSequential(t *testing.T) {
+	cfg := Fig7Config{Duration: 6, Seed: 42}
+
+	var seq, par [2]Fig7Result
+	withWorkers(t, 1, func() {
+		r, err := RunFig7Panels(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = r
+	})
+	withWorkers(t, 4, func() {
+		r, err := RunFig7Panels(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par = r
+	})
+
+	for i := range seq {
+		s, p := seq[i], par[i]
+		// The struct holds *sim.Clock and *trace.Series pointers, so compare
+		// the value content: the scalar summary fields and the full Vcap
+		// sample stream.
+		if s.WithAssert != p.WithAssert || s.FirstOn != p.FirstOn ||
+			s.EarlyRate != p.EarlyRate || s.LateRate != p.LateRate ||
+			s.Result != p.Result || s.Iterations != p.Iterations ||
+			s.TetheredAtEnd != p.TetheredAtEnd || s.VcapAtEnd != p.VcapAtEnd ||
+			s.CorruptionFound != p.CorruptionFound {
+			t.Fatalf("panel %d summary differs:\nseq: %+v\npar: %+v", i, s, p)
+		}
+		if s.Clock.Now() != p.Clock.Now() {
+			t.Fatalf("panel %d clocks differ: %d vs %d", i, s.Clock.Now(), p.Clock.Now())
+		}
+		if !reflect.DeepEqual(s.Vcap.Samples, p.Vcap.Samples) {
+			t.Fatalf("panel %d Vcap trace differs (%d vs %d samples)",
+				i, len(s.Vcap.Samples), len(p.Vcap.Samples))
+		}
+	}
+	if seq[0].WithAssert || !seq[1].WithAssert {
+		t.Fatal("panel order: index 0 must be the buggy build, index 1 the assert build")
+	}
+}

@@ -55,8 +55,15 @@ type Fig12Result struct {
 // RunFig12 runs the WISP RFID firmware under a continuously inventorying
 // reader with EDB monitoring RF I/O and energy concurrently.
 func RunFig12(cfg Fig12Config) (Fig12Result, error) {
+	def := DefaultFig12Config()
 	if cfg.Duration == 0 {
-		cfg = DefaultFig12Config()
+		cfg.Duration = def.Duration
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	if cfg.Reader.QueryPeriod == 0 {
+		cfg.Reader = def.Reader
 	}
 	reader, harv := rfid.NewReader(cfg.Reader)
 	d := device.NewWISP5(harv, cfg.Seed)

@@ -36,6 +36,9 @@ func RunFig2(duration units.Seconds, seed int64) (Fig2Result, error) {
 	if duration == 0 {
 		duration = 3
 	}
+	if seed == 0 {
+		seed = 42
+	}
 	h := energy.NewRFHarvester()
 	d := device.NewWISP5(h, seed)
 	e := edb.New(edb.DefaultConfig())

@@ -8,6 +8,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/edb"
 	"repro/internal/energy"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -50,12 +51,30 @@ type Fig7Result struct {
 	CorruptionFound bool
 }
 
+// RunFig7Panels produces both panels of Figure 7 — the buggy build and the
+// assert-instrumented build — running the two independent benches in
+// parallel. Index 0 is without the assert, index 1 with.
+func RunFig7Panels(cfg Fig7Config) ([2]Fig7Result, error) {
+	panels, err := parallel.Map(2, func(i int) (Fig7Result, error) {
+		pcfg := cfg
+		pcfg.WithAssert = i == 1
+		return RunFig7(pcfg)
+	})
+	if err != nil {
+		return [2]Fig7Result{}, err
+	}
+	return [2]Fig7Result{panels[0], panels[1]}, nil
+}
+
 // RunFig7 executes the linked-list case study, sampling progress from the
 // app's non-volatile iteration counter.
 func RunFig7(cfg Fig7Config) (Fig7Result, error) {
+	def := DefaultFig7Config()
 	if cfg.Duration == 0 {
-		cfg = DefaultFig7Config()
-		cfg.WithAssert = false
+		cfg.Duration = def.Duration
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
 	}
 	h := energy.NewRFHarvester()
 	d := device.NewWISP5(h, cfg.Seed)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/edb"
 	"repro/internal/energy"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -47,11 +48,32 @@ type Fig9Result struct {
 	CheckErrors int
 }
 
+// RunFig9Panels produces both panels of Figure 9 — the unguarded and the
+// guarded debug builds — running the two independent benches in parallel.
+// Index 0 is unguarded, index 1 guarded.
+func RunFig9Panels(cfg Fig9Config) ([2]Fig9Result, error) {
+	panels, err := parallel.Map(2, func(i int) (Fig9Result, error) {
+		pcfg := cfg
+		pcfg.UseGuards = i == 1
+		return RunFig9(pcfg)
+	})
+	if err != nil {
+		return [2]Fig9Result{}, err
+	}
+	return [2]Fig9Result{panels[0], panels[1]}, nil
+}
+
 // RunFig9 executes the Fibonacci case study with or without energy guards.
 func RunFig9(cfg Fig9Config) (Fig9Result, error) {
+	def := DefaultFig9Config()
 	if cfg.Duration == 0 {
-		cfg = DefaultFig9Config()
-		cfg.UseGuards = false
+		cfg.Duration = def.Duration
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	if cfg.MaxNodes == 0 {
+		cfg.MaxNodes = def.MaxNodes
 	}
 	h := energy.NewRFHarvester()
 	d := device.NewWISP5(h, cfg.Seed)
@@ -169,6 +191,9 @@ type Sec532Result struct {
 func RunSec532(duration units.Seconds, seed int64) (Sec532Result, error) {
 	if duration == 0 {
 		duration = 40
+	}
+	if seed == 0 {
+		seed = 7
 	}
 	h := energy.NewRFHarvester()
 	d := device.NewWISP5(h, seed)

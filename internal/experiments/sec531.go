@@ -32,6 +32,9 @@ type Sec531Result struct {
 // RunSec531 runs the linked-list app until its keep-alive assert fires,
 // then drives a scripted interactive console session.
 func RunSec531(seed int64) (Sec531Result, error) {
+	if seed == 0 {
+		seed = 42
+	}
 	h := energy.NewRFHarvester()
 	d := device.NewWISP5(h, seed)
 	e := edb.New(edb.DefaultConfig())

@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/device"
 	"repro/internal/edb"
+	"repro/internal/parallel"
 	"repro/internal/rfid"
 	"repro/internal/units"
 )
@@ -36,14 +37,19 @@ type RangeSweepResult struct {
 	Points []RangePoint
 }
 
-// RunRangeSweep measures the operating curve over reader distances.
+// RunRangeSweep measures the operating curve over reader distances. Each
+// distance is an independent bench whose streams derive from (seed, point
+// index), so the points run in parallel and merge in distance order.
 func RunRangeSweep(perPoint units.Seconds, seed int64) (RangeSweepResult, error) {
 	if perPoint == 0 {
 		perPoint = 8
 	}
+	if seed == 0 {
+		seed = 12
+	}
 	distances := []units.Meters{0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0}
-	var out RangeSweepResult
-	for di, dist := range distances {
+	points, err := parallel.Map(len(distances), func(di int) (RangePoint, error) {
+		dist := distances[di]
 		rc := rfid.DefaultReaderConfig()
 		rc.Distance = dist
 		rc.Seed = seed + int64(di)
@@ -56,7 +62,7 @@ func RunRangeSweep(perPoint units.Seconds, seed int64) (RangeSweepResult, error)
 		app := &apps.WispRFID{}
 		r := device.NewRunner(d, app)
 		if err := r.Flash(); err != nil {
-			return out, err
+			return RangePoint{}, err
 		}
 		reader.Attach(d)
 		reader.Start()
@@ -66,10 +72,9 @@ func RunRangeSweep(perPoint units.Seconds, seed int64) (RangeSweepResult, error)
 			// Out of range: the harvester cannot reach turn-on. That is a
 			// legitimate operating point (rate zero), not a failure.
 			if err == device.ErrNeverPowered {
-				out.Points = append(out.Points, RangePoint{Distance: dist})
-				continue
+				return RangePoint{Distance: dist}, nil
 			}
-			return out, err
+			return RangePoint{}, err
 		}
 		st := reader.Stats()
 		midV := (d.Supply.VTurnOn + d.Supply.VBrownOut) / 2
@@ -87,9 +92,12 @@ func RunRangeSweep(perPoint units.Seconds, seed int64) (RangeSweepResult, error)
 		if total > 0 {
 			pt.OnFraction = float64(res.Stats.ActiveTime) / total
 		}
-		out.Points = append(out.Points, pt)
+		return pt, nil
+	})
+	if err != nil {
+		return RangeSweepResult{}, err
 	}
-	return out, nil
+	return RangeSweepResult{Points: points}, nil
 }
 
 // Format renders the sweep as the tuning table a developer would read.

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/circuit"
+	"repro/internal/parallel"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -52,23 +53,39 @@ func DefaultTable2Config() Table2Config {
 }
 
 // RunTable2 applies the source meter to every EDB↔target connection in
-// both logic states and tabulates min/avg/max DC current.
+// both logic states and tabulates min/avg/max DC current. Connections are
+// characterized in parallel: each gets its own bench setup (source meter and
+// board instance) whose streams derive only from (seed, connection name), so
+// the work items are order-independent and the result is identical to a
+// sequential run.
 func RunTable2(cfg Table2Config) Table2Result {
+	def := DefaultTable2Config()
 	if cfg.Trials == 0 {
-		cfg = DefaultTable2Config()
+		cfg.Trials = def.Trials
 	}
-	rng := sim.NewRNG(cfg.Seed)
-	sm := circuit.NewSourceMeter(rng.Split("source-meter"))
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	if cfg.MCUActiveCurrent == 0 {
+		cfg.MCUActiveCurrent = def.MCUActiveCurrent
+	}
 
-	var res Table2Result
-	var total float64
-	for _, conn := range circuit.EDBConnections() {
+	conns := circuit.EDBConnections()
+	type connResult struct {
+		rows  []Table2Row
+		worst float64 // worst-case magnitude × line count
+	}
+	parts, _ := parallel.Map(len(conns), func(i int) (connResult, error) {
+		conn := conns[i]
+		rng := sim.NewRNG(cfg.Seed)
+		sm := circuit.NewSourceMeter(rng.Split("source-meter:" + conn.Name))
 		inst := conn.Instantiate(rng.Split("inst:" + conn.Name))
+		var cr connResult
 		if conn.Kind == circuit.Analog {
 			st := sm.Characterize(inst, circuit.High, circuit.VCharacterize, cfg.Trials)
-			res.Rows = append(res.Rows, Table2Row{Connection: conn.Name, Count: conn.Count, Stats: st})
-			total += math.Abs(float64(st.WorstCase())) * float64(conn.Count)
-			continue
+			cr.rows = append(cr.rows, Table2Row{Connection: conn.Name, Count: conn.Count, Stats: st})
+			cr.worst = math.Abs(float64(st.WorstCase())) * float64(conn.Count)
+			return cr, nil
 		}
 		worst := 0.0
 		for _, state := range []circuit.LogicState{circuit.High, circuit.Low} {
@@ -77,14 +94,22 @@ func RunTable2(cfg Table2Config) Table2Result {
 				v = 0
 			}
 			st := sm.Characterize(inst, state, v, cfg.Trials)
-			res.Rows = append(res.Rows, Table2Row{
+			cr.rows = append(cr.rows, Table2Row{
 				Connection: conn.Name, Count: conn.Count, State: state.String(), Stats: st,
 			})
 			if w := math.Abs(float64(st.WorstCase())); w > worst {
 				worst = w
 			}
 		}
-		total += worst * float64(conn.Count)
+		cr.worst = worst * float64(conn.Count)
+		return cr, nil
+	})
+
+	var res Table2Result
+	var total float64
+	for _, cr := range parts {
+		res.Rows = append(res.Rows, cr.rows...)
+		total += cr.worst
 	}
 	res.TotalWorstCase = units.Amps(total)
 	if cfg.MCUActiveCurrent > 0 {

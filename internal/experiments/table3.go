@@ -8,6 +8,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/edb"
 	"repro/internal/energy"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -44,15 +45,73 @@ type Table3Result struct {
 	Trials int
 }
 
+// table3ShardTrials is how many trials one worker runs on one simulated
+// bench. Trials are independent (each save/restore starts from the same
+// console-charged level), so the run shards into batches whose seeds derive
+// from (seed, shard index) alone — the merged result does not depend on
+// how many workers execute the shards, or in what order.
+const table3ShardTrials = 10
+
 // RunTable3 executes the trials on a busy target under harvested power.
 func RunTable3(cfg Table3Config) (Table3Result, error) {
+	return runTable3(cfg, edb.DefaultConfig())
+}
+
+// runTable3 is RunTable3 parameterized by the EDB config (the ablation
+// knob). It applies per-field defaults, then fans the trial batches out
+// across workers.
+func runTable3(cfg Table3Config, ecfg edb.Config) (Table3Result, error) {
+	def := DefaultTable3Config()
 	if cfg.Trials == 0 {
-		cfg = DefaultTable3Config()
+		cfg.Trials = def.Trials
 	}
+	if cfg.BreakLevel == 0 {
+		cfg.BreakLevel = def.BreakLevel
+	}
+	if cfg.ChargeLevel == 0 {
+		cfg.ChargeLevel = def.ChargeLevel
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+
+	shards := (cfg.Trials + table3ShardTrials - 1) / table3ShardTrials
+	if shards < 1 {
+		shards = 1
+	}
+	parts, err := parallel.Map(shards, func(i int) (Table3Result, error) {
+		scfg := cfg
+		scfg.Trials = table3ShardTrials
+		if i == shards-1 {
+			scfg.Trials = cfg.Trials - table3ShardTrials*(shards-1)
+		}
+		scfg.Seed = parallel.ShardSeed(cfg.Seed, i)
+		secfg := ecfg
+		secfg.Seed = parallel.ShardSeed(ecfg.Seed, i)
+		return table3Shard(scfg, secfg)
+	})
+	if err != nil {
+		return Table3Result{}, err
+	}
+	var out Table3Result
+	for _, p := range parts {
+		out.DVScope = append(out.DVScope, p.DVScope...)
+		out.DVADC = append(out.DVADC, p.DVADC...)
+		out.DEScope = append(out.DEScope, p.DEScope...)
+		out.DEADC = append(out.DEADC, p.DEADC...)
+		out.DEPctScope = append(out.DEPctScope, p.DEPctScope...)
+		out.DEPctADC = append(out.DEPctADC, p.DEPctADC...)
+		out.Trials += p.Trials
+	}
+	return out, nil
+}
+
+// table3Shard runs one batch of trials on a fresh simulated bench.
+func table3Shard(cfg Table3Config, ecfg edb.Config) (Table3Result, error) {
 	h := energy.NewRFHarvester()
 	h.Noise = nil // the bench flow controls the energy level explicitly
 	d := device.NewWISP5(h, cfg.Seed)
-	e := edb.New(edb.DefaultConfig())
+	e := edb.New(ecfg)
 	e.Attach(d)
 
 	app := &apps.Busy{}
@@ -82,6 +141,9 @@ func RunTable3(cfg Table3Config) (Table3Result, error) {
 		}
 		if res.Halted != "" || res.Completed {
 			break
+		}
+		if e.Active() {
+			e.ForceIdle()
 		}
 		trialKick()
 	}

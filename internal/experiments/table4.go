@@ -9,6 +9,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/edb"
 	"repro/internal/energy"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -53,19 +54,32 @@ type Table4Result struct {
 }
 
 // RunPrintCost runs the activity app once per instrumentation mode and
-// extracts iteration statistics from EDB's watchpoint stream.
+// extracts iteration statistics from EDB's watchpoint stream. The three
+// builds are independent benches sharing the same seed, so they run in
+// parallel; the marginal-cost columns are computed after all three finish.
 func RunPrintCost(cfg PrintCostConfig) (Table4Result, error) {
+	def := DefaultPrintCostConfig()
 	if cfg.Duration == 0 {
-		cfg = DefaultPrintCostConfig()
+		cfg.Duration = def.Duration
 	}
-	var out Table4Result
-	for _, mode := range []apps.PrintMode{apps.NoPrint, apps.UARTPrint, apps.EDBPrint} {
-		mr, err := runPrintMode(cfg, mode)
+	if cfg.Distance == 0 {
+		cfg.Distance = def.Distance
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = def.Seed
+	}
+	modes := []apps.PrintMode{apps.NoPrint, apps.UARTPrint, apps.EDBPrint}
+	rows, err := parallel.Map(len(modes), func(i int) (ModeResult, error) {
+		mr, err := runPrintMode(cfg, modes[i])
 		if err != nil {
-			return out, fmt.Errorf("mode %v: %w", mode, err)
+			return ModeResult{}, fmt.Errorf("mode %v: %w", modes[i], err)
 		}
-		out.Modes = append(out.Modes, mr)
+		return mr, nil
+	})
+	if err != nil {
+		return Table4Result{}, err
 	}
+	out := Table4Result{Modes: rows}
 	// Marginal print costs relative to the no-print build. The EDB
 	// printf's energy cost is what its own compensation left behind —
 	// the save/restore discrepancy — which the iteration deltas also

@@ -36,6 +36,19 @@ type CPU struct {
 
 	// instructions retired since reset (diagnostics).
 	retired uint64
+
+	// Predecoded-instruction cache over the flashed image, keyed by PC.
+	// Decoding is pure — the machine words fully determine the Inst — so a
+	// cached entry is valid until something writes the underlying words.
+	// Invalidation hangs off the code region's WriteHook, which keeps
+	// self-modifying (and self-corrupting, as in Fig. 7) programs faithful:
+	// a wild store into code drops the stale entries and the next fetch
+	// re-decodes whatever garbage is there now.
+	dcRegion *memsim.Region
+	dcOrg    uint16
+	dcEnd    uint16
+	dcInst   []Inst
+	dcValid  []bool
 }
 
 // NewCPU returns a CPU with no ports mapped.
@@ -75,6 +88,46 @@ func (c *CPU) Interrupt(env *device.Env, vector uint16) {
 	c.intDepth++
 }
 
+// EnableDecodeCache attaches a predecoded-instruction cache covering
+// sizeBytes of region r starting at org (the flashed image). It registers
+// an invalidation hook on the region, composing with any hook already
+// installed.
+func (c *CPU) EnableDecodeCache(r *memsim.Region, org uint16, sizeBytes int) {
+	n := sizeBytes / 2
+	if n <= 0 {
+		return
+	}
+	c.dcRegion = r
+	c.dcOrg = org
+	c.dcEnd = org + uint16(2*n)
+	c.dcInst = make([]Inst, n)
+	c.dcValid = make([]bool, n)
+	prev := r.WriteHook
+	r.WriteHook = func(a memsim.Addr, bytes int) {
+		if prev != nil {
+			prev(a, bytes)
+		}
+		c.invalidate(uint16(a), bytes)
+	}
+}
+
+// invalidate drops cache entries that could decode through any written word.
+// An instruction spans up to two extension words, so a write to word i can
+// change instructions starting at words i-2 .. i.
+func (c *CPU) invalidate(a uint16, bytes int) {
+	lo := (int(a)-int(c.dcOrg))/2 - 2
+	hi := (int(a) + bytes - 1 - int(c.dcOrg)) / 2
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(c.dcValid) {
+		hi = len(c.dcValid) - 1
+	}
+	for i := lo; i <= hi; i++ {
+		c.dcValid[i] = false
+	}
+}
+
 // Step executes one instruction. Power failure unwinds from inside the
 // memory accesses; a decode failure (executing garbage or data) panics
 // with a MemoryFault-equivalent wedge, matching what an MCU does when PC
@@ -82,6 +135,32 @@ func (c *CPU) Interrupt(env *device.Env, vector uint16) {
 func (c *CPU) Step(env *device.Env) error {
 	c.retired++
 	pc0 := c.R[PC]
+	if c.dcValid != nil && pc0 >= c.dcOrg && pc0 < c.dcEnd && pc0&1 == 0 {
+		i := int(pc0-c.dcOrg) / 2
+		if c.dcValid[i] {
+			c.stepCached(env, c.dcInst[i])
+			return nil
+		}
+		inst, err := c.fetchDecode(env, pc0)
+		if err != nil {
+			return err
+		}
+		if i+inst.Words <= len(c.dcInst) {
+			c.dcInst[i] = inst
+			c.dcValid[i] = true
+		}
+		c.dispatch(env, inst)
+		return nil
+	}
+	inst, err := c.fetchDecode(env, pc0)
+	if err != nil {
+		return err
+	}
+	c.dispatch(env, inst)
+	return nil
+}
+
+func (c *CPU) fetchDecode(env *device.Env, pc0 uint16) (Inst, error) {
 	w0 := c.fetch(env)
 	inst, err := Decode(w0, func() (uint16, error) {
 		// Extension words fetch through the same metered path. Their
@@ -90,8 +169,29 @@ func (c *CPU) Step(env *device.Env) error {
 		return c.fetch(env), nil
 	})
 	if err != nil {
-		return fmt.Errorf("isa: at %#04x: %w", pc0, err)
+		return Inst{}, fmt.Errorf("isa: at %#04x: %w", pc0, err)
 	}
+	return inst, nil
+}
+
+// stepCached replays a predecoded instruction with cycle-for-cycle the same
+// timing, PC movement, and access accounting as the fetch-and-decode path —
+// including mid-instruction power failure points between word fetches and
+// the quirk that PC-relative operands resolve against the address of the
+// last extension word.
+func (c *CPU) stepCached(env *device.Env, inst Inst) {
+	for w := 0; w < inst.Words; w++ {
+		if w > 0 {
+			c.lastExtAddrVal = c.R[PC]
+		}
+		env.Compute(device.CyclesLoad)
+		c.dcRegion.Reads++
+		c.R[PC] += 2
+	}
+	c.dispatch(env, inst)
+}
+
+func (c *CPU) dispatch(env *device.Env, inst Inst) {
 	switch inst.Kind {
 	case KindJump:
 		c.execJump(inst)
@@ -100,7 +200,6 @@ func (c *CPU) Step(env *device.Env) error {
 	case KindTwo:
 		c.execTwo(env, inst)
 	}
-	return nil
 }
 
 func (c *CPU) fetch(env *device.Env) uint16 {

@@ -113,6 +113,7 @@ func (p *Program) Flash(d *device.Device) error {
 
 	p.stackTop = uint16(memsim.SRAMBase) + uint16(memsim.SRAMSize) // grows down
 	p.cpu = NewCPU()
+	p.cpu.EnableDecodeCache(d.FRAM, img.Org, img.Size())
 	p.mapPorts(d)
 
 	// Interrupts: EDB's wire vectors to the "isr" symbol if defined.

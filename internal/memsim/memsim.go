@@ -66,6 +66,12 @@ type Region struct {
 	// FRAM accesses differently from SRAM.
 	Reads  uint64
 	Writes uint64
+
+	// WriteHook, if set, observes every mutation of the region's contents:
+	// per-address stores and bulk operations (Clear, Reset, Restore) alike.
+	// The ISA's predecoded-instruction cache hangs its invalidation here so
+	// self-modifying (or self-corrupting) programs stay faithful.
+	WriteHook func(a Addr, n int)
 }
 
 // NewRegion returns a zeroed region of the given size.
@@ -111,6 +117,9 @@ func (r *Region) Clear() {
 	for i := range r.data {
 		r.data[i] = 0
 	}
+	if r.WriteHook != nil {
+		r.WriteHook(r.Base, len(r.data))
+	}
 }
 
 // Reset zeroes contents and the allocator. Used when re-flashing.
@@ -136,6 +145,9 @@ func (r *Region) Restore(snap []byte) error {
 			len(snap), r.Name, len(r.data))
 	}
 	copy(r.data, snap)
+	if r.WriteHook != nil {
+		r.WriteHook(r.Base, len(r.data))
+	}
 	return nil
 }
 
@@ -201,6 +213,9 @@ func (m *Memory) WriteByteAt(a Addr, b byte) error {
 	}
 	r.Writes++
 	r.data[a-r.Base] = b
+	if r.WriteHook != nil {
+		r.WriteHook(a, 1)
+	}
 	return nil
 }
 
@@ -225,6 +240,9 @@ func (m *Memory) WriteWord(a Addr, v uint16) error {
 	r.Writes++
 	off := a - r.Base
 	binary.LittleEndian.PutUint16(r.data[off:off+2], v)
+	if r.WriteHook != nil {
+		r.WriteHook(a, 2)
+	}
 	return nil
 }
 

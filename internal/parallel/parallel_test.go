@@ -1,0 +1,121 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapIndexOrder(t *testing.T) {
+	prev := SetWorkers(8)
+	defer SetWorkers(prev)
+	got, err := Map(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapMatchesSequential(t *testing.T) {
+	fn := func(i int) (int64, error) { return ShardSeed(42, i), nil }
+	prev := SetWorkers(1)
+	seq, err := Map(64, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetWorkers(7)
+	par, err := Map(64, fn)
+	SetWorkers(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("index %d: sequential %d != parallel %d", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapLowestError(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	_, err := Map(20, func(i int) (int, error) {
+		if i%7 == 6 {
+			return 0, fmt.Errorf("item %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "item 6 failed" {
+		t.Fatalf("want lowest-index error, got %v", err)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	_, _ = Map(8, func(i int) (int, error) {
+		if i == 3 {
+			panic("boom")
+		}
+		return i, nil
+	})
+}
+
+func TestForEach(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	var sum atomic.Int64
+	if err := ForEach(50, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 49*50/2 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestShardSeedDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 4; seed++ {
+		for i := 0; i < 256; i++ {
+			s := ShardSeed(seed, i)
+			if seen[s] {
+				t.Fatalf("collision at seed=%d index=%d", seed, i)
+			}
+			seen[s] = true
+		}
+	}
+	if ShardSeed(1, 0) != ShardSeed(1, 0) {
+		t.Fatal("ShardSeed not deterministic")
+	}
+}
+
+func TestSetWorkersClamp(t *testing.T) {
+	prev := SetWorkers(-3)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", Workers())
+	}
+	SetWorkers(prev)
+}

@@ -77,6 +77,10 @@ func (c *Clock) Advance(n Cycles) {
 		c.now = ev.at
 		c.sched.pop()
 		ev.fn()
+		// Recycle only after the callback returns, so a callback that
+		// cancels or reschedules its own handle never observes a reused
+		// object. Handles are dead once fired (see the Event doc).
+		c.sched.release(ev)
 	}
 	c.now = target
 }
@@ -96,7 +100,24 @@ func (c *Clock) ScheduleAfter(delta Cycles, fn func()) *Event {
 // Pending reports the number of events still scheduled.
 func (c *Clock) Pending() int { return c.sched.len() }
 
+// NextEventAt returns the cycle of the earliest scheduled event, if any.
+// Fast-forward paths use it to bound how far they may jump without skipping
+// a callback.
+func (c *Clock) NextEventAt() (Cycles, bool) {
+	ev, ok := c.sched.peek()
+	if !ok {
+		return 0, false
+	}
+	return ev.at, true
+}
+
 // Event is a scheduled callback. Cancel prevents it from firing.
+//
+// A handle is live until its event fires; once fired, the object is recycled
+// through the scheduler's free list and must not be retained or cancelled
+// (a later Schedule may hand the same object back for an unrelated event).
+// Cancelled events are not recycled, so calling Cancel any number of times
+// on a cancelled handle remains a safe no-op.
 type Event struct {
 	at    Cycles
 	seq   uint64
@@ -116,11 +137,14 @@ func (e *Event) Cancel() {
 	}
 }
 
-// scheduler is a min-heap of events ordered by (at, seq).
+// scheduler is a min-heap of events ordered by (at, seq). Fired events are
+// recycled through a free list so steady-state scheduling (RFID query loops,
+// periodic samplers) allocates nothing.
 type scheduler struct {
 	clock *Clock
 	h     eventHeap
 	seq   uint64
+	free  []*Event
 }
 
 func newScheduler(c *Clock) *scheduler { return &scheduler{clock: c} }
@@ -130,9 +154,25 @@ func (s *scheduler) add(at Cycles, fn func()) *Event {
 		at = s.clock.now
 	}
 	s.seq++
-	ev := &Event{at: at, seq: s.seq, fn: fn, sched: s}
+	var ev *Event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*ev = Event{at: at, seq: s.seq, fn: fn, sched: s}
+	} else {
+		ev = &Event{at: at, seq: s.seq, fn: fn, sched: s}
+	}
 	heap.Push(&s.h, ev)
 	return ev
+}
+
+// release returns a fired event to the free list. Cancelled events are left
+// to the garbage collector instead: user code may hold their handles and
+// call Cancel again later, which must stay a no-op.
+func (s *scheduler) release(ev *Event) {
+	ev.fn = nil
+	s.free = append(s.free, ev)
 }
 
 func (s *scheduler) peek() (*Event, bool) {

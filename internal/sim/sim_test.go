@@ -84,6 +84,107 @@ func TestSchedulePastClampsToNow(t *testing.T) {
 	}
 }
 
+func TestCancelWhileFiring(t *testing.T) {
+	c := NewClock(1000)
+	var later *Event
+	bFired := false
+	// A fires first at cycle 5 (lower seq) and cancels B, which is queued
+	// for the same cycle. B must not fire.
+	c.Schedule(5, func() { later.Cancel() })
+	later = c.Schedule(5, func() { bFired = true })
+	c.Advance(10)
+	if bFired {
+		t.Fatal("event cancelled by a same-cycle callback still fired")
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d", c.Pending())
+	}
+}
+
+func TestRescheduleInsideCallback(t *testing.T) {
+	c := NewClock(1000)
+	var fired []Cycles
+	var tick func()
+	tick = func() {
+		fired = append(fired, c.Now())
+		if len(fired) < 3 {
+			c.ScheduleAfter(5, tick)
+		}
+	}
+	c.ScheduleAfter(5, tick)
+	c.Advance(100)
+	if len(fired) != 3 || fired[0] != 5 || fired[1] != 10 || fired[2] != 15 {
+		t.Fatalf("fired = %v", fired)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d", c.Pending())
+	}
+}
+
+func TestScheduleAtCurrentCycleInsideCallback(t *testing.T) {
+	c := NewClock(1000)
+	var fired []int
+	c.Schedule(5, func() {
+		fired = append(fired, 1)
+		// Lands at the current cycle with a later seq: fires within the
+		// same Advance, after this callback returns.
+		c.Schedule(5, func() { fired = append(fired, 2) })
+	})
+	c.Advance(10)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestFreeListReuseNoDoubleFire(t *testing.T) {
+	c := NewClock(1000)
+	aCount, bCount := 0, 0
+	a := c.Schedule(5, func() { aCount++ })
+	c.Advance(6) // a fires and is recycled
+	b := c.Schedule(10, func() { bCount++ })
+	if a != b {
+		t.Fatal("expected the fired event object to be recycled")
+	}
+	c.Advance(10)
+	if aCount != 1 || bCount != 1 {
+		t.Fatalf("aCount = %d, bCount = %d (recycled event must fire exactly once)", aCount, bCount)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("pending = %d", c.Pending())
+	}
+}
+
+func TestCancelledEventNotRecycled(t *testing.T) {
+	c := NewClock(1000)
+	fired := false
+	ev := c.Schedule(5, func() { fired = true })
+	ev.Cancel()
+	// A cancelled handle may be cancelled again at any later point, even
+	// after other events have been scheduled and recycled.
+	next := c.Schedule(7, func() {})
+	if next == ev {
+		t.Fatal("cancelled event must not be recycled")
+	}
+	c.Advance(20)
+	ev.Cancel()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestNextEventAt(t *testing.T) {
+	c := NewClock(1000)
+	if _, ok := c.NextEventAt(); ok {
+		t.Fatal("empty schedule reported an event")
+	}
+	c.Schedule(42, func() {})
+	c.Schedule(17, func() {})
+	at, ok := c.NextEventAt()
+	if !ok || at != 17 {
+		t.Fatalf("NextEventAt = %d, %v", at, ok)
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(7), NewRNG(7)
 	for i := 0; i < 100; i++ {
