@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet race bench results examples fuzz clean
+.PHONY: all test vet race bench results examples fuzz smoke clean
 
 all: test
 
@@ -39,6 +39,12 @@ examples:
 fuzz:
 	$(GO) test ./internal/debugwire -run '^$$' -fuzz FuzzDecode -fuzztime 20s
 	$(GO) test ./internal/console -run '^$$' -fuzz FuzzExec -fuzztime 20s
+	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzWireDecode -fuzztime 20s
+
+# End-to-end remote-debugging smoke test: edbd daemon vs local run,
+# byte-identical output, graceful drain.
+smoke:
+	sh scripts/smoke.sh
 
 clean:
 	rm -rf results

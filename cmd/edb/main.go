@@ -1,6 +1,6 @@
 // Command edb runs a firmware scenario on the simulated energy-harvesting
 // target with the Energy-interference-free Debugger attached, and exposes
-// the debug console.
+// the debug console — locally, or against a remote edbd daemon.
 //
 // Examples:
 //
@@ -19,6 +19,13 @@
 //
 //	edb -app linkedlist -assert -script "vcap;status;halt"
 //	    drive interactive sessions from a script instead of stdin
+//
+//	edb -connect 127.0.0.1:3490 -app linkedlist -assert -script "vcap;halt"
+//	    run the same scripted session on an edbd daemon; the output is
+//	    byte-identical to the local run
+//
+// Exit status: 0 on success, 1 when the run fails or a scripted console
+// command returns an error, 2 on usage errors.
 package main
 
 import (
@@ -26,17 +33,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"repro/internal/apps"
-	"repro/internal/core"
-	"repro/internal/device"
-	"repro/internal/edb"
-	"repro/internal/energy"
-	"repro/internal/isa"
-	"repro/internal/rfid"
-	"repro/internal/trace"
-	"repro/internal/units"
+	"repro/internal/client"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -52,182 +51,66 @@ func main() {
 		doTrace  = flag.Bool("trace", false, "print the final 150 ms energy trace")
 		script   = flag.String("script", "", "semicolon-separated console commands run in each session")
 		interact = flag.Bool("i", false, "interactive stdin console when a session opens")
+		connect  = flag.String("connect", "", "host:port of an edbd daemon; run the session remotely")
 	)
 	flag.Parse()
 
-	var prog device.Program
-	var reader *rfid.ReaderConfig
+	spec := scenario.Spec{
+		App:         *appName,
+		Assert:      *withAsrt,
+		Guards:      *guards,
+		Print:       *printMd,
+		Seconds:     *seconds,
+		Distance:    *distance,
+		Seed:        *seed,
+		Trace:       *doTrace,
+		Script:      *script,
+		Interactive: *interact,
+	}
 	if *asmFile != "" {
 		src, err := os.ReadFile(*asmFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
-		prog = isa.NewProgram(*asmFile, string(src))
-	} else {
-		var err error
-		prog, reader, err = buildProgram(*appName, *withAsrt, *guards, *printMd)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+		spec.AsmName, spec.AsmSource = *asmFile, string(src)
+	}
+	if err := scenario.Validate(spec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// The stdin prompt drives interactive sessions, local or remote.
+	var prompt scenario.PromptFunc
+	if *interact {
+		sc := bufio.NewScanner(os.Stdin)
+		prompt = func() (string, bool) {
+			if !sc.Scan() {
+				return "", false
+			}
+			return sc.Text(), true
 		}
 	}
 
-	opts := []core.Option{core.WithSeed(*seed)}
-	if reader != nil {
-		rc := *reader
-		rc.Distance = units.Meters(*distance)
-		opts = append(opts, core.WithReader(rc))
-	} else {
-		h := energy.NewRFHarvester()
-		h.Distance = units.Meters(*distance)
-		opts = append(opts, core.WithHarvester(h))
+	if *connect != "" {
+		cl, err := client.Dial(*connect, client.Options{Name: "edb-cli", Attempts: 5})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer cl.Close()
+		st, err := cl.Run(spec, os.Stdout, prompt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(st.Exit)
 	}
 
-	rig, err := core.NewRig(prog, opts...)
+	res, err := scenario.Run(spec, os.Stdout, prompt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rig.EDB.SetConsoleSink(func(s string) { fmt.Println(s) })
-	var vcap *trace.Series
-	if *doTrace {
-		vcap = rig.EDB.TraceVcap()
-	}
-
-	rig.EDB.OnInteractive(func(s *edb.Session) {
-		rig.Console.BindSession(s)
-		defer rig.Console.BindSession(nil)
-		fmt.Printf("\n[edb] interactive session: %s (Vcap=%.3f V)\n", s.Reason, s.Voltage())
-		switch {
-		case *script != "":
-			for _, cmd := range strings.Split(*script, ";") {
-				cmd = strings.TrimSpace(cmd)
-				if cmd == "" {
-					continue
-				}
-				fmt.Printf("(edb) %s\n", cmd)
-				out, err := rig.Console.Exec(cmd)
-				if err != nil {
-					fmt.Println("error:", err)
-					continue
-				}
-				fmt.Print(out)
-				if cmd == "resume" || cmd == "halt" {
-					return
-				}
-			}
-		case *interact:
-			runStdinConsole(rig)
-		default:
-			fmt.Println("[edb] no -script or -i; resuming target")
-		}
-	})
-
-	res, err := rig.Run(units.Seconds(*seconds))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "run:", err)
-		os.Exit(1)
-	}
-	fmt.Println("\n==== run summary ====")
-	fmt.Println(res)
-	summarize(rig, prog)
-
-	if vcap != nil {
-		fmt.Println("\n==== energy trace (last 150 ms) ====")
-		total := rig.Device.Clock.Now()
-		window := rig.Device.Clock.ToCycles(150 * core.Millisecond)
-		late := trace.NewSeries(vcap.Name, vcap.Unit)
-		late.Samples = vcap.Window(total-window, total)
-		fmt.Print(trace.RenderASCII(late, rig.Device.Clock, 72, 12))
-	}
-	if out, err := rig.Exec("status"); err == nil {
-		fmt.Println("\n==== debugger status ====")
-		fmt.Print(out)
-	}
-}
-
-// buildProgram maps the -app flag to a firmware image (plus a reader for
-// the RFID scenario).
-func buildProgram(name string, withAssert, guards bool, printMode string) (device.Program, *rfid.ReaderConfig, error) {
-	switch name {
-	case "linkedlist":
-		return &apps.LinkedList{WithAssert: withAssert}, nil, nil
-	case "safelist":
-		return &apps.SafeLinkedList{WithAssert: withAssert}, nil, nil
-	case "fib":
-		return &apps.Fib{DebugBuild: true, UseGuards: guards, MaxNodes: 4000}, nil, nil
-	case "activity":
-		mode := apps.NoPrint
-		switch printMode {
-		case "uart":
-			mode = apps.UARTPrint
-		case "edb":
-			mode = apps.EDBPrint
-		case "none", "":
-		default:
-			return nil, nil, fmt.Errorf("edb: unknown print mode %q", printMode)
-		}
-		return &apps.Activity{Print: mode}, nil, nil
-	case "rfid":
-		rc := rfid.DefaultReaderConfig()
-		return &apps.WispRFID{}, &rc, nil
-	case "busy":
-		return &apps.Busy{}, nil, nil
-	}
-	return nil, nil, fmt.Errorf("edb: unknown app %q (linkedlist|safelist|fib|activity|rfid|busy)", name)
-}
-
-// summarize prints app-specific results.
-func summarize(rig *core.Rig, prog device.Program) {
-	switch app := prog.(type) {
-	case *apps.LinkedList:
-		fmt.Printf("iterations=%d tail-consistent=%v\n",
-			app.Iterations(rig.Device), app.ConsistentTail(rig.Device))
-	case *apps.SafeLinkedList:
-		fmt.Printf("iterations=%d consistent=%v (task-boundary build)\n",
-			app.Iterations(rig.Device), app.Consistent(rig.Device))
-	case *apps.Fib:
-		fmt.Printf("items=%d check-violations=%d guards=%d\n",
-			app.Count(rig.Device), app.CheckErrors(rig.Device), rig.EDB.Stats().Guards)
-	case *apps.Activity:
-		st := app.Stats(rig.Device)
-		fmt.Printf("iterations=%d/%d (%.0f%% success) moving=%d stationary=%d\n",
-			st.Completed, st.Attempted, 100*st.SuccessRate(), st.Moving, st.Stationary)
-	case *apps.WispRFID:
-		st := app.Stats(rig.Device)
-		fmt.Printf("queries=%d replies=%d corrupt=%d", st.Queries, st.Replies, st.Corrupt)
-		if rig.Reader != nil {
-			fmt.Printf("  response-rate=%.0f%%", 100*rig.Reader.ResponseRate())
-		}
-		fmt.Println()
-	case *apps.Busy:
-		fmt.Printf("iterations=%d\n", app.Iterations(rig.Device))
-	case *isa.Program:
-		img := app.Image()
-		fmt.Printf("image: %d words at %#04x; instructions retired this power cycle: %d\n",
-			len(img.Words), img.Org, app.CPU().Retired())
-	}
-}
-
-// runStdinConsole reads console commands from stdin until resume/halt/EOF.
-func runStdinConsole(rig *core.Rig) {
-	sc := bufio.NewScanner(os.Stdin)
-	for {
-		fmt.Print("(edb) ")
-		if !sc.Scan() {
-			fmt.Println()
-			return
-		}
-		line := strings.TrimSpace(sc.Text())
-		out, err := rig.Console.Exec(line)
-		if err != nil {
-			fmt.Println("error:", err)
-			continue
-		}
-		fmt.Print(out)
-		if line == "resume" || line == "halt" {
-			return
-		}
-	}
+	os.Exit(res.ExitCode)
 }

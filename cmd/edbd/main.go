@@ -1,0 +1,93 @@
+// Command edbd is the networked debug daemon: it hosts a fleet of
+// independent simulated target+EDB rigs behind the internal/wire protocol
+// so many edb clients (or the internal/client library) can debug many
+// independent targets concurrently.
+//
+//	edbd -addr 127.0.0.1:3490 -metrics 127.0.0.1:3491
+//
+// The -metrics listener serves Go's expvar page at /debug/vars, including
+// an "edbd" map with sessions open, commands served, bytes streamed, and
+// simulated cycles executed.
+//
+// SIGINT/SIGTERM starts a graceful drain: the listener closes, in-flight
+// sessions finish (bounded by -drain), and the process exits 0 on a clean
+// drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:3490", "listen address for the debug protocol")
+		metricsAddr = flag.String("metrics", "", "optional listen address for the expvar metrics endpoint (/debug/vars)")
+		name        = flag.String("name", "edbd", "server name reported in the handshake")
+		maxConns    = flag.Int("max-conns", 256, "maximum simultaneous client connections")
+		maxSessions = flag.Int("max-sessions", 128, "maximum simultaneous debug sessions")
+		maxSimSecs  = flag.Float64("max-sim-seconds", 300, "maximum simulated duration per session")
+		idle        = flag.Duration("idle", 2*time.Minute, "idle timeout before a quiet connection or session is reaped")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-drain budget after SIGTERM")
+		verbose     = flag.Bool("v", false, "log per-connection events")
+	)
+	flag.Parse()
+
+	cfg := server.Config{
+		Name:          *name,
+		MaxConns:      *maxConns,
+		MaxSessions:   *maxSessions,
+		MaxSimSeconds: *maxSimSecs,
+		IdleTimeout:   *idle,
+	}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv := server.New(cfg)
+
+	expvar.Publish("edbd", expvar.Func(func() any { return srv.Metrics() }))
+	if *metricsAddr != "" {
+		go func() {
+			// expvar registers /debug/vars on the default mux.
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				log.Printf("edbd: metrics endpoint: %v", err)
+			}
+		}()
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("edbd: %v", err)
+	}
+	log.Printf("edbd: listening on %s", lis.Addr())
+
+	drained := make(chan error, 1)
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		log.Printf("edbd: %s received; draining (budget %s)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		drained <- srv.Shutdown(ctx)
+	}()
+
+	if err := srv.Serve(lis); !errors.Is(err, server.ErrServerClosed) {
+		log.Fatalf("edbd: serve: %v", err)
+	}
+	if err := <-drained; err != nil {
+		log.Fatalf("edbd: drain incomplete: %v", err)
+	}
+	log.Printf("edbd: drained cleanly")
+}

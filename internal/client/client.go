@@ -1,0 +1,362 @@
+// Package client is the Go client library for edbd, the networked debug
+// daemon. It dials with a timeout and reconnect-with-backoff, speaks the
+// internal/wire handshake, streams scenario sessions, and exposes a
+// Console-compatible Exec API for interactive remote debugging, so code
+// written against internal/console's command surface drives a remote
+// target unchanged.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/wire"
+)
+
+// ErrSessionClosed is returned by Session.Exec after the remote session
+// has ended.
+var ErrSessionClosed = errors.New("client: session closed")
+
+// Options configures dialing and per-frame deadlines.
+type Options struct {
+	// DialTimeout bounds each TCP dial attempt (default 5s).
+	DialTimeout time.Duration
+	// Attempts is the number of dial attempts before giving up (default 1;
+	// raise it to tolerate a daemon that is still starting).
+	Attempts int
+	// Backoff is the delay before the second attempt, doubling per retry
+	// (default 100ms).
+	Backoff time.Duration
+	// MaxBackoff caps the retry delay (default 2s).
+	MaxBackoff time.Duration
+	// ReadTimeout bounds the wait for each server frame (default 60s —
+	// generously above the longest permitted simulation).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each outbound frame write (default 10s).
+	WriteTimeout time.Duration
+	// Name identifies this client in the handshake.
+	Name string
+}
+
+func (o Options) withDefaults() Options {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 1
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 60 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 10 * time.Second
+	}
+	if o.Name == "" {
+		o.Name = "edb-client"
+	}
+	return o
+}
+
+// Client is one authenticated connection to an edbd daemon. It is not safe
+// for concurrent use; open one Client per goroutine (the daemon hosts each
+// connection's sessions independently).
+type Client struct {
+	conn net.Conn
+	opts Options
+
+	// OnTrace, when set before Run, requests raw energy-trace streaming
+	// and receives each chunk.
+	OnTrace func(*wire.Trace)
+
+	serverName string
+}
+
+// Dial connects to an edbd daemon, retrying failed dials with exponential
+// backoff, and completes the protocol handshake. Handshake rejections
+// (e.g. a version mismatch) are returned immediately without retrying —
+// they will not fix themselves.
+func Dial(addr string, opts Options) (*Client, error) {
+	o := opts.withDefaults()
+	backoff := o.Backoff
+	var lastErr error
+	for attempt := 0; attempt < o.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > o.MaxBackoff {
+				backoff = o.MaxBackoff
+			}
+		}
+		conn, err := net.DialTimeout("tcp", addr, o.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c := &Client{conn: conn, opts: o}
+		if err := c.handshake(); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("client: dial %s failed after %d attempts: %w", addr, o.Attempts, lastErr)
+}
+
+// ServerName returns the daemon's name from the handshake.
+func (c *Client) ServerName() string { return c.serverName }
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	const token = 0xEDB
+	if err := c.send(&wire.Ping{Token: token}); err != nil {
+		return err
+	}
+	m, err := c.recv()
+	if err != nil {
+		return err
+	}
+	pong, ok := m.(*wire.Pong)
+	if !ok || pong.Token != token {
+		return fmt.Errorf("client: bad ping reply %T", m)
+	}
+	return nil
+}
+
+func (c *Client) handshake() error {
+	if err := c.send(&wire.Hello{Version: wire.Version, Client: c.opts.Name}); err != nil {
+		return fmt.Errorf("client: handshake send: %w", err)
+	}
+	m, err := c.recv()
+	if err != nil {
+		return fmt.Errorf("client: handshake recv: %w", err)
+	}
+	switch w := m.(type) {
+	case *wire.Welcome:
+		if w.Version != wire.Version {
+			return fmt.Errorf("client: server speaks protocol version %d, want %d", w.Version, wire.Version)
+		}
+		c.serverName = w.Server
+		return nil
+	case *wire.Error:
+		return w
+	}
+	return fmt.Errorf("client: unexpected handshake reply %T", m)
+}
+
+func (c *Client) send(m wire.Msg) error {
+	c.conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
+	return wire.WriteMsg(c.conn, m)
+}
+
+func (c *Client) recv() (wire.Msg, error) {
+	c.conn.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
+	return wire.ReadMsg(c.conn)
+}
+
+// Status summarizes a finished remote session.
+type Status struct {
+	Exit         int
+	Halted       string
+	SimCycles    uint64
+	Commands     int
+	ScriptErrors int
+}
+
+// Run executes one scenario session on the daemon, streaming its output to
+// out. The prompt callback answers interactive prompts (it is only
+// consulted when spec.Interactive is set and no script is given); pass nil
+// for scripted or hands-off runs. Run blocks until the session finishes
+// and returns its status.
+func (c *Client) Run(spec scenario.Spec, out io.Writer, prompt scenario.PromptFunc) (Status, error) {
+	req := &wire.Run{Spec: spec, StreamTrace: c.OnTrace != nil}
+	if err := c.send(req); err != nil {
+		return Status{}, err
+	}
+	for {
+		m, err := c.recv()
+		if err != nil {
+			return Status{}, err
+		}
+		switch t := m.(type) {
+		case *wire.Output:
+			if out != nil {
+				if _, err := out.Write(t.Data); err != nil {
+					return Status{}, err
+				}
+			}
+		case *wire.Prompt:
+			resp := &wire.Command{EOF: true}
+			if prompt != nil {
+				if line, ok := prompt(); ok {
+					resp = &wire.Command{Line: line}
+				}
+			}
+			if err := c.send(resp); err != nil {
+				return Status{}, err
+			}
+		case *wire.Trace:
+			if c.OnTrace != nil {
+				c.OnTrace(t)
+			}
+		case *wire.Done:
+			return Status{
+				Exit:         int(t.Exit),
+				Halted:       t.Halted,
+				SimCycles:    t.SimCycles,
+				Commands:     int(t.Commands),
+				ScriptErrors: int(t.ScriptErrors),
+			}, nil
+		case *wire.Error:
+			return Status{}, t
+		default:
+			return Status{}, fmt.Errorf("client: unexpected message %T during run", m)
+		}
+	}
+}
+
+// Session is an open remote interactive debugging session. Its Exec method
+// is Console-compatible — the same command surface as
+// internal/console.Console.Exec, executed on the daemon's rig.
+type Session struct {
+	c      *Client
+	out    io.Writer
+	status Status
+	closed bool
+	err    error
+}
+
+// Start launches an interactive session for the spec. Output produced
+// before the first console prompt (the run banner) is written to out, as
+// is any output after the console closes (the run summary). Start returns
+// once the remote console is ready for Exec.
+func (c *Client) Start(spec scenario.Spec, out io.Writer) (*Session, error) {
+	spec.Interactive = true
+	spec.Script = ""
+	if err := c.send(&wire.Run{Spec: spec}); err != nil {
+		return nil, err
+	}
+	s := &Session{c: c, out: out}
+	if _, err := s.pump(nil); err != nil {
+		return nil, err
+	}
+	if s.closed {
+		return nil, fmt.Errorf("client: session ended before first prompt (exit %d)", s.status.Exit)
+	}
+	return s, nil
+}
+
+// Exec runs one console command in the remote session and returns its
+// output — the Console-compatible entry point. It returns once the remote
+// console prompts again (or, after resume, when the run ends or the next
+// session opens). After the session ends, Exec returns ErrSessionClosed.
+func (s *Session) Exec(line string) (string, error) {
+	if s.closed {
+		if s.err != nil {
+			return "", s.err
+		}
+		return "", ErrSessionClosed
+	}
+	if err := s.c.send(&wire.Command{Line: line}); err != nil {
+		s.closed, s.err = true, err
+		return "", err
+	}
+	var buf strings.Builder
+	if _, err := s.pump(&buf); err != nil {
+		return "", err
+	}
+	// Drop the next prompt string the engine streamed just before the
+	// Prompt frame; Exec callers are not rendering a terminal.
+	return strings.TrimSuffix(buf.String(), "(edb) "), nil
+}
+
+// Close ends the session's console loop (like a local stdin EOF) and waits
+// for the run to finish, returning its status.
+func (s *Session) Close() (Status, error) {
+	if s.closed {
+		return s.status, s.err
+	}
+	if err := s.c.send(&wire.Command{EOF: true}); err != nil {
+		s.closed, s.err = true, err
+		return Status{}, err
+	}
+	for !s.closed {
+		if _, err := s.pump(nil); err != nil {
+			return Status{}, err
+		}
+		if !s.closed {
+			// The engine prompted again (a later session opened); keep
+			// answering EOF until the run drains.
+			if err := s.c.send(&wire.Command{EOF: true}); err != nil {
+				s.closed, s.err = true, err
+				return Status{}, err
+			}
+		}
+	}
+	return s.status, s.err
+}
+
+// Status returns the final status once the session has closed.
+func (s *Session) Status() Status { return s.status }
+
+// Closed reports whether the remote session has ended.
+func (s *Session) Closed() bool { return s.closed }
+
+// pump reads frames until the next Prompt (returning true) or Done
+// (marking the session closed). Output goes to buf when non-nil, else to
+// the session's writer.
+func (s *Session) pump(buf io.Writer) (bool, error) {
+	for {
+		m, err := s.c.recv()
+		if err != nil {
+			s.closed, s.err = true, err
+			return false, err
+		}
+		switch t := m.(type) {
+		case *wire.Output:
+			w := s.out
+			if buf != nil {
+				w = buf
+			}
+			if w != nil {
+				w.Write(t.Data)
+			}
+		case *wire.Prompt:
+			return true, nil
+		case *wire.Trace:
+			if s.c.OnTrace != nil {
+				s.c.OnTrace(t)
+			}
+		case *wire.Done:
+			s.closed = true
+			s.status = Status{
+				Exit:         int(t.Exit),
+				Halted:       t.Halted,
+				SimCycles:    t.SimCycles,
+				Commands:     int(t.Commands),
+				ScriptErrors: int(t.ScriptErrors),
+			}
+			return false, nil
+		case *wire.Error:
+			s.closed, s.err = true, t
+			return false, t
+		default:
+			err := fmt.Errorf("client: unexpected message %T during session", m)
+			s.closed, s.err = true, err
+			return false, err
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/scenario"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+func startServer(t *testing.T, cfg server.Config) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	srv := server.New(cfg)
+	go srv.Serve(lis)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return lis.Addr().String()
+}
+
+func assertSpec() scenario.Spec {
+	return scenario.Spec{App: "linkedlist", Assert: true, Seconds: 5, Seed: 42}
+}
+
+// TestDialTimeoutAndFailure: dialing a dead address fails after the
+// configured attempts, quickly.
+func TestDialTimeoutAndFailure(t *testing.T) {
+	// Grab a port and close it so nothing listens there.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	start := time.Now()
+	_, err = client.Dial(addr, client.Options{
+		DialTimeout: 200 * time.Millisecond,
+		Attempts:    2,
+		Backoff:     20 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("dial to dead address should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dial failure took too long: %v", elapsed)
+	}
+	if !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Fatalf("error should mention attempts: %v", err)
+	}
+}
+
+// TestReconnectBackoff: a daemon that starts late is reached by the
+// retry/backoff loop.
+func TestReconnectBackoff(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close() // free the port; the daemon appears here shortly
+
+	srv := server.New(server.Config{})
+	go func() {
+		time.Sleep(200 * time.Millisecond)
+		l2, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Errorf("relisten: %v", err)
+			return
+		}
+		srv.Serve(l2)
+	}()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	cl, err := client.Dial(addr, client.Options{
+		DialTimeout: 200 * time.Millisecond,
+		Attempts:    20,
+		Backoff:     50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("dial with backoff should reach the late daemon: %v", err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if cl.ServerName() == "" {
+		t.Fatal("handshake should report the server name")
+	}
+}
+
+// TestInteractiveExec drives a remote interactive session through the
+// Console-compatible Exec API.
+func TestInteractiveExec(t *testing.T) {
+	addr := startServer(t, server.Config{})
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	var banner bytes.Buffer
+	sess, err := cl.Start(assertSpec(), &banner)
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if !strings.Contains(banner.String(), "[edb] interactive session: assert") {
+		t.Fatalf("banner missing session line:\n%s", banner.String())
+	}
+
+	out, err := sess.Exec("vcap")
+	if err != nil {
+		t.Fatalf("exec vcap: %v", err)
+	}
+	if !strings.Contains(out, "Vcap = ") {
+		t.Fatalf("vcap output: %q", out)
+	}
+	out, err = sess.Exec("read")
+	if err != nil {
+		t.Fatalf("exec read (console errors are output, not failures): %v", err)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Fatalf("malformed read should report a console error, got %q", out)
+	}
+	if _, err := sess.Exec("halt"); err != nil {
+		t.Fatalf("exec halt: %v", err)
+	}
+	st, err := sess.Close()
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if !strings.Contains(st.Halted, "assert") {
+		t.Fatalf("final status should record the assert halt, got %+v", st)
+	}
+	if !sess.Closed() {
+		t.Fatal("session should report closed")
+	}
+	if _, err := sess.Exec("vcap"); err == nil {
+		t.Fatal("exec after close must fail")
+	}
+}
+
+// TestTraceStreaming: OnTrace receives the raw samples behind the final
+// energy-trace window.
+func TestTraceStreaming(t *testing.T) {
+	addr := startServer(t, server.Config{})
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+
+	var samples int
+	cl.OnTrace = func(tc *wire.Trace) {
+		if tc.Name != "Vcap" || tc.Unit != "V" {
+			t.Errorf("unexpected trace series %s/%s", tc.Name, tc.Unit)
+		}
+		samples += len(tc.Samples)
+	}
+	spec := scenario.Spec{App: "busy", Seconds: 0.5, Seed: 7, Trace: true}
+	var buf bytes.Buffer
+	st, err := cl.Run(spec, &buf, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if st.Exit != 0 {
+		t.Fatalf("exit %d", st.Exit)
+	}
+	if samples == 0 {
+		t.Fatal("no trace samples streamed")
+	}
+	if !strings.Contains(buf.String(), "==== energy trace (last 150 ms) ====") {
+		t.Fatalf("rendered trace missing from output:\n%s", buf.String())
+	}
+}
+
+// TestRunWithoutSessions: a scenario whose debugger never opens a session
+// still streams its run summary.
+func TestRunWithoutSessions(t *testing.T) {
+	addr := startServer(t, server.Config{})
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+	var buf bytes.Buffer
+	st, err := cl.Run(scenario.Spec{App: "busy", Seconds: 0.5, Seed: 7}, &buf, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if st.Commands != 0 || st.Exit != 0 {
+		t.Fatalf("unexpected status %+v", st)
+	}
+	if !strings.Contains(buf.String(), "==== run summary ====") {
+		t.Fatalf("missing summary:\n%s", buf.String())
+	}
+}

@@ -20,6 +20,7 @@ package console
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -39,8 +40,14 @@ type Console struct {
 	// and resume/halt work only then.
 	session *edb.Session
 
-	// out accumulates console output between Flush calls.
-	out strings.Builder
+	// out receives asynchronous console output (printf text, assert and
+	// session notifications). By default it is the internal buffer drained
+	// by Flush; SetOutput injects any io.Writer — a terminal, a network
+	// stream — so the console never assumes a local terminal.
+	out io.Writer
+
+	// buf backs out when no writer has been injected.
+	buf *strings.Builder
 
 	// lastEvent tracks how much of the event log each trace command has
 	// already printed.
@@ -50,24 +57,45 @@ type Console struct {
 // New returns a console bound to an EDB board and registers itself as the
 // board's console sink (printf output, assert notifications).
 func New(e *edb.EDB) *Console {
-	c := &Console{e: e, lastEvent: make(map[string]int)}
-	e.SetConsoleSink(func(s string) {
-		c.out.WriteString(s)
-		if !strings.HasSuffix(s, "\n") {
-			c.out.WriteByte('\n')
-		}
-	})
+	buf := &strings.Builder{}
+	c := &Console{e: e, out: buf, buf: buf, lastEvent: make(map[string]int)}
+	e.SetConsoleSink(c.sink)
 	return c
+}
+
+// sink delivers one asynchronous console line to the injected writer,
+// normalizing the trailing newline.
+func (c *Console) sink(s string) {
+	io.WriteString(c.out, s)
+	if !strings.HasSuffix(s, "\n") {
+		io.WriteString(c.out, "\n")
+	}
+}
+
+// SetOutput routes asynchronous console output to w instead of the internal
+// buffer; Flush returns "" from then on. Passing nil restores buffering.
+func (c *Console) SetOutput(w io.Writer) {
+	if w == nil {
+		c.buf = &strings.Builder{}
+		c.out = c.buf
+		return
+	}
+	c.out = w
+	c.buf = nil
 }
 
 // BindSession attaches an open interactive session (called from an
 // OnInteractive handler); pass nil when the session closes.
 func (c *Console) BindSession(s *edb.Session) { c.session = s }
 
-// Flush returns and clears buffered console output.
+// Flush returns and clears buffered console output (empty when SetOutput
+// has redirected the stream).
 func (c *Console) Flush() string {
-	s := c.out.String()
-	c.out.Reset()
+	if c.buf == nil {
+		return ""
+	}
+	s := c.buf.String()
+	c.buf.Reset()
 	return s
 }
 

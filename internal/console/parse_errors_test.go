@@ -1,0 +1,133 @@
+package console_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
+	"repro/internal/units"
+)
+
+// TestParseErrorsEveryCommand feeds a malformed invocation of every Table-1
+// command to the console and checks each is rejected with a "console:"
+// error instead of panicking or silently succeeding. This is the parse
+// layer the scripted (-script) and remote (edbd) paths both depend on for
+// their non-zero exit codes.
+func TestParseErrorsEveryCommand(t *testing.T) {
+	_, _, c := rig(t)
+
+	cases := []struct {
+		line string
+		want string // substring of the error
+	}{
+		// charge|discharge <volts>
+		{"charge", "usage: charge|discharge"},
+		{"charge two", `bad voltage "two"`},
+		{"charge 2.4 extra", "usage: charge|discharge"},
+		{"discharge", "usage: charge|discharge"},
+		{"discharge -", `bad voltage "-"`},
+
+		// break en|dis <id> [energy level]
+		{"break", "usage: break"},
+		{"break en", "usage: break"},
+		{"break maybe 0", `expected en|dis, got "maybe"`},
+		{"break en zero", `bad breakpoint id "zero"`},
+		{"break en 0 full", `bad energy level "full"`},
+
+		// watch en|dis <id>
+		{"watch", "usage: watch"},
+		{"watch en", "usage: watch"},
+		{"watch sometimes 1", `expected en|dis, got "sometimes"`},
+		{"watch en one", `bad watchpoint id "one"`},
+
+		// ebreak <volts>
+		{"ebreak", "usage: ebreak"},
+		{"ebreak low", `bad voltage "low"`},
+		{"ebreak 2.0 2.1", "usage: ebreak"},
+
+		// trace {energy,iobus,rfid,watchpoints}
+		{"trace", "usage: trace"},
+		{"trace vibes", `unknown trace stream "vibes"`},
+
+		// read <hexaddr> / write <hexaddr> <value> / disasm <hexaddr> [n]
+		// — all refuse to parse without an interactive session first.
+		{"read 0x4400", "read requires an interactive session"},
+		{"write 0x4400 1", "write requires an interactive session"},
+		{"disasm 0x4400", "disasm requires an interactive session"},
+
+		// resume | halt only exist inside an interactive session.
+		{"resume", "no interactive session open"},
+		{"halt", "no interactive session open"},
+
+		// unknown command
+		{"launch-missiles", `unknown command "launch-missiles"`},
+	}
+
+	for _, tc := range cases {
+		out, err := c.Exec(tc.line)
+		if err == nil {
+			t.Errorf("%q: expected an error, got output %q", tc.line, out)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "console: ") {
+			t.Errorf("%q: error not namespaced: %v", tc.line, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: error %q does not mention %q", tc.line, err, tc.want)
+		}
+	}
+}
+
+// TestParseErrorsInsideSession covers the argument errors of the
+// session-only commands, which are reachable only once a session is open.
+func TestParseErrorsInsideSession(t *testing.T) {
+	_, e, c := rig(t)
+	h := energy.NewRFHarvester()
+	d := device.NewWISP5(h, 42)
+	e.Detach()
+	e.Attach(d)
+	r := device.NewRunner(d, &apps.LinkedList{WithAssert: true})
+	if err := r.Flash(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		line string
+		want string
+	}{
+		{"read", "usage: read"},
+		{"read nothex", `bad address "nothex"`},
+		{"write 0x4400", "usage: write"},
+		{"write where 1", `bad address "where"`},
+		{"write 0x4400 lots", `bad value "lots"`},
+		{"disasm", "usage: disasm"},
+		{"disasm 0x4400 many", `bad instruction count "many"`},
+	}
+
+	ran := false
+	e.OnInteractive(func(s *edb.Session) {
+		c.BindSession(s)
+		defer c.BindSession(nil)
+		defer s.Halt()
+		ran = true
+		for _, tc := range cases {
+			out, err := c.Exec(tc.line)
+			if err == nil {
+				t.Errorf("%q: expected an error, got output %q", tc.line, out)
+				continue
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("%q: error %q does not mention %q", tc.line, err, tc.want)
+			}
+		}
+	})
+	if _, err := r.RunFor(units.Seconds(30)); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("interactive session never opened")
+	}
+}

@@ -1,0 +1,122 @@
+package edb_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/debugwire"
+	"repro/internal/edb"
+	"repro/internal/memsim"
+	"repro/internal/units"
+)
+
+// TestBlockRoundTripAtFrameBoundary exercises edb.Session block transfers
+// at the debugwire.MaxPayload frame limit — exact fit, one over, and empty
+// — through real debugwire round trips inside an interactive session.
+//
+// A block write frame carries addr(2)+data, so its largest data is
+// MaxPayload-2 bytes; a block read response carries the data alone, so its
+// largest is MaxPayload bytes.
+func TestBlockRoundTripAtFrameBoundary(t *testing.T) {
+	app := &apps.LinkedList{WithAssert: true}
+	d, e, r := newRig(t, app, 42)
+
+	const (
+		writeMax = debugwire.MaxPayload - 2
+		readMax  = debugwire.MaxPayload
+	)
+
+	ran := false
+	e.OnInteractive(func(s *edb.Session) {
+		defer s.Halt()
+		ran = true
+
+		base, err := d.FRAM.Alloc(readMax + 2)
+		if err != nil {
+			t.Errorf("alloc scratch: %v", err)
+			return
+		}
+
+		// Exact fit: the largest data a single write frame can carry.
+		data := make([]byte, writeMax)
+		for i := range data {
+			data[i] = byte(i*7 + 3)
+		}
+		if err := s.WriteBlock(base, data); err != nil {
+			t.Errorf("exact-fit write (%d bytes): %v", writeMax, err)
+		}
+		got, err := s.ReadBlock(base, writeMax)
+		if err != nil {
+			t.Errorf("read back: %v", err)
+		} else if !bytes.Equal(got, data) {
+			t.Errorf("block round trip corrupted data at frame boundary")
+		}
+
+		// One over: must be refused client-side, before touching the wire.
+		if err := s.WriteBlock(base, make([]byte, writeMax+1)); err == nil {
+			t.Errorf("write of %d bytes must exceed the frame limit", writeMax+1)
+		}
+
+		// Empty write: a degenerate but legal frame (addr only).
+		if err := s.WriteBlock(base, nil); err != nil {
+			t.Errorf("empty write: %v", err)
+		}
+		// The exact-fit data must be untouched by the empty write.
+		if got, err := s.ReadBlock(base, 4); err != nil || !bytes.Equal(got, data[:4]) {
+			t.Errorf("empty write disturbed memory: %v %x", err, got)
+		}
+
+		// Exact-fit read: the largest response payload.
+		got, err = s.ReadBlock(base, readMax)
+		if err != nil {
+			t.Errorf("exact-fit read (%d bytes): %v", readMax, err)
+		} else if len(got) != readMax {
+			t.Errorf("exact-fit read returned %d bytes, want %d", len(got), readMax)
+		}
+
+		// One over: refused client-side.
+		if _, err := s.ReadBlock(base, readMax+1); err == nil {
+			t.Errorf("read of %d bytes must exceed the frame limit", readMax+1)
+		}
+
+		// Empty read.
+		if got, err := s.ReadBlock(base, 0); err != nil || len(got) != 0 {
+			t.Errorf("empty read: got %d bytes, err %v", len(got), err)
+		}
+
+		// Word round trip at an odd offset inside the scratch area, for
+		// completeness of the session surface.
+		if err := s.WriteWord(base+2, 0xBEEF); err != nil {
+			t.Errorf("write word: %v", err)
+		}
+		if v, err := s.ReadWord(base + 2); err != nil || v != 0xBEEF {
+			t.Errorf("read word: %#04x, %v", v, err)
+		}
+	})
+
+	if _, err := r.RunFor(units.Seconds(30)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !ran {
+		t.Fatal("interactive session never opened (assert did not fire)")
+	}
+}
+
+// TestBlockReadOutOfRange: a block read that walks off the end of mapped
+// memory is NAKed by the target service and surfaces as an error, not a
+// panic or garbage.
+func TestBlockReadOutOfRange(t *testing.T) {
+	app := &apps.LinkedList{WithAssert: true}
+	_, e, r := newRig(t, app, 42)
+
+	e.OnInteractive(func(s *edb.Session) {
+		defer s.Halt()
+		if _, err := s.ReadBlock(memsim.Addr(0xFFF0), 64); err == nil {
+			t.Errorf("read past the end of memory must fail")
+		}
+	})
+	if _, err := r.RunFor(units.Seconds(30)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,52 @@
+package server
+
+import "sync/atomic"
+
+// counters is the server's hot-path instrumentation; every field is an
+// atomic so session goroutines never contend on a lock to count.
+type counters struct {
+	connsOpen        atomic.Int64
+	connsTotal       atomic.Int64
+	connsRejected    atomic.Int64
+	sessionsOpen     atomic.Int64
+	sessionsTotal    atomic.Int64
+	sessionsRejected atomic.Int64
+	commandsServed   atomic.Int64
+	bytesStreamed    atomic.Int64
+	simCycles        atomic.Int64
+	scriptErrors     atomic.Int64
+	idleReaped       atomic.Int64
+}
+
+// Metrics is a point-in-time snapshot of the daemon's counters; it
+// marshals cleanly through expvar.Func for the /debug/vars endpoint.
+type Metrics struct {
+	ConnsOpen        int64 // connections currently open
+	ConnsTotal       int64 // connections accepted since start
+	ConnsRejected    int64 // connections refused by the MaxConns limit
+	SessionsOpen     int64 // scenario sessions currently running
+	SessionsTotal    int64 // sessions served since start
+	SessionsRejected int64 // sessions refused by the MaxSessions limit
+	CommandsServed   int64 // console commands executed across all sessions
+	BytesStreamed    int64 // output bytes framed back to clients
+	SimCycles        int64 // simulated target cycles executed
+	ScriptErrors     int64 // scripted console commands that returned errors
+	IdleReaped       int64 // sessions closed by the idle timeout
+}
+
+// Metrics returns a snapshot of the server's counters.
+func (s *Server) Metrics() Metrics {
+	return Metrics{
+		ConnsOpen:        s.c.connsOpen.Load(),
+		ConnsTotal:       s.c.connsTotal.Load(),
+		ConnsRejected:    s.c.connsRejected.Load(),
+		SessionsOpen:     s.c.sessionsOpen.Load(),
+		SessionsTotal:    s.c.sessionsTotal.Load(),
+		SessionsRejected: s.c.sessionsRejected.Load(),
+		CommandsServed:   s.c.commandsServed.Load(),
+		BytesStreamed:    s.c.bytesStreamed.Load(),
+		SimCycles:        s.c.simCycles.Load(),
+		ScriptErrors:     s.c.scriptErrors.Load(),
+		IdleReaped:       s.c.idleReaped.Load(),
+	}
+}

@@ -1,0 +1,437 @@
+// Package server implements edbd, the networked multi-target debug daemon:
+// it hosts a fleet of independent simulated target+EDB rigs, one
+// goroutine-owned scenario per session, behind the internal/wire protocol.
+//
+// Where the paper's prototype is one board, one tag, one serial console
+// (§4.2), edbd turns the same rig into a shared service: many clients
+// debug many independent targets concurrently. Sessions never share
+// mutable simulation state — each owns its device, debugger, and RNG
+// streams, the same isolation rule internal/parallel relies on — so a
+// remote scripted session's output is byte-identical to the same script
+// run locally.
+//
+// Operational behavior: per-frame read/write deadlines, connection and
+// session limits, idle-session reaping (a client that stops sending is
+// told so and cut), graceful drain on Shutdown, and an atomic metrics
+// snapshot for an expvar endpoint.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/wire"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown begins.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Name identifies the server in the handshake (default "edbd").
+	Name string
+	// MaxConns bounds simultaneously open connections (default 256).
+	MaxConns int
+	// MaxSessions bounds simultaneously running sessions (default 128).
+	MaxSessions int
+	// MaxSimSeconds bounds a session's simulated duration (default 300).
+	MaxSimSeconds float64
+	// IdleTimeout reaps connections that sit between requests, and
+	// interactive sessions awaiting a command (default 2m).
+	IdleTimeout time.Duration
+	// ReadTimeout bounds the handshake read (default 10s).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each outbound frame write (default 10s).
+	WriteTimeout time.Duration
+	// Logf, when set, receives one line per connection-level event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "edbd"
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 256
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 128
+	}
+	if c.MaxSimSeconds <= 0 {
+		c.MaxSimSeconds = 300
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Server is one edbd instance.
+type Server struct {
+	cfg Config
+	c   counters
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]*connState
+	draining bool
+
+	wg sync.WaitGroup
+}
+
+// connState tracks whether a connection is inside a session, so a drain
+// can cut idle connections immediately while busy ones finish their work.
+type connState struct {
+	mu   sync.Mutex
+	busy bool
+}
+
+// New builds a server; zero-valued config fields take their defaults.
+func New(cfg Config) *Server {
+	return &Server{cfg: cfg.withDefaults(), conns: make(map[net.Conn]*connState)}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Addr returns the listener's address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Serve accepts connections on lis until Shutdown closes it, then returns
+// ErrServerClosed.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		lis.Close()
+		return ErrServerClosed
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		st := &connState{}
+		s.conns[conn] = st
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn, st)
+	}
+}
+
+// Shutdown drains the server: the listener closes, new connections are
+// refused, connections idling between requests are cut immediately, and
+// in-flight sessions run to completion (their handlers exit instead of
+// waiting for another request). If ctx expires first, remaining
+// connections are force-closed (their simulations still finish; output to
+// the dead peer is discarded). Shutdown returns nil on a clean drain,
+// ctx.Err() on a forced one.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	lis := s.lis
+	for conn, st := range s.conns {
+		st.mu.Lock()
+		if !st.busy {
+			conn.Close()
+		}
+		st.mu.Unlock()
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// send writes one frame under the write deadline.
+func (s *Server) send(conn net.Conn, m wire.Msg) error {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	return wire.WriteMsg(conn, m)
+}
+
+// recv reads one frame under deadline d.
+func (s *Server) recv(conn net.Conn, d time.Duration) (wire.Msg, error) {
+	conn.SetReadDeadline(time.Now().Add(d))
+	return wire.ReadMsg(conn)
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// handle owns one connection: handshake, then a loop of run/ping requests.
+func (s *Server) handle(conn net.Conn, st *connState) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.c.connsOpen.Add(-1)
+		s.wg.Done()
+	}()
+	s.c.connsTotal.Add(1)
+	if open := s.c.connsOpen.Add(1); open > int64(s.cfg.MaxConns) {
+		s.c.connsRejected.Add(1)
+		s.send(conn, &wire.Error{Code: wire.CodeBusy, Text: "connection limit reached"})
+		return
+	}
+
+	m, err := s.recv(conn, s.cfg.ReadTimeout)
+	if err != nil {
+		return
+	}
+	hello, ok := m.(*wire.Hello)
+	if !ok {
+		s.send(conn, &wire.Error{Code: wire.CodeBadRequest, Text: "expected Hello"})
+		return
+	}
+	if hello.Version != wire.Version {
+		s.send(conn, &wire.Error{Code: wire.CodeVersion,
+			Text: fmt.Sprintf("server speaks protocol version %d, client sent %d", wire.Version, hello.Version)})
+		return
+	}
+	if err := s.send(conn, &wire.Welcome{Version: wire.Version, Server: s.cfg.Name}); err != nil {
+		return
+	}
+	s.logf("conn %s: handshake ok (%s)", conn.RemoteAddr(), hello.Client)
+
+	for {
+		m, err := s.recv(conn, s.cfg.IdleTimeout)
+		if err != nil {
+			if isTimeout(err) {
+				s.c.idleReaped.Add(1)
+				s.send(conn, &wire.Error{Code: wire.CodeIdle, Text: "idle timeout: connection reaped"})
+				s.logf("conn %s: reaped idle", conn.RemoteAddr())
+			}
+			return
+		}
+		switch req := m.(type) {
+		case *wire.Ping:
+			if err := s.send(conn, &wire.Pong{Token: req.Token}); err != nil {
+				return
+			}
+		case *wire.Run:
+			st.mu.Lock()
+			st.busy = true
+			st.mu.Unlock()
+			err := s.session(conn, req)
+			st.mu.Lock()
+			st.busy = false
+			st.mu.Unlock()
+			if err != nil {
+				return
+			}
+			// A drain lets the in-flight session finish, then closes the
+			// connection instead of waiting for another request.
+			if s.isDraining() {
+				return
+			}
+		default:
+			s.send(conn, &wire.Error{Code: wire.CodeBadRequest,
+				Text: fmt.Sprintf("unexpected message type %#02x", m.Type())})
+			return
+		}
+	}
+}
+
+// session runs one scenario for the connection. The calling goroutine owns
+// the entire simulation; the client only ever observes framed output.
+func (s *Server) session(conn net.Conn, req *wire.Run) error {
+	if open := s.c.sessionsOpen.Add(1); open > int64(s.cfg.MaxSessions) {
+		s.c.sessionsOpen.Add(-1)
+		s.c.sessionsRejected.Add(1)
+		return s.send(conn, &wire.Error{Code: wire.CodeBusy, Text: "session limit reached"})
+	}
+	defer s.c.sessionsOpen.Add(-1)
+	s.c.sessionsTotal.Add(1)
+
+	if req.Spec.Seconds > s.cfg.MaxSimSeconds {
+		return s.send(conn, &wire.Error{Code: wire.CodeBadRequest,
+			Text: fmt.Sprintf("simulated duration %.1fs exceeds server limit %.1fs",
+				req.Spec.Seconds, s.cfg.MaxSimSeconds)})
+	}
+	if err := scenario.Validate(req.Spec); err != nil {
+		return s.send(conn, &wire.Error{Code: wire.CodeBadRequest, Text: err.Error()})
+	}
+
+	out := &streamWriter{s: s, conn: conn}
+	var prompt scenario.PromptFunc
+	if req.Spec.Interactive && req.Spec.Script == "" {
+		prompt = func() (string, bool) {
+			if out.flush() != nil {
+				return "", false
+			}
+			if s.send(conn, &wire.Prompt{}) != nil {
+				return "", false
+			}
+			m, err := s.recv(conn, s.cfg.IdleTimeout)
+			if err != nil {
+				if isTimeout(err) {
+					s.c.idleReaped.Add(1)
+					s.send(conn, &wire.Error{Code: wire.CodeIdle, Text: "idle timeout: session reaped"})
+					s.logf("conn %s: reaped idle session", conn.RemoteAddr())
+				}
+				out.fail(err)
+				return "", false
+			}
+			cmd, ok := m.(*wire.Command)
+			if !ok || cmd.EOF {
+				return "", false
+			}
+			return cmd.Line, true
+		}
+	}
+
+	res, err := scenario.Run(req.Spec, out, prompt)
+	s.c.commandsServed.Add(int64(res.Commands))
+	s.c.simCycles.Add(int64(res.SimCycles))
+	s.c.scriptErrors.Add(int64(res.ScriptErrors))
+	if ferr := out.flush(); ferr != nil {
+		return ferr
+	}
+	if err != nil {
+		return s.send(conn, &wire.Error{Code: wire.CodeRunFailed, Text: err.Error()})
+	}
+	if req.StreamTrace && res.Vcap != nil {
+		const chunk = 512
+		for i := 0; i < len(res.Vcap.Samples); i += chunk {
+			end := i + chunk
+			if end > len(res.Vcap.Samples) {
+				end = len(res.Vcap.Samples)
+			}
+			tc := &wire.Trace{Name: res.Vcap.Name, Unit: res.Vcap.Unit}
+			for _, sm := range res.Vcap.Samples[i:end] {
+				tc.Samples = append(tc.Samples, wire.TracePoint{At: uint64(sm.At), V: sm.V})
+			}
+			if err := s.send(conn, tc); err != nil {
+				return err
+			}
+		}
+	}
+	return s.send(conn, &wire.Done{
+		Exit:         int32(res.ExitCode),
+		Halted:       res.Run.Halted,
+		SimCycles:    res.SimCycles,
+		Commands:     uint32(res.Commands),
+		ScriptErrors: uint32(res.ScriptErrors),
+	})
+}
+
+// streamWriter frames a session's output stream back to the client,
+// coalescing small writes. A peer failure latches: the simulation keeps
+// running to completion, later output is discarded, and the session ends
+// with the connection torn down instead of a Done frame.
+type streamWriter struct {
+	s    *Server
+	conn net.Conn
+	buf  []byte
+	err  error
+}
+
+// flushThreshold keeps frames reasonably sized without chattering a frame
+// per fmt.Fprintf.
+const flushThreshold = 4096
+
+func (w *streamWriter) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return len(p), nil // discard; the sim must still finish
+	}
+	w.buf = append(w.buf, p...)
+	if len(w.buf) >= flushThreshold {
+		w.flush()
+	}
+	return len(p), nil
+}
+
+func (w *streamWriter) flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	data := w.buf
+	w.buf = nil
+	if err := w.s.send(w.conn, &wire.Output{Data: data}); err != nil {
+		w.fail(err)
+		return err
+	}
+	w.s.c.bytesStreamed.Add(int64(len(data)))
+	return nil
+}
+
+func (w *streamWriter) fail(err error) {
+	if w.err == nil {
+		w.err = err
+	}
+}

@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireDecode feeds arbitrary byte streams through the frame decoder —
+// the same corpus style as internal/debugwire's FuzzDecode. The decoder
+// must never panic, must never allocate beyond the declared (bounded)
+// frame length, and any message that decodes must re-encode to exactly the
+// bytes it was decoded from.
+func FuzzWireDecode(f *testing.F) {
+	// Seed with one valid frame per message type…
+	for _, m := range sampleMsgs() {
+		fr, err := EncodeMsg(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(fr)
+	}
+	// …plus classic malformed shapes: empty, garbage, truncated header,
+	// hostile length fields, reserved flags.
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01, 0x02})
+	f.Add([]byte{TypeHello, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{TypeOutput, 0, 0x00, 0x10, 0x00, 0x01, 0x00})
+	f.Add([]byte{TypePrompt, 1, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMsg(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A decoded message must re-encode canonically to the consumed
+		// prefix of the input.
+		re, eerr := EncodeMsg(m)
+		if eerr != nil {
+			t.Fatalf("re-encode of decoded %T failed: %v", m, eerr)
+		}
+		if len(re) > len(data) || !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("re-encode mismatch for %T:\n  in  %x\n  out %x", m, data[:min(len(data), 64)], re[:min(len(re), 64)])
+		}
+	})
+}

@@ -1,0 +1,494 @@
+// Package wire defines the versioned, length-prefixed framed protocol
+// spoken between edb clients and the edbd daemon. It is the host-to-host
+// sibling of internal/debugwire (the target-side UART framing): where
+// debugwire carries single-byte-checksummed frames over a simulated serial
+// line, wire carries typed messages over TCP.
+//
+// Frame layout (all integers big-endian):
+//
+//	+--------+----------+-------------+---------+
+//	| type:1 | flags:1  | length:4    | payload |
+//	+--------+----------+-------------+---------+
+//
+// flags must be zero in version 1; length counts payload bytes and is
+// bounded by MaxFrame, so a malformed header can never force a large
+// allocation.
+//
+// Versioning rules: the protocol version is carried once, in the
+// Hello/Welcome handshake, not per frame. A server that receives a
+// different major version replies Error{CodeVersion} and closes. Within a
+// version, payload layouts are fixed; new message types may be added (old
+// peers reject them with ErrUnknownType), but existing layouts never
+// change — that requires bumping Version.
+//
+// Every message's encoding is canonical: Decode(Encode(m)) == m and
+// re-encoding a decoded frame reproduces the original bytes, which
+// FuzzWireDecode enforces.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/scenario"
+)
+
+// Version is the protocol version exchanged in the handshake.
+const Version uint16 = 1
+
+// MaxFrame bounds a frame's payload size; ReadMsg rejects larger lengths
+// before allocating.
+const MaxFrame = 1 << 20
+
+// headerSize is type + flags + length.
+const headerSize = 6
+
+// Message type codes.
+const (
+	TypeHello   byte = 0x01 // client → server: open the handshake
+	TypeWelcome byte = 0x02 // server → client: handshake accepted
+	TypeError   byte = 0x03 // either direction: typed failure
+	TypeRun     byte = 0x10 // client → server: start a scenario session
+	TypeCommand byte = 0x11 // client → server: one console command (answers Prompt)
+	TypeOutput  byte = 0x20 // server → client: console/run output bytes
+	TypePrompt  byte = 0x21 // server → client: session awaits a Command
+	TypeTrace   byte = 0x22 // server → client: raw energy-trace samples
+	TypeDone    byte = 0x23 // server → client: session finished
+	TypePing    byte = 0x30 // either direction: liveness probe
+	TypePong    byte = 0x31 // reply to Ping
+)
+
+// Error codes.
+const (
+	CodeVersion    uint16 = 1 // protocol version mismatch
+	CodeBusy       uint16 = 2 // connection or session limit reached
+	CodeBadRequest uint16 = 3 // malformed or out-of-order message
+	CodeRunFailed  uint16 = 4 // scenario setup or run failed server-side
+	CodeIdle       uint16 = 5 // idle session reaped by the server
+)
+
+// Framing errors.
+var (
+	ErrFrameTooBig = errors.New("wire: frame exceeds MaxFrame")
+	ErrBadFlags    = errors.New("wire: non-zero flags byte")
+)
+
+// Msg is one protocol message.
+type Msg interface {
+	Type() byte
+	encode(e *encoder)
+	decode(d *decoder)
+}
+
+// Hello opens the handshake.
+type Hello struct {
+	Version uint16
+	Client  string // client name/version string, for logs
+}
+
+// Welcome accepts the handshake.
+type Welcome struct {
+	Version uint16
+	Server  string // server name, for logs
+}
+
+// Error reports a typed failure; it implements the error interface so
+// clients can surface it directly.
+type Error struct {
+	Code uint16
+	Text string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("edbd: %s (code %d)", e.Text, e.Code) }
+
+// Run asks the server to execute a scenario session.
+type Run struct {
+	Spec scenario.Spec
+	// StreamTrace additionally streams the raw samples behind the final
+	// energy-trace window as Trace chunks before Done.
+	StreamTrace bool
+}
+
+// Command answers a Prompt with the next console line. EOF tells the
+// server the client has no more commands (stdin closed), ending the
+// session's console loop like a local EOF.
+type Command struct {
+	Line string
+	EOF  bool
+}
+
+// Output carries a chunk of the session's output stream.
+type Output struct {
+	Data []byte
+}
+
+// Prompt signals that the session's console is waiting for a Command.
+type Prompt struct{}
+
+// TracePoint is one raw trace sample.
+type TracePoint struct {
+	At uint64 // target clock cycles
+	V  float64
+}
+
+// Trace streams a chunk of raw energy-trace samples.
+type Trace struct {
+	Name    string
+	Unit    string
+	Samples []TracePoint
+}
+
+// Done ends a session with its results.
+type Done struct {
+	Exit         int32  // process exit status (non-zero when a scripted command failed)
+	Halted       string // debugger halt reason, if any
+	SimCycles    uint64
+	Commands     uint32
+	ScriptErrors uint32
+}
+
+// Ping probes liveness.
+type Ping struct{ Token uint64 }
+
+// Pong answers a Ping, echoing its token.
+type Pong struct{ Token uint64 }
+
+func (*Hello) Type() byte   { return TypeHello }
+func (*Welcome) Type() byte { return TypeWelcome }
+func (*Error) Type() byte   { return TypeError }
+func (*Run) Type() byte     { return TypeRun }
+func (*Command) Type() byte { return TypeCommand }
+func (*Output) Type() byte  { return TypeOutput }
+func (*Prompt) Type() byte  { return TypePrompt }
+func (*Trace) Type() byte   { return TypeTrace }
+func (*Done) Type() byte    { return TypeDone }
+func (*Ping) Type() byte    { return TypePing }
+func (*Pong) Type() byte    { return TypePong }
+
+// newMsg maps a type code to a zero message.
+func newMsg(t byte) Msg {
+	switch t {
+	case TypeHello:
+		return &Hello{}
+	case TypeWelcome:
+		return &Welcome{}
+	case TypeError:
+		return &Error{}
+	case TypeRun:
+		return &Run{}
+	case TypeCommand:
+		return &Command{}
+	case TypeOutput:
+		return &Output{}
+	case TypePrompt:
+		return &Prompt{}
+	case TypeTrace:
+		return &Trace{}
+	case TypeDone:
+		return &Done{}
+	case TypePing:
+		return &Ping{}
+	case TypePong:
+		return &Pong{}
+	}
+	return nil
+}
+
+// EncodeMsg serializes a message into one complete frame.
+func EncodeMsg(m Msg) ([]byte, error) {
+	var e encoder
+	m.encode(&e)
+	if len(e.b) > MaxFrame {
+		return nil, ErrFrameTooBig
+	}
+	f := make([]byte, headerSize+len(e.b))
+	f[0] = m.Type()
+	f[1] = 0
+	binary.BigEndian.PutUint32(f[2:6], uint32(len(e.b)))
+	copy(f[headerSize:], e.b)
+	return f, nil
+}
+
+// WriteMsg frames and writes one message.
+func WriteMsg(w io.Writer, m Msg) error {
+	f, err := EncodeMsg(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(f)
+	return err
+}
+
+// ReadMsg reads and decodes one message. The length field is validated
+// against MaxFrame before the payload buffer is allocated.
+func ReadMsg(r io.Reader) (Msg, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[1] != 0 {
+		return nil, ErrBadFlags
+	}
+	n := binary.BigEndian.Uint32(hdr[2:6])
+	if n > MaxFrame {
+		return nil, ErrFrameTooBig
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return DecodePayload(hdr[0], payload)
+}
+
+// DecodePayload decodes a message body for the given type code. It rejects
+// unknown types, truncated fields, and trailing bytes.
+func DecodePayload(t byte, payload []byte) (Msg, error) {
+	m := newMsg(t)
+	if m == nil {
+		return nil, fmt.Errorf("wire: unknown message type %#02x", t)
+	}
+	d := decoder{b: payload}
+	m.decode(&d)
+	if d.err != nil {
+		return nil, fmt.Errorf("wire: decoding %T: %w", m, d.err)
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %T", len(d.b)-d.off, m)
+	}
+	return m, nil
+}
+
+// ---- per-message field layouts ----
+
+func (m *Hello) encode(e *encoder)   { e.u16(m.Version); e.str(m.Client) }
+func (m *Hello) decode(d *decoder)   { m.Version = d.u16(); m.Client = d.str() }
+func (m *Welcome) encode(e *encoder) { e.u16(m.Version); e.str(m.Server) }
+func (m *Welcome) decode(d *decoder) { m.Version = d.u16(); m.Server = d.str() }
+func (m *Error) encode(e *encoder)   { e.u16(m.Code); e.str(m.Text) }
+func (m *Error) decode(d *decoder)   { m.Code = d.u16(); m.Text = d.str() }
+
+func (m *Run) encode(e *encoder) {
+	s := m.Spec
+	e.str(s.App)
+	e.str(s.AsmName)
+	e.str(s.AsmSource)
+	e.bool(s.Assert)
+	e.bool(s.Guards)
+	e.str(s.Print)
+	e.f64(s.Seconds)
+	e.f64(s.Distance)
+	e.u64(uint64(s.Seed))
+	e.bool(s.Trace)
+	e.str(s.Script)
+	e.bool(s.Interactive)
+	e.bool(m.StreamTrace)
+}
+
+func (m *Run) decode(d *decoder) {
+	m.Spec.App = d.str()
+	m.Spec.AsmName = d.str()
+	m.Spec.AsmSource = d.str()
+	m.Spec.Assert = d.bool()
+	m.Spec.Guards = d.bool()
+	m.Spec.Print = d.str()
+	m.Spec.Seconds = d.f64()
+	m.Spec.Distance = d.f64()
+	m.Spec.Seed = int64(d.u64())
+	m.Spec.Trace = d.bool()
+	m.Spec.Script = d.str()
+	m.Spec.Interactive = d.bool()
+	m.StreamTrace = d.bool()
+}
+
+func (m *Command) encode(e *encoder) { e.str(m.Line); e.bool(m.EOF) }
+func (m *Command) decode(d *decoder) { m.Line = d.str(); m.EOF = d.bool() }
+
+func (m *Output) encode(e *encoder) { e.bytes(m.Data) }
+func (m *Output) decode(d *decoder) { m.Data = d.bytesField() }
+
+func (m *Prompt) encode(*encoder) {}
+func (m *Prompt) decode(*decoder) {}
+
+func (m *Trace) encode(e *encoder) {
+	e.str(m.Name)
+	e.str(m.Unit)
+	e.u32(uint32(len(m.Samples)))
+	for _, s := range m.Samples {
+		e.u64(s.At)
+		e.f64(s.V)
+	}
+}
+
+func (m *Trace) decode(d *decoder) {
+	m.Name = d.str()
+	m.Unit = d.str()
+	n := d.u32()
+	if d.err != nil {
+		return
+	}
+	const sampleSize = 16
+	if uint64(n)*sampleSize > uint64(len(d.b)-d.off) {
+		d.fail("trace sample count %d exceeds payload", n)
+		return
+	}
+	if n > 0 {
+		m.Samples = make([]TracePoint, n)
+		for i := range m.Samples {
+			m.Samples[i].At = d.u64()
+			m.Samples[i].V = d.f64()
+		}
+	}
+}
+
+func (m *Done) encode(e *encoder) {
+	e.u32(uint32(m.Exit))
+	e.str(m.Halted)
+	e.u64(m.SimCycles)
+	e.u32(m.Commands)
+	e.u32(m.ScriptErrors)
+}
+
+func (m *Done) decode(d *decoder) {
+	m.Exit = int32(d.u32())
+	m.Halted = d.str()
+	m.SimCycles = d.u64()
+	m.Commands = d.u32()
+	m.ScriptErrors = d.u32()
+}
+
+func (m *Ping) encode(e *encoder) { e.u64(m.Token) }
+func (m *Ping) decode(d *decoder) { m.Token = d.u64() }
+func (m *Pong) encode(e *encoder) { e.u64(m.Token) }
+func (m *Pong) decode(d *decoder) { m.Token = d.u64() }
+
+// ---- primitive (de)serialization ----
+
+type encoder struct{ b []byte }
+
+func (e *encoder) u8(v byte)    { e.b = append(e.b, v) }
+func (e *encoder) u16(v uint16) { e.b = binary.BigEndian.AppendUint16(e.b, v) }
+func (e *encoder) u32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *encoder) u64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.b = append(e.b, b...)
+}
+
+// decoder reads payload fields with strict bounds checks; the first failure
+// latches in err and subsequent reads return zero values. Length-prefixed
+// fields are validated against the remaining payload before any
+// allocation, so a hostile length can never over-allocate.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.b)-d.off {
+		d.fail("truncated field (%d bytes needed, %d left)", n, len(d.b)-d.off)
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *decoder) u8() byte {
+	s := d.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (d *decoder) u16() uint16 {
+	s := d.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(s)
+}
+
+func (d *decoder) u32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(s)
+}
+
+func (d *decoder) u64() uint64 {
+	s := d.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(s)
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) bool() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("non-canonical bool byte")
+		return false
+	}
+}
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	s := d.take(int(n))
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+func (d *decoder) bytesField() []byte {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	s := d.take(int(n))
+	if len(s) == 0 {
+		return nil
+	}
+	return append([]byte(nil), s...)
+}

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// sampleMsgs is one populated instance of every message type.
+func sampleMsgs() []Msg {
+	return []Msg{
+		&Hello{Version: Version, Client: "edb/test"},
+		&Welcome{Version: Version, Server: "edbd/test"},
+		&Error{Code: CodeBusy, Text: "session limit reached"},
+		&Run{
+			Spec: scenario.Spec{
+				App: "linkedlist", Assert: true, Print: "none",
+				Seconds: 12.5, Distance: 0.75, Seed: -3,
+				Script: "vcap;status;halt",
+			},
+			StreamTrace: true,
+		},
+		&Run{Spec: scenario.Spec{AsmName: "x.asm", AsmSource: "nop\n", Interactive: true}},
+		&Command{Line: "read 0x4400"},
+		&Command{EOF: true},
+		&Output{Data: []byte("Vcap = 2.400 V\n")},
+		&Output{},
+		&Prompt{},
+		&Trace{Name: "Vcap", Unit: "V", Samples: []TracePoint{{At: 1, V: 2.5}, {At: 99, V: 1.75}}},
+		&Trace{Name: "Vcap", Unit: "V"},
+		&Done{Exit: 1, Halted: "assert 0", SimCycles: 1 << 40, Commands: 3, ScriptErrors: 1},
+		&Ping{Token: 42},
+		&Pong{Token: 42},
+	}
+}
+
+// TestRoundTrip checks Decode(Encode(m)) == m for every message type, over
+// both the in-memory and the io.Reader paths.
+func TestRoundTrip(t *testing.T) {
+	for _, m := range sampleMsgs() {
+		f, err := EncodeMsg(m)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", m, err)
+		}
+		got, err := ReadMsg(bytes.NewReader(f))
+		if err != nil {
+			t.Fatalf("%T: read: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%T: round trip mismatch:\n  sent %+v\n  got  %+v", m, m, got)
+		}
+		// Re-encoding the decoded message must reproduce the frame bytes
+		// (canonical encoding).
+		f2, err := EncodeMsg(got)
+		if err != nil || !bytes.Equal(f, f2) {
+			t.Errorf("%T: re-encode mismatch (%v)", m, err)
+		}
+	}
+}
+
+// TestStreamOfMessages decodes several frames back-to-back from one reader.
+func TestStreamOfMessages(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := sampleMsgs()
+	for _, m := range msgs {
+		if err := WriteMsg(&buf, m); err != nil {
+			t.Fatalf("write %T: %v", m, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadMsg(&buf)
+		if err != nil {
+			t.Fatalf("read %T: %v", want, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("stream mismatch: want %+v got %+v", want, got)
+		}
+	}
+	if _, err := ReadMsg(&buf); err != io.EOF {
+		t.Fatalf("want EOF after last frame, got %v", err)
+	}
+}
+
+// TestDecodeRejects exercises framing-level rejections.
+func TestDecodeRejects(t *testing.T) {
+	// Oversized length field must be rejected before allocation.
+	hdr := make([]byte, 6)
+	hdr[0] = TypeOutput
+	binary.BigEndian.PutUint32(hdr[2:], MaxFrame+1)
+	if _, err := ReadMsg(bytes.NewReader(hdr)); err != ErrFrameTooBig {
+		t.Fatalf("oversized frame: want ErrFrameTooBig, got %v", err)
+	}
+
+	// Non-zero flags byte is reserved.
+	f, _ := EncodeMsg(&Prompt{})
+	f[1] = 1
+	if _, err := ReadMsg(bytes.NewReader(f)); err != ErrBadFlags {
+		t.Fatalf("flags: want ErrBadFlags, got %v", err)
+	}
+
+	// Unknown type code.
+	if _, err := DecodePayload(0xEE, nil); err == nil {
+		t.Fatal("unknown type must fail")
+	}
+
+	// Trailing bytes after a complete message.
+	if _, err := DecodePayload(TypePing, make([]byte, 9)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing bytes: got %v", err)
+	}
+
+	// Truncated field.
+	if _, err := DecodePayload(TypePing, make([]byte, 3)); err == nil {
+		t.Fatal("truncated field must fail")
+	}
+
+	// String length exceeding the payload must fail without allocating.
+	p := binary.BigEndian.AppendUint16(nil, Version) // Hello.Version
+	p = binary.BigEndian.AppendUint32(p, 1<<30)      // Hello.Client length
+	if _, err := DecodePayload(TypeHello, p); err == nil {
+		t.Fatal("hostile string length must fail")
+	}
+
+	// Trace sample count exceeding the payload must fail without allocating.
+	var e encoder
+	e.str("Vcap")
+	e.str("V")
+	e.u32(1 << 28)
+	if _, err := DecodePayload(TypeTrace, e.b); err == nil {
+		t.Fatal("hostile sample count must fail")
+	}
+
+	// Non-canonical bool byte.
+	var e2 encoder
+	e2.str("cmd")
+	e2.u8(2)
+	if _, err := DecodePayload(TypeCommand, e2.b); err == nil {
+		t.Fatal("non-canonical bool must fail")
+	}
+
+	// Truncated stream mid-payload.
+	f2, _ := EncodeMsg(&Output{Data: []byte("hello")})
+	if _, err := ReadMsg(bytes.NewReader(f2[:len(f2)-2])); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated payload: want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+// TestEncodeRejectsOversize: messages larger than MaxFrame must not frame.
+func TestEncodeRejectsOversize(t *testing.T) {
+	if _, err := EncodeMsg(&Output{Data: make([]byte, MaxFrame+1)}); err != ErrFrameTooBig {
+		t.Fatalf("want ErrFrameTooBig, got %v", err)
+	}
+}

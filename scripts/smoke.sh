@@ -1,0 +1,85 @@
+#!/usr/bin/env sh
+# End-to-end smoke test for edbd: start the daemon, run the same scripted
+# scenario locally and over the wire, and require byte-identical output,
+# a clean daemon drain, and correct exit codes.
+set -eu
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+        kill "$daemon_pid" 2>/dev/null || true
+        wait "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "smoke: building edb and edbd"
+go build -o "$workdir/edb" ./cmd/edb
+go build -o "$workdir/edbd" ./cmd/edbd
+
+echo "smoke: starting edbd on an ephemeral port"
+"$workdir/edbd" -addr 127.0.0.1:0 -v 2>"$workdir/edbd.log" &
+daemon_pid=$!
+
+# The daemon logs "edbd: listening on host:port" once the socket is up.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$workdir/edbd.log" | head -n1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$daemon_pid" 2>/dev/null; then
+        echo "smoke: FAIL — daemon died during startup:" >&2
+        cat "$workdir/edbd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "smoke: FAIL — daemon never reported its address" >&2
+    cat "$workdir/edbd.log" >&2
+    exit 1
+fi
+echo "smoke: daemon at $addr"
+
+script="vcap;read 0x4408;status;halt"
+common="-app linkedlist -assert -t 10 -seed 42 -script"
+
+echo "smoke: running scripted session locally"
+"$workdir/edb" $common "$script" >"$workdir/local.out"
+
+echo "smoke: running the same session via -connect"
+"$workdir/edb" -connect "$addr" $common "$script" >"$workdir/remote.out"
+
+if ! diff -u "$workdir/local.out" "$workdir/remote.out"; then
+    echo "smoke: FAIL — remote output differs from local" >&2
+    exit 1
+fi
+echo "smoke: remote output is byte-identical to local ($(wc -c <"$workdir/local.out") bytes)"
+
+echo "smoke: checking that a failing script exits non-zero remotely"
+if "$workdir/edb" -connect "$addr" -app linkedlist -assert -t 10 -seed 42 \
+        -script "not-a-command;halt" >/dev/null 2>&1; then
+    echo "smoke: FAIL — failing script exited 0" >&2
+    exit 1
+fi
+
+echo "smoke: draining the daemon with SIGTERM"
+kill -TERM "$daemon_pid"
+drain_rc=0
+wait "$daemon_pid" || drain_rc=$?
+daemon_pid=""
+if [ "$drain_rc" -ne 0 ]; then
+    echo "smoke: FAIL — daemon exited $drain_rc on SIGTERM" >&2
+    cat "$workdir/edbd.log" >&2
+    exit 1
+fi
+if ! grep -q "drained cleanly" "$workdir/edbd.log"; then
+    echo "smoke: FAIL — daemon did not report a clean drain" >&2
+    cat "$workdir/edbd.log" >&2
+    exit 1
+fi
+
+echo "smoke: PASS"
