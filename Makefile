@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test ./internal/debugwire -run '^$$' -fuzz FuzzDecode -fuzztime 20s
 	$(GO) test ./internal/console -run '^$$' -fuzz FuzzExec -fuzztime 20s
 	$(GO) test ./internal/wire -run '^$$' -fuzz FuzzWireDecode -fuzztime 20s
+	$(GO) test ./internal/tracecodec -run '^$$' -fuzz FuzzTraceCodec -fuzztime 20s
 
 # End-to-end remote-debugging smoke test: edbd daemon vs local run,
 # byte-identical output, graceful drain.

@@ -26,10 +26,16 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/apps"
+	"repro/internal/device"
+	"repro/internal/edb"
+	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 	"repro/internal/trace"
+	"repro/internal/tracecodec"
 	"repro/internal/units"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -39,6 +45,7 @@ func main() {
 	csv := flag.Bool("csv", false, "also write figure data as CSV files")
 	jsonOut := flag.Bool("json", false, "print headline metrics as a single JSON object (text results still go to -out)")
 	par := flag.Int("par", 0, "worker count for the parallel runner (0 = GOMAXPROCS, 1 = sequential)")
+	traceBench := flag.Bool("trace", false, "benchmark the trace-stream codec on a Figure-7-style RF harvest trace (writes BENCH_trace.json)")
 	flag.Parse()
 
 	if *par > 0 {
@@ -47,6 +54,19 @@ func main() {
 
 	wanted := strings.Split(*exp, ",")
 	all := *exp == "all"
+	// -trace alone runs just the codec benchmark; combining it with an
+	// explicit -exp adds it to that selection.
+	if *traceBench {
+		expSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "exp" {
+				expSet = true
+			}
+		})
+		if !expSet {
+			all, wanted = false, nil
+		}
+	}
 	want := func(id string) bool {
 		if all {
 			return true
@@ -276,6 +296,10 @@ func main() {
 		})
 	}
 
+	if *traceBench {
+		add("trace-codec", func(o *jobOut) error { return runTraceBench(o, *quick) })
+	}
+
 	if len(jobs) == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments match -exp %q\n", *exp)
 		os.Exit(2)
@@ -347,6 +371,118 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// runTraceBench records a Figure-7-style RF harvest trace (linked-list app
+// on the WISP5 rig) and measures the trace-stream codec against the raw
+// wire encoding: framed bytes per sample both ways, the compression ratio,
+// and encode/decode throughput. Decoded output is verified against the
+// ADC-quantized input before any number is reported.
+func runTraceBench(o *jobOut, quick bool) error {
+	dur := units.Seconds(20)
+	if quick {
+		dur = 5
+	}
+	h := energy.NewRFHarvester()
+	d := device.NewWISP5(h, 42)
+	e := edb.New(edb.DefaultConfig())
+	e.Attach(d)
+	e.TraceVcap()
+	app := &apps.LinkedList{}
+	r := device.NewRunner(d, app)
+	if err := r.Flash(); err != nil {
+		return err
+	}
+	if _, err := r.RunFor(dur); err != nil {
+		return err
+	}
+	series := e.VcapSeries()
+	n := len(series.Samples)
+	if n == 0 {
+		return fmt.Errorf("trace bench: harvest run recorded no samples")
+	}
+	pts := make([]wire.TracePoint, n)
+	for i, sm := range series.Samples {
+		pts[i] = wire.TracePoint{At: uint64(sm.At), V: sm.V}
+	}
+
+	// Wire cost both ways, frame overhead included, in the server's chunk
+	// size.
+	const chunk = 512
+	var enc tracecodec.Encoder
+	var blob, frame []byte
+	var rawBytes, zBytes int
+	for i := 0; i < n; i += chunk {
+		end := i + chunk
+		if end > n {
+			end = n
+		}
+		var err error
+		frame, err = wire.AppendMsg(frame[:0], &wire.Trace{
+			Name: series.Name, Unit: series.Unit, Samples: pts[i:end],
+		}, 0)
+		if err != nil {
+			return err
+		}
+		rawBytes += len(frame)
+		blob = enc.Encode(blob[:0], pts[i:end])
+		frame, err = wire.AppendMsg(frame[:0], &wire.TraceZ{
+			Name: series.Name, Unit: series.Unit, Count: uint32(end - i), Data: blob,
+		}, 0)
+		if err != nil {
+			return err
+		}
+		zBytes += len(frame)
+	}
+
+	// Throughput over the full window, with the decoded stream verified
+	// against the quantized input.
+	full := enc.Encode(nil, pts)
+	dec, err := tracecodec.Decode(nil, full, n)
+	if err != nil {
+		return fmt.Errorf("trace bench: decode: %w", err)
+	}
+	for i := range pts {
+		if dec[i].At != pts[i].At || dec[i].V != tracecodec.Quantize(pts[i].V) {
+			return fmt.Errorf("trace bench: sample %d decodes to (%d, %v), want (%d, %v)",
+				i, dec[i].At, dec[i].V, pts[i].At, tracecodec.Quantize(pts[i].V))
+		}
+	}
+	timePer := func(fn func()) float64 {
+		const budget = 100 * time.Millisecond
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < budget {
+			fn()
+			iters++
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(iters) / float64(n)
+	}
+	encNs := timePer(func() { full = enc.Encode(full[:0], pts) })
+	decNs := timePer(func() { dec, _ = tracecodec.Decode(dec[:0], full, n) })
+
+	ratio := float64(rawBytes) / float64(zBytes)
+	o.metric("trace_samples", float64(n))
+	o.metric("trace_raw_bytes_per_sample", float64(rawBytes)/float64(n))
+	o.metric("trace_z_bytes_per_sample", float64(zBytes)/float64(n))
+	o.metric("trace_compression_ratio", ratio)
+	o.metric("trace_encode_ns_per_sample", encNs)
+	o.metric("trace_decode_ns_per_sample", decNs)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace codec on %.0fs RF harvest window (%d samples):\n", float64(dur), n)
+	fmt.Fprintf(&b, "  raw stream        %8d bytes  (%.2f B/sample)\n", rawBytes, float64(rawBytes)/float64(n))
+	fmt.Fprintf(&b, "  compressed stream %8d bytes  (%.2f B/sample)\n", zBytes, float64(zBytes)/float64(n))
+	fmt.Fprintf(&b, "  compression       %.2fx\n", ratio)
+	fmt.Fprintf(&b, "  encode %.1f ns/sample, decode %.1f ns/sample\n", encNs, decNs)
+	o.text = b.String()
+
+	js, err := json.MarshalIndent(o.metrics, "", "  ")
+	if err != nil {
+		return err
+	}
+	o.file("BENCH_trace.json", string(js)+"\n")
+	return nil
 }
 
 // job is one experiment to run; fn fills the jobOut it is handed.

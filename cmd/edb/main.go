@@ -33,9 +33,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"repro/internal/client"
 	"repro/internal/scenario"
+	"repro/internal/tracecodec"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -49,6 +52,8 @@ func main() {
 		distance = flag.Float64("distance", 1.0, "reader-to-tag distance in meters")
 		seed     = flag.Int64("seed", 42, "deterministic seed")
 		doTrace  = flag.Bool("trace", false, "print the final 150 ms energy trace")
+		traceOut = flag.String("trace-out", "", "write the final energy-trace window as CSV (at_cycles,v), ADC-quantized; implies -trace")
+		rawTrace = flag.Bool("raw-trace", false, "with -connect: do not negotiate compressed trace streaming")
 		script   = flag.String("script", "", "semicolon-separated console commands run in each session")
 		interact = flag.Bool("i", false, "interactive stdin console when a session opens")
 		connect  = flag.String("connect", "", "host:port of an edbd daemon; run the session remotely")
@@ -63,7 +68,7 @@ func main() {
 		Seconds:     *seconds,
 		Distance:    *distance,
 		Seed:        *seed,
-		Trace:       *doTrace,
+		Trace:       *doTrace || *traceOut != "",
 		Script:      *script,
 		Interactive: *interact,
 	}
@@ -93,16 +98,28 @@ func main() {
 	}
 
 	if *connect != "" {
-		cl, err := client.Dial(*connect, client.Options{Name: "edb-cli", Attempts: 5})
+		cl, err := client.Dial(*connect, client.Options{Name: "edb-cli", Attempts: 5, RawTrace: *rawTrace})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		defer cl.Close()
+		var pts []wire.TracePoint
+		if *traceOut != "" {
+			// OnTrace chunks may alias a reused scratch buffer; appending
+			// the values copies them out.
+			cl.OnTrace = func(tr *wire.Trace) { pts = append(pts, tr.Samples...) }
+		}
 		st, err := cl.Run(spec, os.Stdout, prompt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *traceOut != "" {
+			if err := writeTraceCSV(*traceOut, pts); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		}
 		os.Exit(st.Exit)
 	}
@@ -112,5 +129,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *traceOut != "" {
+		var pts []wire.TracePoint
+		if res.Vcap != nil {
+			pts = make([]wire.TracePoint, 0, len(res.Vcap.Samples))
+			for _, sm := range res.Vcap.Samples {
+				pts = append(pts, wire.TracePoint{At: uint64(sm.At), V: sm.V})
+			}
+		}
+		if err := writeTraceCSV(*traceOut, pts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	os.Exit(res.ExitCode)
+}
+
+// writeTraceCSV writes the trace window as at_cycles,v rows. Voltages pass
+// through the codec's ADC quantizer, so the file is identical whether the
+// samples came from a local run, a compressed remote stream (already
+// quantized), or a raw remote stream — which scripts/smoke.sh exploits to
+// diff all three.
+func writeTraceCSV(path string, pts []wire.TracePoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	fmt.Fprintln(bw, "at_cycles,v")
+	for _, p := range pts {
+		fmt.Fprintf(bw, "%d,%s\n", p.At, strconv.FormatFloat(tracecodec.Quantize(p.V), 'g', -1, 64))
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -40,6 +40,7 @@ func main() {
 		maxSimSecs  = flag.Float64("max-sim-seconds", 300, "maximum simulated duration per session")
 		idle        = flag.Duration("idle", 2*time.Minute, "idle timeout before a quiet connection or session is reaped")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-drain budget after SIGTERM")
+		noTraceZ    = flag.Bool("no-tracez", false, "refuse the compressed-trace capability; always stream raw Trace chunks")
 		verbose     = flag.Bool("v", false, "log per-connection events")
 	)
 	flag.Parse()
@@ -50,6 +51,7 @@ func main() {
 		MaxSessions:   *maxSessions,
 		MaxSimSeconds: *maxSimSecs,
 		IdleTimeout:   *idle,
+		DisableTraceZ: *noTraceZ,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/scenario"
+	"repro/internal/tracecodec"
 	"repro/internal/wire"
 )
 
@@ -41,6 +42,10 @@ type Options struct {
 	WriteTimeout time.Duration
 	// Name identifies this client in the handshake.
 	Name string
+	// RawTrace suppresses the compressed-trace capability in the
+	// handshake, forcing the server to stream raw Trace chunks — the
+	// behavior of a client that predates the codec.
+	RawTrace bool
 }
 
 func (o Options) withDefaults() Options {
@@ -75,11 +80,17 @@ type Client struct {
 	conn net.Conn
 	opts Options
 
-	// OnTrace, when set before Run, requests raw energy-trace streaming
-	// and receives each chunk.
+	// OnTrace, when set before Run, requests energy-trace streaming and
+	// receives each chunk. When the TraceZ capability was negotiated the
+	// chunk was decoded from the compressed stream and its Samples slice
+	// aliases a scratch buffer reused for the next chunk — copy samples
+	// out if they must outlive the callback.
 	OnTrace func(*wire.Trace)
 
 	serverName string
+	traceZ     bool
+	scratch    []wire.TracePoint
+	traceBuf   wire.Trace
 }
 
 // Dial connects to an edbd daemon, retrying failed dials with exponential
@@ -137,10 +148,14 @@ func (c *Client) Ping() error {
 }
 
 func (c *Client) handshake() error {
-	if err := c.send(&wire.Hello{Version: wire.Version, Client: c.opts.Name}); err != nil {
+	var caps byte
+	if !c.opts.RawTrace {
+		caps = wire.FlagTraceZ
+	}
+	if err := c.sendf(&wire.Hello{Version: wire.Version, Client: c.opts.Name}, caps); err != nil {
 		return fmt.Errorf("client: handshake send: %w", err)
 	}
-	m, err := c.recv()
+	m, flags, err := c.recvf()
 	if err != nil {
 		return fmt.Errorf("client: handshake recv: %w", err)
 	}
@@ -150,6 +165,9 @@ func (c *Client) handshake() error {
 			return fmt.Errorf("client: server speaks protocol version %d, want %d", w.Version, wire.Version)
 		}
 		c.serverName = w.Server
+		// The server echoes the capability subset it accepted; only bits we
+		// asked for may take effect.
+		c.traceZ = flags&caps&wire.FlagTraceZ != 0
 		return nil
 	case *wire.Error:
 		return w
@@ -157,14 +175,43 @@ func (c *Client) handshake() error {
 	return fmt.Errorf("client: unexpected handshake reply %T", m)
 }
 
+// TraceZ reports whether compressed trace streaming was negotiated in the
+// handshake.
+func (c *Client) TraceZ() bool { return c.traceZ }
+
 func (c *Client) send(m wire.Msg) error {
+	return c.sendf(m, 0)
+}
+
+func (c *Client) sendf(m wire.Msg, flags byte) error {
 	c.conn.SetWriteDeadline(time.Now().Add(c.opts.WriteTimeout))
-	return wire.WriteMsg(c.conn, m)
+	return wire.WriteMsgFlags(c.conn, m, flags)
 }
 
 func (c *Client) recv() (wire.Msg, error) {
+	m, _, err := c.recvf()
+	return m, err
+}
+
+func (c *Client) recvf() (wire.Msg, byte, error) {
 	c.conn.SetReadDeadline(time.Now().Add(c.opts.ReadTimeout))
-	return wire.ReadMsg(c.conn)
+	return wire.ReadMsgFlags(c.conn)
+}
+
+// decodeTraceZ decodes one compressed trace chunk into the client's reused
+// scratch buffer and returns a raw-chunk view over it, so OnTrace callbacks
+// observe the same shape whichever encoding the server streamed.
+func (c *Client) decodeTraceZ(t *wire.TraceZ) (*wire.Trace, error) {
+	if !c.traceZ {
+		return nil, errors.New("client: server sent TraceZ without negotiating the capability")
+	}
+	pts, err := tracecodec.Decode(c.scratch[:0], t.Data, int(t.Count))
+	if err != nil {
+		return nil, fmt.Errorf("client: corrupt TraceZ chunk: %w", err)
+	}
+	c.scratch = pts
+	c.traceBuf = wire.Trace{Name: t.Name, Unit: t.Unit, Samples: pts}
+	return &c.traceBuf, nil
 }
 
 // Status summarizes a finished remote session.
@@ -211,6 +258,14 @@ func (c *Client) Run(spec scenario.Spec, out io.Writer, prompt scenario.PromptFu
 		case *wire.Trace:
 			if c.OnTrace != nil {
 				c.OnTrace(t)
+			}
+		case *wire.TraceZ:
+			tr, err := c.decodeTraceZ(t)
+			if err != nil {
+				return Status{}, err
+			}
+			if c.OnTrace != nil {
+				c.OnTrace(tr)
 			}
 		case *wire.Done:
 			return Status{
@@ -339,6 +394,15 @@ func (s *Session) pump(buf io.Writer) (bool, error) {
 		case *wire.Trace:
 			if s.c.OnTrace != nil {
 				s.c.OnTrace(t)
+			}
+		case *wire.TraceZ:
+			tr, err := s.c.decodeTraceZ(t)
+			if err != nil {
+				s.closed, s.err = true, err
+				return false, err
+			}
+			if s.c.OnTrace != nil {
+				s.c.OnTrace(tr)
 			}
 		case *wire.Done:
 			s.closed = true

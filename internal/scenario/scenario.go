@@ -111,7 +111,9 @@ type Result struct {
 	// 1 when a scripted command failed.
 	ExitCode int
 	// Vcap holds the final 150 ms energy-trace window when Spec.Trace was
-	// set (what RenderASCII drew), for callers that stream raw samples.
+	// set (what RenderASCII drew). Samples carry the true capacitor
+	// voltage; consumers that stream it (edbd's trace path) quantize onto
+	// the ADC grid via internal/tracecodec when the codec is negotiated.
 	Vcap *trace.Series
 }
 

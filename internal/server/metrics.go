@@ -16,6 +16,8 @@ type counters struct {
 	simCycles        atomic.Int64
 	scriptErrors     atomic.Int64
 	idleReaped       atomic.Int64
+	traceBytes       atomic.Int64
+	traceSamples     atomic.Int64
 }
 
 // Metrics is a point-in-time snapshot of the daemon's counters; it
@@ -32,6 +34,8 @@ type Metrics struct {
 	SimCycles        int64 // simulated target cycles executed
 	ScriptErrors     int64 // scripted console commands that returned errors
 	IdleReaped       int64 // sessions closed by the idle timeout
+	TraceBytes       int64 // trace-stream frame bytes (raw or compressed) sent to clients
+	TraceSamples     int64 // trace samples streamed to clients
 }
 
 // Metrics returns a snapshot of the server's counters.
@@ -48,5 +52,7 @@ func (s *Server) Metrics() Metrics {
 		SimCycles:        s.c.simCycles.Load(),
 		ScriptErrors:     s.c.scriptErrors.Load(),
 		IdleReaped:       s.c.idleReaped.Load(),
+		TraceBytes:       s.c.traceBytes.Load(),
+		TraceSamples:     s.c.traceSamples.Load(),
 	}
 }

@@ -17,6 +17,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -25,6 +26,8 @@ import (
 	"time"
 
 	"repro/internal/scenario"
+	"repro/internal/trace"
+	"repro/internal/tracecodec"
 	"repro/internal/wire"
 )
 
@@ -48,6 +51,10 @@ type Config struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds each outbound frame write (default 10s).
 	WriteTimeout time.Duration
+	// DisableTraceZ refuses the compressed-trace capability even for
+	// clients that advertise it; every session then streams raw Trace
+	// chunks. Useful for debugging the codec path itself.
+	DisableTraceZ bool
 	// Logf, when set, receives one line per connection-level event.
 	Logf func(format string, args ...any)
 }
@@ -208,14 +215,26 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // send writes one frame under the write deadline.
 func (s *Server) send(conn net.Conn, m wire.Msg) error {
+	return s.sendf(conn, m, 0)
+}
+
+// sendf writes one frame carrying capability flag bits under the write
+// deadline.
+func (s *Server) sendf(conn net.Conn, m wire.Msg, flags byte) error {
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	return wire.WriteMsg(conn, m)
+	return wire.WriteMsgFlags(conn, m, flags)
 }
 
 // recv reads one frame under deadline d.
 func (s *Server) recv(conn net.Conn, d time.Duration) (wire.Msg, error) {
+	m, _, err := s.recvf(conn, d)
+	return m, err
+}
+
+// recvf reads one frame and its capability flag bits under deadline d.
+func (s *Server) recvf(conn net.Conn, d time.Duration) (wire.Msg, byte, error) {
 	conn.SetReadDeadline(time.Now().Add(d))
-	return wire.ReadMsg(conn)
+	return wire.ReadMsgFlags(conn)
 }
 
 func isTimeout(err error) bool {
@@ -246,7 +265,7 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 		return
 	}
 
-	m, err := s.recv(conn, s.cfg.ReadTimeout)
+	m, helloFlags, err := s.recvf(conn, s.cfg.ReadTimeout)
 	if err != nil {
 		return
 	}
@@ -260,10 +279,18 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 			Text: fmt.Sprintf("server speaks protocol version %d, client sent %d", wire.Version, hello.Version)})
 		return
 	}
-	if err := s.send(conn, &wire.Welcome{Version: wire.Version, Server: s.cfg.Name}); err != nil {
+	// Capability negotiation: echo back the subset of the client's
+	// advertised capability bits this server accepts. Old clients send zero
+	// flags and get the baseline protocol (raw Trace chunks).
+	caps := helloFlags & wire.FlagTraceZ
+	if s.cfg.DisableTraceZ {
+		caps = 0
+	}
+	if err := s.sendf(conn, &wire.Welcome{Version: wire.Version, Server: s.cfg.Name}, caps); err != nil {
 		return
 	}
-	s.logf("conn %s: handshake ok (%s)", conn.RemoteAddr(), hello.Client)
+	traceZ := caps&wire.FlagTraceZ != 0
+	s.logf("conn %s: handshake ok (%s, tracez=%v)", conn.RemoteAddr(), hello.Client, traceZ)
 
 	for {
 		m, err := s.recv(conn, s.cfg.IdleTimeout)
@@ -284,7 +311,7 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 			st.mu.Lock()
 			st.busy = true
 			st.mu.Unlock()
-			err := s.session(conn, req)
+			err := s.session(conn, req, traceZ)
 			st.mu.Lock()
 			st.busy = false
 			st.mu.Unlock()
@@ -306,7 +333,8 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 
 // session runs one scenario for the connection. The calling goroutine owns
 // the entire simulation; the client only ever observes framed output.
-func (s *Server) session(conn net.Conn, req *wire.Run) error {
+// traceZ selects the negotiated trace encoding for StreamTrace requests.
+func (s *Server) session(conn net.Conn, req *wire.Run, traceZ bool) error {
 	if open := s.c.sessionsOpen.Add(1); open > int64(s.cfg.MaxSessions) {
 		s.c.sessionsOpen.Add(-1)
 		s.c.sessionsRejected.Add(1)
@@ -363,19 +391,8 @@ func (s *Server) session(conn net.Conn, req *wire.Run) error {
 		return s.send(conn, &wire.Error{Code: wire.CodeRunFailed, Text: err.Error()})
 	}
 	if req.StreamTrace && res.Vcap != nil {
-		const chunk = 512
-		for i := 0; i < len(res.Vcap.Samples); i += chunk {
-			end := i + chunk
-			if end > len(res.Vcap.Samples) {
-				end = len(res.Vcap.Samples)
-			}
-			tc := &wire.Trace{Name: res.Vcap.Name, Unit: res.Vcap.Unit}
-			for _, sm := range res.Vcap.Samples[i:end] {
-				tc.Samples = append(tc.Samples, wire.TracePoint{At: uint64(sm.At), V: sm.V})
-			}
-			if err := s.send(conn, tc); err != nil {
-				return err
-			}
+		if err := s.streamTrace(conn, res.Vcap, traceZ); err != nil {
+			return err
 		}
 	}
 	return s.send(conn, &wire.Done{
@@ -385,6 +402,66 @@ func (s *Server) session(conn net.Conn, req *wire.Run) error {
 		Commands:     uint32(res.Commands),
 		ScriptErrors: uint32(res.ScriptErrors),
 	})
+}
+
+// chunkSamples is the trace-streaming chunk size: 512 samples keep a raw
+// Trace frame around 8 KiB, far below MaxFrame, while amortizing framing
+// overhead.
+const chunkSamples = 512
+
+// streamTrace streams a recorded trace window to the client in chunks,
+// compressed when the TraceZ capability was negotiated. All buffers — the
+// TracePoint chunk, the codec blob, and the frame itself — are reused
+// across chunks, so the hot path is allocation-free after the first chunk;
+// frames are batched through a buffered writer flushed once per chunk.
+func (s *Server) streamTrace(conn net.Conn, series *trace.Series, traceZ bool) error {
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	pts := make([]wire.TracePoint, 0, chunkSamples)
+	var (
+		enc   tracecodec.Encoder
+		blob  []byte
+		frame []byte
+	)
+	samples := series.Samples
+	for i := 0; i < len(samples); i += chunkSamples {
+		end := i + chunkSamples
+		if end > len(samples) {
+			end = len(samples)
+		}
+		pts = pts[:0]
+		for _, sm := range samples[i:end] {
+			pts = append(pts, wire.TracePoint{At: uint64(sm.At), V: sm.V})
+		}
+		var err error
+		if traceZ {
+			blob = enc.Encode(blob[:0], pts)
+			frame, err = wire.AppendMsg(frame[:0], &wire.TraceZ{
+				Name:  series.Name,
+				Unit:  series.Unit,
+				Count: uint32(len(pts)),
+				Data:  blob,
+			}, 0)
+		} else {
+			frame, err = wire.AppendMsg(frame[:0], &wire.Trace{
+				Name:    series.Name,
+				Unit:    series.Unit,
+				Samples: pts,
+			}, 0)
+		}
+		if err != nil {
+			return err
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if _, err := bw.Write(frame); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		s.c.traceBytes.Add(int64(len(frame)))
+		s.c.traceSamples.Add(int64(len(pts)))
+	}
+	return nil
 }
 
 // streamWriter frames a session's output stream back to the client,

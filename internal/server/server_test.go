@@ -14,6 +14,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/scenario"
 	"repro/internal/server"
+	"repro/internal/tracecodec"
 	"repro/internal/wire"
 )
 
@@ -418,6 +419,189 @@ func TestSimSecondsLimit(t *testing.T) {
 	var werr *wire.Error
 	if !errors.As(err, &werr) || werr.Code != wire.CodeBadRequest {
 		t.Fatalf("want Error{CodeBadRequest}, got %v", err)
+	}
+}
+
+// traceSpec asks the scripted scenario to record the Vcap trace window so
+// the session has samples to stream.
+func traceSpec(seed int64) scenario.Spec {
+	spec := testSpec(seed)
+	spec.Trace = true
+	return spec
+}
+
+// collectTrace runs the spec remotely, gathering every streamed sample.
+// The OnTrace callback may hand out a reused scratch buffer, so samples are
+// copied out.
+func collectTrace(t *testing.T, cl *client.Client, spec scenario.Spec) []wire.TracePoint {
+	t.Helper()
+	var got []wire.TracePoint
+	cl.OnTrace = func(tr *wire.Trace) { got = append(got, tr.Samples...) }
+	st, err := cl.Run(spec, nil, nil)
+	if err != nil {
+		t.Fatalf("remote run: %v", err)
+	}
+	if st.Exit != 0 {
+		t.Fatalf("remote exit %d", st.Exit)
+	}
+	return got
+}
+
+// TestTraceCodecGolden is the end-to-end codec guarantee: a codec-enabled
+// remote session decodes to exactly the ADC-quantized local trace, a
+// raw-trace session still matches the local trace bit-for-bit, and the
+// compressed stream is at least 3x smaller on the wire (measured at the
+// server's frame counters).
+func TestTraceCodecGolden(t *testing.T) {
+	srv, addr := startServer(t, server.Config{})
+	spec := traceSpec(42)
+	_, res := localGolden(t, spec)
+	if res.Vcap == nil || len(res.Vcap.Samples) == 0 {
+		t.Fatal("local run recorded no trace window")
+	}
+
+	// Old-style raw session first: samples must match the local run
+	// bit-for-bit (no quantization on the raw path).
+	clRaw, err := client.Dial(addr, client.Options{RawTrace: true})
+	if err != nil {
+		t.Fatalf("dial raw: %v", err)
+	}
+	defer clRaw.Close()
+	if clRaw.TraceZ() {
+		t.Fatal("RawTrace client must not negotiate the codec")
+	}
+	raw := collectTrace(t, clRaw, spec)
+	mRaw := srv.Metrics()
+	if len(raw) != len(res.Vcap.Samples) {
+		t.Fatalf("raw stream has %d samples, local window %d", len(raw), len(res.Vcap.Samples))
+	}
+	for i, sm := range res.Vcap.Samples {
+		if raw[i].At != uint64(sm.At) || raw[i].V != sm.V {
+			t.Fatalf("raw sample %d: got (%d, %v), local (%d, %v)", i, raw[i].At, raw[i].V, sm.At, sm.V)
+		}
+	}
+
+	// Codec session: identical to the local trace after ADC quantization.
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+	if !cl.TraceZ() {
+		t.Fatal("client should negotiate the codec by default")
+	}
+	dec := collectTrace(t, cl, spec)
+	mZ := srv.Metrics()
+	if len(dec) != len(res.Vcap.Samples) {
+		t.Fatalf("decoded stream has %d samples, local window %d", len(dec), len(res.Vcap.Samples))
+	}
+	for i, sm := range res.Vcap.Samples {
+		if dec[i].At != uint64(sm.At) || dec[i].V != tracecodec.Quantize(sm.V) {
+			t.Fatalf("decoded sample %d: got (%d, %v), want (%d, %v)",
+				i, dec[i].At, dec[i].V, sm.At, tracecodec.Quantize(sm.V))
+		}
+	}
+
+	// Bandwidth: the compressed stream must be at least 3x smaller, frame
+	// overhead included, for the same sample count.
+	rawBytes := mRaw.TraceBytes
+	zBytes := mZ.TraceBytes - mRaw.TraceBytes
+	if n := mZ.TraceSamples - mRaw.TraceSamples; n != int64(len(dec)) {
+		t.Fatalf("server counted %d codec samples, client saw %d", n, len(dec))
+	}
+	if rawBytes == 0 || zBytes == 0 {
+		t.Fatalf("trace byte counters did not move: raw=%d z=%d", rawBytes, zBytes)
+	}
+	if ratio := float64(rawBytes) / float64(zBytes); ratio < 3 {
+		t.Fatalf("wire compression ratio %.2f < 3 (raw %d bytes, compressed %d bytes, %d samples)",
+			ratio, rawBytes, zBytes, len(dec))
+	}
+}
+
+// TestDisableTraceZ: a server configured without the codec refuses the
+// capability and streams raw chunks even to a codec-capable client.
+func TestDisableTraceZ(t *testing.T) {
+	_, addr := startServer(t, server.Config{DisableTraceZ: true})
+	spec := traceSpec(42)
+	_, res := localGolden(t, spec)
+
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+	if cl.TraceZ() {
+		t.Fatal("server with DisableTraceZ must not accept the capability")
+	}
+	raw := collectTrace(t, cl, spec)
+	if len(raw) != len(res.Vcap.Samples) {
+		t.Fatalf("raw stream has %d samples, local window %d", len(raw), len(res.Vcap.Samples))
+	}
+	for i, sm := range res.Vcap.Samples {
+		if raw[i].At != uint64(sm.At) || raw[i].V != sm.V {
+			t.Fatalf("raw sample %d mismatch", i)
+		}
+	}
+}
+
+// TestOldClientRawTrace speaks the version-1 wire protocol with zero flags
+// — exactly what a client built before the codec existed sends — and
+// checks the new server still streams valid raw Trace chunks and never a
+// TraceZ frame.
+func TestOldClientRawTrace(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	spec := traceSpec(42)
+	_, res := localGolden(t, spec)
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(60 * time.Second))
+
+	if err := wire.WriteMsg(conn, &wire.Hello{Version: wire.Version, Client: "edb/v-old"}); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	m, flags, err := wire.ReadMsgFlags(conn)
+	if err != nil {
+		t.Fatalf("welcome: %v", err)
+	}
+	if _, ok := m.(*wire.Welcome); !ok {
+		t.Fatalf("want Welcome, got %T", m)
+	}
+	if flags != 0 {
+		t.Fatalf("server offered capabilities %#02x to a client that advertised none", flags)
+	}
+
+	if err := wire.WriteMsg(conn, &wire.Run{Spec: spec, StreamTrace: true}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var got []wire.TracePoint
+	for {
+		m, err := wire.ReadMsg(conn)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		switch tm := m.(type) {
+		case *wire.Output:
+		case *wire.Trace:
+			got = append(got, tm.Samples...)
+		case *wire.TraceZ:
+			t.Fatal("server sent TraceZ to a client that never negotiated it")
+		case *wire.Done:
+			if len(got) != len(res.Vcap.Samples) {
+				t.Fatalf("old client got %d samples, local window %d", len(got), len(res.Vcap.Samples))
+			}
+			for i, sm := range res.Vcap.Samples {
+				if got[i].At != uint64(sm.At) || got[i].V != sm.V {
+					t.Fatalf("old-client sample %d mismatch", i)
+				}
+			}
+			return
+		default:
+			t.Fatalf("unexpected frame %T", m)
+		}
 	}
 }
 

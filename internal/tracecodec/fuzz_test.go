@@ -1,0 +1,60 @@
+package tracecodec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// FuzzTraceCodec holds the decoder to the same bar as the wire decoder:
+// never panic, never allocate beyond what the blob can actually encode,
+// and any (blob, count) pair that decodes must re-encode to exactly the
+// input blob (canonical encoding).
+func FuzzTraceCodec(f *testing.F) {
+	var enc Encoder
+	seed := func(pts []wire.TracePoint) {
+		f.Add(enc.Encode(nil, pts), len(pts))
+	}
+	seed(nil)
+	seed([]wire.TracePoint{{At: 12345, V: 2.4}})
+	seed([]wire.TracePoint{
+		{At: 0, V: 1.5}, {At: 160, V: 1.5}, {At: 320, V: CodeToVolts(2049)},
+		{At: 480, V: 3.7}, {At: 640, V: math.NaN()}, {At: 800, V: CodeToVolts(0)},
+	})
+	seed([]wire.TracePoint{
+		{At: math.MaxUint64, V: CodeToVolts(Levels - 1)}, {At: 0, V: -1},
+	})
+	// Malformed shapes: hostile lengths, truncations, bad varints.
+	f.Add([]byte{}, 1)
+	f.Add([]byte{0x7F}, 0)
+	f.Add([]byte{0x01, 0x00}, 1<<30)
+	f.Add([]byte{0x02, 0x80, 0x00, 0xFF}, 2)
+
+	f.Fuzz(func(t *testing.T, blob []byte, count int) {
+		if count < 0 || count > 1<<16 {
+			return
+		}
+		pts, err := Decode(nil, blob, count)
+		if err != nil {
+			return
+		}
+		if len(pts) != count {
+			t.Fatalf("decoded %d samples, want %d", len(pts), count)
+		}
+		// Decoded values must be fixed points of the quantizer — anything
+		// else means the decoder fabricated an off-grid value that should
+		// have been an escape.
+		for i, p := range pts {
+			if q := Quantize(p.V); q != p.V && !(math.IsNaN(q) && math.IsNaN(p.V)) {
+				t.Fatalf("sample %d decodes to %v, not a quantizer fixed point (%v)", i, p.V, q)
+			}
+		}
+		var enc Encoder
+		re := enc.Encode(nil, pts)
+		if !bytes.Equal(re, blob) {
+			t.Fatalf("re-encode mismatch:\n  in  %x\n  out %x", blob, re)
+		}
+	})
+}

@@ -1,0 +1,271 @@
+package tracecodec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// roundTrip encodes samples, decodes the blob, and checks the decoded
+// stream against the quantized input.
+func roundTrip(t *testing.T, samples []wire.TracePoint) []byte {
+	t.Helper()
+	var enc Encoder
+	blob := enc.Encode(nil, samples)
+	if max := MaxBlobSize(len(samples)); len(blob) > max {
+		t.Fatalf("blob of %d samples is %d bytes, exceeding MaxBlobSize %d", len(samples), len(blob), max)
+	}
+	got, err := Decode(nil, blob, len(samples))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("decoded %d samples, want %d", len(got), len(samples))
+	}
+	for i := range samples {
+		if got[i].At != samples[i].At {
+			t.Fatalf("sample %d: At %d, want %d", i, got[i].At, samples[i].At)
+		}
+		want := Quantize(samples[i].V)
+		if got[i].V != want && !(math.IsNaN(got[i].V) && math.IsNaN(want)) {
+			t.Fatalf("sample %d: V %v, want Quantize(%v) = %v", i, got[i].V, samples[i].V, want)
+		}
+	}
+	// Canonical: re-encoding the decoded stream reproduces the blob.
+	re := enc.Encode(nil, got)
+	if !bytes.Equal(re, blob) {
+		t.Fatalf("re-encode of decoded stream differs:\n  blob %x\n  re   %x", blob, re)
+	}
+	return blob
+}
+
+func TestRoundTripShapes(t *testing.T) {
+	cases := map[string][]wire.TracePoint{
+		"empty": nil,
+		"one":   {{At: 12345, V: 2.4}},
+		"flat": {
+			{At: 0, V: 1.5}, {At: 100, V: 1.5}, {At: 200, V: 1.5}, {At: 300, V: 1.5},
+		},
+		"ramp": func() []wire.TracePoint {
+			var pts []wire.TracePoint
+			for i := 0; i < 500; i++ {
+				pts = append(pts, wire.TracePoint{At: uint64(1000 + 160*i), V: 0.5 + 0.004*float64(i)})
+			}
+			return pts
+		}(),
+		"jittered-clock": {
+			{At: 10, V: 2}, {At: 25, V: 2.01}, {At: 39, V: 2.02}, {At: 56, V: 2.01},
+		},
+		"big-jumps": {
+			{At: 0, V: 0.1}, {At: 1, V: 2.9}, {At: 2, V: 0.2}, {At: 3, V: 2.95},
+		},
+		"off-grid": {
+			{At: 0, V: -0.5}, {At: 1, V: 3.0}, {At: 2, V: 4.25},
+			{At: 3, V: math.Inf(1)}, {At: 4, V: math.NaN()}, {At: 5, V: 1.2},
+		},
+		"grid-edges": {
+			{At: 0, V: CodeToVolts(0)}, {At: 1, V: CodeToVolts(Levels - 1)},
+			{At: 2, V: CodeToVolts(0)}, {At: 3, V: 0}, {At: 4, V: math.Nextafter(VRef, 0)},
+		},
+		"non-monotone-clock": {
+			{At: 500, V: 1}, {At: 100, V: 1.1}, {At: math.MaxUint64, V: 1.2}, {At: 0, V: 1.3},
+		},
+	}
+	for name, pts := range cases {
+		t.Run(name, func(t *testing.T) { roundTrip(t, pts) })
+	}
+}
+
+// TestRoundTripRandomWalk drives the codec with ADC-grid random walks plus
+// occasional off-grid escapes — the realistic stream shape.
+func TestRoundTripRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		at := uint64(rng.Intn(1 << 30))
+		code := rng.Intn(Levels)
+		pts := make([]wire.TracePoint, 0, 400)
+		for i := 0; i < 400; i++ {
+			at += uint64(160 + rng.Intn(3))
+			code += rng.Intn(7) - 3
+			if code < 0 {
+				code = 0
+			}
+			if code >= Levels {
+				code = Levels - 1
+			}
+			v := CodeToVolts(uint16(code))
+			if rng.Intn(50) == 0 {
+				v = 3.0 + rng.Float64() // off-grid escape
+			}
+			pts = append(pts, wire.TracePoint{At: at, V: v})
+		}
+		roundTrip(t, pts)
+	}
+}
+
+// TestCompressionRatio: a sampler-style stream (fixed period, small code
+// deltas) must beat the raw 16-byte encoding by well over the advertised
+// 3x.
+func TestCompressionRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]wire.TracePoint, 4096)
+	code := 2000
+	for i := range pts {
+		code += rng.Intn(5) - 2
+		pts[i] = wire.TracePoint{At: uint64(i) * 160, V: CodeToVolts(uint16(code))}
+	}
+	blob := roundTrip(t, pts)
+	raw := 16 * len(pts)
+	if ratio := float64(raw) / float64(len(blob)); ratio < 3 {
+		t.Fatalf("compression ratio %.2f < 3 (blob %d bytes for %d samples)", ratio, len(blob), len(pts))
+	}
+}
+
+// TestGridMatchesADC ties the codec's grid constants to the Table-3 ADC
+// model: same LSB, and for any input the ideal code matches what a
+// noise-free, offset-free circuit.ADC would report.
+func TestGridMatchesADC(t *testing.T) {
+	adc := circuit.NewADC(sim.NewRNG(1))
+	adc.NoiseSD = 0
+	if got := float64(adc.LSB()); got != LSB {
+		t.Fatalf("circuit ADC LSB %v, codec LSB %v", got, LSB)
+	}
+	if adc.Bits != GridBits || adc.Levels() != Levels || float64(adc.VRef) != VRef {
+		t.Fatalf("circuit ADC %d-bit VRef=%v, codec %d-bit VRef=%v", adc.Bits, adc.VRef, GridBits, VRef)
+	}
+	// Quantize must be idempotent and reconstruct codes exactly.
+	for c := 0; c < Levels; c++ {
+		v := CodeToVolts(uint16(c))
+		if q := Quantize(v); q != v {
+			t.Fatalf("Quantize not idempotent at code %d: %v -> %v", c, v, q)
+		}
+		if got, ok := gridCode(v); !ok || got != uint16(c) {
+			t.Fatalf("code %d does not round-trip the grid (got %d, %v)", c, got, ok)
+		}
+	}
+}
+
+// TestDecodeRejects exercises the decoder's validation paths.
+func TestDecodeRejects(t *testing.T) {
+	var enc Encoder
+	good := enc.Encode(nil, []wire.TracePoint{{At: 10, V: 1.5}, {At: 20, V: 1.5}})
+
+	reject := func(name string, blob []byte, count int) {
+		t.Helper()
+		if _, err := Decode(nil, blob, count); err == nil {
+			t.Fatalf("%s: decode accepted a corrupt blob", name)
+		}
+	}
+	reject("negative count", good, -1)
+	reject("count too large", good, 3)
+	reject("hostile count", []byte{0x01, 0x00}, 1<<30)
+	reject("count short of blob", good, 1) // trailing bytes
+	reject("empty blob, one sample", nil, 1)
+	reject("truncated", good[:len(good)-1], 2)
+	reject("ts section overruns", []byte{0x7F}, 0)
+	reject("trailing bytes after empty", []byte{0x00, 0x00}, 0)
+
+	// Non-minimal varint in the timestamp section.
+	reject("non-minimal varint", append([]byte{0x02, 0x80, 0x00}, good[2:]...), 2)
+
+	// Non-zero pad bits: flip the last bit of the value section.
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] |= 1
+	reject("pad bits", bad, 2)
+
+	// Escape of a grid value is non-canonical.
+	var bw bitWriter
+	bw.put(escapeHeader, 3)
+	bw.put(math.Float64bits(CodeToVolts(100)), 64)
+	blob := appendUvarint(nil, 1)
+	blob = append(blob, 0x0A) // At[0] = 10
+	blob = append(blob, bw.flush()...)
+	reject("escape of grid value", blob, 1)
+}
+
+// appendUvarint mirrors encoding/binary.AppendUvarint without the import
+// clutter in the test above.
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// TestDecodeReuseScratch: decoding into a reused scratch buffer must not
+// allocate beyond the first call's growth.
+func TestDecodeReuseScratch(t *testing.T) {
+	var enc Encoder
+	pts := make([]wire.TracePoint, 512)
+	for i := range pts {
+		pts[i] = wire.TracePoint{At: uint64(160 * i), V: CodeToVolts(uint16(1000 + i%9))}
+	}
+	blob := enc.Encode(nil, pts)
+	scratch, err := Decode(nil, blob, len(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		var err error
+		scratch, err = Decode(scratch[:0], blob, len(pts))
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Decode into reused scratch allocated %.1f times per run", allocs)
+	}
+	// Encoding into a reused destination must be allocation-free too.
+	dst := enc.Encode(nil, pts)
+	allocs = testing.AllocsPerRun(50, func() { dst = enc.Encode(dst[:0], pts) })
+	if allocs > 0 {
+		t.Fatalf("Encode into reused buffers allocated %.1f times per run", allocs)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]wire.TracePoint, 4096)
+	code := 2000
+	for i := range pts {
+		code += rng.Intn(5) - 2
+		pts[i] = wire.TracePoint{At: uint64(160 * i), V: CodeToVolts(uint16(code))}
+	}
+	var enc Encoder
+	var dst []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = enc.Encode(dst[:0], pts)
+	}
+	b.SetBytes(int64(16 * len(pts)))
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	pts := make([]wire.TracePoint, 4096)
+	code := 2000
+	for i := range pts {
+		code += rng.Intn(5) - 2
+		pts[i] = wire.TracePoint{At: uint64(160 * i), V: CodeToVolts(uint16(code))}
+	}
+	var enc Encoder
+	blob := enc.Encode(nil, pts)
+	var scratch []wire.TracePoint
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		scratch, err = Decode(scratch[:0], blob, len(pts))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(16 * len(pts)))
+}

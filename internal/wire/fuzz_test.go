@@ -19,6 +19,13 @@ func FuzzWireDecode(f *testing.F) {
 		}
 		f.Add(fr)
 	}
+	// …plus handshake frames carrying capability flags…
+	if fr, err := EncodeMsgFlags(&Hello{Version: Version, Client: "edb"}, FlagTraceZ); err == nil {
+		f.Add(fr)
+	}
+	if fr, err := EncodeMsgFlags(&Welcome{Version: Version, Server: "edbd"}, FlagTraceZ); err == nil {
+		f.Add(fr)
+	}
 	// …plus classic malformed shapes: empty, garbage, truncated header,
 	// hostile length fields, reserved flags.
 	f.Add([]byte{})
@@ -26,15 +33,16 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte{TypeHello, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{TypeOutput, 0, 0x00, 0x10, 0x00, 0x01, 0x00})
 	f.Add([]byte{TypePrompt, 1, 0, 0, 0, 0})
+	f.Add([]byte{TypeTraceZ, 1, 0, 0, 0, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		m, err := ReadMsg(bytes.NewReader(data))
+		m, flags, err := ReadMsgFlags(bytes.NewReader(data))
 		if err != nil {
 			return
 		}
 		// A decoded message must re-encode canonically to the consumed
-		// prefix of the input.
-		re, eerr := EncodeMsg(m)
+		// prefix of the input, flag bits included.
+		re, eerr := EncodeMsgFlags(m, flags)
 		if eerr != nil {
 			t.Fatalf("re-encode of decoded %T failed: %v", m, eerr)
 		}

@@ -10,9 +10,11 @@
 //	| type:1 | flags:1  | length:4    | payload |
 //	+--------+----------+-------------+---------+
 //
-// flags must be zero in version 1; length counts payload bytes and is
-// bounded by MaxFrame, so a malformed header can never force a large
-// allocation.
+// flags must be zero in version 1 on every frame except Hello and Welcome,
+// where the defined capability bits (FlagTraceZ) may be set — that is how
+// optional features are negotiated without a version bump. length counts
+// payload bytes and is bounded by MaxFrame, so a malformed header can
+// never force a large allocation.
 //
 // Versioning rules: the protocol version is carried once, in the
 // Hello/Welcome handshake, not per frame. A server that receives a
@@ -32,9 +34,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/scenario"
 )
+
+// encoders pools encode scratch; see AppendMsg.
+var encoders = sync.Pool{New: func() any { return new(encoder) }}
 
 // Version is the protocol version exchanged in the handshake.
 const Version uint16 = 1
@@ -57,9 +63,30 @@ const (
 	TypePrompt  byte = 0x21 // server → client: session awaits a Command
 	TypeTrace   byte = 0x22 // server → client: raw energy-trace samples
 	TypeDone    byte = 0x23 // server → client: session finished
+	TypeTraceZ  byte = 0x24 // server → client: codec-compressed energy-trace samples
 	TypePing    byte = 0x30 // either direction: liveness probe
 	TypePong    byte = 0x31 // reply to Ping
 )
+
+// Capability flag bits, valid only on Hello and Welcome frames. A client
+// sets a bit to advertise a capability; the server echoes the subset it
+// accepts in the Welcome frame. Old peers that know no capabilities send
+// zero flags and are served the baseline protocol — a version bump is not
+// required.
+const (
+	// FlagTraceZ negotiates compressed trace streaming: when both sides
+	// set it, the server streams TraceZ chunks (internal/tracecodec blobs)
+	// instead of raw Trace chunks.
+	FlagTraceZ byte = 0x01
+)
+
+// capabilityMask returns the flag bits a frame of type t may carry.
+func capabilityMask(t byte) byte {
+	if t == TypeHello || t == TypeWelcome {
+		return FlagTraceZ
+	}
+	return 0
+}
 
 // Error codes.
 const (
@@ -73,7 +100,7 @@ const (
 // Framing errors.
 var (
 	ErrFrameTooBig = errors.New("wire: frame exceeds MaxFrame")
-	ErrBadFlags    = errors.New("wire: non-zero flags byte")
+	ErrBadFlags    = errors.New("wire: invalid flags byte")
 )
 
 // Msg is one protocol message.
@@ -141,6 +168,18 @@ type Trace struct {
 	Samples []TracePoint
 }
 
+// TraceZ streams a chunk of codec-compressed energy-trace samples; it is
+// only sent when FlagTraceZ was negotiated in the handshake. Count is the
+// number of samples Data decodes to (bounded by len(Data): the codec
+// spends at least one byte per sample) and Data is an opaque
+// internal/tracecodec blob — each chunk decodes independently.
+type TraceZ struct {
+	Name  string
+	Unit  string
+	Count uint32
+	Data  []byte
+}
+
 // Done ends a session with its results.
 type Done struct {
 	Exit         int32  // process exit status (non-zero when a scripted command failed)
@@ -164,6 +203,7 @@ func (*Command) Type() byte { return TypeCommand }
 func (*Output) Type() byte  { return TypeOutput }
 func (*Prompt) Type() byte  { return TypePrompt }
 func (*Trace) Type() byte   { return TypeTrace }
+func (*TraceZ) Type() byte  { return TypeTraceZ }
 func (*Done) Type() byte    { return TypeDone }
 func (*Ping) Type() byte    { return TypePing }
 func (*Pong) Type() byte    { return TypePong }
@@ -187,6 +227,8 @@ func newMsg(t byte) Msg {
 		return &Prompt{}
 	case TypeTrace:
 		return &Trace{}
+	case TypeTraceZ:
+		return &TraceZ{}
 	case TypeDone:
 		return &Done{}
 	case TypePing:
@@ -197,24 +239,53 @@ func newMsg(t byte) Msg {
 	return nil
 }
 
-// EncodeMsg serializes a message into one complete frame.
-func EncodeMsg(m Msg) ([]byte, error) {
-	var e encoder
-	m.encode(&e)
-	if len(e.b) > MaxFrame {
-		return nil, ErrFrameTooBig
+// AppendMsg appends one complete frame for m, carrying the given flag
+// bits, to dst and returns the extended slice. Passing a reused buffer
+// makes hot streaming paths (the server's trace streamer) allocation-free
+// after warm-up. On error dst is returned unchanged.
+func AppendMsg(dst []byte, m Msg, flags byte) ([]byte, error) {
+	if flags&^capabilityMask(m.Type()) != 0 {
+		return dst, ErrBadFlags
 	}
-	f := make([]byte, headerSize+len(e.b))
-	f[0] = m.Type()
-	f[1] = 0
-	binary.BigEndian.PutUint32(f[2:6], uint32(len(e.b)))
-	copy(f[headerSize:], e.b)
-	return f, nil
+	base := len(dst)
+	dst = append(dst, m.Type(), flags, 0, 0, 0, 0)
+	// The encoder is pooled because passing a stack-local pointer through
+	// the Msg interface forces it to escape, costing one allocation per
+	// frame on the hot trace-streaming path.
+	e := encoders.Get().(*encoder)
+	e.b = dst
+	m.encode(e)
+	dst = e.b
+	e.b = nil
+	encoders.Put(e)
+	n := len(dst) - base - headerSize
+	if n > MaxFrame {
+		return dst[:base], ErrFrameTooBig
+	}
+	binary.BigEndian.PutUint32(dst[base+2:base+6], uint32(n))
+	return dst, nil
 }
 
-// WriteMsg frames and writes one message.
+// EncodeMsg serializes a message into one complete frame with zero flags.
+func EncodeMsg(m Msg) ([]byte, error) {
+	return AppendMsg(nil, m, 0)
+}
+
+// EncodeMsgFlags serializes a message into one complete frame carrying the
+// given flag bits; only capability bits valid for the message type are
+// accepted.
+func EncodeMsgFlags(m Msg, flags byte) ([]byte, error) {
+	return AppendMsg(nil, m, flags)
+}
+
+// WriteMsg frames and writes one message with zero flags.
 func WriteMsg(w io.Writer, m Msg) error {
-	f, err := EncodeMsg(m)
+	return WriteMsgFlags(w, m, 0)
+}
+
+// WriteMsgFlags frames and writes one message carrying the given flag bits.
+func WriteMsgFlags(w io.Writer, m Msg, flags byte) error {
+	f, err := AppendMsg(nil, m, flags)
 	if err != nil {
 		return err
 	}
@@ -222,28 +293,42 @@ func WriteMsg(w io.Writer, m Msg) error {
 	return err
 }
 
-// ReadMsg reads and decodes one message. The length field is validated
-// against MaxFrame before the payload buffer is allocated.
+// ReadMsg reads and decodes one message, discarding handshake flag bits.
+// The length field is validated against MaxFrame before the payload buffer
+// is allocated.
 func ReadMsg(r io.Reader) (Msg, error) {
+	m, _, err := ReadMsgFlags(r)
+	return m, err
+}
+
+// ReadMsgFlags reads and decodes one message along with its flag byte.
+// Flags are rejected unless every set bit is a capability defined for the
+// frame's type (only Hello/Welcome carry capability bits in version 1).
+func ReadMsgFlags(r io.Reader) (Msg, byte, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	if hdr[1] != 0 {
-		return nil, ErrBadFlags
+	flags := hdr[1]
+	if flags&^capabilityMask(hdr[0]) != 0 {
+		return nil, 0, ErrBadFlags
 	}
 	n := binary.BigEndian.Uint32(hdr[2:6])
 	if n > MaxFrame {
-		return nil, ErrFrameTooBig
+		return nil, 0, ErrFrameTooBig
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, err
+		return nil, 0, err
 	}
-	return DecodePayload(hdr[0], payload)
+	m, err := DecodePayload(hdr[0], payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, flags, nil
 }
 
 // DecodePayload decodes a message body for the given type code. It rejects
@@ -343,6 +428,29 @@ func (m *Trace) decode(d *decoder) {
 			m.Samples[i].At = d.u64()
 			m.Samples[i].V = d.f64()
 		}
+	}
+}
+
+func (m *TraceZ) encode(e *encoder) {
+	e.str(m.Name)
+	e.str(m.Unit)
+	e.u32(m.Count)
+	e.bytes(m.Data)
+}
+
+func (m *TraceZ) decode(d *decoder) {
+	m.Name = d.str()
+	m.Unit = d.str()
+	m.Count = d.u32()
+	m.Data = d.bytesField()
+	if d.err != nil {
+		return
+	}
+	// The codec spends at least one byte per sample, so a count beyond the
+	// blob length can never decode; reject it before tracecodec.Decode sees
+	// the hostile count.
+	if uint64(m.Count) > uint64(len(m.Data)) {
+		d.fail("tracez sample count %d exceeds %d data bytes", m.Count, len(m.Data))
 	}
 }
 

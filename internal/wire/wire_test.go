@@ -33,6 +33,8 @@ func sampleMsgs() []Msg {
 		&Prompt{},
 		&Trace{Name: "Vcap", Unit: "V", Samples: []TracePoint{{At: 1, V: 2.5}, {At: 99, V: 1.75}}},
 		&Trace{Name: "Vcap", Unit: "V"},
+		&TraceZ{Name: "Vcap", Unit: "V", Count: 3, Data: []byte{0x03, 0x0A, 0x02, 0x02, 0x00}},
+		&TraceZ{Name: "Vcap", Unit: "V"},
 		&Done{Exit: 1, Halted: "assert 0", SimCycles: 1 << 40, Commands: 3, ScriptErrors: 1},
 		&Ping{Token: 42},
 		&Pong{Token: 42},
@@ -135,6 +137,17 @@ func TestDecodeRejects(t *testing.T) {
 		t.Fatal("hostile sample count must fail")
 	}
 
+	// TraceZ sample count exceeding the blob length must fail: the codec
+	// spends at least one byte per sample.
+	var ez encoder
+	ez.str("Vcap")
+	ez.str("V")
+	ez.u32(1 << 28)
+	ez.bytes([]byte{0x00})
+	if _, err := DecodePayload(TypeTraceZ, ez.b); err == nil {
+		t.Fatal("hostile tracez count must fail")
+	}
+
 	// Non-canonical bool byte.
 	var e2 encoder
 	e2.str("cmd")
@@ -154,5 +167,126 @@ func TestDecodeRejects(t *testing.T) {
 func TestEncodeRejectsOversize(t *testing.T) {
 	if _, err := EncodeMsg(&Output{Data: make([]byte, MaxFrame+1)}); err != ErrFrameTooBig {
 		t.Fatalf("want ErrFrameTooBig, got %v", err)
+	}
+}
+
+// TestCapabilityFlags: the flags byte carries capability bits on Hello and
+// Welcome only; everywhere else any set bit is rejected on both the encode
+// and the decode path.
+func TestCapabilityFlags(t *testing.T) {
+	for _, m := range []Msg{&Hello{Version: Version, Client: "c"}, &Welcome{Version: Version, Server: "s"}} {
+		f, err := EncodeMsgFlags(m, FlagTraceZ)
+		if err != nil {
+			t.Fatalf("%T: encode with FlagTraceZ: %v", m, err)
+		}
+		got, flags, err := ReadMsgFlags(bytes.NewReader(f))
+		if err != nil {
+			t.Fatalf("%T: read: %v", m, err)
+		}
+		if flags != FlagTraceZ {
+			t.Fatalf("%T: flags %#02x, want FlagTraceZ", m, flags)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%T: round trip mismatch with flags", m)
+		}
+		// Undefined capability bits are rejected even on handshake frames.
+		if _, err := EncodeMsgFlags(m, 0x80); err != ErrBadFlags {
+			t.Fatalf("%T: undefined bit: want ErrBadFlags, got %v", m, err)
+		}
+	}
+	// Capability bits are invalid on non-handshake frames.
+	if _, err := EncodeMsgFlags(&TraceZ{Name: "Vcap"}, FlagTraceZ); err != ErrBadFlags {
+		t.Fatalf("TraceZ with flags: want ErrBadFlags, got %v", err)
+	}
+	f, _ := EncodeMsg(&TraceZ{Name: "Vcap"})
+	f[1] = FlagTraceZ
+	if _, _, err := ReadMsgFlags(bytes.NewReader(f)); err != ErrBadFlags {
+		t.Fatalf("TraceZ frame with flags: want ErrBadFlags, got %v", err)
+	}
+}
+
+// TestFrameBoundary: chunks sized exactly at MaxFrame must round-trip, and
+// one byte (or sample) more must be rejected — mirroring the block-boundary
+// tests in internal/edb/blockio_test.go.
+func TestFrameBoundary(t *testing.T) {
+	// Trace payload = 4+len(name) + 4+len(unit) + 4 + 16*n. With name
+	// "abcd" and an empty unit that is 16 + 16n, so n = 65535 lands exactly
+	// on MaxFrame (1<<20).
+	samples := make([]TracePoint, 65535)
+	for i := range samples {
+		samples[i] = TracePoint{At: uint64(i) * 160, V: 2.5}
+	}
+	tr := &Trace{Name: "abcd", Unit: "", Samples: samples}
+	f, err := EncodeMsg(tr)
+	if err != nil {
+		t.Fatalf("encode at boundary: %v", err)
+	}
+	if len(f) != headerSize+MaxFrame {
+		t.Fatalf("frame is %d bytes, want header+MaxFrame = %d", len(f), headerSize+MaxFrame)
+	}
+	got, err := ReadMsg(bytes.NewReader(f))
+	if err != nil {
+		t.Fatalf("read at boundary: %v", err)
+	}
+	if !reflect.DeepEqual(tr, got) {
+		t.Fatal("boundary Trace round trip mismatch")
+	}
+	tr.Samples = append(tr.Samples, TracePoint{})
+	if _, err := EncodeMsg(tr); err != ErrFrameTooBig {
+		t.Fatalf("one sample past boundary: want ErrFrameTooBig, got %v", err)
+	}
+
+	// TraceZ payload = 16 + 4 + len(data) with the same strings, so data of
+	// MaxFrame-20 bytes is exact.
+	data := make([]byte, MaxFrame-20)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	tz := &TraceZ{Name: "abcd", Unit: "", Count: 1, Data: data}
+	f, err = EncodeMsg(tz)
+	if err != nil {
+		t.Fatalf("encode TraceZ at boundary: %v", err)
+	}
+	if len(f) != headerSize+MaxFrame {
+		t.Fatalf("TraceZ frame is %d bytes, want %d", len(f), headerSize+MaxFrame)
+	}
+	got, err = ReadMsg(bytes.NewReader(f))
+	if err != nil {
+		t.Fatalf("read TraceZ at boundary: %v", err)
+	}
+	if !reflect.DeepEqual(tz, got) {
+		t.Fatal("boundary TraceZ round trip mismatch")
+	}
+	tz.Data = append(tz.Data, 0)
+	if _, err := EncodeMsg(tz); err != ErrFrameTooBig {
+		t.Fatalf("one byte past boundary: want ErrFrameTooBig, got %v", err)
+	}
+}
+
+// TestAppendMsgReuse: framing into a reused buffer must not allocate.
+func TestAppendMsgReuse(t *testing.T) {
+	m := &TraceZ{Name: "Vcap", Unit: "V", Count: 2, Data: []byte{0x02, 0x0A, 0x02, 0x00}}
+	buf, err := AppendMsg(nil, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), buf...)
+	allocs := testing.AllocsPerRun(50, func() {
+		var err error
+		buf, err = AppendMsg(buf[:0], m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("AppendMsg into reused buffer allocated %.1f times per run", allocs)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("reused AppendMsg produced different bytes")
+	}
+	// On error the destination must come back unchanged.
+	buf2, err := AppendMsg(want, &Output{Data: make([]byte, MaxFrame+1)}, 0)
+	if err != ErrFrameTooBig || len(buf2) != len(want) {
+		t.Fatalf("oversize append: want unchanged dst + ErrFrameTooBig, got len %d, %v", len(buf2), err)
 	}
 }

@@ -59,6 +59,25 @@ if ! diff -u "$workdir/local.out" "$workdir/remote.out"; then
 fi
 echo "smoke: remote output is byte-identical to local ($(wc -c <"$workdir/local.out") bytes)"
 
+echo "smoke: diffing local vs compressed vs raw trace streams"
+"$workdir/edb" $common "$script" -trace-out "$workdir/local.csv" >/dev/null
+"$workdir/edb" -connect "$addr" $common "$script" -trace-out "$workdir/tracez.csv" >/dev/null
+"$workdir/edb" -connect "$addr" -raw-trace $common "$script" -trace-out "$workdir/raw.csv" >/dev/null
+if ! diff -u "$workdir/local.csv" "$workdir/tracez.csv"; then
+    echo "smoke: FAIL — codec-decoded remote trace differs from local" >&2
+    exit 1
+fi
+if ! diff -u "$workdir/local.csv" "$workdir/raw.csv"; then
+    echo "smoke: FAIL — raw remote trace differs from local" >&2
+    exit 1
+fi
+lines=$(wc -l <"$workdir/local.csv")
+if [ "$lines" -le 1 ]; then
+    echo "smoke: FAIL — trace CSV is empty" >&2
+    exit 1
+fi
+echo "smoke: trace streams identical across local/codec/raw ($((lines - 1)) samples)"
+
 echo "smoke: checking that a failing script exits non-zero remotely"
 if "$workdir/edb" -connect "$addr" -app linkedlist -assert -t 10 -seed 42 \
         -script "not-a-command;halt" >/dev/null 2>&1; then
