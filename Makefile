@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet race bench results examples fuzz smoke clean
+.PHONY: all test vet race bench benchcmp results examples fuzz smoke clean
 
 all: test
 
@@ -21,10 +21,16 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' .
 
-# Regenerate every table, figure, case study, sweep, and ablation.
+# Compare edb-bench headline metrics of the working tree against BASE
+# (default: the previous commit). Override the selection with BENCH_ARGS.
+BASE ?= HEAD~1
+benchcmp:
+	sh scripts/benchcmp.sh $(BASE)
+
+# Regenerate every table, figure, case study, sweep, and ablation, plus
+# the trace-codec and snapshot benchmarks, into one BENCH.json.
 results:
-	$(GO) run ./cmd/edb-bench -exp all -csv -out results
-	$(GO) run ./cmd/edb-bench -exp sweep,fig2,ablations -csv -out results
+	$(GO) run ./cmd/edb-bench -exp all -trace -snapshot -csv -out results
 
 examples:
 	$(GO) run ./examples/quickstart

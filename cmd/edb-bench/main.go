@@ -46,6 +46,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "print headline metrics as a single JSON object (text results still go to -out)")
 	par := flag.Int("par", 0, "worker count for the parallel runner (0 = GOMAXPROCS, 1 = sequential)")
 	traceBench := flag.Bool("trace", false, "benchmark the trace-stream codec on a Figure-7-style RF harvest trace (writes BENCH_trace.json)")
+	snapBench := flag.Bool("snapshot", false, "benchmark warm-start session forking and delta snapshots (writes BENCH_snapshot.json)")
 	flag.Parse()
 
 	if *par > 0 {
@@ -54,9 +55,9 @@ func main() {
 
 	wanted := strings.Split(*exp, ",")
 	all := *exp == "all"
-	// -trace alone runs just the codec benchmark; combining it with an
-	// explicit -exp adds it to that selection.
-	if *traceBench {
+	// -trace or -snapshot alone runs just that benchmark; combining either
+	// with an explicit -exp adds it to that selection.
+	if *traceBench || *snapBench {
 		expSet := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "exp" {
@@ -299,6 +300,9 @@ func main() {
 	if *traceBench {
 		add("trace-codec", func(o *jobOut) error { return runTraceBench(o, *quick) })
 	}
+	if *snapBench {
+		add("snapshot", func(o *jobOut) error { return runSnapshotBench(o, *quick) })
+	}
 
 	if len(jobs) == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments match -exp %q\n", *exp)
@@ -316,8 +320,11 @@ func main() {
 	})
 	wall := time.Since(start).Seconds()
 
+	// Metrics aggregate as suite → metric → value; json.MarshalIndent
+	// sorts map keys at both levels, so BENCH.json is byte-stable across
+	// runs and diffable by scripts/benchcmp.sh.
 	failures := 0
-	metrics := map[string]float64{}
+	metrics := map[string]map[string]float64{}
 	for i, o := range results {
 		id := jobs[i].id
 		if o.err != nil {
@@ -329,8 +336,8 @@ func main() {
 			fmt.Printf("==== %s ====\n", id)
 			fmt.Println(o.text)
 		}
-		for k, v := range o.metrics {
-			metrics[k] = v
+		if len(o.metrics) > 0 {
+			metrics[id] = o.metrics
 		}
 		if *out != "" {
 			if !o.noDefaultFile {
@@ -345,10 +352,12 @@ func main() {
 		}
 	}
 
-	metrics["suite_wall_seconds"] = wall
-	metrics["workers"] = float64(parallel.Workers())
-	metrics["experiments"] = float64(len(jobs))
-	metrics["failures"] = float64(failures)
+	metrics["suite"] = map[string]float64{
+		"wall_seconds": wall,
+		"workers":      float64(parallel.Workers()),
+		"experiments":  float64(len(jobs)),
+		"failures":     float64(failures),
+	}
 	blob, err := json.MarshalIndent(metrics, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "json: %v\n", err)

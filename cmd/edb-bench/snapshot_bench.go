@@ -1,0 +1,196 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/units"
+)
+
+// runSnapshotBench measures the warm-start machinery end to end: session
+// start latency cold (simulate the whole charge phase) versus warm (fork a
+// pre-warmed template) versus pool-served (pop a pre-forked spare), fork
+// throughput, and full-image versus dirty-page-delta snapshot sizes.
+//
+// Start latency uses a long-range tag (5 m), where the first charge takes
+// seconds of simulated time — the cost the pool exists to hide. The timed
+// specs pin the deadline 2 ms past the snapshot point so every variant does
+// the same tiny slice of post-start execution and the measured difference
+// is session start alone. Delta sizes use the default 1 m rig, whose
+// ~100 ms charge/run duty cycle makes every 100 ms window a representative
+// steady-state slice of intermittent execution (including the reboot, which
+// dirties all of SRAM).
+func runSnapshotBench(o *jobOut, quick bool) error {
+	trials := 9
+	forks := 32
+	intervals := 20
+	if quick {
+		trials, forks, intervals = 5, 8, 8
+	}
+
+	// One-off template cost: build the rig and simulate its charge phase to
+	// the quiescent point, then snapshot.
+	spec := scenario.Spec{App: "safelist", Seconds: 60, Seed: 42, Distance: 5}
+	t0 := time.Now()
+	tmpl, err := scenario.NewTemplate(spec)
+	if err != nil {
+		return err
+	}
+	buildMS := msSince(t0)
+
+	short := spec
+	short.Seconds = tmpl.WarmupSeconds() + 0.002
+
+	coldMS, err := medianRunMS(trials, func() error {
+		_, err := scenario.Run(short, io.Discard, nil)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("cold run: %w", err)
+	}
+	warmMS, err := medianRunMS(trials, func() error {
+		_, err := tmpl.Run(short, io.Discard, nil)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("warm run: %w", err)
+	}
+
+	// Pool path: prime with one cold run so the template builds and the
+	// spare channel fills; between timed trials, wait (untimed) for the
+	// async refill so every trial pops a pre-forked spare.
+	pool := scenario.NewPool(1)
+	if _, err := pool.Run(short, io.Discard, nil); err != nil {
+		return fmt.Errorf("pool prime: %w", err)
+	}
+	pool.Wait()
+	poolTimes := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		t0 := time.Now()
+		if _, err := pool.Run(short, io.Discard, nil); err != nil {
+			return fmt.Errorf("pool run %d: %w", i, err)
+		}
+		poolTimes = append(poolTimes, msSince(t0))
+		pool.Wait()
+	}
+	poolMS := median(poolTimes)
+	if m := pool.Metrics(); m.SparePops != uint64(trials) {
+		return fmt.Errorf("pool bench invalid: %d/%d trials served from a spare", m.SparePops, trials)
+	}
+
+	// Fork throughput: how fast the daemon can mint ready-to-run rigs.
+	t0 = time.Now()
+	for i := 0; i < forks; i++ {
+		if _, _, err := tmpl.Fork(); err != nil {
+			return fmt.Errorf("fork %d: %w", i, err)
+		}
+	}
+	forksPerSec := float64(forks) / time.Since(t0).Seconds()
+
+	// Snapshot sizes: arm a baseline on a forked 1 m rig mid-run, then take
+	// a dirty-page delta after each 100 ms steady-state window.
+	dspec := scenario.Spec{App: "safelist", Seconds: 60, Seed: 42}
+	dtmpl, err := scenario.NewTemplate(dspec)
+	if err != nil {
+		return err
+	}
+	rig, _, err := dtmpl.Fork()
+	if err != nil {
+		return err
+	}
+	clk := rig.Device.Clock
+	base := dtmpl.WarmupSeconds() + 1.0
+	if _, err := rig.RunUntil(clk.ToCycles(units.Seconds(base)), 0); err != nil {
+		return fmt.Errorf("delta rig warmup: %w", err)
+	}
+	fullBytes, err := rig.EDB.SnapState()
+	if err != nil {
+		return err
+	}
+	deltas := make([]float64, 0, intervals)
+	for i := 1; i <= intervals; i++ {
+		deadline := clk.ToCycles(units.Seconds(base + 0.1*float64(i)))
+		if _, err := rig.RunUntil(deadline, 0); err != nil {
+			return fmt.Errorf("delta window %d: %w", i, err)
+		}
+		ds, err := rig.EDB.SnapDelta()
+		if err != nil {
+			return err
+		}
+		sum := 0
+		for _, d := range ds {
+			sum += d.Bytes()
+		}
+		deltas = append(deltas, float64(sum))
+	}
+	deltaMedian := median(deltas)
+	if deltaMedian <= 0 {
+		return fmt.Errorf("delta bench invalid: median steady-state delta is %.0f bytes", deltaMedian)
+	}
+
+	sizeRatio := float64(fullBytes) / deltaMedian
+	o.metric("snap_full_bytes", float64(fullBytes))
+	o.metric("snap_delta_bytes_median", deltaMedian)
+	o.metric("snap_size_ratio", sizeRatio)
+	o.metric("snap_template_build_ms", buildMS)
+	o.metric("snap_start_cold_ms", coldMS)
+	o.metric("snap_start_warm_ms", warmMS)
+	o.metric("snap_start_pool_ms", poolMS)
+	o.metric("snap_start_speedup_warm", coldMS/warmMS)
+	o.metric("snap_start_speedup_pool", coldMS/poolMS)
+	o.metric("snap_forks_per_sec", forksPerSec)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "warm-start snapshots (safelist, seed %d):\n", spec.Seed)
+	fmt.Fprintf(&b, "  session start (5 m tag, %.2fs charge phase):\n", tmpl.WarmupSeconds())
+	fmt.Fprintf(&b, "    cold %8.3f ms   warm fork %8.3f ms (%.1fx)   pool spare %8.3f ms (%.1fx)\n",
+		coldMS, warmMS, coldMS/warmMS, poolMS, coldMS/poolMS)
+	fmt.Fprintf(&b, "    template build %.2f ms (one-off);  fork throughput %.0f forks/s\n", buildMS, forksPerSec)
+	fmt.Fprintf(&b, "  snapshot size (1 m tag, 100 ms windows):\n")
+	fmt.Fprintf(&b, "    full image %d B   steady-state delta %.0f B (%.1fx smaller)\n",
+		fullBytes, deltaMedian, sizeRatio)
+	o.text = b.String()
+
+	js, err := json.MarshalIndent(o.metrics, "", "  ")
+	if err != nil {
+		return err
+	}
+	o.file("BENCH_snapshot.json", string(js)+"\n")
+	return nil
+}
+
+// medianRunMS times trials invocations of fn and returns the median wall
+// time in milliseconds.
+func medianRunMS(trials int, fn func() error) (float64, error) {
+	times := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		times = append(times, msSince(t0))
+	}
+	return median(times), nil
+}
+
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0).Nanoseconds()) / 1e6
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

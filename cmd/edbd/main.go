@@ -6,8 +6,14 @@
 //	edbd -addr 127.0.0.1:3490 -metrics 127.0.0.1:3491
 //
 // The -metrics listener serves Go's expvar page at /debug/vars, including
-// an "edbd" map with sessions open, commands served, bytes streamed, and
-// simulated cycles executed.
+// an "edbd" map with sessions open, commands served, bytes streamed,
+// simulated cycles executed, and the warm-start pool's fork/boot split.
+//
+// The -pprof listener serves Go's net/http/pprof profiler (and the same
+// expvar page) for CPU/heap profiling of a live daemon:
+//
+//	edbd -pprof 127.0.0.1:3492 &
+//	go tool pprof http://127.0.0.1:3492/debug/pprof/profile?seconds=10
 //
 // SIGINT/SIGTERM starts a graceful drain: the listener closes, in-flight
 // sessions finish (bounded by -drain), and the process exits 0 on a clean
@@ -22,6 +28,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +48,10 @@ func main() {
 		idle        = flag.Duration("idle", 2*time.Minute, "idle timeout before a quiet connection or session is reaped")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-drain budget after SIGTERM")
 		noTraceZ    = flag.Bool("no-tracez", false, "refuse the compressed-trace capability; always stream raw Trace chunks")
+		noSnap      = flag.Bool("no-snap", false, "refuse the snapshot (remote time-travel) capability")
+		noPool      = flag.Bool("no-pool", false, "disable the warm-start session pool; every session cold-boots")
+		poolSpares  = flag.Int("pool-spares", 2, "pre-forked rigs kept ready per firmware template")
+		pprofAddr   = flag.String("pprof", "", "optional listen address for the net/http/pprof profiling endpoint")
 		verbose     = flag.Bool("v", false, "log per-connection events")
 	)
 	flag.Parse()
@@ -52,6 +63,9 @@ func main() {
 		MaxSimSeconds: *maxSimSecs,
 		IdleTimeout:   *idle,
 		DisableTraceZ: *noTraceZ,
+		DisableSnap:   *noSnap,
+		DisablePool:   *noPool,
+		PoolSpares:    *poolSpares,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -64,6 +78,16 @@ func main() {
 			// expvar registers /debug/vars on the default mux.
 			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
 				log.Printf("edbd: metrics endpoint: %v", err)
+			}
+		}()
+	}
+	if *pprofAddr != "" && *pprofAddr != *metricsAddr {
+		go func() {
+			// net/http/pprof registers /debug/pprof/* on the default mux;
+			// a dedicated listener keeps the profiler off the metrics port
+			// unless the operator points both at the same address.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("edbd: pprof endpoint: %v", err)
 			}
 		}()
 	}

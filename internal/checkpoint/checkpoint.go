@@ -44,6 +44,22 @@ type Mementos struct {
 
 	bufs [2]memsim.Addr
 	snap int // snapshot payload capacity in bytes
+
+	// Incremental mode: instead of copying the full volatile image at every
+	// checkpoint, copy only the SRAM pages written since the target buffer
+	// was last filled, using the memory system's write-barrier dirty bitmap
+	// as the page-tracking hardware. With double buffering the target holds
+	// the image from two checkpoints ago, so the pages to refresh are the
+	// union of the last two inter-checkpoint dirty sets.
+	inc       bool
+	prevPages []int   // pages dirtied in the previous inter-checkpoint window
+	primed    [2]bool // buffer holds a complete image (incremental is legal)
+
+	// WordsCopied accumulates checkpoint copy traffic (words) and
+	// LastCheckpointWords is the cost of the most recent checkpoint —
+	// together they make the O(dirty) saving measurable.
+	WordsCopied         uint64
+	LastCheckpointWords int
 }
 
 // NewMementos allocates the double-buffered checkpoint area. snapBytes is
@@ -63,6 +79,26 @@ func NewMementos(d *device.Device, threshold units.Volts, snapBytes int) (*Memen
 	return m, nil
 }
 
+// NewIncrementalMementos is NewMementos with O(dirty-page) checkpoints:
+// the write barrier on SRAM records which pages the application touches,
+// and Checkpoint copies only those (still word-by-word through the target,
+// at real energy cost) instead of the whole image. Restores and torn-
+// checkpoint recovery behave identically to the full-copy runtime.
+//
+// Incremental mode owns SRAM's dirty bitmap. It must not be combined with
+// another bitmap consumer on the same rig (the debugger's console `snap`
+// command arms the same facility); resetting the bitmap behind the
+// runtime's back would silently under-copy.
+func NewIncrementalMementos(d *device.Device, threshold units.Volts, snapBytes int) (*Mementos, error) {
+	m, err := NewMementos(d, threshold, snapBytes)
+	if err != nil {
+		return nil, err
+	}
+	m.inc = true
+	d.SRAM.EnableDirtyTracking()
+	return m, nil
+}
+
 // TriggerPoint is the call the application inserts at loop back-edges and
 // function returns: if energy is low, checkpoint with the given context
 // word. It reports whether a checkpoint was taken.
@@ -76,24 +112,104 @@ func (m *Mementos) TriggerPoint(env *device.Env, ctx uint16) bool {
 }
 
 // Checkpoint copies the volatile image and context into the inactive
-// buffer and commits it. Cost is real: one load+store pair per word.
+// buffer and commits it. Cost is real: one load+store pair per word. In
+// incremental mode only the pages written since the target buffer was
+// last complete are copied.
 func (m *Mementos) Checkpoint(env *device.Env, ctx uint16) {
 	active, seq := m.newest(env)
-	target := m.bufs[(active+1)%2]
+	ti := (active + 1) % 2
+	target := m.bufs[ti]
 
 	// Invalidate the target before filling it, so a failure mid-copy
 	// leaves the previous checkpoint as the newest valid one.
 	env.StoreWord(target+cpValid, 0)
-	src := memsim.SRAMBase
-	for off := 0; off < m.snap; off += 2 {
-		w := env.LoadWord(src + memsim.Addr(off))
-		env.StoreWord(target+cpHdr+memsim.Addr(off), w)
+	words := 0
+	if m.inc {
+		// Drain the barrier's dirty set even on the full-copy path: the
+		// window it covers closes at this checkpoint either way. A reboot
+		// marks every page dirty (SRAM.Clear), so torn incremental copies
+		// self-heal into a full copy on the retry.
+		now := m.clampPages(m.d.SRAM.TakeDirtyPages())
+		if m.primed[ti] {
+			toCopy := unionSorted(m.prevPages, now)
+			m.prevPages = now
+			for _, p := range toCopy {
+				words += m.copyPage(env, target, p)
+			}
+		} else {
+			m.prevPages = now
+			words = m.copyFull(env, target)
+		}
+	} else {
+		words = m.copyFull(env, target)
 	}
+	m.primed[ti] = true
+	m.LastCheckpointWords = words
+	m.WordsCopied += uint64(words)
 	env.StoreWord(target+cpCtx, ctx)
 	env.StoreWord(target+cpLen, uint16(m.snap))
 	env.StoreWord(target+cpSeq, seq+1)
 	// Linearization point: the commit flag is the last write.
 	env.StoreWord(target+cpValid, validMagic)
+}
+
+// copyFull copies the whole volatile image into target's payload area.
+func (m *Mementos) copyFull(env *device.Env, target memsim.Addr) int {
+	src := memsim.SRAMBase
+	for off := 0; off < m.snap; off += 2 {
+		w := env.LoadWord(src + memsim.Addr(off))
+		env.StoreWord(target+cpHdr+memsim.Addr(off), w)
+	}
+	return (m.snap + 1) / 2
+}
+
+// copyPage copies one SRAM page into target's payload area, clamped to the
+// snapshot length, returning the number of words moved.
+func (m *Mementos) copyPage(env *device.Env, target memsim.Addr, p int) int {
+	start := p * memsim.PageSize
+	end := start + memsim.PageSize
+	if end > m.snap {
+		end = m.snap
+	}
+	n := 0
+	for off := start; off < end; off += 2 {
+		w := env.LoadWord(memsim.SRAMBase + memsim.Addr(off))
+		env.StoreWord(target+cpHdr+memsim.Addr(off), w)
+		n++
+	}
+	return n
+}
+
+// clampPages drops dirty pages entirely past the snapshot window.
+func (m *Mementos) clampPages(pages []int) []int {
+	out := pages[:0]
+	for _, p := range pages {
+		if p*memsim.PageSize < m.snap {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// unionSorted merges two ascending page lists without duplicates.
+func unionSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
 }
 
 // Restore copies the newest valid checkpoint back into SRAM and returns

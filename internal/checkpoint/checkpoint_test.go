@@ -237,3 +237,139 @@ func (p *stagedProgram) Main(env *device.Env) {
 		p.m.TriggerPoint(env, uint16(stage+1))
 	}
 }
+
+func TestIncrementalMementosMatchesFullCopy(t *testing.T) {
+	// Drive a full-copy runtime and an incremental runtime through the
+	// same scripted write/checkpoint/crash sequence on twin devices; every
+	// restore must yield byte-identical SRAM, while the incremental
+	// runtime's steady-state checkpoints move far fewer words.
+	const snap = 2048
+	mk := func(inc bool) (*device.Device, *device.Env, *checkpoint.Mementos) {
+		d, env := powered(81)
+		var m *checkpoint.Mementos
+		var err error
+		if inc {
+			m, err = checkpoint.NewIncrementalMementos(d, 2.0, snap)
+		} else {
+			m, err = checkpoint.NewMementos(d, 2.0, snap)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, env, m
+	}
+	df, ef, mf := mk(false)
+	di, ei, mi := mk(true)
+
+	write := func(off int, v uint16) {
+		ef.StoreWord(memsim.SRAMBase+memsim.Addr(off), v)
+		ei.StoreWord(memsim.SRAMBase+memsim.Addr(off), v)
+	}
+	sram := func(d *device.Device) []byte { return d.SRAM.Snapshot()[:snap] }
+
+	// Fill everything once, checkpoint twice to prime both buffers.
+	for off := 0; off < snap; off += 2 {
+		write(off, uint16(off^0x5A5A))
+	}
+	mf.Checkpoint(ef, 1)
+	mi.Checkpoint(ei, 1)
+	mf.Checkpoint(ef, 2)
+	mi.Checkpoint(ei, 2)
+	fullBase, incBase := mf.WordsCopied, mi.WordsCopied
+
+	// Steady state: touch a couple of words per checkpoint.
+	rnd := uint32(0x9E37)
+	for k := uint16(3); k < 20; k++ {
+		for j := 0; j < 2; j++ {
+			rnd = rnd*1664525 + 1013904223
+			write(int(rnd%(snap/2))*2, uint16(rnd>>16))
+		}
+		mf.Checkpoint(ef, k)
+		mi.Checkpoint(ei, k)
+		if mi.LastCheckpointWords > 4*(memsim.PageSize/2) {
+			t.Fatalf("cp %d: incremental copied %d words for ≤4 dirty pages", k, mi.LastCheckpointWords)
+		}
+		if mf.LastCheckpointWords != snap/2 {
+			t.Fatalf("cp %d: full runtime copied %d words, want %d", k, mf.LastCheckpointWords, snap/2)
+		}
+	}
+	fullSteady, incSteady := mf.WordsCopied-fullBase, mi.WordsCopied-incBase
+	if incSteady >= fullSteady/4 {
+		t.Fatalf("steady state: incremental copied %d words vs full %d — expected ≥4× saving", incSteady, fullSteady)
+	}
+
+	// Crash, reboot, restore: both runtimes must reconstruct the same image.
+	want := append([]byte(nil), sram(df)...)
+	for _, d := range []*device.Device{df, di} {
+		d.Reboot()
+		d.Supply.Cap.SetVoltage(2.4)
+		d.Supply.Step(0, 0)
+	}
+	cf, okf := mf.Restore(ef)
+	ci, oki := mi.Restore(ei)
+	if !okf || !oki || cf != ci {
+		t.Fatalf("restore diverged: full(ctx=%d ok=%v) inc(ctx=%d ok=%v)", cf, okf, ci, oki)
+	}
+	if string(sram(df)) != string(want) || string(sram(di)) != string(want) {
+		t.Fatal("restored SRAM images diverge from the checkpointed state")
+	}
+
+	// Post-reboot checkpoint: the wipe marked everything dirty, so the
+	// incremental runtime heals with what amounts to a full copy.
+	mi.Checkpoint(ei, 99)
+	if mi.LastCheckpointWords < snap/2 {
+		t.Fatalf("post-reboot checkpoint copied %d words; reboot must dirty the whole image", mi.LastCheckpointWords)
+	}
+}
+
+func TestIncrementalMementosTornCheckpointHeals(t *testing.T) {
+	// A power failure mid-incremental-copy must leave the committed
+	// checkpoint restorable, and the retry after reboot must produce a
+	// complete image even though the torn target holds mixed pages.
+	d := device.NewWISP5(energy.NullHarvester{}, 82)
+	d.Supply.Cap.SetVoltage(2.4)
+	d.Supply.Step(0, 0)
+	env := &device.Env{D: d}
+	m, err := checkpoint.NewIncrementalMementos(d, 2.0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < 256; off += 2 {
+		env.StoreWord(memsim.SRAMBase+memsim.Addr(off), uint16(off+1))
+	}
+	m.Checkpoint(env, 1)
+	m.Checkpoint(env, 2)
+
+	env.StoreWord(memsim.SRAMBase, 0xBEEF)
+	d.Supply.Cap.SetVoltage(1.801) // dies mid-copy, pre-commit
+	func() {
+		defer func() {
+			if _, ok := recover().(*device.PowerFailure); !ok {
+				t.Fatal("expected power failure during checkpoint")
+			}
+		}()
+		m.Checkpoint(env, 3)
+	}()
+
+	d.Reboot()
+	d.Supply.Cap.SetVoltage(2.4)
+	d.Supply.Step(0, 0)
+	if ctx, ok := m.Restore(env); !ok || ctx != 2 {
+		t.Fatalf("restore after torn incremental checkpoint: ctx=%d ok=%v", ctx, ok)
+	}
+	for off := 0; off < 256; off += 2 {
+		if got := env.LoadWord(memsim.SRAMBase + memsim.Addr(off)); got != uint16(off+1) {
+			t.Fatalf("word %d = %#x after heal", off, got)
+		}
+	}
+	// And the next checkpoint/restore cycle is fully coherent again.
+	env.StoreWord(memsim.SRAMBase+4, 0xCAFE)
+	m.Checkpoint(env, 4)
+	d.Mem.ClearVolatile()
+	if ctx, ok := m.Restore(env); !ok || ctx != 4 {
+		t.Fatalf("post-heal checkpoint: ctx=%d ok=%v", ctx, ok)
+	}
+	if env.LoadWord(memsim.SRAMBase+4) != 0xCAFE {
+		t.Fatal("post-heal checkpoint lost a write")
+	}
+}

@@ -69,6 +69,12 @@ func (a *ADC) Read(v units.Volts) units.Volts {
 	return a.CodeToVolts(a.Sample(v))
 }
 
+// RNGState returns the noise stream position, for machine snapshots.
+func (a *ADC) RNGState() sim.RNGState { return a.rng.State() }
+
+// RestoreRNGState repositions the noise stream from a snapshot.
+func (a *ADC) RestoreRNGState(st sim.RNGState) { a.rng.RestoreState(st) }
+
 func (a *ADC) String() string {
 	return fmt.Sprintf("ADC(%d-bit, VRef=%s, LSB=%s)", a.Bits, a.VRef, a.LSB())
 }

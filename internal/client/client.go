@@ -46,6 +46,10 @@ type Options struct {
 	// handshake, forcing the server to stream raw Trace chunks — the
 	// behavior of a client that predates the codec.
 	RawTrace bool
+	// NoSnap suppresses the snapshot capability in the handshake — the
+	// behavior of a client that predates remote time-travel. The server
+	// then serves the baseline protocol byte-identically.
+	NoSnap bool
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +93,7 @@ type Client struct {
 
 	serverName string
 	traceZ     bool
+	snap       bool
 	scratch    []wire.TracePoint
 	traceBuf   wire.Trace
 }
@@ -152,6 +157,9 @@ func (c *Client) handshake() error {
 	if !c.opts.RawTrace {
 		caps = wire.FlagTraceZ
 	}
+	if !c.opts.NoSnap {
+		caps |= wire.FlagSnap
+	}
 	if err := c.sendf(&wire.Hello{Version: wire.Version, Client: c.opts.Name}, caps); err != nil {
 		return fmt.Errorf("client: handshake send: %w", err)
 	}
@@ -168,6 +176,7 @@ func (c *Client) handshake() error {
 		// The server echoes the capability subset it accepted; only bits we
 		// asked for may take effect.
 		c.traceZ = flags&caps&wire.FlagTraceZ != 0
+		c.snap = flags&caps&wire.FlagSnap != 0
 		return nil
 	case *wire.Error:
 		return w
@@ -178,6 +187,10 @@ func (c *Client) handshake() error {
 // TraceZ reports whether compressed trace streaming was negotiated in the
 // handshake.
 func (c *Client) TraceZ() bool { return c.traceZ }
+
+// Snap reports whether remote time-travel (SnapSave/SnapRestore) was
+// negotiated in the handshake.
+func (c *Client) Snap() bool { return c.snap }
 
 func (c *Client) send(m wire.Msg) error {
 	return c.sendf(m, 0)
@@ -335,6 +348,44 @@ func (s *Session) Exec(line string) (string, error) {
 	}
 	// Drop the next prompt string the engine streamed just before the
 	// Prompt frame; Exec callers are not rendering a terminal.
+	return strings.TrimSuffix(buf.String(), "(edb) "), nil
+}
+
+// SnapSave arms a server-side snapshot of the session's target: memory
+// baselines plus the resume energy level, with dirty-page tracking armed
+// so the restore costs O(pages written since). It requires the FlagSnap
+// capability and returns the console's confirmation text.
+func (s *Session) SnapSave() (string, error) {
+	return s.snapRPC(&wire.SnapSave{})
+}
+
+// SnapRestore reverts the session's target to the armed snapshot —
+// remote time-travel. It requires the FlagSnap capability and returns the
+// console's confirmation text.
+func (s *Session) SnapRestore() (string, error) {
+	return s.snapRPC(&wire.SnapRestore{})
+}
+
+// snapRPC sends a snapshot frame in place of a Command and pumps to the
+// next prompt, exactly like Exec.
+func (s *Session) snapRPC(m wire.Msg) (string, error) {
+	if s.closed {
+		if s.err != nil {
+			return "", s.err
+		}
+		return "", ErrSessionClosed
+	}
+	if !s.c.snap {
+		return "", errors.New("client: snapshot capability not negotiated (server too old or -no-snap)")
+	}
+	if err := s.c.send(m); err != nil {
+		s.closed, s.err = true, err
+		return "", err
+	}
+	var buf strings.Builder
+	if _, err := s.pump(&buf); err != nil {
+		return "", err
+	}
 	return strings.TrimSuffix(buf.String(), "(edb) "), nil
 }
 

@@ -127,6 +127,18 @@ func (c *Console) Exec(line string) (string, error) {
 		return c.writeCmd(args)
 	case "disasm":
 		return c.disasmCmd(args)
+	case "snap":
+		n, err := c.e.SnapState()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("snapshot armed: %d-byte baseline, O(dirty-pages) restore\n", n), nil
+	case "restore":
+		pages, v, err := c.e.RestoreState()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("restored %d dirty pages; resume level %.3f V\n", pages, float64(v)), nil
 	case "vcap":
 		return fmt.Sprintf("Vcap = %s (EDB ADC)\n", c.e.LastReading()), nil
 	case "status":
@@ -156,6 +168,8 @@ const helpText = `EDB debug console commands:
   trace iobus             print new UART/I2C/GPIO events
   trace rfid              print new RFID messages
   trace watchpoints       print new watchpoint hits
+  snap                    arm a state snapshot (memory + resume energy level)
+  restore                 revert memory and energy level to the last snap
   read <hexaddr>          read a word of target memory (session only)
   write <hexaddr> <val>   write a word of target memory (session only)
   disasm <hexaddr> [n]    disassemble n instructions of target code (session only)

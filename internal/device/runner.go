@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/energy"
+	"repro/internal/sim"
 	"repro/internal/units"
 )
 
@@ -75,9 +76,20 @@ func (r *Runner) Flash() error { return r.P.Flash(r.D) }
 // RunFor executes the program intermittently for the given simulated
 // duration. The program must already be flashed.
 func (r *Runner) RunFor(d units.Seconds) (RunResult, error) {
-	r.D.SetDeadline(r.D.Clock.Now() + r.D.Clock.ToCycles(d))
+	now := r.D.Clock.Now()
+	return r.RunUntil(now+r.D.Clock.ToCycles(d), now)
+}
+
+// RunUntil is RunFor against an absolute deadline cycle, with SimTime
+// reported relative to origin. It exists for warm-started rigs: a rig
+// restored from a mid-charge snapshot passes the deadline and origin a
+// cold run would have used (origin 0), so the deadline cycle and the
+// reported times — and therefore every output byte — match the cold run
+// exactly instead of being skewed by the snapshot point.
+func (r *Runner) RunUntil(deadline, origin sim.Cycles) (RunResult, error) {
+	r.D.SetDeadline(deadline)
 	defer r.D.ClearDeadline()
-	start := r.D.Clock.Time()
+	start := r.D.Clock.ToSeconds(origin)
 
 	var res RunResult
 	env := &Env{D: r.D}

@@ -152,6 +152,9 @@ type EDB struct {
 	pendingCharge    units.Volts // 0 = none
 	pendingDischarge units.Volts
 
+	// Console snap/restore slot (snapshot.go).
+	snapSlot *stateSlot
+
 	stats        ActiveStats
 	saveRestores []SaveRestoreSample
 

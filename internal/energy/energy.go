@@ -255,6 +255,31 @@ func (h *RFHarvester) Reseed(seed int64) {
 // follow the owning device's seed.
 type Reseeder interface{ Reseed(seed int64) }
 
+// StatefulHarvester is implemented by harvesters carrying stochastic
+// internal state that must ride along in machine snapshots. The bool result
+// of HarvesterState is false when the harvester happens to be running
+// deterministically (no state to capture).
+type StatefulHarvester interface {
+	HarvesterState() (sim.RNGState, bool)
+	RestoreHarvesterState(sim.RNGState)
+}
+
+// HarvesterState implements StatefulHarvester: the fading stream position.
+func (h *RFHarvester) HarvesterState() (sim.RNGState, bool) {
+	if h.Noise == nil {
+		return sim.RNGState{}, false
+	}
+	return h.Noise.State(), true
+}
+
+// RestoreHarvesterState implements StatefulHarvester.
+func (h *RFHarvester) RestoreHarvesterState(st sim.RNGState) {
+	if h.Noise == nil {
+		h.Noise = sim.NewRNG(st.Seed)
+	}
+	h.Noise.RestoreState(st)
+}
+
 // ConstantHarvester delivers a fixed current up to an open-circuit voltage.
 // It is useful in tests where a known charge rate is required.
 type ConstantHarvester struct {
@@ -401,6 +426,37 @@ func (s *Supply) Harvested() units.Joules { return s.harvested }
 
 // Consumed returns total energy drawn by the load so far.
 func (s *Supply) Consumed() units.Joules { return s.consumed }
+
+// SupplyState is a restorable snapshot of a Supply's mutable state. The
+// static configuration (capacitance, thresholds, harvester wiring) is not
+// captured: a snapshot restores onto a supply built with the same profile.
+type SupplyState struct {
+	Voltage   units.Volts
+	State     PowerState
+	Tethered  bool
+	Harvested units.Joules
+	Consumed  units.Joules
+}
+
+// SnapshotState captures the supply's mutable state.
+func (s *Supply) SnapshotState() SupplyState {
+	return SupplyState{
+		Voltage:   s.Cap.Voltage(),
+		State:     s.state,
+		Tethered:  s.tethered,
+		Harvested: s.harvested,
+		Consumed:  s.consumed,
+	}
+}
+
+// RestoreState applies a captured state.
+func (s *Supply) RestoreState(st SupplyState) {
+	s.Cap.SetVoltage(st.Voltage)
+	s.state = st.State
+	s.tethered = st.Tethered
+	s.harvested = st.Harvested
+	s.consumed = st.Consumed
+}
 
 // Step advances the supply by dt with the load drawing loadCurrent (only
 // meaningful when PowerOn). It returns the new power state. The caller (the

@@ -1,0 +1,142 @@
+package memsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestDirtyTrackingMarksWrittenPages(t *testing.T) {
+	r := NewRegion("FRAM", FRAMBase, FRAMSize, false)
+	m, err := NewMemory(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.EnableDirtyTracking()
+	if got := r.DirtyPageCount(); got != 0 {
+		t.Fatalf("fresh bitmap has %d dirty pages", got)
+	}
+
+	// One byte dirties one page; a word straddling a page boundary dirties two.
+	if err := m.WriteByteAt(FRAMBase+5, 0xAA); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.DirtyPageCount(); got != 1 {
+		t.Fatalf("after 1-byte write: %d dirty pages, want 1", got)
+	}
+	if err := m.WriteWord(FRAMBase+Addr(PageSize)-1, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.DirtyPageCount(); got != 2 {
+		t.Fatalf("after straddling word write: %d dirty pages, want 2 (page 0 already dirty)", got)
+	}
+
+	d := r.DeltaSnapshot()
+	if len(d.Pages) != 2 {
+		t.Fatalf("delta has %d pages, want 2", len(d.Pages))
+	}
+	if r.DirtyPageCount() != 0 {
+		t.Fatal("DeltaSnapshot did not clear the bitmap")
+	}
+	if d.Bytes() != 2*PageSize {
+		t.Fatalf("delta bytes = %d, want %d", d.Bytes(), 2*PageSize)
+	}
+}
+
+func TestDeltaSnapshotApplyRoundTrip(t *testing.T) {
+	r := NewRegion("SRAM", SRAMBase, SRAMSize, true)
+	m, _ := NewMemory(r)
+	r.EnableDirtyTracking()
+	rng := rand.New(rand.NewSource(1))
+
+	// Scatter writes, capture the delta, scribble more, then apply the
+	// delta onto a second pristine region seeded with the same baseline.
+	for i := 0; i < 40; i++ {
+		a := SRAMBase + Addr(rng.Intn(SRAMSize))
+		if err := m.WriteByteAt(a, byte(rng.Int())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := r.Snapshot()
+	d := r.DeltaSnapshot()
+	if d.Bytes() >= len(want) {
+		t.Fatalf("delta (%d B) not smaller than full snapshot (%d B)", d.Bytes(), len(want))
+	}
+
+	r2 := NewRegion("SRAM", SRAMBase, SRAMSize, true)
+	var hooked int
+	r2.WriteHook = func(a Addr, n int) { hooked += n }
+	if err := r2.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r2.Snapshot(), want) {
+		t.Fatal("region after ApplyDelta differs from original")
+	}
+	if hooked != d.Bytes() {
+		t.Fatalf("WriteHook observed %d bytes, want %d", hooked, d.Bytes())
+	}
+
+	// Out-of-range pages are rejected.
+	bad := &Delta{Region: "SRAM", Pages: []DeltaPage{{Off: SRAMSize - 1, Data: make([]byte, PageSize)}}}
+	if err := r2.ApplyDelta(bad); err == nil {
+		t.Fatal("ApplyDelta accepted an out-of-range page")
+	}
+}
+
+func TestRevertDirtyUndoesWrites(t *testing.T) {
+	r := NewRegion("FRAM", FRAMBase, FRAMSize, false)
+	m, _ := NewMemory(r)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		m.WriteByteAt(FRAMBase+Addr(rng.Intn(FRAMSize)), byte(rng.Int()))
+	}
+	r.EnableDirtyTracking()
+	baseline := r.Snapshot()
+
+	for i := 0; i < 50; i++ {
+		m.WriteByteAt(FRAMBase+Addr(rng.Intn(FRAMSize)), byte(rng.Int()))
+	}
+	dirtyBefore := r.DirtyPageCount()
+	pages, err := r.RevertDirty(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages != dirtyBefore {
+		t.Fatalf("reverted %d pages, bitmap had %d", pages, dirtyBefore)
+	}
+	if !bytes.Equal(r.Snapshot(), baseline) {
+		t.Fatal("RevertDirty did not restore the baseline")
+	}
+	if r.DirtyPageCount() != 0 {
+		t.Fatal("RevertDirty left dirty bits set")
+	}
+
+	// Bulk mutations mark everything dirty so a revert stays sound.
+	r.Clear()
+	if got, want := r.DirtyPageCount(), (FRAMSize+PageSize-1)/PageSize; got != want {
+		t.Fatalf("Clear marked %d pages, want %d", got, want)
+	}
+	if _, err := r.RevertDirty(baseline); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.Snapshot(), baseline) {
+		t.Fatal("revert after Clear did not restore the baseline")
+	}
+}
+
+func TestDirtyTrackingDisabledIsInert(t *testing.T) {
+	r := NewRegion("SRAM", SRAMBase, SRAMSize, true)
+	m, _ := NewMemory(r)
+	if err := m.WriteByteAt(SRAMBase, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.DirtyTracking() {
+		t.Fatal("tracking reported active before EnableDirtyTracking")
+	}
+	if d := r.DeltaSnapshot(); d != nil {
+		t.Fatal("DeltaSnapshot without tracking should be nil")
+	}
+	if _, err := r.RevertDirty(r.Snapshot()); err == nil {
+		t.Fatal("RevertDirty without tracking should error")
+	}
+}

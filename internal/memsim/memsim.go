@@ -17,6 +17,7 @@ package memsim
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // Addr is a 16-bit address in the target's memory map.
@@ -34,6 +35,15 @@ const (
 	SRAMSize      = 0x0800 // 2 KiB
 	FRAMBase Addr = 0x4400
 	FRAMSize      = 0xBB00 // 47.75 KiB
+)
+
+// Dirty tracking granularity. 64 bytes splits the 2 KiB SRAM into 32 pages
+// and the FRAM into ~764: fine enough that a checkpoint touching a few
+// dozen bytes dirties only one or two pages, coarse enough that the whole
+// bitmap for the full address space is 100 words.
+const (
+	PageSize  = 64
+	pageShift = 6
 )
 
 // Fault describes an illegal memory access: a read or write to an address
@@ -72,6 +82,13 @@ type Region struct {
 	// The ISA's predecoded-instruction cache hangs its invalidation here so
 	// self-modifying (or self-corrupting) programs stay faithful.
 	WriteHook func(a Addr, n int)
+
+	// dirty, when non-nil, is a write-barrier bitmap with one bit per
+	// PageSize-byte page, set on every store. It makes DeltaSnapshot and
+	// RevertDirty O(dirty pages) instead of O(region size). nil (the
+	// default) keeps the plain execution path branch-predictable and
+	// allocation-free.
+	dirty []uint64
 }
 
 // NewRegion returns a zeroed region of the given size.
@@ -117,6 +134,7 @@ func (r *Region) Clear() {
 	for i := range r.data {
 		r.data[i] = 0
 	}
+	r.markAll()
 	if r.WriteHook != nil {
 		r.WriteHook(r.Base, len(r.data))
 	}
@@ -138,6 +156,184 @@ func (r *Region) Snapshot() []byte {
 	return cp
 }
 
+// pageCount returns the number of PageSize-byte pages covering the region.
+func (r *Region) pageCount() int { return (len(r.data) + PageSize - 1) / PageSize }
+
+// EnableDirtyTracking allocates the page-dirty bitmap (all clean) and turns
+// the write barrier on. Idempotent; existing dirty bits are preserved.
+func (r *Region) EnableDirtyTracking() {
+	if r.dirty == nil {
+		r.dirty = make([]uint64, (r.pageCount()+63)/64)
+	}
+}
+
+// DirtyTracking reports whether the write barrier is active.
+func (r *Region) DirtyTracking() bool { return r.dirty != nil }
+
+// ResetDirty clears every dirty bit, making the current contents the new
+// baseline for the next DeltaSnapshot/RevertDirty.
+func (r *Region) ResetDirty() {
+	for i := range r.dirty {
+		r.dirty[i] = 0
+	}
+}
+
+// DirtyPageCount returns the number of pages written since the last reset.
+func (r *Region) DirtyPageCount() int {
+	n := 0
+	for _, w := range r.dirty {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// TakeDirtyPages returns the indices of the pages written since the last
+// reset, in ascending order, and clears the bitmap. It returns nil when
+// dirty tracking is off. Unlike DeltaSnapshot it captures no contents —
+// it is the cheap primitive for consumers that copy pages through their
+// own (e.g. energy-costed) channel.
+func (r *Region) TakeDirtyPages() []int {
+	if r.dirty == nil {
+		return nil
+	}
+	var out []int
+	r.forEachDirty(func(p int) { out = append(out, p) })
+	r.ResetDirty()
+	return out
+}
+
+// markAll sets every page dirty (bulk mutations: Clear, Restore).
+func (r *Region) markAll() {
+	if r.dirty == nil {
+		return
+	}
+	for i := range r.dirty {
+		r.dirty[i] = ^uint64(0)
+	}
+	// Mask phantom bits past the last page so popcounts stay exact.
+	if tail := uint(r.pageCount()) % 64; tail != 0 {
+		r.dirty[len(r.dirty)-1] = (1 << tail) - 1
+	}
+}
+
+// markRange sets the dirty bits covering [off, off+n).
+func (r *Region) markRange(off, n int) {
+	if r.dirty == nil || n <= 0 {
+		return
+	}
+	last := uint(off+n-1) >> pageShift
+	for p := uint(off) >> pageShift; p <= last; p++ {
+		r.dirty[p>>6] |= 1 << (p & 63)
+	}
+}
+
+// Delta is a sparse snapshot: the contents of exactly the pages written
+// since the dirty bitmap was last reset. Capturing and applying one costs
+// O(dirty pages), not O(region size).
+type Delta struct {
+	Region string
+	Pages  []DeltaPage
+}
+
+// DeltaPage is one dirtied page: its byte offset within the region and a
+// copy of its contents (short at the region tail).
+type DeltaPage struct {
+	Off  int
+	Data []byte
+}
+
+// Bytes returns the page payload size — what a wire encoding of the delta
+// would carry, and the numerator of the delta-vs-full benchmark.
+func (d *Delta) Bytes() int {
+	n := 0
+	for _, p := range d.Pages {
+		n += len(p.Data)
+	}
+	return n
+}
+
+// DeltaSnapshot captures every dirty page into a sparse Delta and clears
+// the dirty bitmap, so successive captures each cost O(pages written since
+// the previous capture). It returns nil if dirty tracking is disabled.
+func (r *Region) DeltaSnapshot() *Delta {
+	if r.dirty == nil {
+		return nil
+	}
+	d := &Delta{Region: r.Name}
+	r.forEachDirty(func(p int) {
+		lo := p << pageShift
+		hi := lo + PageSize
+		if hi > len(r.data) {
+			hi = len(r.data)
+		}
+		cp := make([]byte, hi-lo)
+		copy(cp, r.data[lo:hi])
+		d.Pages = append(d.Pages, DeltaPage{Off: lo, Data: cp})
+	})
+	r.ResetDirty()
+	return d
+}
+
+// ApplyDelta writes a sparse delta's pages back into the region, firing the
+// WriteHook (and the write barrier) for each page.
+func (r *Region) ApplyDelta(d *Delta) error {
+	if d == nil {
+		return nil
+	}
+	for _, p := range d.Pages {
+		if p.Off < 0 || p.Off+len(p.Data) > len(r.data) {
+			return fmt.Errorf("memsim: delta page [%d,%d) outside %s (%d bytes)",
+				p.Off, p.Off+len(p.Data), r.Name, len(r.data))
+		}
+		copy(r.data[p.Off:], p.Data)
+		r.markRange(p.Off, len(p.Data))
+		if r.WriteHook != nil {
+			r.WriteHook(r.Base+Addr(p.Off), len(p.Data))
+		}
+	}
+	return nil
+}
+
+// RevertDirty copies every dirtied page back from a full baseline snapshot
+// (as returned by Snapshot) and clears the dirty bitmap — an O(dirty) undo
+// of all writes since the baseline was captured. It returns the number of
+// pages reverted.
+func (r *Region) RevertDirty(baseline []byte) (int, error) {
+	if r.dirty == nil {
+		return 0, fmt.Errorf("memsim: dirty tracking disabled on %s", r.Name)
+	}
+	if len(baseline) != len(r.data) {
+		return 0, fmt.Errorf("memsim: baseline size %d does not match %s size %d",
+			len(baseline), r.Name, len(r.data))
+	}
+	pages := 0
+	r.forEachDirty(func(p int) {
+		lo := p << pageShift
+		hi := lo + PageSize
+		if hi > len(r.data) {
+			hi = len(r.data)
+		}
+		copy(r.data[lo:hi], baseline[lo:hi])
+		if r.WriteHook != nil {
+			r.WriteHook(r.Base+Addr(lo), hi-lo)
+		}
+		pages++
+	})
+	r.ResetDirty()
+	return pages, nil
+}
+
+// forEachDirty calls fn with each dirty page index in ascending order.
+func (r *Region) forEachDirty(fn func(page int)) {
+	for wi, w := range r.dirty {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			fn(wi*64 + b)
+		}
+	}
+}
+
 // Restore overwrites the region's contents from a snapshot.
 func (r *Region) Restore(snap []byte) error {
 	if len(snap) != len(r.data) {
@@ -145,6 +341,7 @@ func (r *Region) Restore(snap []byte) error {
 			len(snap), r.Name, len(r.data))
 	}
 	copy(r.data, snap)
+	r.markAll()
 	if r.WriteHook != nil {
 		r.WriteHook(r.Base, len(r.data))
 	}
@@ -212,7 +409,12 @@ func (m *Memory) WriteByteAt(a Addr, b byte) error {
 		return &Fault{Addr: a, Write: true}
 	}
 	r.Writes++
-	r.data[a-r.Base] = b
+	off := a - r.Base
+	r.data[off] = b
+	if r.dirty != nil {
+		p := uint(off) >> pageShift
+		r.dirty[p>>6] |= 1 << (p & 63)
+	}
 	if r.WriteHook != nil {
 		r.WriteHook(a, 1)
 	}
@@ -240,6 +442,12 @@ func (m *Memory) WriteWord(a Addr, v uint16) error {
 	r.Writes++
 	off := a - r.Base
 	binary.LittleEndian.PutUint16(r.data[off:off+2], v)
+	if r.dirty != nil {
+		p := uint(off) >> pageShift
+		r.dirty[p>>6] |= 1 << (p & 63)
+		p = (uint(off) + 1) >> pageShift
+		r.dirty[p>>6] |= 1 << (p & 63)
+	}
 	if r.WriteHook != nil {
 		r.WriteHook(a, 2)
 	}
@@ -267,6 +475,14 @@ func (m *Memory) WriteBytes(a Addr, data []byte) error {
 		}
 	}
 	return nil
+}
+
+// EnableDirtyTracking turns on the page-dirty write barrier for every
+// mapped region.
+func (m *Memory) EnableDirtyTracking() {
+	for _, r := range m.regions {
+		r.EnableDirtyTracking()
+	}
 }
 
 // ClearVolatile zeroes every volatile region — the effect of a power

@@ -123,8 +123,17 @@ type Result struct {
 // errors are reported in Result.ScriptErrors/ExitCode instead.
 func Run(spec Spec, out io.Writer, prompt PromptFunc) (Result, error) {
 	spec = spec.withDefaults()
-	var res Result
+	rig, prog, err := buildRig(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	return execute(rig, prog, spec, out, prompt)
+}
 
+// buildRig assembles the rig and program a (defaulted) spec describes.
+// Identical specs build identical rigs — the foundation warm-start forking
+// rests on.
+func buildRig(spec Spec) (*core.Rig, device.Program, error) {
 	var prog device.Program
 	var reader *rfid.ReaderConfig
 	if spec.AsmSource != "" {
@@ -137,7 +146,7 @@ func Run(spec Spec, out io.Writer, prompt PromptFunc) (Result, error) {
 		var err error
 		prog, reader, err = buildProgram(spec.App, spec.Assert, spec.Guards, spec.Print)
 		if err != nil {
-			return res, err
+			return nil, nil, err
 		}
 	}
 
@@ -154,12 +163,26 @@ func Run(spec Spec, out io.Writer, prompt PromptFunc) (Result, error) {
 
 	rig, err := core.NewRig(prog, opts...)
 	if err != nil {
-		return res, err
+		return nil, nil, err
 	}
+	return rig, prog, nil
+}
+
+// execute runs an assembled rig to the spec's absolute deadline. Cold rigs
+// start at cycle 0, so the deadline and origin match what RunFor would
+// use; warm-forked rigs resume mid-charge at the snapshot cycle but share
+// the same absolute deadline and origin 0, making their output
+// byte-identical to a cold run's.
+func execute(rig *core.Rig, prog device.Program, spec Spec, out io.Writer, prompt PromptFunc) (Result, error) {
+	var res Result
 	rig.Console.SetOutput(out)
 	var vcap *trace.Series
 	if spec.Trace {
-		vcap = rig.EDB.TraceVcap()
+		// A warm fork arrives with tracing already enabled (and the
+		// charge-phase samples restored); enabling it again would drop them.
+		if vcap = rig.EDB.VcapSeries(); vcap == nil {
+			vcap = rig.EDB.TraceVcap()
+		}
 	}
 
 	rig.EDB.OnInteractive(func(s *edb.Session) {
@@ -176,7 +199,7 @@ func Run(spec Spec, out io.Writer, prompt PromptFunc) (Result, error) {
 		}
 	})
 
-	rr, err := rig.Run(units.Seconds(spec.Seconds))
+	rr, err := rig.RunUntil(rig.Device.Clock.ToCycles(units.Seconds(spec.Seconds)), 0)
 	if err != nil {
 		return res, fmt.Errorf("run: %w", err)
 	}

@@ -36,11 +36,18 @@ type Metrics struct {
 	IdleReaped       int64 // sessions closed by the idle timeout
 	TraceBytes       int64 // trace-stream frame bytes (raw or compressed) sent to clients
 	TraceSamples     int64 // trace samples streamed to clients
+
+	// Warm-start pool counters (all zero when pooling is disabled).
+	WarmForks      int64 // sessions served by forking a pre-warmed template
+	SparePops      int64 // …of which popped a pre-forked spare rig
+	ColdBoots      int64 // sessions simulated from cycle 0
+	TemplatesBuilt int64 // firmware templates warmed in the background
+	Untemplatable  int64 // spec families the pool gave up templating
 }
 
 // Metrics returns a snapshot of the server's counters.
 func (s *Server) Metrics() Metrics {
-	return Metrics{
+	m := Metrics{
 		ConnsOpen:        s.c.connsOpen.Load(),
 		ConnsTotal:       s.c.connsTotal.Load(),
 		ConnsRejected:    s.c.connsRejected.Load(),
@@ -55,4 +62,13 @@ func (s *Server) Metrics() Metrics {
 		TraceBytes:       s.c.traceBytes.Load(),
 		TraceSamples:     s.c.traceSamples.Load(),
 	}
+	if s.pool != nil {
+		pm := s.pool.Metrics()
+		m.WarmForks = int64(pm.WarmForks)
+		m.SparePops = int64(pm.SparePops)
+		m.ColdBoots = int64(pm.ColdBoots)
+		m.TemplatesBuilt = int64(pm.TemplatesBuilt)
+		m.Untemplatable = int64(pm.Untemplatable)
+	}
+	return m
 }

@@ -55,6 +55,16 @@ type Config struct {
 	// clients that advertise it; every session then streams raw Trace
 	// chunks. Useful for debugging the codec path itself.
 	DisableTraceZ bool
+	// DisableSnap refuses the snapshot capability (remote time-travel)
+	// even for clients that advertise it.
+	DisableSnap bool
+	// DisablePool turns off warm-start session pooling; every session
+	// then simulates its charge phase from cycle 0. Output is identical
+	// either way — the pool is purely a latency optimization.
+	DisablePool bool
+	// PoolSpares is the number of pre-forked rigs kept ready per firmware
+	// template (default 2; 0 keeps templates but no pre-forks).
+	PoolSpares int
 	// Logf, when set, receives one line per connection-level event.
 	Logf func(format string, args ...any)
 }
@@ -86,8 +96,9 @@ func (c Config) withDefaults() Config {
 
 // Server is one edbd instance.
 type Server struct {
-	cfg Config
-	c   counters
+	cfg  Config
+	c    counters
+	pool *scenario.Pool // nil when pooling is disabled
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -106,7 +117,18 @@ type connState struct {
 
 // New builds a server; zero-valued config fields take their defaults.
 func New(cfg Config) *Server {
-	return &Server{cfg: cfg.withDefaults(), conns: make(map[net.Conn]*connState)}
+	s := &Server{cfg: cfg.withDefaults(), conns: make(map[net.Conn]*connState)}
+	if !s.cfg.DisablePool {
+		spares := s.cfg.PoolSpares
+		if spares == 0 {
+			spares = 2
+		}
+		if spares < 0 {
+			spares = 0
+		}
+		s.pool = scenario.NewPool(spares)
+	}
+	return s
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -201,6 +223,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if s.pool != nil {
+			s.pool.Wait() // let background template builds settle
+		}
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -282,15 +307,19 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 	// Capability negotiation: echo back the subset of the client's
 	// advertised capability bits this server accepts. Old clients send zero
 	// flags and get the baseline protocol (raw Trace chunks).
-	caps := helloFlags & wire.FlagTraceZ
+	caps := helloFlags & (wire.FlagTraceZ | wire.FlagSnap)
 	if s.cfg.DisableTraceZ {
-		caps = 0
+		caps &^= wire.FlagTraceZ
+	}
+	if s.cfg.DisableSnap {
+		caps &^= wire.FlagSnap
 	}
 	if err := s.sendf(conn, &wire.Welcome{Version: wire.Version, Server: s.cfg.Name}, caps); err != nil {
 		return
 	}
 	traceZ := caps&wire.FlagTraceZ != 0
-	s.logf("conn %s: handshake ok (%s, tracez=%v)", conn.RemoteAddr(), hello.Client, traceZ)
+	snap := caps&wire.FlagSnap != 0
+	s.logf("conn %s: handshake ok (%s, tracez=%v, snap=%v)", conn.RemoteAddr(), hello.Client, traceZ, snap)
 
 	for {
 		m, err := s.recv(conn, s.cfg.IdleTimeout)
@@ -311,7 +340,7 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 			st.mu.Lock()
 			st.busy = true
 			st.mu.Unlock()
-			err := s.session(conn, req, traceZ)
+			err := s.session(conn, req, traceZ, snap)
 			st.mu.Lock()
 			st.busy = false
 			st.mu.Unlock()
@@ -333,8 +362,9 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 
 // session runs one scenario for the connection. The calling goroutine owns
 // the entire simulation; the client only ever observes framed output.
-// traceZ selects the negotiated trace encoding for StreamTrace requests.
-func (s *Server) session(conn net.Conn, req *wire.Run, traceZ bool) error {
+// traceZ selects the negotiated trace encoding for StreamTrace requests;
+// snap permits SnapSave/SnapRestore answers to prompts.
+func (s *Server) session(conn net.Conn, req *wire.Run, traceZ, snap bool) error {
 	if open := s.c.sessionsOpen.Add(1); open > int64(s.cfg.MaxSessions) {
 		s.c.sessionsOpen.Add(-1)
 		s.c.sessionsRejected.Add(1)
@@ -372,15 +402,35 @@ func (s *Server) session(conn net.Conn, req *wire.Run, traceZ bool) error {
 				out.fail(err)
 				return "", false
 			}
-			cmd, ok := m.(*wire.Command)
-			if !ok || cmd.EOF {
+			switch cmd := m.(type) {
+			case *wire.Command:
+				if cmd.EOF {
+					return "", false
+				}
+				return cmd.Line, true
+			case *wire.SnapSave, *wire.SnapRestore:
+				// Remote time-travel rides the console's snap/restore
+				// machinery: the frame stands in for the command line.
+				if !snap {
+					s.send(conn, &wire.Error{Code: wire.CodeBadRequest,
+						Text: "snapshot capability was not negotiated"})
+					return "", false
+				}
+				if _, ok := m.(*wire.SnapSave); ok {
+					return "snap", true
+				}
+				return "restore", true
+			default:
 				return "", false
 			}
-			return cmd.Line, true
 		}
 	}
 
-	res, err := scenario.Run(req.Spec, out, prompt)
+	run := scenario.Run
+	if s.pool != nil {
+		run = s.pool.Run
+	}
+	res, err := run(req.Spec, out, prompt)
 	s.c.commandsServed.Add(int64(res.Commands))
 	s.c.simCycles.Add(int64(res.SimCycles))
 	s.c.scriptErrors.Add(int64(res.ScriptErrors))

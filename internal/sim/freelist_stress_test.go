@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Stress the scheduler's event free list with randomized Schedule / Cancel /
+// fire interleavings (including events scheduled from inside callbacks).
+// Invariants:
+//   - every fire happens at exactly the event's deadline,
+//   - fires are ordered by (at, schedule sequence),
+//   - no event fires twice, even after its object is recycled,
+//   - cancelled events never fire, and double-Cancel stays a no-op,
+//   - after draining, every live event has fired exactly once.
+func TestSchedulerFreeListStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewClock(0)
+
+	type rec struct {
+		at        Cycles
+		seq       int // global schedule order
+		cancelled bool
+		fires     int
+	}
+	var recs []*rec
+	pending := map[int]*Event{} // id -> live handle
+	var firedOrder []int
+	seen := map[*Event]int{} // object identity -> times handed out
+	reused := 0
+
+	var schedule func(delta Cycles) int
+	schedule = func(delta Cycles) int {
+		id := len(recs)
+		r := &rec{at: c.Now() + delta, seq: id}
+		recs = append(recs, r)
+		ev := c.Schedule(r.at, func() {
+			r.fires++
+			if r.cancelled {
+				t.Errorf("cancelled event %d fired", id)
+			}
+			if c.Now() != r.at {
+				t.Errorf("event %d fired at %d, scheduled for %d", id, c.Now(), r.at)
+			}
+			delete(pending, id)
+			firedOrder = append(firedOrder, id)
+			// Occasionally schedule a follow-up from inside the callback;
+			// some land inside the advancing window and fire immediately.
+			if rng.Intn(4) == 0 {
+				schedule(Cycles(rng.Intn(200)))
+			}
+		})
+		if n := seen[ev]; n > 0 {
+			reused++
+		}
+		seen[ev]++
+		pending[id] = ev
+		return id
+	}
+
+	for op := 0; op < 5000; op++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			schedule(Cycles(rng.Intn(500)))
+		case 4:
+			// Cancel a random pending event (and sometimes cancel twice).
+			for id, ev := range pending {
+				ev.Cancel()
+				if rng.Intn(2) == 0 {
+					ev.Cancel()
+				}
+				recs[id].cancelled = true
+				delete(pending, id)
+				break
+			}
+		default:
+			c.Advance(Cycles(rng.Intn(300)))
+		}
+	}
+	c.Advance(1 << 20) // drain
+
+	if reused == 0 {
+		t.Fatal("free list was never exercised (no event object reuse observed)")
+	}
+	for id, r := range recs {
+		switch {
+		case r.fires > 1:
+			t.Fatalf("event %d fired %d times", id, r.fires)
+		case r.cancelled && r.fires != 0:
+			t.Fatalf("cancelled event %d fired", id)
+		case !r.cancelled && r.fires != 1:
+			t.Fatalf("live event %d (at=%d) fired %d times after drain", id, r.at, r.fires)
+		}
+	}
+	for i := 1; i < len(firedOrder); i++ {
+		a, b := recs[firedOrder[i-1]], recs[firedOrder[i]]
+		if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+			t.Fatalf("fire order violated: event %d (at=%d seq=%d) before event %d (at=%d seq=%d)",
+				firedOrder[i-1], a.at, a.seq, firedOrder[i], b.at, b.seq)
+		}
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("%d events still pending after drain", c.Pending())
+	}
+}

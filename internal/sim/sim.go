@@ -100,6 +100,18 @@ func (c *Clock) ScheduleAfter(delta Cycles, fn func()) *Event {
 // Pending reports the number of events still scheduled.
 func (c *Clock) Pending() int { return c.sched.len() }
 
+// SetNow repositions the clock for a snapshot restore. Scheduled events are
+// closures and cannot ride along in a snapshot, so repositioning is only
+// legal while the schedule is empty (machine snapshots are taken at
+// quiescent points that guarantee this).
+func (c *Clock) SetNow(now Cycles) error {
+	if n := c.sched.len(); n != 0 {
+		return fmt.Errorf("sim: cannot reposition clock with %d pending events", n)
+	}
+	c.now = now
+	return nil
+}
+
 // NextEventAt returns the cycle of the earliest scheduled event, if any.
 // Fast-forward paths use it to bound how far they may jump without skipping
 // a callback.
@@ -227,12 +239,64 @@ func (h *eventHeap) Pop() any {
 // jitter, component variation, sensor noise, RF corruption) draw from an RNG
 // seeded per experiment, so results are reproducible.
 type RNG struct {
-	r *rand.Rand
+	r    *rand.Rand
+	src  *countingSource
+	seed int64
+}
+
+// countingSource wraps the stdlib source and counts Int63 draws, so a
+// stream position can be captured (State) and replayed (RestoreState). It
+// deliberately does NOT implement rand.Source64: rand.Rand then derives
+// Uint64 from two Int63 draws with exactly the bit layout the underlying
+// source's own Uint64 uses, so hiding Source64 changes no stream while
+// funneling every consumption through the counted Int63.
+type countingSource struct {
+	src   rand.Source
+	draws uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// RNGState identifies a position in an RNG's deterministic stream: the seed
+// plus the number of source draws consumed. Two RNGs with equal states
+// produce identical futures.
+type RNGState struct {
+	Seed  int64
+	Draws uint64
 }
 
 // NewRNG returns a deterministic RNG with the given seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed)}
+	return &RNG{r: rand.New(src), src: src, seed: seed}
+}
+
+// State captures the RNG's stream position for a machine snapshot.
+func (g *RNG) State() RNGState { return RNGState{Seed: g.seed, Draws: g.src.draws} }
+
+// RestoreState repositions the RNG to a captured stream position. When the
+// target is ahead of the current position on the same seed (the warm-fork
+// case: a freshly built rig fast-forwarding to a snapshot) the source is
+// advanced in place; otherwise the stream is rebuilt from the seed.
+func (g *RNG) RestoreState(st RNGState) {
+	if st.Seed != g.seed || st.Draws < g.src.draws {
+		g.seed = st.Seed
+		g.src = &countingSource{src: rand.NewSource(st.Seed)}
+		g.r = rand.New(g.src)
+	}
+	// Discard at the source level: rand.Rand buffers nothing outside Read
+	// (unused here), so source position fully determines the stream.
+	for g.src.draws < st.Draws {
+		g.src.Int63()
+	}
 }
 
 // Float64 returns a uniform value in [0, 1).

@@ -26,6 +26,14 @@ func FuzzWireDecode(f *testing.F) {
 	if fr, err := EncodeMsgFlags(&Welcome{Version: Version, Server: "edbd"}, FlagTraceZ); err == nil {
 		f.Add(fr)
 	}
+	if fr, err := EncodeMsgFlags(&Hello{Version: Version, Client: "edb"}, FlagTraceZ|FlagSnap); err == nil {
+		f.Add(fr)
+	}
+	if fr, err := EncodeMsgFlags(&Welcome{Version: Version, Server: "edbd"}, FlagSnap); err == nil {
+		f.Add(fr)
+	}
+	f.Add([]byte{TypeSnapSave, FlagSnap, 0, 0, 0, 0})
+	f.Add([]byte{TypeSnapRestore, 0, 0, 0, 0, 1, 0xAA})
 	// …plus classic malformed shapes: empty, garbage, truncated header,
 	// hostile length fields, reserved flags.
 	f.Add([]byte{})

@@ -11,7 +11,7 @@
 //	+--------+----------+-------------+---------+
 //
 // flags must be zero in version 1 on every frame except Hello and Welcome,
-// where the defined capability bits (FlagTraceZ) may be set — that is how
+// where the defined capability bits (FlagTraceZ, FlagSnap) may be set — that is how
 // optional features are negotiated without a version bump. length counts
 // payload bytes and is bounded by MaxFrame, so a malformed header can
 // never force a large allocation.
@@ -54,18 +54,20 @@ const headerSize = 6
 
 // Message type codes.
 const (
-	TypeHello   byte = 0x01 // client → server: open the handshake
-	TypeWelcome byte = 0x02 // server → client: handshake accepted
-	TypeError   byte = 0x03 // either direction: typed failure
-	TypeRun     byte = 0x10 // client → server: start a scenario session
-	TypeCommand byte = 0x11 // client → server: one console command (answers Prompt)
-	TypeOutput  byte = 0x20 // server → client: console/run output bytes
-	TypePrompt  byte = 0x21 // server → client: session awaits a Command
-	TypeTrace   byte = 0x22 // server → client: raw energy-trace samples
-	TypeDone    byte = 0x23 // server → client: session finished
-	TypeTraceZ  byte = 0x24 // server → client: codec-compressed energy-trace samples
-	TypePing    byte = 0x30 // either direction: liveness probe
-	TypePong    byte = 0x31 // reply to Ping
+	TypeHello       byte = 0x01 // client → server: open the handshake
+	TypeWelcome     byte = 0x02 // server → client: handshake accepted
+	TypeError       byte = 0x03 // either direction: typed failure
+	TypeRun         byte = 0x10 // client → server: start a scenario session
+	TypeCommand     byte = 0x11 // client → server: one console command (answers Prompt)
+	TypeSnapSave    byte = 0x12 // client → server: arm a snapshot (answers Prompt, FlagSnap only)
+	TypeSnapRestore byte = 0x13 // client → server: revert to the snapshot (answers Prompt, FlagSnap only)
+	TypeOutput      byte = 0x20 // server → client: console/run output bytes
+	TypePrompt      byte = 0x21 // server → client: session awaits a Command
+	TypeTrace       byte = 0x22 // server → client: raw energy-trace samples
+	TypeDone        byte = 0x23 // server → client: session finished
+	TypeTraceZ      byte = 0x24 // server → client: codec-compressed energy-trace samples
+	TypePing        byte = 0x30 // either direction: liveness probe
+	TypePong        byte = 0x31 // reply to Ping
 )
 
 // Capability flag bits, valid only on Hello and Welcome frames. A client
@@ -78,12 +80,18 @@ const (
 	// set it, the server streams TraceZ chunks (internal/tracecodec blobs)
 	// instead of raw Trace chunks.
 	FlagTraceZ byte = 0x01
+	// FlagSnap negotiates remote time-travel: when both sides set it, the
+	// client may answer a Prompt with SnapSave/SnapRestore frames and the
+	// server runs the console's O(dirty-page) snap/restore machinery. A
+	// client that never offers the bit sees a byte-identical baseline
+	// protocol.
+	FlagSnap byte = 0x02
 )
 
 // capabilityMask returns the flag bits a frame of type t may carry.
 func capabilityMask(t byte) byte {
 	if t == TypeHello || t == TypeWelcome {
-		return FlagTraceZ
+		return FlagTraceZ | FlagSnap
 	}
 	return 0
 }
@@ -155,6 +163,16 @@ type Output struct {
 // Prompt signals that the session's console is waiting for a Command.
 type Prompt struct{}
 
+// SnapSave answers a Prompt by arming a server-side snapshot of the
+// session's target: full memory baselines plus the resume energy level,
+// with dirty-page tracking armed so the restore is O(pages written since).
+// Only valid after FlagSnap was negotiated.
+type SnapSave struct{}
+
+// SnapRestore answers a Prompt by reverting the session's target to the
+// armed snapshot. Only valid after FlagSnap was negotiated.
+type SnapRestore struct{}
+
 // TracePoint is one raw trace sample.
 type TracePoint struct {
 	At uint64 // target clock cycles
@@ -195,18 +213,20 @@ type Ping struct{ Token uint64 }
 // Pong answers a Ping, echoing its token.
 type Pong struct{ Token uint64 }
 
-func (*Hello) Type() byte   { return TypeHello }
-func (*Welcome) Type() byte { return TypeWelcome }
-func (*Error) Type() byte   { return TypeError }
-func (*Run) Type() byte     { return TypeRun }
-func (*Command) Type() byte { return TypeCommand }
-func (*Output) Type() byte  { return TypeOutput }
-func (*Prompt) Type() byte  { return TypePrompt }
-func (*Trace) Type() byte   { return TypeTrace }
-func (*TraceZ) Type() byte  { return TypeTraceZ }
-func (*Done) Type() byte    { return TypeDone }
-func (*Ping) Type() byte    { return TypePing }
-func (*Pong) Type() byte    { return TypePong }
+func (*Hello) Type() byte       { return TypeHello }
+func (*Welcome) Type() byte     { return TypeWelcome }
+func (*Error) Type() byte       { return TypeError }
+func (*Run) Type() byte         { return TypeRun }
+func (*Command) Type() byte     { return TypeCommand }
+func (*SnapSave) Type() byte    { return TypeSnapSave }
+func (*SnapRestore) Type() byte { return TypeSnapRestore }
+func (*Output) Type() byte      { return TypeOutput }
+func (*Prompt) Type() byte      { return TypePrompt }
+func (*Trace) Type() byte       { return TypeTrace }
+func (*TraceZ) Type() byte      { return TypeTraceZ }
+func (*Done) Type() byte        { return TypeDone }
+func (*Ping) Type() byte        { return TypePing }
+func (*Pong) Type() byte        { return TypePong }
 
 // newMsg maps a type code to a zero message.
 func newMsg(t byte) Msg {
@@ -221,6 +241,10 @@ func newMsg(t byte) Msg {
 		return &Run{}
 	case TypeCommand:
 		return &Command{}
+	case TypeSnapSave:
+		return &SnapSave{}
+	case TypeSnapRestore:
+		return &SnapRestore{}
 	case TypeOutput:
 		return &Output{}
 	case TypePrompt:
@@ -399,6 +423,11 @@ func (m *Output) decode(d *decoder) { m.Data = d.bytesField() }
 
 func (m *Prompt) encode(*encoder) {}
 func (m *Prompt) decode(*decoder) {}
+
+func (m *SnapSave) encode(*encoder)    {}
+func (m *SnapSave) decode(*decoder)    {}
+func (m *SnapRestore) encode(*encoder) {}
+func (m *SnapRestore) decode(*decoder) {}
 
 func (m *Trace) encode(e *encoder) {
 	e.str(m.Name)

@@ -31,6 +31,8 @@ func sampleMsgs() []Msg {
 		&Output{Data: []byte("Vcap = 2.400 V\n")},
 		&Output{},
 		&Prompt{},
+		&SnapSave{},
+		&SnapRestore{},
 		&Trace{Name: "Vcap", Unit: "V", Samples: []TracePoint{{At: 1, V: 2.5}, {At: 99, V: 1.75}}},
 		&Trace{Name: "Vcap", Unit: "V"},
 		&TraceZ{Name: "Vcap", Unit: "V", Count: 3, Data: []byte{0x03, 0x0A, 0x02, 0x02, 0x00}},

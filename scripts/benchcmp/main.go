@@ -1,0 +1,87 @@
+// Command benchcmp renders two edb-bench BENCH.json metric dumps side by
+// side with relative deltas. scripts/benchcmp.sh uses it to compare the
+// working tree against a base ref; it accepts both the nested
+// suite→metric layout and the older flat layout.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+func flatten(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(b, &top); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	for k, raw := range top {
+		var v float64
+		if json.Unmarshal(raw, &v) == nil {
+			out[k] = v
+			continue
+		}
+		var m map[string]float64
+		if json.Unmarshal(raw, &m) == nil {
+			for mk, mv := range m {
+				out[k+"."+mk] = mv
+			}
+		}
+	}
+	return out, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp <base.json> <head.json>")
+		os.Exit(2)
+	}
+	base, err := flatten(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	head, err := flatten(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+
+	keys := map[string]bool{}
+	for k := range base {
+		keys[k] = true
+	}
+	for k := range head {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	fmt.Printf("%-42s %14s %14s %9s\n", "metric", "base", "head", "delta")
+	for _, k := range sorted {
+		bv, inBase := base[k]
+		hv, inHead := head[k]
+		switch {
+		case inBase && inHead:
+			delta := "-"
+			if bv != 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(hv-bv)/math.Abs(bv))
+			}
+			fmt.Printf("%-42s %14.4g %14.4g %9s\n", k, bv, hv, delta)
+		case inHead:
+			fmt.Printf("%-42s %14s %14.4g %9s\n", k, "-", hv, "new")
+		default:
+			fmt.Printf("%-42s %14.4g %14s %9s\n", k, bv, "-", "gone")
+		}
+	}
+}
