@@ -24,12 +24,19 @@
 //	    run the same scripted session on an edbd daemon; the output is
 //	    byte-identical to the local run
 //
+//	edb -connect host:3490 -tls -tls-ca cert.pem -auth-token s3cret ...
+//	    the same against a TLS daemon that checks a shared-secret token
+//	    (the token also reads from $EDB_AUTH_TOKEN; add -tls-cert/-tls-key
+//	    for mTLS client identity)
+//
 // Exit status: 0 on success, 1 when the run fails or a scripted console
 // command returns an error, 2 on usage errors.
 package main
 
 import (
 	"bufio"
+	"crypto/tls"
+	"crypto/x509"
 	"flag"
 	"fmt"
 	"os"
@@ -58,6 +65,12 @@ func main() {
 		script   = flag.String("script", "", "semicolon-separated console commands run in each session")
 		interact = flag.Bool("i", false, "interactive stdin console when a session opens")
 		connect  = flag.String("connect", "", "host:port of an edbd daemon; run the session remotely")
+		useTLS   = flag.Bool("tls", false, "with -connect: dial the daemon over TLS")
+		tlsCA    = flag.String("tls-ca", "", "PEM CA bundle to verify the daemon's certificate (implies -tls)")
+		tlsCert  = flag.String("tls-cert", "", "PEM client certificate for mTLS (implies -tls, requires -tls-key)")
+		tlsKey   = flag.String("tls-key", "", "PEM private key for -tls-cert")
+		insecure = flag.Bool("insecure-skip-verify", false, "with -tls: skip certificate verification (testing only)")
+		token    = flag.String("auth-token", os.Getenv("EDB_AUTH_TOKEN"), "with -connect: shared-secret auth token (default $EDB_AUTH_TOKEN)")
 	)
 	flag.Parse()
 
@@ -99,7 +112,15 @@ func main() {
 	}
 
 	if *connect != "" {
-		cl, err := client.Dial(*connect, client.Options{Name: "edb-cli", Attempts: 5, RawTrace: *rawTrace, NoSnap: *noSnap})
+		tlsCfg, err := clientTLSConfig(*useTLS, *tlsCA, *tlsCert, *tlsKey, *insecure)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cl, err := client.Dial(*connect, client.Options{
+			Name: "edb-cli", Attempts: 5, RawTrace: *rawTrace, NoSnap: *noSnap,
+			TLS: tlsCfg, AuthToken: *token,
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -144,6 +165,37 @@ func main() {
 		}
 	}
 	os.Exit(res.ExitCode)
+}
+
+// clientTLSConfig assembles the -connect TLS settings; any TLS-shaped flag
+// implies -tls, and a nil config keeps the dial plaintext.
+func clientTLSConfig(useTLS bool, caPath, certPath, keyPath string, insecure bool) (*tls.Config, error) {
+	if !useTLS && caPath == "" && certPath == "" && !insecure {
+		return nil, nil
+	}
+	if (certPath == "") != (keyPath == "") {
+		return nil, fmt.Errorf("edb: -tls-cert and -tls-key must be set together")
+	}
+	cfg := &tls.Config{InsecureSkipVerify: insecure}
+	if caPath != "" {
+		pemCA, err := os.ReadFile(caPath)
+		if err != nil {
+			return nil, fmt.Errorf("edb: read CA: %w", err)
+		}
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(pemCA) {
+			return nil, fmt.Errorf("edb: no certificates in %s", caPath)
+		}
+		cfg.RootCAs = pool
+	}
+	if certPath != "" {
+		cert, err := tls.LoadX509KeyPair(certPath, keyPath)
+		if err != nil {
+			return nil, fmt.Errorf("edb: load client keypair: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	}
+	return cfg, nil
 }
 
 // writeTraceCSV writes the trace window as at_cycles,v rows. Voltages pass

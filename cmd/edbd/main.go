@@ -5,6 +5,15 @@
 //
 //	edbd -addr 127.0.0.1:3490 -metrics 127.0.0.1:3491
 //
+// For anything beyond loopback use, secure the listener: -tls-cert/-tls-key
+// serve TLS (generate a keypair with `go run ./scripts/gencert`),
+// -tls-client-ca additionally requires and verifies client certificates
+// (mTLS), and -auth-token (or the EDBD_AUTH_TOKEN environment variable)
+// arms token authentication — with -require-auth, token-less clients are
+// rejected outright:
+//
+//	EDBD_AUTH_TOKEN=s3cret edbd -tls-cert cert.pem -tls-key key.pem -require-auth
+//
 // The -metrics listener serves Go's expvar page at /debug/vars, including
 // an "edbd" map with sessions open, commands served, bytes streamed,
 // simulated cycles executed, and the warm-start pool's fork/boot split.
@@ -22,6 +31,8 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"errors"
 	"expvar"
 	"flag"
@@ -53,6 +64,11 @@ func main() {
 		poolSpares  = flag.Int("pool-spares", 2, "pre-forked rigs kept ready per firmware template")
 		pprofAddr   = flag.String("pprof", "", "optional listen address for the net/http/pprof profiling endpoint")
 		verbose     = flag.Bool("v", false, "log per-connection events")
+		tlsCert     = flag.String("tls-cert", "", "PEM certificate; serve TLS (requires -tls-key)")
+		tlsKey      = flag.String("tls-key", "", "PEM private key for -tls-cert")
+		tlsClientCA = flag.String("tls-client-ca", "", "PEM CA bundle; require and verify client certificates against it (mTLS, requires -tls-cert)")
+		authToken   = flag.String("auth-token", os.Getenv("EDBD_AUTH_TOKEN"), "shared-secret auth token clients must present (default $EDBD_AUTH_TOKEN)")
+		requireAuth = flag.Bool("require-auth", false, "reject clients that do not authenticate with -auth-token")
 	)
 	flag.Parse()
 
@@ -66,6 +82,36 @@ func main() {
 		DisableSnap:   *noSnap,
 		DisablePool:   *noPool,
 		PoolSpares:    *poolSpares,
+		AuthToken:     *authToken,
+		RequireAuth:   *requireAuth,
+	}
+	if *requireAuth && *authToken == "" {
+		log.Fatal("edbd: -require-auth needs a token (-auth-token or EDBD_AUTH_TOKEN)")
+	}
+	if (*tlsKey == "") != (*tlsCert == "") {
+		log.Fatal("edbd: -tls-cert and -tls-key must be set together")
+	}
+	if *tlsClientCA != "" && *tlsCert == "" {
+		log.Fatal("edbd: -tls-client-ca needs -tls-cert/-tls-key")
+	}
+	if *tlsCert != "" {
+		cert, err := tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+		if err != nil {
+			log.Fatalf("edbd: load TLS keypair: %v", err)
+		}
+		cfg.TLS = &tls.Config{Certificates: []tls.Certificate{cert}}
+		if *tlsClientCA != "" {
+			pemCA, err := os.ReadFile(*tlsClientCA)
+			if err != nil {
+				log.Fatalf("edbd: read client CA: %v", err)
+			}
+			pool := x509.NewCertPool()
+			if !pool.AppendCertsFromPEM(pemCA) {
+				log.Fatalf("edbd: no certificates in %s", *tlsClientCA)
+			}
+			cfg.TLS.ClientCAs = pool
+			cfg.TLS.ClientAuth = tls.RequireAndVerifyClientCert
+		}
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
@@ -96,7 +142,17 @@ func main() {
 	if err != nil {
 		log.Fatalf("edbd: %v", err)
 	}
-	log.Printf("edbd: listening on %s", lis.Addr())
+	mode := "plaintext"
+	if cfg.TLS != nil {
+		mode = "tls"
+		if cfg.TLS.ClientAuth == tls.RequireAndVerifyClientCert {
+			mode = "mtls"
+		}
+	}
+	if cfg.AuthToken != "" {
+		mode += "+token"
+	}
+	log.Printf("edbd: listening on %s (%s)", lis.Addr(), mode)
 
 	drained := make(chan error, 1)
 	sigs := make(chan os.Signal, 1)

@@ -1,12 +1,15 @@
 // Package client is the Go client library for edbd, the networked debug
-// daemon. It dials with a timeout and reconnect-with-backoff, speaks the
-// internal/wire handshake, streams scenario sessions, and exposes a
+// daemon. It dials with a timeout and reconnect-with-backoff (cancellable
+// via DialContext), optionally over TLS with token authentication, speaks
+// the internal/wire handshake, streams scenario sessions, and exposes a
 // Console-compatible Exec API for interactive remote debugging, so code
 // written against internal/console's command surface drives a remote
 // target unchanged.
 package client
 
 import (
+	"context"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"io"
@@ -50,6 +53,20 @@ type Options struct {
 	// behavior of a client that predates remote time-travel. The server
 	// then serves the baseline protocol byte-identically.
 	NoSnap bool
+	// Context, when set, bounds the whole Dial — every attempt and every
+	// backoff sleep. Cancelling it makes Dial return immediately with the
+	// context's error instead of sleeping out the remaining retries.
+	// DialContext is the explicit-argument equivalent.
+	Context context.Context
+	// TLS, when set, dials TLS over the TCP connection. If ServerName is
+	// empty and certificate verification is on, it is filled in from the
+	// dialed address's host. Set Certificates for mTLS.
+	TLS *tls.Config
+	// AuthToken, when non-empty, offers the FlagAuth capability with this
+	// shared-secret token in the handshake. Authenticated() reports
+	// whether the server verified it; a wrong token against a
+	// token-checking server fails the dial with Error{CodeAuth}.
+	AuthToken string
 }
 
 func (o Options) withDefaults() Options {
@@ -94,28 +111,56 @@ type Client struct {
 	serverName string
 	traceZ     bool
 	snap       bool
+	authed     bool
 	scratch    []wire.TracePoint
 	traceBuf   wire.Trace
 }
 
 // Dial connects to an edbd daemon, retrying failed dials with exponential
 // backoff, and completes the protocol handshake. Handshake rejections
-// (e.g. a version mismatch) are returned immediately without retrying —
-// they will not fix themselves.
+// (e.g. a version mismatch or a bad auth token) are returned immediately
+// without retrying — they will not fix themselves. Opts.Context, when set,
+// cancels the retry loop; see DialContext.
 func Dial(addr string, opts Options) (*Client, error) {
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return DialContext(ctx, addr, opts)
+}
+
+// DialContext is Dial bounded by ctx: cancellation interrupts both
+// in-flight connection attempts and the backoff sleeps between them, so a
+// cancelled caller stops retrying immediately instead of sleeping out the
+// schedule against a dead address.
+func DialContext(ctx context.Context, addr string, opts Options) (*Client, error) {
 	o := opts.withDefaults()
 	backoff := o.Backoff
 	var lastErr error
 	for attempt := 0; attempt < o.Attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(backoff)
+			timer := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, fmt.Errorf("client: dial %s: %w", addr, ctx.Err())
+			case <-timer.C:
+			}
 			backoff *= 2
 			if backoff > o.MaxBackoff {
 				backoff = o.MaxBackoff
 			}
 		}
-		conn, err := net.DialTimeout("tcp", addr, o.DialTimeout)
+		conn, err := o.dialOnce(ctx, addr)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("client: dial %s: %w", addr, ctx.Err())
+			}
+			if errors.Is(err, errTLSHandshake) {
+				// A reachable server whose TLS handshake fails (bad cert,
+				// protocol mismatch) will not fix itself; surface it now.
+				return nil, err
+			}
 			lastErr = err
 			continue
 		}
@@ -127,6 +172,37 @@ func Dial(addr string, opts Options) (*Client, error) {
 		return c, nil
 	}
 	return nil, fmt.Errorf("client: dial %s failed after %d attempts: %w", addr, o.Attempts, lastErr)
+}
+
+// errTLSHandshake marks TLS setup failures so the retry loop can tell them
+// apart from transient TCP connect errors.
+var errTLSHandshake = errors.New("client: tls handshake")
+
+// dialOnce makes one connection attempt: TCP connect, then the TLS
+// handshake when Options.TLS is set, all bounded by DialTimeout and ctx.
+func (o *Options) dialOnce(ctx context.Context, addr string) (net.Conn, error) {
+	dctx, cancel := context.WithTimeout(ctx, o.DialTimeout)
+	defer cancel()
+	conn, err := (&net.Dialer{}).DialContext(dctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if o.TLS == nil {
+		return conn, nil
+	}
+	cfg := o.TLS
+	if cfg.ServerName == "" && !cfg.InsecureSkipVerify {
+		if host, _, err := net.SplitHostPort(addr); err == nil {
+			cfg = cfg.Clone()
+			cfg.ServerName = host
+		}
+	}
+	tc := tls.Client(conn, cfg)
+	if err := tc.HandshakeContext(dctx); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("%w with %s: %v", errTLSHandshake, addr, err)
+	}
+	return tc, nil
 }
 
 // ServerName returns the daemon's name from the handshake.
@@ -160,7 +236,15 @@ func (c *Client) handshake() error {
 	if !c.opts.NoSnap {
 		caps |= wire.FlagSnap
 	}
-	if err := c.sendf(&wire.Hello{Version: wire.Version, Client: c.opts.Name}, caps); err != nil {
+	hello := &wire.Hello{Version: wire.Version, Client: c.opts.Name}
+	if c.opts.AuthToken != "" {
+		// Only offer FlagAuth when there is a token to present: a
+		// token-less client stays byte-identical to the pre-auth protocol
+		// (and keeps working against pre-auth servers).
+		caps |= wire.FlagAuth
+		hello.Token = c.opts.AuthToken
+	}
+	if err := c.sendf(hello, caps); err != nil {
 		return fmt.Errorf("client: handshake send: %w", err)
 	}
 	m, flags, err := c.recvf()
@@ -177,6 +261,7 @@ func (c *Client) handshake() error {
 		// asked for may take effect.
 		c.traceZ = flags&caps&wire.FlagTraceZ != 0
 		c.snap = flags&caps&wire.FlagSnap != 0
+		c.authed = flags&caps&wire.FlagAuth != 0
 		return nil
 	case *wire.Error:
 		return w
@@ -191,6 +276,11 @@ func (c *Client) TraceZ() bool { return c.traceZ }
 // Snap reports whether remote time-travel (SnapSave/SnapRestore) was
 // negotiated in the handshake.
 func (c *Client) Snap() bool { return c.snap }
+
+// Authenticated reports whether the server verified this client's auth
+// token in the handshake. False with an AuthToken set means the server has
+// no token authentication configured (a wrong token fails the Dial).
+func (c *Client) Authenticated() bool { return c.authed }
 
 func (c *Client) send(m wire.Msg) error {
 	return c.sendf(m, 0)

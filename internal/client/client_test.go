@@ -3,6 +3,7 @@ package client_test
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net"
 	"strings"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/scenario"
 	"repro/internal/server"
+	"repro/internal/tlstest"
 	"repro/internal/wire"
 )
 
@@ -59,6 +61,109 @@ func TestDialTimeoutAndFailure(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "after 2 attempts") {
 		t.Fatalf("error should mention attempts: %v", err)
+	}
+}
+
+// TestDialContextCancel is the regression test for the uncancellable
+// backoff loop: against a never-listening address with a long retry
+// schedule, cancelling the context must abort the dial immediately —
+// including mid-backoff-sleep — instead of sleeping out the remaining
+// attempts.
+func TestDialContextCancel(t *testing.T) {
+	// Grab a port and close it so nothing listens there.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = client.DialContext(ctx, addr, client.Options{
+		DialTimeout: time.Second,
+		Attempts:    1000, // uncancelled, this schedule runs for minutes
+		Backoff:     500 * time.Millisecond,
+		MaxBackoff:  500 * time.Millisecond,
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancelled dial returned after %v; cancellation did not interrupt the backoff", elapsed)
+	}
+}
+
+// TestDialPreCancelledContext: Options.Context already cancelled fails the
+// dial before any attempt.
+func TestDialPreCancelledContext(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := client.Dial(addr, client.Options{Context: ctx, Attempts: 10}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestDialTLSAuth: the client dials TLS, authenticates with a token, and
+// reports both through its accessors; a TLS handshake against a server
+// whose certificate it does not trust fails immediately without burning
+// the retry schedule.
+func TestDialTLSAuth(t *testing.T) {
+	certPEM, keyPEM, err := tlstest.GenerateKeypair([]string{"127.0.0.1"}, time.Hour)
+	if err != nil {
+		t.Fatalf("keypair: %v", err)
+	}
+	srvTLS, err := tlstest.ServerConfig(certPEM, keyPEM, nil)
+	if err != nil {
+		t.Fatalf("server tls: %v", err)
+	}
+	addr := startServer(t, server.Config{TLS: srvTLS, AuthToken: "tok", RequireAuth: true})
+
+	cliTLS, err := tlstest.ClientConfig(certPEM, nil, nil)
+	if err != nil {
+		t.Fatalf("client tls: %v", err)
+	}
+	cl, err := client.Dial(addr, client.Options{TLS: cliTLS, AuthToken: "tok"})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cl.Close()
+	if !cl.Authenticated() {
+		t.Fatal("Authenticated() should be true after a verified token")
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping over TLS: %v", err)
+	}
+
+	// An untrusting client must fail fast: TLS handshake failures do not
+	// retry, so 100 attempts x 500ms never happens.
+	otherCA, _, err := tlstest.GenerateKeypair([]string{"127.0.0.1"}, time.Hour)
+	if err != nil {
+		t.Fatalf("second keypair: %v", err)
+	}
+	badTLS, err := tlstest.ClientConfig(otherCA, nil, nil)
+	if err != nil {
+		t.Fatalf("bad client tls: %v", err)
+	}
+	start := time.Now()
+	_, err = client.Dial(addr, client.Options{TLS: badTLS, AuthToken: "tok", Attempts: 100, Backoff: 500 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dial with an untrusted CA should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("TLS verification failure retried for %v instead of failing fast", elapsed)
 	}
 }
 

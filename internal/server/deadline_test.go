@@ -1,0 +1,122 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// These tests pin the deadlineWriter contract directly on a synchronous
+// net.Pipe, where every Write blocks until the peer reads it — the
+// deterministic stand-in for a TCP peer with full socket buffers.
+
+// TestDeadlineWriterSlowReader: a reader that drains steadily but slowly
+// must never be cut off, even when the whole transfer takes several times
+// WriteTimeout. This is the regression test for the old trace-stream shape,
+// which armed one absolute deadline around a chunked send and so bounded
+// the transfer instead of per-write progress.
+func TestDeadlineWriterSlowReader(t *testing.T) {
+	cw, cr := net.Pipe()
+	defer cw.Close()
+	defer cr.Close()
+
+	const (
+		chunks    = 8
+		chunkSize = 1024
+		deadline  = 500 * time.Millisecond
+		drainGap  = 100 * time.Millisecond // per-chunk reader delay; 8x ≈ 800ms total
+	)
+	readerDone := make(chan error, 1)
+	go func() {
+		buf := make([]byte, chunkSize)
+		for i := 0; i < chunks; i++ {
+			time.Sleep(drainGap)
+			if _, err := io.ReadFull(cr, buf); err != nil {
+				readerDone <- err
+				return
+			}
+		}
+		readerDone <- nil
+	}()
+
+	w := &deadlineWriter{conn: cw, d: deadline}
+	start := time.Now()
+	buf := make([]byte, chunkSize)
+	for i := 0; i < chunks; i++ {
+		if _, err := w.Write(buf); err != nil {
+			t.Fatalf("write %d failed after %v: %v", i, time.Since(start), err)
+		}
+	}
+	if err := <-readerDone; err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed <= deadline {
+		t.Fatalf("transfer finished in %v <= %v; too fast to prove the per-write deadline mattered", elapsed, deadline)
+	}
+}
+
+// TestAbsoluteDeadlineSpuriouslyFails documents the bug deadlineWriter
+// fixes: the same slow-but-draining reader against a single absolute
+// deadline times out mid-transfer.
+func TestAbsoluteDeadlineSpuriouslyFails(t *testing.T) {
+	cw, cr := net.Pipe()
+	defer cw.Close()
+	defer cr.Close()
+
+	const (
+		chunks    = 8
+		chunkSize = 1024
+		deadline  = 300 * time.Millisecond
+		drainGap  = 100 * time.Millisecond
+	)
+	go func() {
+		buf := make([]byte, chunkSize)
+		for i := 0; i < chunks; i++ {
+			time.Sleep(drainGap)
+			if _, err := io.ReadFull(cr, buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	cw.SetWriteDeadline(time.Now().Add(deadline))
+	buf := make([]byte, chunkSize)
+	var err error
+	for i := 0; i < chunks && err == nil; i++ {
+		_, err = cw.Write(buf)
+	}
+	if err == nil {
+		t.Fatal("an absolute whole-transfer deadline should have cut the slow reader off")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+}
+
+// TestDeadlineWriterStuckReader: a peer that stops reading entirely times
+// the write out within roughly one WriteTimeout instead of hanging the
+// session goroutine forever.
+func TestDeadlineWriterStuckReader(t *testing.T) {
+	cw, cr := net.Pipe()
+	defer cw.Close()
+	defer cr.Close() // never read from
+
+	const deadline = 100 * time.Millisecond
+	w := &deadlineWriter{conn: cw, d: deadline}
+	start := time.Now()
+	_, err := w.Write(make([]byte, 1))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("write to a stuck reader should time out")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("want a timeout error, got %v", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v, want ~%v", elapsed, deadline)
+	}
+}

@@ -18,6 +18,11 @@ type counters struct {
 	idleReaped       atomic.Int64
 	traceBytes       atomic.Int64
 	traceSamples     atomic.Int64
+
+	authHandshakes       atomic.Int64
+	authFailures         atomic.Int64
+	tlsHandshakeFailures atomic.Int64
+	unknownCapHellos     atomic.Int64
 }
 
 // Metrics is a point-in-time snapshot of the daemon's counters; it
@@ -36,6 +41,11 @@ type Metrics struct {
 	IdleReaped       int64 // sessions closed by the idle timeout
 	TraceBytes       int64 // trace-stream frame bytes (raw or compressed) sent to clients
 	TraceSamples     int64 // trace samples streamed to clients
+
+	AuthHandshakes       int64 // handshakes that authenticated with a valid token
+	AuthFailures         int64 // handshakes rejected with Error{CodeAuth}
+	TLSHandshakeFailures int64 // TLS handshakes that never reached the protocol
+	UnknownCapHellos     int64 // Hellos advertising capability bits this build ignores
 
 	// Warm-start pool counters (all zero when pooling is disabled).
 	WarmForks      int64 // sessions served by forking a pre-warmed template
@@ -61,6 +71,11 @@ func (s *Server) Metrics() Metrics {
 		IdleReaped:       s.c.idleReaped.Load(),
 		TraceBytes:       s.c.traceBytes.Load(),
 		TraceSamples:     s.c.traceSamples.Load(),
+
+		AuthHandshakes:       s.c.authHandshakes.Load(),
+		AuthFailures:         s.c.authFailures.Load(),
+		TLSHandshakeFailures: s.c.tlsHandshakeFailures.Load(),
+		UnknownCapHellos:     s.c.unknownCapHellos.Load(),
 	}
 	if s.pool != nil {
 		pm := s.pool.Metrics()

@@ -10,15 +10,23 @@
 // remote scripted session's output is byte-identical to the same script
 // run locally.
 //
-// Operational behavior: per-frame read/write deadlines, connection and
+// Operational behavior: per-write read/write deadlines, connection and
 // session limits, idle-session reaping (a client that stops sending is
 // told so and cut), graceful drain on Shutdown, and an atomic metrics
 // snapshot for an expvar endpoint.
+//
+// Security: Config.TLS wraps the listener in crypto/tls (optionally with
+// mTLS client-certificate verification), and Config.AuthToken arms token
+// authentication negotiated through the handshake's FlagAuth capability
+// bit — a wrong or (under RequireAuth) missing token is answered with a
+// typed Error{CodeAuth} frame before any session state is allocated.
 package server
 
 import (
 	"bufio"
 	"context"
+	"crypto/subtle"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
@@ -62,6 +70,22 @@ type Config struct {
 	// then simulates its charge phase from cycle 0. Output is identical
 	// either way — the pool is purely a latency optimization.
 	DisablePool bool
+	// TLS, when set, wraps the listener so every connection speaks TLS.
+	// Set ClientCAs + ClientAuth: tls.RequireAndVerifyClientCert for mTLS;
+	// the TLS handshake completes under ReadTimeout, before the protocol
+	// handshake.
+	TLS *tls.Config
+	// AuthToken, when non-empty, arms token authentication: a client that
+	// offers FlagAuth must present exactly this token (compared in
+	// constant time) or the handshake is rejected with Error{CodeAuth}.
+	// Clients that never offer FlagAuth are still served unless
+	// RequireAuth is set, so old clients keep working by default.
+	AuthToken string
+	// RequireAuth rejects every handshake that does not authenticate —
+	// including all pre-auth clients — with Error{CodeAuth} before any
+	// session state is allocated. With no AuthToken configured it fails
+	// closed: every client is rejected.
+	RequireAuth bool
 	// PoolSpares is the number of pre-forked rigs kept ready per firmware
 	// template (default 2; 0 keeps templates but no pre-forks).
 	PoolSpares int
@@ -105,6 +129,14 @@ type Server struct {
 	conns    map[net.Conn]*connState
 	draining bool
 
+	// rlog rate-limits handshake-failure logging so an unauthenticated
+	// flood cannot turn the log into its own denial of service.
+	rlog struct {
+		mu         sync.Mutex
+		last       time.Time
+		suppressed int
+	}
+
 	wg sync.WaitGroup
 }
 
@@ -137,6 +169,29 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// rlogf logs like logf but at most once per second, counting what it
+// suppressed in between — hostile peers control how often handshake
+// failures happen, so they must not control the log volume.
+func (s *Server) rlogf(format string, args ...any) {
+	if s.cfg.Logf == nil {
+		return
+	}
+	s.rlog.mu.Lock()
+	now := time.Now()
+	if now.Sub(s.rlog.last) < time.Second {
+		s.rlog.suppressed++
+		s.rlog.mu.Unlock()
+		return
+	}
+	suppressed := s.rlog.suppressed
+	s.rlog.last, s.rlog.suppressed = now, 0
+	s.rlog.mu.Unlock()
+	if suppressed > 0 {
+		format += fmt.Sprintf(" (%d similar suppressed)", suppressed)
+	}
+	s.cfg.Logf(format, args...)
+}
+
 // ListenAndServe listens on addr and serves until Shutdown.
 func (s *Server) ListenAndServe(addr string) error {
 	lis, err := net.Listen("tcp", addr)
@@ -157,8 +212,12 @@ func (s *Server) Addr() net.Addr {
 }
 
 // Serve accepts connections on lis until Shutdown closes it, then returns
-// ErrServerClosed.
+// ErrServerClosed. When Config.TLS is set the listener is wrapped so every
+// accepted connection speaks TLS; pass a plain TCP listener.
 func (s *Server) Serve(lis net.Listener) error {
+	if s.cfg.TLS != nil {
+		lis = tls.NewListener(lis, s.cfg.TLS)
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -238,6 +297,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// deadlineWriter arms a fresh write deadline immediately before every
+// underlying Write, so WriteTimeout bounds per-write *progress* instead of
+// a whole transfer: a slow-but-draining reader of a long chunked send is
+// never spuriously cut, while a stuck reader still times out within one
+// WriteTimeout of its last accepted byte. Routing every outbound byte
+// through this type is what guarantees no server write can ever block
+// forever on a dead peer — a path that forgot to arm a deadline would
+// otherwise hang its session goroutine (and a drain) indefinitely.
+type deadlineWriter struct {
+	conn net.Conn
+	d    time.Duration
+}
+
+func (w *deadlineWriter) Write(p []byte) (int, error) {
+	w.conn.SetWriteDeadline(time.Now().Add(w.d))
+	return w.conn.Write(p)
+}
+
 // send writes one frame under the write deadline.
 func (s *Server) send(conn net.Conn, m wire.Msg) error {
 	return s.sendf(conn, m, 0)
@@ -246,8 +323,7 @@ func (s *Server) send(conn net.Conn, m wire.Msg) error {
 // sendf writes one frame carrying capability flag bits under the write
 // deadline.
 func (s *Server) sendf(conn net.Conn, m wire.Msg, flags byte) error {
-	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	return wire.WriteMsgFlags(conn, m, flags)
+	return wire.WriteMsgFlags(&deadlineWriter{conn: conn, d: s.cfg.WriteTimeout}, m, flags)
 }
 
 // recv reads one frame under deadline d.
@@ -290,6 +366,21 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 		return
 	}
 
+	// Complete the TLS handshake explicitly (it would otherwise piggyback
+	// on the first read) so certificate failures — a bad client cert under
+	// mTLS, a protocol mismatch — are counted and never reach the protocol
+	// handshake.
+	if tc, ok := conn.(*tls.Conn); ok {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ReadTimeout)
+		err := tc.HandshakeContext(ctx)
+		cancel()
+		if err != nil {
+			s.c.tlsHandshakeFailures.Add(1)
+			s.rlogf("conn %s: tls handshake failed: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+
 	m, helloFlags, err := s.recvf(conn, s.cfg.ReadTimeout)
 	if err != nil {
 		return
@@ -306,20 +397,56 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 	}
 	// Capability negotiation: echo back the subset of the client's
 	// advertised capability bits this server accepts. Old clients send zero
-	// flags and get the baseline protocol (raw Trace chunks).
-	caps := helloFlags & (wire.FlagTraceZ | wire.FlagSnap)
+	// flags and get the baseline protocol (raw Trace chunks). Bits this
+	// build does not know are masked off — the peer is down-negotiated, not
+	// disconnected — but counted and logged so a fleet operator can see
+	// newer clients knocking.
+	if unknown := helloFlags &^ wire.KnownCaps; unknown != 0 {
+		s.c.unknownCapHellos.Add(1)
+		s.rlogf("conn %s: hello advertised unknown capability bits %#02x (ignored)", conn.RemoteAddr(), unknown)
+	}
+	caps := helloFlags & wire.KnownCaps
 	if s.cfg.DisableTraceZ {
 		caps &^= wire.FlagTraceZ
 	}
 	if s.cfg.DisableSnap {
 		caps &^= wire.FlagSnap
 	}
+	// Authentication gate: resolved before the Welcome, and before any
+	// session state exists. FlagAuth is echoed only when a token was
+	// offered and verified.
+	offeredAuth := caps&wire.FlagAuth != 0
+	caps &^= wire.FlagAuth
+	switch {
+	case offeredAuth && s.cfg.AuthToken != "":
+		if subtle.ConstantTimeCompare([]byte(hello.Token), []byte(s.cfg.AuthToken)) != 1 {
+			s.c.authFailures.Add(1)
+			s.rlogf("conn %s: authentication failed (%s): bad token", conn.RemoteAddr(), hello.Client)
+			s.send(conn, &wire.Error{Code: wire.CodeAuth, Text: "authentication failed: bad token"})
+			return
+		}
+		caps |= wire.FlagAuth
+		s.c.authHandshakes.Add(1)
+	case s.cfg.RequireAuth:
+		// No usable token: either the client never offered one, or the
+		// operator required auth without configuring a token — fail closed
+		// either way.
+		s.c.authFailures.Add(1)
+		s.rlogf("conn %s: unauthenticated handshake rejected (%s)", conn.RemoteAddr(), hello.Client)
+		text := "authentication required: offer FlagAuth with a token"
+		if s.cfg.AuthToken == "" {
+			text = "authentication required but no token is configured server-side"
+		}
+		s.send(conn, &wire.Error{Code: wire.CodeAuth, Text: text})
+		return
+	}
 	if err := s.sendf(conn, &wire.Welcome{Version: wire.Version, Server: s.cfg.Name}, caps); err != nil {
 		return
 	}
 	traceZ := caps&wire.FlagTraceZ != 0
 	snap := caps&wire.FlagSnap != 0
-	s.logf("conn %s: handshake ok (%s, tracez=%v, snap=%v)", conn.RemoteAddr(), hello.Client, traceZ, snap)
+	s.logf("conn %s: handshake ok (%s, tracez=%v, snap=%v, auth=%v)",
+		conn.RemoteAddr(), hello.Client, traceZ, snap, caps&wire.FlagAuth != 0)
 
 	for {
 		m, err := s.recv(conn, s.cfg.IdleTimeout)
@@ -465,7 +592,12 @@ const chunkSamples = 512
 // across chunks, so the hot path is allocation-free after the first chunk;
 // frames are batched through a buffered writer flushed once per chunk.
 func (s *Server) streamTrace(conn net.Conn, series *trace.Series, traceZ bool) error {
-	bw := bufio.NewWriterSize(conn, 32<<10)
+	// The buffered writer sits on a deadlineWriter, not the bare conn: one
+	// Flush can span several underlying writes (and under TLS, several
+	// records), and each must earn a fresh deadline. Arming a single
+	// absolute deadline around the whole chunked send — the old shape —
+	// spuriously times out a reader that drains steadily but slowly.
+	bw := bufio.NewWriterSize(&deadlineWriter{conn: conn, d: s.cfg.WriteTimeout}, 32<<10)
 	pts := make([]wire.TracePoint, 0, chunkSamples)
 	var (
 		enc   tracecodec.Encoder
@@ -501,7 +633,6 @@ func (s *Server) streamTrace(conn net.Conn, series *trace.Series, traceZ bool) e
 		if err != nil {
 			return err
 		}
-		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		if _, err := bw.Write(frame); err != nil {
 			return err
 		}
@@ -511,6 +642,10 @@ func (s *Server) streamTrace(conn net.Conn, series *trace.Series, traceZ bool) e
 		s.c.traceBytes.Add(int64(len(frame)))
 		s.c.traceSamples.Add(int64(len(pts)))
 	}
+	// The chunked send is over: clear the conn's write deadline so the
+	// last chunk's absolute deadline cannot leak onto a later write path
+	// that touches the conn directly.
+	conn.SetWriteDeadline(time.Time{})
 	return nil
 }
 

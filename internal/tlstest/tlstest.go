@@ -1,0 +1,103 @@
+// Package tlstest generates ephemeral self-signed certificates and the
+// tls.Configs to use them, for the edbd security tests and the
+// scripts/gencert helper. The certificates it mints are dual-use (server
+// and client auth), so one keypair can secure a loopback daemon and — via
+// mTLS — identify a client to it.
+package tlstest
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// GenerateKeypair mints a self-signed ECDSA P-256 certificate for the
+// given hosts (DNS names or IP literals), valid for validFor from now, and
+// returns it PEM-encoded. The certificate carries both server- and
+// client-auth extended key usages and acts as its own CA, so the cert PEM
+// doubles as the trust anchor a peer pins.
+func GenerateKeypair(hosts []string, validFor time.Duration) (certPEM, keyPEM []byte, err error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tlstest: generate key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return nil, nil, fmt.Errorf("tlstest: serial: %w", err)
+	}
+	now := time.Now()
+	tmpl := x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: "edbd", Organization: []string{"edb"}},
+		NotBefore:             now.Add(-time.Hour),
+		NotAfter:              now.Add(validFor),
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageCertSign,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tlstest: create certificate: %w", err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tlstest: marshal key: %w", err)
+	}
+	certPEM = pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	keyPEM = pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+	return certPEM, keyPEM, nil
+}
+
+// ServerConfig builds a server tls.Config from a PEM keypair. clientCAPEM,
+// when non-nil, additionally requires and verifies client certificates
+// against it (mTLS).
+func ServerConfig(certPEM, keyPEM, clientCAPEM []byte) (*tls.Config, error) {
+	cert, err := tls.X509KeyPair(certPEM, keyPEM)
+	if err != nil {
+		return nil, fmt.Errorf("tlstest: server keypair: %w", err)
+	}
+	cfg := &tls.Config{Certificates: []tls.Certificate{cert}}
+	if clientCAPEM != nil {
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(clientCAPEM) {
+			return nil, fmt.Errorf("tlstest: no certificates in client CA PEM")
+		}
+		cfg.ClientCAs = pool
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	return cfg, nil
+}
+
+// ClientConfig builds a client tls.Config trusting caPEM as its root.
+// certPEM/keyPEM, when non-nil, load a client certificate for mTLS.
+func ClientConfig(caPEM, certPEM, keyPEM []byte) (*tls.Config, error) {
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(caPEM) {
+		return nil, fmt.Errorf("tlstest: no certificates in CA PEM")
+	}
+	cfg := &tls.Config{RootCAs: pool}
+	if certPEM != nil {
+		cert, err := tls.X509KeyPair(certPEM, keyPEM)
+		if err != nil {
+			return nil, fmt.Errorf("tlstest: client keypair: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	}
+	return cfg, nil
+}

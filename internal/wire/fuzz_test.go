@@ -32,6 +32,24 @@ func FuzzWireDecode(f *testing.F) {
 	if fr, err := EncodeMsgFlags(&Welcome{Version: Version, Server: "edbd"}, FlagSnap); err == nil {
 		f.Add(fr)
 	}
+	// …auth handshakes: a token-bearing Hello, the server's FlagAuth echo,
+	// and a Hello whose FlagAuth promises a token the payload doesn't have…
+	if fr, err := EncodeMsgFlags(&Hello{Version: Version, Client: "edb", Token: "s3cret"}, FlagAuth|FlagTraceZ|FlagSnap); err == nil {
+		f.Add(fr)
+	}
+	if fr, err := EncodeMsgFlags(&Hello{Version: Version, Client: "edb", Token: ""}, FlagAuth); err == nil {
+		f.Add(fr)
+	}
+	if fr, err := EncodeMsgFlags(&Welcome{Version: Version, Server: "edbd"}, FlagAuth); err == nil {
+		f.Add(fr)
+	}
+	f.Add([]byte{TypeHello, FlagAuth, 0, 0, 0, 6, 0, 1, 0, 0, 0, 0})
+	// …handshakes advertising capability bits this build does not know
+	// (they must pass through the framing layer untouched)…
+	if fr, err := EncodeMsgFlags(&Hello{Version: Version, Client: "edb"}, 0x80|FlagTraceZ); err == nil {
+		f.Add(fr)
+	}
+	f.Add([]byte{TypeWelcome, 0xF8, 0, 0, 0, 6, 0, 1, 0, 0, 0, 0})
 	f.Add([]byte{TypeSnapSave, FlagSnap, 0, 0, 0, 0})
 	f.Add([]byte{TypeSnapRestore, 0, 0, 0, 0, 1, 0xAA})
 	// …plus classic malformed shapes: empty, garbage, truncated header,

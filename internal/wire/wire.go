@@ -11,10 +11,17 @@
 //	+--------+----------+-------------+---------+
 //
 // flags must be zero in version 1 on every frame except Hello and Welcome,
-// where the defined capability bits (FlagTraceZ, FlagSnap) may be set — that is how
-// optional features are negotiated without a version bump. length counts
-// payload bytes and is bounded by MaxFrame, so a malformed header can
-// never force a large allocation.
+// where capability bits (FlagTraceZ, FlagSnap, FlagAuth) may be set — that
+// is how optional features are negotiated without a version bump. Handshake
+// frames pass *any* flag byte through the framing layer untouched: bits this
+// build does not know are preserved for the negotiation code to mask off
+// (KnownCaps), so a future peer advertising a new capability is silently
+// down-negotiated instead of being disconnected. An unknown bit must not
+// change the frame's payload layout for old peers — which is why FlagAuth's
+// extra Hello field is appended *after* the baseline fields, where a peer
+// that knows the bit (and only such a peer echoes it) expects it. length
+// counts payload bytes and is bounded by MaxFrame, so a malformed header
+// can never force a large allocation.
 //
 // Versioning rules: the protocol version is carried once, in the
 // Hello/Welcome handshake, not per frame. A server that receives a
@@ -86,14 +93,26 @@ const (
 	// client that never offers the bit sees a byte-identical baseline
 	// protocol.
 	FlagSnap byte = 0x02
+	// FlagAuth negotiates token authentication: a client that sets it
+	// appends a shared-secret token string to its Hello payload (after the
+	// baseline fields, so token-less peers never see a layout change). The
+	// server verifies the token in constant time and echoes the bit in the
+	// Welcome flags when the session is authenticated; a bad or missing
+	// token on a server that requires one is answered with
+	// Error{CodeAuth} before any session state exists.
+	FlagAuth byte = 0x04
 )
 
-// capabilityMask returns the flag bits a frame of type t may carry.
-func capabilityMask(t byte) byte {
-	if t == TypeHello || t == TypeWelcome {
-		return FlagTraceZ | FlagSnap
-	}
-	return 0
+// KnownCaps is the set of capability bits this build understands.
+// Handshake frames may carry bits outside this mask (a future peer's
+// capabilities); the framing layer passes them through and negotiation
+// masks them off, so old corpus entries and old peers keep working.
+const KnownCaps byte = FlagTraceZ | FlagSnap | FlagAuth
+
+// handshakeFrame reports whether frames of type t carry capability flag
+// bits; every other frame type must have a zero flags byte in version 1.
+func handshakeFrame(t byte) bool {
+	return t == TypeHello || t == TypeWelcome
 }
 
 // Error codes.
@@ -103,6 +122,7 @@ const (
 	CodeBadRequest uint16 = 3 // malformed or out-of-order message
 	CodeRunFailed  uint16 = 4 // scenario setup or run failed server-side
 	CodeIdle       uint16 = 5 // idle session reaped by the server
+	CodeAuth       uint16 = 6 // authentication required or token rejected
 )
 
 // Framing errors.
@@ -122,6 +142,10 @@ type Msg interface {
 type Hello struct {
 	Version uint16
 	Client  string // client name/version string, for logs
+	// Token is the shared-secret auth token. It rides the wire only when
+	// the Hello frame carries FlagAuth — encoded after the baseline fields
+	// so a token-less Hello is byte-identical to the pre-auth protocol.
+	Token string
 }
 
 // Welcome accepts the handshake.
@@ -266,9 +290,12 @@ func newMsg(t byte) Msg {
 // AppendMsg appends one complete frame for m, carrying the given flag
 // bits, to dst and returns the extended slice. Passing a reused buffer
 // makes hot streaming paths (the server's trace streamer) allocation-free
-// after warm-up. On error dst is returned unchanged.
+// after warm-up. On error dst is returned unchanged. Handshake frames
+// accept any flag byte (unknown bits are a future peer's capabilities and
+// must survive a decode/re-encode round trip); every other frame type
+// rejects a non-zero flags byte.
 func AppendMsg(dst []byte, m Msg, flags byte) ([]byte, error) {
-	if flags&^capabilityMask(m.Type()) != 0 {
+	if flags != 0 && !handshakeFrame(m.Type()) {
 		return dst, ErrBadFlags
 	}
 	base := len(dst)
@@ -278,6 +305,7 @@ func AppendMsg(dst []byte, m Msg, flags byte) ([]byte, error) {
 	// frame on the hot trace-streaming path.
 	e := encoders.Get().(*encoder)
 	e.b = dst
+	e.flags = flags
 	m.encode(e)
 	dst = e.b
 	e.b = nil
@@ -326,15 +354,17 @@ func ReadMsg(r io.Reader) (Msg, error) {
 }
 
 // ReadMsgFlags reads and decodes one message along with its flag byte.
-// Flags are rejected unless every set bit is a capability defined for the
-// frame's type (only Hello/Welcome carry capability bits in version 1).
+// Only handshake frames (Hello/Welcome) may carry a non-zero flags byte;
+// on those the byte passes through raw — including capability bits this
+// build does not know, which the caller's negotiation masks off with
+// KnownCaps rather than the connection dying here (forward compatibility).
 func ReadMsgFlags(r io.Reader) (Msg, byte, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, 0, err
 	}
 	flags := hdr[1]
-	if flags&^capabilityMask(hdr[0]) != 0 {
+	if flags != 0 && !handshakeFrame(hdr[0]) {
 		return nil, 0, ErrBadFlags
 	}
 	n := binary.BigEndian.Uint32(hdr[2:6])
@@ -348,21 +378,29 @@ func ReadMsgFlags(r io.Reader) (Msg, byte, error) {
 		}
 		return nil, 0, err
 	}
-	m, err := DecodePayload(hdr[0], payload)
+	m, err := DecodePayloadFlags(hdr[0], flags, payload)
 	if err != nil {
 		return nil, 0, err
 	}
 	return m, flags, nil
 }
 
-// DecodePayload decodes a message body for the given type code. It rejects
-// unknown types, truncated fields, and trailing bytes.
+// DecodePayload decodes a message body for the given type code with a zero
+// flags byte. It rejects unknown types, truncated fields, and trailing
+// bytes.
 func DecodePayload(t byte, payload []byte) (Msg, error) {
+	return DecodePayloadFlags(t, 0, payload)
+}
+
+// DecodePayloadFlags decodes a message body for the given type code under
+// the frame's flag byte: capability bits can extend a handshake payload
+// (FlagAuth appends Hello's token field), so the decoder must know them.
+func DecodePayloadFlags(t, flags byte, payload []byte) (Msg, error) {
 	m := newMsg(t)
 	if m == nil {
 		return nil, fmt.Errorf("wire: unknown message type %#02x", t)
 	}
-	d := decoder{b: payload}
+	d := decoder{b: payload, flags: flags}
 	m.decode(&d)
 	if d.err != nil {
 		return nil, fmt.Errorf("wire: decoding %T: %w", m, d.err)
@@ -375,8 +413,25 @@ func DecodePayload(t byte, payload []byte) (Msg, error) {
 
 // ---- per-message field layouts ----
 
-func (m *Hello) encode(e *encoder)   { e.u16(m.Version); e.str(m.Client) }
-func (m *Hello) decode(d *decoder)   { m.Version = d.u16(); m.Client = d.str() }
+// Hello's token field exists only under FlagAuth, so a token-less frame is
+// byte-identical to the pre-auth protocol and old fuzz corpus entries keep
+// decoding; the canonical-encoding invariant holds because the same flag
+// byte gates both directions.
+func (m *Hello) encode(e *encoder) {
+	e.u16(m.Version)
+	e.str(m.Client)
+	if e.flags&FlagAuth != 0 {
+		e.str(m.Token)
+	}
+}
+
+func (m *Hello) decode(d *decoder) {
+	m.Version = d.u16()
+	m.Client = d.str()
+	if d.flags&FlagAuth != 0 {
+		m.Token = d.str()
+	}
+}
 func (m *Welcome) encode(e *encoder) { e.u16(m.Version); e.str(m.Server) }
 func (m *Welcome) decode(d *decoder) { m.Version = d.u16(); m.Server = d.str() }
 func (m *Error) encode(e *encoder)   { e.u16(m.Code); e.str(m.Text) }
@@ -506,7 +561,10 @@ func (m *Pong) decode(d *decoder) { m.Token = d.u64() }
 
 // ---- primitive (de)serialization ----
 
-type encoder struct{ b []byte }
+type encoder struct {
+	b     []byte
+	flags byte // the frame's flag byte; capability bits gate optional fields
+}
 
 func (e *encoder) u8(v byte)    { e.b = append(e.b, v) }
 func (e *encoder) u16(v uint16) { e.b = binary.BigEndian.AppendUint16(e.b, v) }
@@ -536,9 +594,10 @@ func (e *encoder) bytes(b []byte) {
 // fields are validated against the remaining payload before any
 // allocation, so a hostile length can never over-allocate.
 type decoder struct {
-	b   []byte
-	off int
-	err error
+	b     []byte
+	off   int
+	flags byte // the frame's flag byte; capability bits gate optional fields
+	err   error
 }
 
 func (d *decoder) fail(format string, args ...any) {

@@ -191,10 +191,6 @@ func TestCapabilityFlags(t *testing.T) {
 		if !reflect.DeepEqual(m, got) {
 			t.Fatalf("%T: round trip mismatch with flags", m)
 		}
-		// Undefined capability bits are rejected even on handshake frames.
-		if _, err := EncodeMsgFlags(m, 0x80); err != ErrBadFlags {
-			t.Fatalf("%T: undefined bit: want ErrBadFlags, got %v", m, err)
-		}
 	}
 	// Capability bits are invalid on non-handshake frames.
 	if _, err := EncodeMsgFlags(&TraceZ{Name: "Vcap"}, FlagTraceZ); err != ErrBadFlags {
@@ -204,6 +200,120 @@ func TestCapabilityFlags(t *testing.T) {
 	f[1] = FlagTraceZ
 	if _, _, err := ReadMsgFlags(bytes.NewReader(f)); err != ErrBadFlags {
 		t.Fatalf("TraceZ frame with flags: want ErrBadFlags, got %v", err)
+	}
+}
+
+// TestUnknownCapabilityBits pins the forward-compatibility contract: a
+// handshake frame may carry capability bits this build does not know. The
+// framing layer passes them through raw (so canonical re-encoding — and
+// with it every old fuzz corpus entry — still holds) and negotiation masks
+// them off with KnownCaps instead of the connection dying. Non-handshake
+// frames still reject every non-zero flags byte.
+func TestUnknownCapabilityBits(t *testing.T) {
+	const future byte = 0x80
+	for _, m := range []Msg{&Hello{Version: Version, Client: "c"}, &Welcome{Version: Version, Server: "s"}} {
+		f, err := EncodeMsgFlags(m, future|FlagTraceZ)
+		if err != nil {
+			t.Fatalf("%T: encode with unknown bit: %v", m, err)
+		}
+		got, flags, err := ReadMsgFlags(bytes.NewReader(f))
+		if err != nil {
+			t.Fatalf("%T: read with unknown bit: %v", m, err)
+		}
+		if flags != future|FlagTraceZ {
+			t.Fatalf("%T: flags %#02x, want raw pass-through %#02x", m, flags, future|FlagTraceZ)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%T: unknown bit changed the decoded payload", m)
+		}
+		// An unknown bit never grows the payload: the peer that set it is
+		// down-negotiated before any capability-gated field is exchanged.
+		if masked := flags & KnownCaps; masked != FlagTraceZ {
+			t.Fatalf("%T: KnownCaps mask kept %#02x, want FlagTraceZ only", m, masked)
+		}
+	}
+	// Non-handshake frames keep rejecting any set bit, known or not.
+	for _, bit := range []byte{FlagTraceZ, 0x80} {
+		if _, err := EncodeMsgFlags(&TraceZ{Name: "Vcap"}, bit); err != ErrBadFlags {
+			t.Fatalf("TraceZ with flags %#02x: want ErrBadFlags, got %v", bit, err)
+		}
+		f, _ := EncodeMsg(&Prompt{})
+		f[1] = bit
+		if _, _, err := ReadMsgFlags(bytes.NewReader(f)); err != ErrBadFlags {
+			t.Fatalf("Prompt frame with flags %#02x: want ErrBadFlags, got %v", bit, err)
+		}
+	}
+}
+
+// TestHelloAuthToken: the token field rides the Hello payload only under
+// FlagAuth, gated by the same flag byte on encode and decode.
+func TestHelloAuthToken(t *testing.T) {
+	m := &Hello{Version: Version, Client: "edb", Token: "s3cret"}
+	f, err := EncodeMsgFlags(m, FlagAuth|FlagTraceZ)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, flags, err := ReadMsgFlags(bytes.NewReader(f))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if flags != FlagAuth|FlagTraceZ {
+		t.Fatalf("flags %#02x", flags)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("auth Hello round trip: want %+v got %+v", m, got)
+	}
+	// Canonical: re-encoding under the same flags reproduces the bytes.
+	f2, err := EncodeMsgFlags(got, flags)
+	if err != nil || !bytes.Equal(f, f2) {
+		t.Fatalf("auth Hello re-encode mismatch (%v)", err)
+	}
+
+	// Without FlagAuth the token is not encoded — the frame is the
+	// baseline layout and decodes token-less.
+	f3, err := EncodeMsgFlags(m, FlagTraceZ)
+	if err != nil {
+		t.Fatalf("encode without FlagAuth: %v", err)
+	}
+	base, err := EncodeMsgFlags(&Hello{Version: Version, Client: "edb"}, FlagTraceZ)
+	if err != nil || !bytes.Equal(f3, base) {
+		t.Fatalf("token leaked into a no-auth frame (%v)", err)
+	}
+
+	// A FlagAuth frame that is missing the token field is truncated, not
+	// silently token-less.
+	if _, err := DecodePayloadFlags(TypeHello, FlagAuth, base[headerSize:]); err == nil {
+		t.Fatal("FlagAuth Hello without a token field must fail to decode")
+	}
+}
+
+// TestBaselineHandshakeGolden pins the exact bytes of a no-capability
+// handshake, so no future capability can drift the baseline protocol: old
+// clients must keep seeing these frames bit-for-bit.
+func TestBaselineHandshakeGolden(t *testing.T) {
+	hello, err := EncodeMsg(&Hello{Version: 1, Client: "edb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHello := []byte{
+		TypeHello, 0x00, 0x00, 0x00, 0x00, 0x09, // header: type, flags, len=9
+		0x00, 0x01, // version 1
+		0x00, 0x00, 0x00, 0x03, 'e', 'd', 'b', // client string
+	}
+	if !bytes.Equal(hello, wantHello) {
+		t.Fatalf("baseline Hello bytes drifted:\n got %x\nwant %x", hello, wantHello)
+	}
+	welcome, err := EncodeMsg(&Welcome{Version: 1, Server: "edbd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantWelcome := []byte{
+		TypeWelcome, 0x00, 0x00, 0x00, 0x00, 0x0A,
+		0x00, 0x01,
+		0x00, 0x00, 0x00, 0x04, 'e', 'd', 'b', 'd',
+	}
+	if !bytes.Equal(welcome, wantWelcome) {
+		t.Fatalf("baseline Welcome bytes drifted:\n got %x\nwant %x", welcome, wantWelcome)
 	}
 }
 

@@ -1,0 +1,52 @@
+// Command gencert writes an ephemeral self-signed TLS keypair for edbd:
+//
+//	go run ./scripts/gencert -out certs
+//	edbd -tls-cert certs/cert.pem -tls-key certs/key.pem
+//	edb -connect host:3490 -tls -tls-ca certs/cert.pem ...
+//
+// The certificate is dual-use (server and client auth), so the same files
+// also serve as a client identity for mTLS (-tls-client-ca on edbd,
+// -tls-cert/-tls-key on edb). scripts/smoke.sh uses it for the TLS+auth
+// end-to-end run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/tlstest"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", ".", "directory to write cert.pem and key.pem into")
+		hosts = flag.String("hosts", "127.0.0.1,localhost,::1", "comma-separated DNS names / IPs for the certificate")
+		dur   = flag.Duration("dur", 30*24*time.Hour, "certificate validity")
+	)
+	flag.Parse()
+
+	certPEM, keyPEM, err := tlstest.GenerateKeypair(strings.Split(*hosts, ","), *dur)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	certPath := filepath.Join(*out, "cert.pem")
+	keyPath := filepath.Join(*out, "key.pem")
+	if err := os.WriteFile(certPath, certPEM, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(keyPath, keyPEM, 0o600); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("gencert: wrote %s and %s (hosts %s, valid %s)\n", certPath, keyPath, *hosts, *dur)
+}

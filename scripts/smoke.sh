@@ -6,14 +6,31 @@ set -eu
 
 workdir=$(mktemp -d)
 daemon_pid=""
+tls_daemon_pid=""
 cleanup() {
-    if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
-        kill "$daemon_pid" 2>/dev/null || true
-        wait "$daemon_pid" 2>/dev/null || true
-    fi
+    for pid in "$daemon_pid" "$tls_daemon_pid"; do
+        if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
     rm -rf "$workdir"
 }
 trap cleanup EXIT INT TERM
+
+# wait_addr logfile varname — poll a daemon log for its listen address.
+wait_addr() {
+    _log=$1
+    _addr=""
+    _i=0
+    while [ $_i -lt 100 ]; do
+        _addr=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$_log" | head -n1)
+        [ -n "$_addr" ] && break
+        sleep 0.1
+        _i=$((_i + 1))
+    done
+    echo "$_addr"
+}
 
 echo "smoke: building edb and edbd"
 go build -o "$workdir/edb" ./cmd/edb
@@ -82,6 +99,66 @@ echo "smoke: checking that a failing script exits non-zero remotely"
 if "$workdir/edb" -connect "$addr" -app linkedlist -assert -t 10 -seed 42 \
         -script "not-a-command;halt" >/dev/null 2>&1; then
     echo "smoke: FAIL — failing script exited 0" >&2
+    exit 1
+fi
+
+echo "smoke: generating an ephemeral TLS keypair"
+go run ./scripts/gencert -out "$workdir/certs" -hosts 127.0.0.1 >/dev/null
+
+echo "smoke: starting a TLS + require-auth edbd"
+EDBD_AUTH_TOKEN=smoke-secret "$workdir/edbd" -addr 127.0.0.1:0 \
+    -tls-cert "$workdir/certs/cert.pem" -tls-key "$workdir/certs/key.pem" \
+    -require-auth -v 2>"$workdir/edbd-tls.log" &
+tls_daemon_pid=$!
+tls_addr=$(wait_addr "$workdir/edbd-tls.log")
+if [ -z "$tls_addr" ]; then
+    echo "smoke: FAIL — TLS daemon never reported its address" >&2
+    cat "$workdir/edbd-tls.log" >&2
+    exit 1
+fi
+if ! grep -q "(tls+token)" "$workdir/edbd-tls.log"; then
+    echo "smoke: FAIL — TLS daemon did not report tls+token mode" >&2
+    cat "$workdir/edbd-tls.log" >&2
+    exit 1
+fi
+echo "smoke: TLS daemon at $tls_addr"
+
+echo "smoke: running the scripted session over TLS with a token"
+"$workdir/edb" -connect "$tls_addr" -tls -tls-ca "$workdir/certs/cert.pem" \
+    -auth-token smoke-secret $common "$script" >"$workdir/tls.out"
+if ! diff -u "$workdir/local.out" "$workdir/tls.out"; then
+    echo "smoke: FAIL — TLS+auth remote output differs from local" >&2
+    exit 1
+fi
+echo "smoke: TLS+auth remote output is byte-identical to local"
+
+echo "smoke: checking that a wrong token is rejected"
+if "$workdir/edb" -connect "$tls_addr" -tls -tls-ca "$workdir/certs/cert.pem" \
+        -auth-token wrong-secret $common "$script" >/dev/null 2>"$workdir/badtoken.err"; then
+    echo "smoke: FAIL — wrong token was accepted" >&2
+    exit 1
+fi
+if ! grep -q "authentication failed" "$workdir/badtoken.err"; then
+    echo "smoke: FAIL — wrong-token error is not the typed auth rejection:" >&2
+    cat "$workdir/badtoken.err" >&2
+    exit 1
+fi
+
+echo "smoke: checking that a token-less client is rejected"
+if "$workdir/edb" -connect "$tls_addr" -tls -tls-ca "$workdir/certs/cert.pem" \
+        $common "$script" >/dev/null 2>&1; then
+    echo "smoke: FAIL — token-less client was accepted by -require-auth" >&2
+    exit 1
+fi
+
+echo "smoke: draining the TLS daemon with SIGTERM"
+kill -TERM "$tls_daemon_pid"
+tls_rc=0
+wait "$tls_daemon_pid" || tls_rc=$?
+tls_daemon_pid=""
+if [ "$tls_rc" -ne 0 ] || ! grep -q "drained cleanly" "$workdir/edbd-tls.log"; then
+    echo "smoke: FAIL — TLS daemon did not drain cleanly (rc $tls_rc)" >&2
+    cat "$workdir/edbd-tls.log" >&2
     exit 1
 fi
 
