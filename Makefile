@@ -28,9 +28,10 @@ benchcmp:
 	sh scripts/benchcmp.sh $(BASE)
 
 # Regenerate every table, figure, case study, sweep, and ablation, plus
-# the trace-codec and snapshot benchmarks, into one BENCH.json.
+# the trace-codec, snapshot, fleet, and kernel benchmarks, into one
+# BENCH.json.
 results:
-	$(GO) run ./cmd/edb-bench -exp all -trace -snapshot -csv -out results
+	$(GO) run ./cmd/edb-bench -exp all -trace -snapshot -fleet -kernel -csv -out results
 
 examples:
 	$(GO) run ./examples/quickstart

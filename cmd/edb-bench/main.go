@@ -14,7 +14,7 @@
 //	edb-bench -json -quick
 //
 // Experiments: table2 table3 table4 fig2 fig7 fig9 fig11 fig12 sweep
-// sec531 sec532 baselines ablations all
+// sec531 sec532 baselines ablations fleet all
 package main
 
 import (
@@ -23,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table2|table3|table4|fig2|fig7|fig9|fig11|fig12|sweep|sec531|sec532|baselines|ablations|all)")
+	exp := flag.String("exp", "all", "experiment id (table2|table3|table4|fig2|fig7|fig9|fig11|fig12|sweep|sec531|sec532|baselines|ablations|fleet|all)")
 	out := flag.String("out", "results", "output directory for result files ('' to skip writing)")
 	quick := flag.Bool("quick", false, "shorter runs (coarser statistics)")
 	csv := flag.Bool("csv", false, "also write figure data as CSV files")
@@ -47,7 +49,46 @@ func main() {
 	par := flag.Int("par", 0, "worker count for the parallel runner (0 = GOMAXPROCS, 1 = sequential)")
 	traceBench := flag.Bool("trace", false, "benchmark the trace-stream codec on a Figure-7-style RF harvest trace (writes BENCH_trace.json)")
 	snapBench := flag.Bool("snapshot", false, "benchmark warm-start session forking and delta snapshots (writes BENCH_snapshot.json)")
+	fleetBench := flag.Bool("fleet", false, "benchmark the batched fleet-simulation kernel against the sequential rig (writes BENCH_fleet.json)")
+	fleetTags := flag.Int("fleet-tags", 0, "fleet size for -fleet and the fleet experiment (0 = defaults: 10000)")
+	kernelBench := flag.Bool("kernel", false, "record the sequential simulator kernel baseline as a 'kernel' suite in BENCH.json")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	// exit flushes profiles before terminating: os.Exit skips defers, so
+	// every termination path below goes through here.
+	exit := func(code int) {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err == nil {
+				runtime.GC()
+				err = pprof.WriteHeapProfile(f)
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				if code == 0 {
+					code = 2
+				}
+			}
+		}
+		os.Exit(code)
+	}
 
 	if *par > 0 {
 		parallel.SetWorkers(*par)
@@ -55,9 +96,10 @@ func main() {
 
 	wanted := strings.Split(*exp, ",")
 	all := *exp == "all"
-	// -trace or -snapshot alone runs just that benchmark; combining either
-	// with an explicit -exp adds it to that selection.
-	if *traceBench || *snapBench {
+	// A benchmark flag (-trace, -snapshot, -fleet, -kernel) alone runs just
+	// that benchmark; combining one with an explicit -exp adds it to that
+	// selection.
+	if *traceBench || *snapBench || *fleetBench || *kernelBench {
 		expSet := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "exp" {
@@ -297,16 +339,50 @@ func main() {
 		})
 	}
 
+	if want("fleet") {
+		add("fleet-table4", func(o *jobOut) error {
+			cfg := experiments.DefaultFleetTable4Config()
+			if *fleetTags > 0 {
+				cfg.Tags = *fleetTags
+			}
+			if *quick {
+				if cfg.Tags > 1000 {
+					cfg.Tags = 1000
+				}
+				cfg.Duration = 2
+			}
+			r, err := experiments.RunFleetTable4(cfg)
+			if err != nil {
+				return err
+			}
+			o.text = r.Format()
+			for _, m := range r.Modes {
+				key := strings.ReplaceAll(strings.ToLower(m.Mode.String()), " ", "_")
+				o.metric(fmt.Sprintf("fleet_success_%s_pct", key), 100*m.SuccessRate)
+			}
+			if *csv {
+				o.file("fleet-table4.csv", r.CSV())
+			}
+			return nil
+		})
+	}
+
 	if *traceBench {
 		add("trace-codec", func(o *jobOut) error { return runTraceBench(o, *quick) })
 	}
 	if *snapBench {
 		add("snapshot", func(o *jobOut) error { return runSnapshotBench(o, *quick) })
 	}
+	if *fleetBench {
+		add("fleet-bench", func(o *jobOut) error { return runFleetBench(o, *quick, *fleetTags) })
+	}
+	if *kernelBench {
+		add("kernel", func(o *jobOut) error { return runKernelBench(o, *quick) })
+	}
 
 	if len(jobs) == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments match -exp %q\n", *exp)
-		os.Exit(2)
+		exit(2)
 	}
 
 	// Run every selected experiment through the pool. Each job buffers its
@@ -378,8 +454,9 @@ func main() {
 	}
 
 	if failures > 0 {
-		os.Exit(1)
+		exit(1)
 	}
+	exit(0)
 }
 
 // runTraceBench records a Figure-7-style RF harvest trace (linked-list app

@@ -165,6 +165,23 @@ type Config struct {
 	SleepCurrent units.Amps
 	// Quantum is the energy-integration step in cycles.
 	Quantum sim.Cycles
+	// SleepQuantum, when non-zero, is a coarser energy-integration step
+	// used while the MCU is in a low-power mode (env.Sleep). Sleep current
+	// is near-constant, so integrating it at the active-mode quantum buys
+	// no accuracy; fleet-scale runs set this to trade sub-quantum sleep
+	// resolution for throughput. Zero keeps the active quantum everywhere
+	// (the default, and the setting all golden results use).
+	SleepQuantum sim.Cycles
+	// DeferSupply batches sub-quantum supply integration: while no
+	// monitors or probes are attached and the target is untethered,
+	// advance() accrues elapsed cycles and integrates the store once a
+	// full quantum has accumulated — or at the next load change, sleep
+	// transition, or voltage observation — instead of once per env call.
+	// Short bus and GPIO operations then stop paying a supply step each.
+	// Brown-out surfaces at the accrual boundary, the same granularity
+	// trade Quantum already makes. Off by default (the setting all golden
+	// results use).
+	DeferSupply bool
 	// Seed seeds the device's RNG streams.
 	Seed int64
 }
@@ -195,11 +212,16 @@ type Device struct {
 
 	cfg Config
 
-	// dynamic load adders, by name (peripherals turn themselves on/off);
-	// loadSum caches their total, summed in sorted-name order so the value
-	// never depends on map iteration order.
-	loads   map[string]units.Amps
+	// dynamic load adders, by name (peripherals turn themselves on/off),
+	// kept as a name-sorted slice: there are at most a handful, SetLoad
+	// sits on the app's per-iteration path, and summing in sorted order
+	// keeps the cached total independent of insertion order.
+	loads   []loadEntry
 	loadSum units.Amps
+
+	// pendSupply is the deferred-integration accrual: cycles the clock has
+	// advanced that the supply has not yet integrated (DeferSupply only).
+	pendSupply sim.Cycles
 
 	monitors []*monitorSlot
 	probes   []PassiveProbe
@@ -253,7 +275,6 @@ func New(cfg Config, supply *energy.Supply) *Device {
 		FRAM:   fram,
 		RNG:    sim.NewRNG(cfg.Seed),
 		cfg:    cfg,
-		loads:  make(map[string]units.Amps),
 	}
 	d.GPIO = newGPIOPorts(d)
 	d.UART = newUART(d)
@@ -316,31 +337,38 @@ func (d *Device) AddMonitor(m Monitor) func() {
 	}
 }
 
+// loadEntry is one named load adder; Device.loads stays sorted by name.
+type loadEntry struct {
+	name string
+	amps units.Amps
+}
+
 // SetLoad registers (or updates) a named load adder; amps <= 0 removes it.
 func (d *Device) SetLoad(name string, amps units.Amps) {
-	if amps <= 0 {
-		delete(d.loads, name)
-	} else {
-		d.loads[name] = amps
+	d.flushSupply() // integrate accrued cycles under the old load
+
+	i := sort.Search(len(d.loads), func(i int) bool { return d.loads[i].name >= name })
+	switch {
+	case i < len(d.loads) && d.loads[i].name == name:
+		if amps <= 0 {
+			d.loads = append(d.loads[:i], d.loads[i+1:]...)
+		} else {
+			d.loads[i].amps = amps
+		}
+	case amps > 0:
+		d.loads = append(d.loads, loadEntry{})
+		copy(d.loads[i+1:], d.loads[i:])
+		d.loads[i] = loadEntry{name, amps}
+	default:
+		return // removing an absent load changes nothing
 	}
 	d.recalcLoadSum()
 }
 
 func (d *Device) recalcLoadSum() {
 	var sum units.Amps
-	if len(d.loads) > 1 {
-		names := make([]string, 0, len(d.loads))
-		for n := range d.loads {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			sum += d.loads[n]
-		}
-	} else {
-		for _, a := range d.loads {
-			sum += a
-		}
+	for _, e := range d.loads {
+		sum += e.amps
 	}
 	d.loadSum = sum
 }
@@ -414,22 +442,33 @@ func (d *Device) SetISR(isr func(env *Env)) { d.isr = isr }
 // panicking on brown-out, deadline, or (via the ISR) debugger interrupts.
 func (d *Device) advance(n sim.Cycles, env *Env) {
 	for n > 0 {
-		step := d.cfg.Quantum
+		q := d.cfg.Quantum
+		if d.lowPower && d.cfg.SleepQuantum > q {
+			q = d.cfg.SleepQuantum
+		}
+		step := q
 		if step > n {
 			step = n
 		}
 		n -= step
 		d.Clock.Advance(step)
-		dt := d.Clock.ToSeconds(step)
 
-		if d.Supply.Tethered() {
-			d.stats.TetheredTime += dt
+		if d.deferSupply() {
+			d.pendSupply += step
+			if d.pendSupply >= q {
+				d.flushSupply()
+			}
 		} else {
-			d.stats.ActiveTime += dt
-			load := d.TotalLoad() + d.probeLeakage()
-			if d.Supply.Step(load, dt) == energy.PowerOff {
-				d.runMonitors()
-				panic(&PowerFailure{At: d.Clock.Now(), V: d.Supply.Voltage()})
+			dt := d.Clock.ToSeconds(step)
+			if d.Supply.Tethered() {
+				d.stats.TetheredTime += dt
+			} else {
+				d.stats.ActiveTime += dt
+				load := d.TotalLoad() + d.probeLeakage()
+				if d.Supply.Step(load, dt) == energy.PowerOff {
+					d.runMonitors()
+					panic(&PowerFailure{At: d.Clock.Now(), V: d.Supply.Voltage()})
+				}
 			}
 		}
 
@@ -437,6 +476,7 @@ func (d *Device) advance(n sim.Cycles, env *Env) {
 		d.checkDeadline()
 
 		if d.interruptPending && d.isr != nil && !d.inISR && env != nil {
+			d.flushSupply() // the ISR observes the target's real state
 			d.interruptPending = false
 			d.inISR = true
 			d.isr(env)
@@ -445,17 +485,59 @@ func (d *Device) advance(n sim.Cycles, env *Env) {
 	}
 }
 
+// deferSupply reports whether supply integration may accrue across env
+// calls: only when nothing samples the store between quanta.
+func (d *Device) deferSupply() bool {
+	return d.cfg.DeferSupply && len(d.monitors) == 0 && len(d.probes) == 0 &&
+		!d.Supply.Tethered()
+}
+
+// flushSupply integrates any accrued cycles (DeferSupply). Callers that
+// change the load or observe the store invoke it first; it is a no-op when
+// nothing is pending.
+func (d *Device) flushSupply() {
+	p := d.pendSupply
+	if p == 0 {
+		return
+	}
+	d.pendSupply = 0
+	dt := d.Clock.ToSeconds(p)
+	d.stats.ActiveTime += dt
+	load := d.TotalLoad() + d.probeLeakage()
+	if d.Supply.Step(load, dt) == energy.PowerOff {
+		d.runMonitors()
+		panic(&PowerFailure{At: d.Clock.Now(), V: d.Supply.Voltage()})
+	}
+}
+
 // IdleCharge advances time with the MCU off (no load but probe leakage)
 // until either the supply turns on or maxTime elapses. It returns true if
 // the device powered on.
 func (d *Device) IdleCharge(maxTime units.Seconds) bool {
-	deadlineCycles := d.Clock.Now() + d.Clock.ToCycles(maxTime)
+	powered, _ := d.IdleChargeUntil(d.Clock.Now()+d.Clock.ToCycles(maxTime), sim.Cycles(^uint64(0)))
+	return powered
+}
+
+// IdleChargeUntil is the resumable core of IdleCharge: it advances a
+// charging phase whose deadline is the absolute cycle limit, pausing when
+// the clock reaches stopAt (a time-slice boundary). It returns powered=true
+// if the supply turned on, and exhausted=true if the charge window closed
+// without power-on. (false, false) means the slice boundary interrupted the
+// phase: calling again with the SAME limit resumes with an integration
+// sequence identical to an unsliced run — limit, not stopAt, bounds the
+// analytic charge jump, so slicing never changes where integration steps or
+// jumps land (a jump may carry the clock past stopAt; callers tolerate the
+// overshoot, which a sequential run would perform identically).
+func (d *Device) IdleChargeUntil(limit, stopAt sim.Cycles) (powered, exhausted bool) {
 	quantum := d.cfg.Quantum * 16 // coarser integration while off
-	for d.Clock.Now() < deadlineCycles {
+	for d.Clock.Now() < limit {
+		if d.Clock.Now() >= stopAt {
+			return false, false
+		}
 		// With nothing observing the charge curve, jump straight to the
 		// turn-on crossing when the supply has a closed form for it.
-		if len(d.monitors) == 0 && len(d.probes) == 0 && d.chargeJump(deadlineCycles) {
-			return true
+		if len(d.monitors) == 0 && len(d.probes) == 0 && d.chargeJump(limit) {
+			return true, false
 		}
 		step := quantum
 		d.Clock.Advance(step)
@@ -465,12 +547,12 @@ func (d *Device) IdleCharge(maxTime units.Seconds) bool {
 		// trigger a brown-out panic because nothing is executing).
 		if d.Supply.Step(d.probeLeakage(), dt) == energy.PowerOn {
 			d.runMonitors()
-			return true
+			return true, false
 		}
 		d.runMonitors()
 		d.checkDeadline()
 	}
-	return false
+	return false, true
 }
 
 // chargeJump fast-forwards a monitor- and probe-free charging phase straight
@@ -549,8 +631,9 @@ func (d *Device) Reboot() {
 	d.UART.reset()
 	d.I2C.reset()
 	d.RF.reset()
-	d.loads = make(map[string]units.Amps)
+	d.loads = nil
 	d.loadSum = 0
+	d.pendSupply = 0
 	d.interruptPending = false
 	d.lowPower = false
 	d.stats.Reboots++

@@ -139,7 +139,10 @@ func (e *Env) RFTransmit(bits []byte) { e.D.RF.Transmit(e, bits) }
 // its own supply would burn energy to do so; this accessor exists for
 // tests and oracles, not for firmware — firmware that wants a reading
 // should use MeasureSelfVoltage, which charges the ADC cost.
-func (e *Env) Voltage() float64 { return float64(e.D.Supply.Voltage()) }
+func (e *Env) Voltage() float64 {
+	e.D.flushSupply()
+	return float64(e.D.Supply.Voltage())
+}
 
 // MeasureSelfVoltage models the target sampling its own stored energy with
 // its on-board ADC: it costs time and energy, perturbing the very state
@@ -148,6 +151,7 @@ func (e *Env) Voltage() float64 { return float64(e.D.Supply.Voltage()) }
 func (e *Env) MeasureSelfVoltage() float64 {
 	const adcCycles = 160 // sample-and-hold + conversion
 	e.tick(adcCycles)
+	e.D.flushSupply()
 	return float64(e.D.Supply.Voltage())
 }
 
@@ -156,8 +160,12 @@ func (e *Env) MeasureSelfVoltage() float64 {
 // sensor data-ready intervals. A power failure during sleep unwinds as
 // usual; the low-power flag is cleared on reboot.
 func (e *Env) Sleep(n sim.Cycles) {
+	e.D.flushSupply() // active-current cycles integrate before the mode switch
 	e.D.lowPower = true
-	defer func() { e.D.lowPower = false }()
+	defer func() {
+		e.D.flushSupply() // and sleep-current cycles before returning to active
+		e.D.lowPower = false
+	}()
 	e.tick(n)
 }
 

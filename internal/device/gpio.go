@@ -47,6 +47,9 @@ type GPIOEdge struct {
 type GPIOPorts struct {
 	d     *Device
 	lines map[string]*gpioLine
+	// Well-known lines resolved once: pin writes sit on the libEDB
+	// watchpoint fast path, where a map probe per edge is measurable.
+	marker0, marker1, debugSig *gpioLine
 	subs  []func(GPIOEdge)
 
 	// version increments on every level change, including the silent reset
@@ -66,6 +69,27 @@ func newGPIOPorts(d *Device) *GPIOPorts {
 }
 
 func (g *GPIOPorts) line(name string) *gpioLine {
+	switch name {
+	case LineCodeMarker0:
+		if g.marker0 == nil {
+			g.marker0 = g.lookup(name)
+		}
+		return g.marker0
+	case LineCodeMarker1:
+		if g.marker1 == nil {
+			g.marker1 = g.lookup(name)
+		}
+		return g.marker1
+	case LineDebugSignal:
+		if g.debugSig == nil {
+			g.debugSig = g.lookup(name)
+		}
+		return g.debugSig
+	}
+	return g.lookup(name)
+}
+
+func (g *GPIOPorts) lookup(name string) *gpioLine {
 	l, ok := g.lines[name]
 	if !ok {
 		l = &gpioLine{name: name}

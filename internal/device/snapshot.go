@@ -93,8 +93,8 @@ func (d *Device) Snapshot() (*Snapshot, error) {
 	}
 	if len(d.loads) > 0 {
 		s.Loads = make(map[string]units.Amps, len(d.loads))
-		for k, v := range d.loads {
-			s.Loads[k] = v
+		for _, e := range d.loads {
+			s.Loads[e.name] = e.amps
 		}
 	}
 	if len(d.GPIO.lines) > 0 {
@@ -150,9 +150,10 @@ func (d *Device) Restore(s *Snapshot) error {
 	}
 	d.RNG.RestoreState(s.RNG)
 
-	d.loads = make(map[string]units.Amps, len(s.Loads))
+	d.loads = nil
+	d.pendSupply = 0
 	for k, v := range s.Loads {
-		d.loads[k] = v
+		d.SetLoad(k, v)
 	}
 	d.recalcLoadSum()
 	d.lowPower = s.LowPower

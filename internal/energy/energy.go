@@ -130,6 +130,13 @@ type RFHarvester struct {
 	// AntennaGainDBi is the combined TX+RX antenna gain in dBi.
 	AntennaGainDBi float64
 
+	// PowerScale scales the received power (0 or negative means 1, the
+	// default). Fleet simulations use it for reader-contention models: a
+	// reader time-sharing its carrier across many tags delivers each a
+	// fraction of the solo power. It participates in the Friis memo key and
+	// the closed-form charge solve, so scaled charging still fast-forwards.
+	PowerScale float64
+
 	// Noise models small-scale fading of the RF channel: each current
 	// draw is jittered by ±NoiseFrac. Without it the supply is perfectly
 	// deterministic and intermittent executions phase-lock — every
@@ -138,12 +145,20 @@ type RFHarvester struct {
 	Noise     *sim.RNG
 	NoiseFrac float64
 
-	// Memoized Friis result: ReceivedPower is a pure function of the five
+	// Memoized Friis result: ReceivedPower is a pure function of the
 	// fields in prKey, and the hot loop (Supply.Step every quantum) calls it
 	// through Current with the same configuration for millions of steps.
-	prKey   [4]float64
+	prKey   [5]float64
 	prValid bool
 	prCache units.Watts
+}
+
+// scale returns the effective PowerScale (unset means 1).
+func (h *RFHarvester) scale() float64 {
+	if h.PowerScale <= 0 {
+		return 1
+	}
+	return h.PowerScale
 }
 
 // NewRFHarvester returns an RF harvester configured like the paper's setup:
@@ -168,7 +183,7 @@ func (h *RFHarvester) ReceivedPower() units.Watts {
 	if !h.CarrierOn || h.Distance <= 0 {
 		return 0
 	}
-	key := [4]float64{float64(h.TxPower), float64(h.Distance), h.FreqMHz, h.AntennaGainDBi}
+	key := [5]float64{float64(h.TxPower), float64(h.Distance), h.FreqMHz, h.AntennaGainDBi, h.scale()}
 	if h.prValid && key == h.prKey {
 		return h.prCache
 	}
@@ -176,7 +191,7 @@ func (h *RFHarvester) ReceivedPower() units.Watts {
 	gain := math.Pow(10, h.AntennaGainDBi/10)
 	lambda := 299.792458 / h.FreqMHz // wavelength in meters
 	denom := 4 * math.Pi * float64(h.Distance) / lambda
-	pr := units.Watts(pt * gain / (denom * denom))
+	pr := units.Watts(pt * gain / (denom * denom) * h.scale())
 	h.prKey, h.prValid, h.prCache = key, true, pr
 	return pr
 }

@@ -1,0 +1,49 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/experiments"
+)
+
+// TestFleetTable4Quick runs a scaled-down fleet (60 tags, 2 s) and checks
+// the Table-4 shape: all three instrumentation builds report iterations,
+// the EDB-printf column tracks the uninstrumented build, and UART printf
+// costs iterations relative to it.
+func TestFleetTable4Quick(t *testing.T) {
+	r, err := experiments.RunFleetTable4(experiments.FleetTable4Config{
+		Tags:     60,
+		Duration: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Modes) != 3 {
+		t.Fatalf("got %d modes, want 3", len(r.Modes))
+	}
+	byMode := map[apps.PrintMode]experiments.FleetModeResult{}
+	for _, m := range r.Modes {
+		byMode[m.Mode] = m
+		if m.Attempted == 0 {
+			t.Errorf("%v: no iterations attempted", m.Mode)
+		}
+		if m.SuccessRate < 0 || m.SuccessRate > 1 {
+			t.Errorf("%v: success rate %v out of range", m.Mode, m.SuccessRate)
+		}
+		if m.AggregateSimSeconds <= 0 {
+			t.Errorf("%v: aggregate sim seconds %v", m.Mode, m.AggregateSimSeconds)
+		}
+	}
+	// EDB printf is interference-free in the fleet model: identical
+	// outcomes to the bare build.
+	no, edb, uart := byMode[apps.NoPrint], byMode[apps.EDBPrint], byMode[apps.UARTPrint]
+	if edb.Completed != no.Completed || edb.Attempted != no.Attempted {
+		t.Errorf("EDB printf diverged from bare build: %+v vs %+v", edb, no)
+	}
+	// The UART build pays time and energy per iteration out of the store:
+	// it cannot complete more work than the bare build.
+	if uart.Completed > no.Completed {
+		t.Errorf("UART printf completed %d > bare %d", uart.Completed, no.Completed)
+	}
+}

@@ -1,0 +1,538 @@
+// Package fleet is the batched simulation kernel: it steps an array of
+// intermittently-powered tags through shared time slices instead of running
+// one event loop per rig, which is what makes Table-4-style studies at
+// 10k–100k devices practical in a single process.
+//
+// Equivalence by construction. Each tag owns the same Device, Supply, and
+// interpreter objects a sequential core.Rig run would use, and the fleet's
+// per-tag state machine is a resumable transliteration of
+// device.Runner.RunUntil: the charge phase runs through
+// Device.IdleChargeUntil with the charge deadline computed once at phase
+// entry, the execute phase drives isa programs through Program.StepUntil
+// (Go-burst programs run whole bursts, which a power failure bounds), and
+// the wedged-MCU burn loop ticks the same 1024-cycle chunks. Because slice
+// boundaries only ever pause a tag between the exact same env calls a
+// sequential run performs, a batched run of N tags produces byte-identical
+// per-tag outcomes to N sequential Rig runs — the golden property
+// fleet_test.go enforces under -race at multiple worker counts.
+//
+// Layout. The scheduler's hot state is struct-of-arrays: phase, local
+// clock, charge deadline, capacitor voltage, and outcome tallies live in
+// parallel slices indexed by tag. The slice loop scans those arrays —
+// skipping tags that already sit at or beyond the boundary without touching
+// their device objects — and only enters a tag's Device/CPU working set
+// when the tag actually has cycles to run. Cross-device effects (reader
+// contention) are computed sequentially from the arrays at each slice
+// barrier, in tag-index order, so they are deterministic at any worker
+// count.
+//
+// Sharding. Per-slice work fans out over internal/parallel with one item
+// per tag; each tag's randomness derives from parallel.ShardSeed(seed, i),
+// so results are bit-for-bit identical at any worker count.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/device"
+	"repro/internal/energy"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Sliceable is implemented by programs whose execution can pause at a cycle
+// limit and resume later with an identical env-call sequence (isa.Program).
+// Programs without it run in whole bursts: Main executes until it returns
+// or a terminal panic (power failure, fault, deadline) unwinds it — the
+// intermittent execution model makes those bursts naturally short.
+type Sliceable interface {
+	// ResetCPU performs the power-on reset Main would start with.
+	ResetCPU()
+	// StepUntil advances until the program halts (true) or simulated time
+	// reaches limit (false, resumable).
+	StepUntil(env *device.Env, limit sim.Cycles) bool
+}
+
+// ContentionConfig models an RFID reader time-sharing its carrier: with
+// more than Slots tags simultaneously charging, each receives
+// Slots/charging of the solo received power. It requires per-tag
+// RFHarvester sources and is recomputed at every slice barrier from the
+// previous slice's power states, sequentially in tag-index order.
+//
+// Contention is a fleet-level effect with no sequential-rig equivalent, so
+// the golden equivalence property only holds with Slots == 0 (disabled).
+type ContentionConfig struct {
+	// Slots is the number of tags the reader can energize at full power;
+	// 0 disables contention.
+	Slots int
+}
+
+// Config parameterizes a fleet run.
+type Config struct {
+	// Tags is the number of devices to simulate.
+	Tags int
+	// Duration is the simulated run length per tag.
+	Duration units.Seconds
+	// Slice is the batching granularity: all live tags reach each slice
+	// boundary before cross-device effects are evaluated. Defaults to
+	// 50 ms. Smaller slices tighten contention feedback; larger slices
+	// amortize scheduling overhead.
+	Slice units.Seconds
+	// Seed is the base seed; tag i derives parallel.ShardSeed(Seed, i).
+	Seed int64
+	// MaxChargeTime bounds one charging phase (Runner's default: 10 s).
+	MaxChargeTime units.Seconds
+	// Quantum, when non-zero, overrides each device's active integration
+	// quantum (device.DefaultConfig's 64 cycles). Larger quanta trade
+	// supply-integration resolution for speed; at 47 µF even 512 cycles
+	// (128 µs) moves the capacitor a few millivolts per step.
+	Quantum sim.Cycles
+	// SleepQuantum, when non-zero, is forwarded to each device's config:
+	// coarser energy integration during low-power waits.
+	SleepQuantum sim.Cycles
+	// DeferSupply forwards device.Config.DeferSupply: batch sub-quantum
+	// supply integration across env calls (monitor/probe-free tags only).
+	DeferSupply bool
+	// NewProgram builds tag i's firmware (required). Each tag needs its
+	// own instance.
+	NewProgram func(i int) device.Program
+	// NewHarvester builds tag i's energy source; nil uses DefaultHarvester.
+	NewHarvester func(i int, seed int64) energy.Harvester
+	// Contention optionally couples tags through the reader's carrier.
+	Contention ContentionConfig
+}
+
+// DefaultHarvester is the fleet's default per-tag energy source: the
+// paper's 30 dBm / 915 MHz RF setup with fading noise disabled — noise-free
+// supplies have closed-form charge curves, so off phases fast-forward
+// analytically — and tag i placed at a deterministic distance in
+// [0.6 m, 1.4 m), spreading the fleet across the harvesting range the way a
+// real deployment spreads tags across a room.
+func DefaultHarvester(i int, seed int64) energy.Harvester {
+	h := energy.NewRFHarvester()
+	h.Noise = nil
+	h.NoiseFrac = 0
+	h.Distance = units.Meters(0.6 + 0.8*float64(i%97)/97.0)
+	return h
+}
+
+// TagResult is one tag's outcome: exactly what a sequential
+// Runner.RunFor(duration) on the same device would have returned.
+type TagResult struct {
+	Result device.RunResult
+	// Err is non-nil if the tag's run aborted (e.g. ErrNeverPowered).
+	Err error
+}
+
+// Result summarizes a fleet run.
+type Result struct {
+	Tags []TagResult
+	// Devices exposes each tag's device so callers can read
+	// application-level statistics out of simulated FRAM afterwards.
+	Devices []*device.Device
+	// AggregateSimSeconds is the total simulated time executed across the
+	// fleet (the numerator of the sim-seconds-per-wall-second metric).
+	AggregateSimSeconds float64
+	// Completed, Reboots, Faults are fleet-wide tallies.
+	Completed int
+	Reboots   int
+	Faults    int
+	// BytesPerTag is the approximate heap footprint per tag, measured
+	// after construction.
+	BytesPerTag float64
+}
+
+// tag phases of the resumable Runner state machine.
+const (
+	phaseChargeEnter = iota // evaluate powered-already, stamp charge deadline
+	phaseCharging           // inside IdleChargeUntil
+	phaseRunEnter           // power-on reset pending
+	phaseRunning            // executing (mid-StepUntil for sliceable programs)
+	phaseBurning            // wedged MCU burning until brown-out
+	phaseDone
+)
+
+// sliceYield is the non-terminal outcome of an execution slice: the tag
+// reached the slice boundary mid-run.
+type sliceYield struct{}
+
+// fleetState is the batched kernel: per-tag devices plus the
+// struct-of-arrays scheduling state the slice loop scans.
+type fleetState struct {
+	cfg      Config
+	deadline sim.Cycles
+
+	devs  []*device.Device
+	progs []device.Program
+	envs  []*device.Env
+	slics []Sliceable          // nil for burst-only programs
+	harvs []*energy.RFHarvester // nil unless contention applies
+
+	// Hot per-tag state, struct-of-arrays (indexed by tag).
+	phase       []uint8
+	now         []sim.Cycles // mirror of the tag's clock at last pause
+	chargeLimit []sim.Cycles // absolute charge-phase deadline
+	voltage     []float32    // capacitor voltage at last barrier
+	completed   []bool
+	deadlineHit []bool
+	reboots     []int32
+	faults      []int32
+	halted      []string
+	errs        []error
+}
+
+// Run executes the fleet and returns per-tag outcomes.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Tags <= 0 {
+		return nil, fmt.Errorf("fleet: Tags must be positive")
+	}
+	if cfg.NewProgram == nil {
+		return nil, fmt.Errorf("fleet: NewProgram is required")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("fleet: Duration must be positive")
+	}
+	if cfg.Slice <= 0 {
+		cfg.Slice = units.MilliSeconds(50)
+	}
+	if cfg.MaxChargeTime <= 0 {
+		cfg.MaxChargeTime = units.Seconds(10)
+	}
+	if cfg.NewHarvester == nil {
+		cfg.NewHarvester = DefaultHarvester
+	}
+
+	s, memPerTag, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.run()
+	res := s.collect()
+	res.BytesPerTag = memPerTag
+	return res, nil
+}
+
+// build constructs every tag and measures the heap cost per tag.
+func build(cfg Config) (*fleetState, float64, error) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+
+	n := cfg.Tags
+	s := &fleetState{
+		cfg:         cfg,
+		devs:        make([]*device.Device, n),
+		progs:       make([]device.Program, n),
+		envs:        make([]*device.Env, n),
+		slics:       make([]Sliceable, n),
+		harvs:       make([]*energy.RFHarvester, n),
+		phase:       make([]uint8, n),
+		now:         make([]sim.Cycles, n),
+		chargeLimit: make([]sim.Cycles, n),
+		voltage:     make([]float32, n),
+		completed:   make([]bool, n),
+		deadlineHit: make([]bool, n),
+		reboots:     make([]int32, n),
+		faults:      make([]int32, n),
+		halted:      make([]string, n),
+		errs:        make([]error, n),
+	}
+
+	// Construction is parallel too: each tag's assembly (device, flash,
+	// classifier training) is independent and seeded by ShardSeed.
+	err := parallel.ForEach(n, func(i int) error {
+		seed := parallel.ShardSeed(cfg.Seed, i)
+		h := cfg.NewHarvester(i, seed)
+		// Mirror device.NewWISP5: WISP 5 supply, harvester reseeded from
+		// the tag's seed, plus the fleet's sleep-quantum override.
+		dcfg := device.DefaultConfig()
+		dcfg.Seed = seed
+		if cfg.Quantum > 0 {
+			dcfg.Quantum = cfg.Quantum
+		}
+		dcfg.SleepQuantum = cfg.SleepQuantum
+		dcfg.DeferSupply = cfg.DeferSupply
+		if r, ok := h.(energy.Reseeder); ok {
+			r.Reseed(seed)
+		}
+		d := device.New(dcfg, energy.WISP5Supply(h))
+
+		p := cfg.NewProgram(i)
+		if err := p.Flash(d); err != nil {
+			return fmt.Errorf("fleet: flashing tag %d: %w", i, err)
+		}
+
+		s.devs[i] = d
+		s.progs[i] = p
+		s.envs[i] = &device.Env{D: d}
+		if sl, ok := p.(Sliceable); ok {
+			s.slics[i] = sl
+		}
+		if rf, ok := h.(*energy.RFHarvester); ok {
+			s.harvs[i] = rf
+		}
+		s.phase[i] = phaseChargeEnter
+		s.voltage[i] = float32(d.Supply.Voltage())
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	s.deadline = s.devs[0].Clock.ToCycles(cfg.Duration)
+	for _, d := range s.devs {
+		d.SetDeadline(s.deadline)
+	}
+
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	perTag := float64(0)
+	if m1.HeapAlloc > m0.HeapAlloc {
+		perTag = float64(m1.HeapAlloc-m0.HeapAlloc) / float64(n)
+	}
+	return s, perTag, nil
+}
+
+// run is the time-sliced outer loop: advance every live tag to the next
+// shared boundary, then apply cross-device effects, until all tags reach a
+// terminal state.
+func (s *fleetState) run() {
+	n := s.cfg.Tags
+	slice := s.devs[0].Clock.ToCycles(s.cfg.Slice)
+	if slice == 0 {
+		slice = 1
+	}
+	s.applyContention()
+
+	const never = sim.Cycles(^uint64(0))
+	for sliceEnd := slice; ; sliceEnd += slice {
+		stopAt := sliceEnd
+		if sliceEnd >= s.deadline {
+			// Final pass: the shared deadline now bounds every tag, so
+			// run each to its terminal outcome exactly as an unsliced
+			// Runner would.
+			stopAt = never
+		}
+		live := 0
+		for i := 0; i < n; i++ {
+			if s.phase[i] != phaseDone {
+				live++
+			}
+		}
+		if live == 0 {
+			break
+		}
+		_ = parallel.ForEach(n, func(i int) error {
+			if s.phase[i] != phaseDone && s.now[i] < stopAt {
+				s.stepTag(i, stopAt)
+			}
+			return nil
+		})
+		s.applyContention()
+		if stopAt == never {
+			break
+		}
+	}
+	for _, d := range s.devs {
+		d.ClearDeadline()
+	}
+}
+
+// stepTag advances tag i until it reaches the slice boundary or a terminal
+// state. The body is Runner.RunUntil unrolled into a resumable machine;
+// every transition matches the sequential control flow exactly.
+func (s *fleetState) stepTag(i int, stopAt sim.Cycles) {
+	d := s.devs[i]
+	for s.phase[i] != phaseDone && d.Clock.Now() < stopAt {
+		switch s.phase[i] {
+		case phaseChargeEnter:
+			// Runner.charge: already powered and above brown-out → run.
+			if d.Supply.State() == energy.PowerOn && d.Supply.Voltage() >= d.Supply.VBrownOut {
+				s.phase[i] = phaseRunEnter
+				continue
+			}
+			// The charge deadline is stamped ONCE at phase entry (the
+			// IdleCharge call in Runner computes it on entry); resuming
+			// across slices must keep the original limit.
+			s.chargeLimit[i] = d.Clock.Now() + d.Clock.ToCycles(s.cfg.MaxChargeTime)
+			s.phase[i] = phaseCharging
+
+		case phaseCharging:
+			powered, exhausted, deadlineHit := s.chargeSlice(i, stopAt)
+			switch {
+			case deadlineHit:
+				s.deadlineHit[i] = true
+				s.phase[i] = phaseDone
+			case powered:
+				s.phase[i] = phaseRunEnter
+			case exhausted:
+				s.errs[i] = device.ErrNeverPowered
+				s.phase[i] = phaseDone
+			default:
+				return // paused at the slice boundary
+			}
+
+		case phaseRunEnter:
+			if sl := s.slics[i]; sl != nil {
+				sl.ResetCPU()
+			}
+			s.phase[i] = phaseRunning
+
+		case phaseRunning:
+			outcome := s.execSlice(i, stopAt)
+			switch o := outcome.(type) {
+			case sliceYield:
+				return
+			case nil:
+				s.completed[i] = true
+				s.phase[i] = phaseDone
+			case *device.PowerFailure:
+				s.reboots[i]++
+				d.Reboot()
+				s.phase[i] = phaseChargeEnter
+			case *device.MemoryFault:
+				s.faults[i]++
+				s.phase[i] = phaseBurning
+			case *device.Halted:
+				s.halted[i] = o.Reason
+				s.phase[i] = phaseDone
+			case *device.DeadlineReached:
+				s.deadlineHit[i] = true
+				s.phase[i] = phaseDone
+			default:
+				panic(outcome)
+			}
+
+		case phaseBurning:
+			outcome := s.burnSlice(i, stopAt)
+			switch outcome.(type) {
+			case sliceYield:
+				return
+			case *device.PowerFailure:
+				s.reboots[i]++
+				d.Reboot()
+				s.phase[i] = phaseChargeEnter
+			case *device.DeadlineReached:
+				s.deadlineHit[i] = true
+				s.phase[i] = phaseDone
+			default:
+				panic(outcome)
+			}
+		}
+	}
+	s.now[i] = d.Clock.Now()
+	s.voltage[i] = float32(d.Supply.Voltage())
+}
+
+// chargeSlice resumes tag i's charging phase, bounded by the slice.
+func (s *fleetState) chargeSlice(i int, stopAt sim.Cycles) (powered, exhausted, deadlineHit bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, ok := p.(*device.DeadlineReached); ok {
+				deadlineHit = true
+				return
+			}
+			panic(p)
+		}
+	}()
+	powered, exhausted = s.devs[i].IdleChargeUntil(s.chargeLimit[i], stopAt)
+	return
+}
+
+// execSlice runs tag i's program for one slice, converting terminal panics
+// into outcome values (Runner.executeOnce, plus the resumable yield).
+func (s *fleetState) execSlice(i int, stopAt sim.Cycles) (outcome any) {
+	defer func() {
+		if p := recover(); p != nil {
+			switch p.(type) {
+			case *device.PowerFailure, *device.MemoryFault, *device.Halted, *device.DeadlineReached:
+				outcome = p
+			default:
+				panic(p)
+			}
+		}
+	}()
+	if sl := s.slics[i]; sl != nil {
+		if sl.StepUntil(s.envs[i], stopAt) {
+			return nil // program halted: Main would have returned
+		}
+		return sliceYield{}
+	}
+	// Burst program: one whole Main invocation. Power failure, fault, or
+	// the deadline bounds it; it may overshoot the slice, which the
+	// sequential reference would do identically.
+	s.progs[i].Main(s.envs[i])
+	return nil
+}
+
+// burnSlice models the wedged MCU burning energy until brown-out
+// (Runner.burnUntilBrownout), sliced into the same 1024-cycle chunks.
+func (s *fleetState) burnSlice(i int, stopAt sim.Cycles) (outcome any) {
+	defer func() {
+		if p := recover(); p != nil {
+			switch p.(type) {
+			case *device.PowerFailure, *device.DeadlineReached:
+				outcome = p
+			default:
+				panic(p)
+			}
+		}
+	}()
+	env := s.envs[i]
+	for s.devs[i].Clock.Now() < stopAt {
+		env.Compute(1024)
+	}
+	return sliceYield{}
+}
+
+// applyContention recomputes each tag's share of the reader's carrier from
+// the barrier-consistent voltage/phase arrays: deterministic, sequential,
+// in tag-index order.
+func (s *fleetState) applyContention() {
+	slots := s.cfg.Contention.Slots
+	if slots <= 0 {
+		return
+	}
+	charging := 0
+	for i := range s.phase {
+		if s.phase[i] == phaseCharging || s.phase[i] == phaseChargeEnter {
+			charging++
+		}
+	}
+	scale := 1.0
+	if charging > slots {
+		scale = float64(slots) / float64(charging)
+	}
+	for _, h := range s.harvs {
+		if h != nil {
+			h.PowerScale = scale
+		}
+	}
+}
+
+// collect assembles per-tag RunResults exactly as Runner.RunUntil reports
+// them (origin 0: fresh devices).
+func (s *fleetState) collect() *Result {
+	res := &Result{Tags: make([]TagResult, s.cfg.Tags), Devices: s.devs}
+	for i, d := range s.devs {
+		r := device.RunResult{
+			Completed:   s.completed[i],
+			Reboots:     int(s.reboots[i]),
+			Faults:      int(s.faults[i]),
+			Halted:      s.halted[i],
+			DeadlineHit: s.deadlineHit[i],
+			SimTime:     d.Clock.Time(),
+			Stats:       d.Stats(),
+		}
+		res.Tags[i] = TagResult{Result: r, Err: s.errs[i]}
+		res.AggregateSimSeconds += float64(r.SimTime)
+		if r.Completed {
+			res.Completed++
+		}
+		res.Reboots += r.Reboots
+		res.Faults += r.Faults
+	}
+	return res
+}

@@ -351,6 +351,10 @@ func (r *Region) Restore(snap []byte) error {
 // Memory is the target's full address space: an ordered set of regions.
 type Memory struct {
 	regions []*Region
+	// last caches the most recently resolved region: accesses cluster
+	// (stack, then a statistics block, then code), so the hit rate is high
+	// and a miss just falls through to the ordered scan.
+	last *Region
 }
 
 // NewMemory returns an address space containing the given regions. Regions
@@ -381,8 +385,12 @@ func NewTargetMemory() (*Memory, *Region, *Region) {
 
 // RegionAt returns the region containing a, or nil if a is unmapped.
 func (m *Memory) RegionAt(a Addr) *Region {
+	if r := m.last; r != nil && r.Contains(a) {
+		return r
+	}
 	for _, r := range m.regions {
 		if r.Contains(a) {
+			m.last = r
 			return r
 		}
 	}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+)
+
+// These tests pin the scheduler behaviors the batched fleet kernel leans
+// on: it advances every tag's clock in fixed wall slices, so events landing
+// exactly on a slice boundary, zero-length slices, and free-list recycling
+// across thousands of slice ticks all have to behave identically to one
+// long uninterrupted Advance.
+
+// TestAdvanceZeroLength: Advance(0) is a real slice of zero width — it must
+// fire events due exactly now (once) and leave the clock unmoved.
+func TestAdvanceZeroLength(t *testing.T) {
+	c := NewClock(0)
+	c.Advance(100)
+
+	fired := 0
+	c.Schedule(100, func() { fired++ })
+	c.Schedule(150, func() { fired += 100 })
+
+	c.Advance(0)
+	if fired != 1 {
+		t.Fatalf("after Advance(0): fired=%d, want 1 (the due event, once)", fired)
+	}
+	if c.Now() != 100 {
+		t.Fatalf("Advance(0) moved the clock to %d", c.Now())
+	}
+	// A second zero-length slice must not re-fire the recycled event.
+	c.Advance(0)
+	if fired != 1 {
+		t.Fatalf("second Advance(0) re-fired: fired=%d", fired)
+	}
+}
+
+// TestEventOnSliceBoundary: an event at exactly the end of an Advance
+// window belongs to that window, not the next — and the split point must
+// not change how many times it fires.
+func TestEventOnSliceBoundary(t *testing.T) {
+	c := NewClock(0)
+	var log []Cycles
+	c.Schedule(50, func() { log = append(log, c.Now()) })
+	c.Schedule(100, func() { log = append(log, c.Now()) })
+
+	c.Advance(50) // boundary lands exactly on the first event
+	if len(log) != 1 || log[0] != 50 {
+		t.Fatalf("after first slice: log=%v, want [50]", log)
+	}
+	c.Advance(50) // boundary lands exactly on the second event
+	if len(log) != 2 || log[1] != 100 {
+		t.Fatalf("after second slice: log=%v, want [50 100]", log)
+	}
+	c.Advance(50) // empty slice: nothing re-fires
+	if len(log) != 2 {
+		t.Fatalf("empty slice re-fired events: log=%v", log)
+	}
+}
+
+// TestBoundaryScheduleFromCallback: a callback firing at the slice boundary
+// that schedules a follow-up at that same cycle must see it run inside the
+// same slice (same-cycle events run in scheduling order, regardless of
+// where the window ends).
+func TestBoundaryScheduleFromCallback(t *testing.T) {
+	c := NewClock(0)
+	var order []string
+	c.Schedule(80, func() {
+		order = append(order, "outer")
+		c.Schedule(80, func() { order = append(order, "inner") })
+	})
+	c.Advance(80)
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("boundary follow-up did not run in-slice: %v", order)
+	}
+}
+
+// TestSliceSplitEquivalence: firing a periodic event train through many
+// tiny slices (including zero-length ones) must produce the same firing
+// sequence as one big Advance — the fleet kernel's slice size is a
+// scheduling knob, never a semantic one.
+func TestSliceSplitEquivalence(t *testing.T) {
+	run := func(advance func(c *Clock)) []Cycles {
+		c := NewClock(0)
+		var log []Cycles
+		var tick func()
+		tick = func() {
+			log = append(log, c.Now())
+			if c.Now() < 1000 {
+				c.ScheduleAfter(7, tick)
+			}
+		}
+		c.Schedule(3, tick)
+		advance(c)
+		return log
+	}
+
+	want := run(func(c *Clock) { c.Advance(1200) })
+	got := run(func(c *Clock) {
+		for c.Now() < 1200 {
+			c.Advance(1) // 1-cycle slices
+			c.Advance(0) // interleaved zero-length slices
+		}
+	})
+	if len(got) != len(want) {
+		t.Fatalf("sliced run fired %d times, monolithic %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing %d: sliced at %d, monolithic at %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFreeListReuseAcrossBatchTicks: the fleet kernel re-enters Advance
+// thousands of times per tag; fired handles recycled through the free list
+// across those re-entries must never alias a live event. Interleave
+// fire/cancel/reschedule across many short ticks and check the count and
+// order invariants hold.
+func TestFreeListReuseAcrossBatchTicks(t *testing.T) {
+	c := NewClock(0)
+	fired := make(map[Cycles]int)
+	var cancelled []*Event
+
+	const (
+		ticks  = 2000
+		period = 3
+	)
+	next := Cycles(0)
+	for tick := 0; tick < ticks; tick++ {
+		// Top up the schedule: one firing event per period, plus one event
+		// that is immediately cancelled (cancelled handles are not
+		// recycled, so they must stay inert forever).
+		for next <= c.Now()+period {
+			at := next
+			c.Schedule(at, func() { fired[at]++ })
+			cancelled = append(cancelled, c.Schedule(at, func() { t.Errorf("cancelled event at %d fired", at) }))
+			cancelled[len(cancelled)-1].Cancel()
+			next += period
+		}
+		c.Advance(period)
+	}
+
+	for at, n := range fired {
+		if n != 1 {
+			t.Fatalf("event at %d fired %d times", at, n)
+		}
+	}
+	if wantN := int(next / period); len(fired) != wantN {
+		t.Fatalf("%d distinct events fired, want %d", len(fired), wantN)
+	}
+	// Stale Cancel on long-dead handles must remain a no-op even though the
+	// scheduler has recycled thousands of events since.
+	for _, ev := range cancelled {
+		ev.Cancel()
+	}
+	if got := c.Pending(); got != 0 {
+		t.Fatalf("stale Cancels disturbed the schedule: %d pending", got)
+	}
+}

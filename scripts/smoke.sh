@@ -178,4 +178,17 @@ if ! grep -q "drained cleanly" "$workdir/edbd.log"; then
     exit 1
 fi
 
+echo "smoke: batched-vs-sequential fleet equivalence"
+# The fleet kernel's golden property: a batched run must be byte-identical
+# to N sequential Rig runs, at any worker count and slice length.
+go test ./internal/fleet -run 'TestFleetMatchesSequential|TestFleetSliceInvariance' -count=1 >/dev/null
+
+echo "smoke: fleet benchmark quick pass"
+go run ./cmd/edb-bench -fleet -kernel -quick -json -out '' >"$workdir/fleet.json"
+if ! grep -q '"fleet_speedup_x"' "$workdir/fleet.json"; then
+    echo "smoke: FAIL — fleet benchmark reported no speedup metric" >&2
+    cat "$workdir/fleet.json" >&2
+    exit 1
+fi
+
 echo "smoke: PASS"
