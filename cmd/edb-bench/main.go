@@ -52,6 +52,7 @@ func main() {
 	fleetBench := flag.Bool("fleet", false, "benchmark the batched fleet-simulation kernel against the sequential rig (writes BENCH_fleet.json)")
 	fleetTags := flag.Int("fleet-tags", 0, "fleet size for -fleet and the fleet experiment (0 = defaults: 10000)")
 	kernelBench := flag.Bool("kernel", false, "record the sequential simulator kernel baseline as a 'kernel' suite in BENCH.json")
+	clusterBench := flag.Bool("cluster", false, "benchmark the edbd gateway tier: sessions/sec at 1/2/4 backends plus drain-migration latency (writes BENCH_cluster.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -99,7 +100,7 @@ func main() {
 	// A benchmark flag (-trace, -snapshot, -fleet, -kernel) alone runs just
 	// that benchmark; combining one with an explicit -exp adds it to that
 	// selection.
-	if *traceBench || *snapBench || *fleetBench || *kernelBench {
+	if *traceBench || *snapBench || *fleetBench || *kernelBench || *clusterBench {
 		expSet := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "exp" {
@@ -378,6 +379,9 @@ func main() {
 	}
 	if *kernelBench {
 		add("kernel", func(o *jobOut) error { return runKernelBench(o, *quick) })
+	}
+	if *clusterBench {
+		add("cluster", func(o *jobOut) error { return runClusterBench(o, *quick) })
 	}
 
 	if len(jobs) == 0 {

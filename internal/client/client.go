@@ -67,6 +67,17 @@ type Options struct {
 	// whether the server verified it; a wrong token against a
 	// token-checking server fails the dial with Error{CodeAuth}.
 	AuthToken string
+	// Reconnect offers the cluster capability and makes Run resume its
+	// session transparently when the connection drops mid-run or the server
+	// migrates it away: the client keeps a journal of the prompt answers it
+	// gave plus the output/trace offsets it holds, redials the same
+	// address, and replays via SessResume. Behind a gateway (or any
+	// load-balanced address) this hides backend drains and crashes
+	// entirely; against a single direct backend it still rides out
+	// connection blips. Output remains byte-identical either way.
+	Reconnect bool
+	// MaxResumes caps reconnect-and-resume attempts per Run (default 3).
+	MaxResumes int
 }
 
 func (o Options) withDefaults() Options {
@@ -91,6 +102,9 @@ func (o Options) withDefaults() Options {
 	if o.Name == "" {
 		o.Name = "edb-client"
 	}
+	if o.MaxResumes <= 0 {
+		o.MaxResumes = 3
+	}
 	return o
 }
 
@@ -108,10 +122,12 @@ type Client struct {
 	// out if they must outlive the callback.
 	OnTrace func(*wire.Trace)
 
+	addr       string
 	serverName string
 	traceZ     bool
 	snap       bool
 	authed     bool
+	cluster    bool
 	scratch    []wire.TracePoint
 	traceBuf   wire.Trace
 }
@@ -133,6 +149,13 @@ func Dial(addr string, opts Options) (*Client, error) {
 // in-flight connection attempts and the backoff sleeps between them, so a
 // cancelled caller stops retrying immediately instead of sleeping out the
 // schedule against a dead address.
+//
+// Retry classification: transient failures — unreachable address,
+// Error{CodeBusy} from a full server — are retried on the backoff schedule.
+// Typed handshake rejections that can never succeed on retry — a version
+// mismatch, Error{CodeAuth} from a bad or missing token, a TLS certificate
+// failure — fail fast on the first attempt, no matter how many attempts
+// remain.
 func DialContext(ctx context.Context, addr string, opts Options) (*Client, error) {
 	o := opts.withDefaults()
 	backoff := o.Backoff
@@ -164,9 +187,17 @@ func DialContext(ctx context.Context, addr string, opts Options) (*Client, error
 			lastErr = err
 			continue
 		}
-		c := &Client{conn: conn, opts: o}
+		c := &Client{conn: conn, opts: o, addr: addr}
 		if err := c.handshake(); err != nil {
 			conn.Close()
+			var werr *wire.Error
+			if errors.As(err, &werr) && werr.Code == wire.CodeBusy {
+				// A full server drains; the next attempt may be admitted.
+				lastErr = err
+				continue
+			}
+			// Every other typed rejection — CodeAuth, CodeVersion, a
+			// malformed handshake — cannot succeed on retry: fail fast.
 			return nil, err
 		}
 		return c, nil
@@ -236,6 +267,11 @@ func (c *Client) handshake() error {
 	if !c.opts.NoSnap {
 		caps |= wire.FlagSnap
 	}
+	if c.opts.Reconnect {
+		// The cluster capability tells the server this client understands
+		// SessMigrate hand-offs and SessResume replays.
+		caps |= wire.FlagCluster
+	}
 	hello := &wire.Hello{Version: wire.Version, Client: c.opts.Name}
 	if c.opts.AuthToken != "" {
 		// Only offer FlagAuth when there is a token to present: a
@@ -262,6 +298,7 @@ func (c *Client) handshake() error {
 		c.traceZ = flags&caps&wire.FlagTraceZ != 0
 		c.snap = flags&caps&wire.FlagSnap != 0
 		c.authed = flags&caps&wire.FlagAuth != 0
+		c.cluster = flags&caps&wire.FlagCluster != 0
 		return nil
 	case *wire.Error:
 		return w
@@ -281,6 +318,10 @@ func (c *Client) Snap() bool { return c.snap }
 // token in the handshake. False with an AuthToken set means the server has
 // no token authentication configured (a wrong token fails the Dial).
 func (c *Client) Authenticated() bool { return c.authed }
+
+// Cluster reports whether the cluster capability (migration hand-offs and
+// journal resume) was negotiated in the handshake.
+func (c *Client) Cluster() bool { return c.cluster }
 
 func (c *Client) send(m wire.Msg) error {
 	return c.sendf(m, 0)
@@ -326,23 +367,47 @@ type Status struct {
 	ScriptErrors int
 }
 
+// runState is the client-side migration journal: everything needed to
+// resume the session byte-exactly on a fresh connection — the answers
+// already given, and how much output and trace data this side already
+// holds. It mirrors what a gateway keeps per proxied session.
+type runState struct {
+	journal      []wire.JournalEntry
+	outputBytes  uint64
+	traceSamples uint64
+	image        []byte // template image from a SessMigrate hand-off
+	resumes      int
+}
+
 // Run executes one scenario session on the daemon, streaming its output to
 // out. The prompt callback answers interactive prompts (it is only
 // consulted when spec.Interactive is set and no script is given); pass nil
 // for scripted or hands-off runs. Run blocks until the session finishes
 // and returns its status.
+//
+// With Options.Reconnect, a dropped connection or a server-initiated
+// SessMigrate does not end the run: the client redials and resumes from
+// its journal, and the output delivered to out stays byte-identical to an
+// uninterrupted run.
 func (c *Client) Run(spec scenario.Spec, out io.Writer, prompt scenario.PromptFunc) (Status, error) {
-	req := &wire.Run{Spec: spec, StreamTrace: c.OnTrace != nil}
-	if err := c.send(req); err != nil {
-		return Status{}, err
+	st := &runState{}
+	streamTrace := c.OnTrace != nil
+	if err := c.send(&wire.Run{Spec: spec, StreamTrace: streamTrace}); err != nil {
+		if rerr := c.resume(spec, streamTrace, st); rerr != nil {
+			return Status{}, err
+		}
 	}
 	for {
 		m, err := c.recv()
 		if err != nil {
-			return Status{}, err
+			if rerr := c.resume(spec, streamTrace, st); rerr != nil {
+				return Status{}, err
+			}
+			continue
 		}
 		switch t := m.(type) {
 		case *wire.Output:
+			st.outputBytes += uint64(len(t.Data))
 			if out != nil {
 				if _, err := out.Write(t.Data); err != nil {
 					return Status{}, err
@@ -350,15 +415,23 @@ func (c *Client) Run(spec scenario.Spec, out io.Writer, prompt scenario.PromptFu
 			}
 		case *wire.Prompt:
 			resp := &wire.Command{EOF: true}
+			entry := wire.JournalEntry{Kind: wire.JournalEOF}
 			if prompt != nil {
 				if line, ok := prompt(); ok {
 					resp = &wire.Command{Line: line}
+					entry = wire.JournalEntry{Kind: wire.JournalLine, Line: line}
 				}
 			}
+			// Journal before sending: if the send fails mid-flight, the
+			// resumed session replays this answer instead of re-asking.
+			st.journal = append(st.journal, entry)
 			if err := c.send(resp); err != nil {
-				return Status{}, err
+				if rerr := c.resume(spec, streamTrace, st); rerr != nil {
+					return Status{}, err
+				}
 			}
 		case *wire.Trace:
+			st.traceSamples += uint64(len(t.Samples))
 			if c.OnTrace != nil {
 				c.OnTrace(t)
 			}
@@ -367,8 +440,16 @@ func (c *Client) Run(spec scenario.Spec, out io.Writer, prompt scenario.PromptFu
 			if err != nil {
 				return Status{}, err
 			}
+			st.traceSamples += uint64(t.Count)
 			if c.OnTrace != nil {
 				c.OnTrace(tr)
+			}
+		case *wire.SessMigrate:
+			// The server is draining this session away; carry its template
+			// image to wherever we land next.
+			st.image = t.Image
+			if rerr := c.resume(spec, streamTrace, st); rerr != nil {
+				return Status{}, fmt.Errorf("client: session migrated but resume failed: %w", rerr)
 			}
 		case *wire.Done:
 			return Status{
@@ -384,6 +465,48 @@ func (c *Client) Run(spec scenario.Spec, out io.Writer, prompt scenario.PromptFu
 			return Status{}, fmt.Errorf("client: unexpected message %T during run", m)
 		}
 	}
+}
+
+// resume redials and replays the session from the journal. It returns an
+// error when reconnect is off, the resume budget is spent, or the redial
+// fails — callers then surface the original failure.
+func (c *Client) resume(spec scenario.Spec, streamTrace bool, st *runState) error {
+	if !c.opts.Reconnect || !c.cluster {
+		return errors.New("client: reconnect not enabled")
+	}
+	if st.resumes >= c.opts.MaxResumes {
+		return fmt.Errorf("client: resume budget (%d) exhausted", c.opts.MaxResumes)
+	}
+	st.resumes++
+	ctx := c.opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	nc, err := DialContext(ctx, c.addr, c.opts)
+	if err != nil {
+		return err
+	}
+	if !nc.cluster {
+		nc.Close()
+		return errors.New("client: reconnected server does not speak the cluster capability")
+	}
+	c.conn.Close()
+	c.conn = nc.conn
+	c.serverName, c.traceZ, c.snap, c.authed, c.cluster =
+		nc.serverName, nc.traceZ, nc.snap, nc.authed, nc.cluster
+	err = c.send(&wire.SessResume{
+		Spec:             spec,
+		StreamTrace:      streamTrace,
+		SpecHash:         scenario.SpecHash(spec),
+		SkipOutput:       st.outputBytes,
+		SkipTraceSamples: st.traceSamples,
+		Journal:          st.journal,
+		Image:            st.image,
+	})
+	if err == nil {
+		st.image = nil // delivered; don't re-ship on a later resume
+	}
+	return err
 }
 
 // Session is an open remote interactive debugging session. Its Exec method

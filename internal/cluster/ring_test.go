@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestRingOrderCoversAllBackends(t *testing.T) {
+	// The second set is the realistic shape — one host, ephemeral ports —
+	// where the address strings differ only near the end. Raw FNV-1a vnode
+	// hashing degenerated on exactly that shape (near-consecutive points,
+	// one backend homing ~90% of keys) before the avalanche finalizer.
+	for _, addrs := range [][]string{
+		{"a:1", "b:1", "c:1"},
+		{"127.0.0.1:35867", "127.0.0.1:45773", "127.0.0.1:45774"},
+	} {
+		r := buildRing(addrs, 64)
+		homes := map[string]int{}
+		for h := uint64(0); h < 1000; h++ {
+			order := r.order(h * 0x9E3779B97F4A7C15)
+			if len(order) != len(addrs) {
+				t.Fatalf("order returned %d backends, want %d", len(order), len(addrs))
+			}
+			seen := map[string]bool{}
+			for _, a := range order {
+				if seen[a] {
+					t.Fatalf("order repeats backend %s", a)
+				}
+				seen[a] = true
+			}
+			homes[order[0]]++
+		}
+		// With 64 vnodes each backend must own a meaningful share of the key
+		// space — the ring would be useless if one backend home'd everything.
+		for _, a := range addrs {
+			if homes[a] < 100 {
+				t.Fatalf("backend %s homes only %d/1000 keys: ring is unbalanced (%v)", a, homes[a], homes)
+			}
+		}
+	}
+}
+
+func TestRingStablePlacementAcrossJoin(t *testing.T) {
+	before := buildRing([]string{"a:1", "b:1"}, 64)
+	after := buildRing([]string{"a:1", "b:1", "c:1"}, 64)
+	moved := 0
+	const keys = 1000
+	for h := uint64(0); h < keys; h++ {
+		k := h * 0x9E3779B97F4A7C15
+		b, a := before.order(k)[0], after.order(k)[0]
+		if b != a {
+			if a != "c:1" {
+				t.Fatalf("key %d moved from %s to %s, not to the joining backend", h, b, a)
+			}
+			moved++
+		}
+	}
+	// Consistent hashing: only ~1/3 of keys may move to the joiner.
+	if moved > keys/2 {
+		t.Fatalf("%d/%d keys moved on join — placement is not consistent", moved, keys)
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the joining backend")
+	}
+}
+
+// TestPlaceOverflowAndMisses drives place() directly: a full or draining
+// home backend overflows to the next ring candidate and counts a placement
+// miss; a down backend is skipped silently; a session's failed set is only
+// retried as a last resort.
+func TestPlaceOverflowAndMisses(t *testing.T) {
+	g := New(Config{Backends: []string{"a:1", "b:1"}})
+	sess := &sessState{}
+	home, err := g.place(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := g.backends["a:1"]
+	if home == other {
+		other = g.backends["b:1"]
+	}
+
+	// Fill the home backend: placement must overflow and count a miss.
+	home.inflight.Store(home.maxSessions.Load())
+	misses := g.c.placementMisses.Load()
+	b, err := g.place(sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != other {
+		t.Fatalf("full home backend did not overflow: got %s", b.addr)
+	}
+	if got := g.c.placementMisses.Load(); got <= misses {
+		t.Fatal("overflow did not count a placement miss")
+	}
+	home.inflight.Store(0)
+
+	// Draining home: same overflow.
+	home.draining.Store(true)
+	if b, _ := g.place(sess); b != other {
+		t.Fatalf("draining home backend did not overflow: got %s", b.addr)
+	}
+	home.draining.Store(false)
+
+	// Down home: skipped.
+	home.down.Store(true)
+	if b, _ := g.place(sess); b != other {
+		t.Fatalf("down home backend was still placed: got %s", b.addr)
+	}
+	home.down.Store(false)
+
+	// A backend that already failed this session is avoided while an
+	// alternative exists…
+	g.markFailed(sess, home.addr)
+	if b, _ := g.place(sess); b != other {
+		t.Fatalf("failed backend was re-picked despite an alternative: got %s", b.addr)
+	}
+	// …but retried when it is the only one left.
+	g.markFailed(sess, other.addr)
+	if _, err := g.place(sess); err != nil {
+		t.Fatalf("place gave up with retryable backends left: %v", err)
+	}
+
+	// Everything down: placement errors out.
+	home.down.Store(true)
+	other.down.Store(true)
+	if _, err := g.place(sess); err == nil {
+		t.Fatal("place succeeded with every backend down")
+	}
+}
+
+// TestPlaceFullFleetOverflowsToLeastLoaded: when every live backend is at
+// capacity the least-loaded one absorbs the overflow — a saturated fleet
+// queues sessions rather than refusing them.
+func TestPlaceFullFleetOverflowsToLeastLoaded(t *testing.T) {
+	g := New(Config{Backends: []string{"a:1", "b:1"}})
+	ba, bb := g.backends["a:1"], g.backends["b:1"]
+	ba.inflight.Store(ba.maxSessions.Load() + 5)
+	bb.inflight.Store(bb.maxSessions.Load())
+	b, err := g.place(&sessState{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != bb {
+		t.Fatalf("overflow went to %s (inflight %d), want least-loaded b:1", b.addr, b.inflight.Load())
+	}
+}

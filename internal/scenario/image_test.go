@@ -1,0 +1,136 @@
+package scenario_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestTemplateImageRoundTrip: a template serialized to an image and
+// reconstituted in (conceptually) another process forks sessions
+// byte-identical to the original template — the property live migration
+// rests on.
+func TestTemplateImageRoundTrip(t *testing.T) {
+	spec := scenario.Spec{App: "linkedlist", Assert: true, Seconds: 5, Seed: 42, Script: "vcap;status;halt", Trace: true}
+	tmpl, err := scenario.NewTemplate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := tmpl.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scenario.UnmarshalTemplate(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Usable(spec) {
+		t.Fatal("reconstituted template does not cover its own spec")
+	}
+	if got.WarmupSeconds() != tmpl.WarmupSeconds() {
+		t.Fatalf("warmup drift: %g vs %g", got.WarmupSeconds(), tmpl.WarmupSeconds())
+	}
+
+	var orig, rt bytes.Buffer
+	if _, err := tmpl.Run(spec, &orig, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.Run(spec, &rt, nil); err != nil {
+		t.Fatal(err)
+	}
+	if orig.String() != rt.String() {
+		t.Fatalf("image round-trip fork diverges\n--- original ---\n%s\n--- round-trip ---\n%s",
+			orig.String(), rt.String())
+	}
+
+	// A second Marshal of the reconstituted template must be accepted too
+	// (images are re-shippable).
+	if _, err := got.Marshal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnmarshalTemplateRejectsGarbage: hostile images fail cleanly.
+func TestUnmarshalTemplateRejectsGarbage(t *testing.T) {
+	for _, img := range [][]byte{nil, {}, {0xFF, 0x00, 0x13}, bytes.Repeat([]byte{0x41}, 512)} {
+		if _, err := scenario.UnmarshalTemplate(img); err == nil {
+			t.Fatalf("image %x must be rejected", img)
+		}
+	}
+}
+
+// TestSpecHashStability: SpecHash keys on the simulation-shaping fields
+// only — per-session fields (Seconds, Script, Interactive) hash equal, any
+// sim-shaping change hashes different.
+func TestSpecHashStability(t *testing.T) {
+	base := scenario.Spec{App: "linkedlist", Assert: true, Seconds: 5, Seed: 42, Script: "vcap;halt"}
+	alt := base
+	alt.Seconds = 9
+	alt.Script = "status;halt"
+	alt.Interactive = true
+	if scenario.SpecHash(base) != scenario.SpecHash(alt) {
+		t.Fatal("per-session fields must not change SpecHash")
+	}
+	for _, mut := range []func(*scenario.Spec){
+		func(s *scenario.Spec) { s.App = "fib" },
+		func(s *scenario.Spec) { s.Seed = 43 },
+		func(s *scenario.Spec) { s.Trace = true },
+		func(s *scenario.Spec) { s.Guards = true },
+	} {
+		m := base
+		mut(&m)
+		if scenario.SpecHash(base) == scenario.SpecHash(m) {
+			t.Fatalf("sim-shaping mutation %+v must change SpecHash", m)
+		}
+	}
+	if scenario.TemplateKey(base) != scenario.TemplateKey(alt) {
+		t.Fatal("TemplateKey must ignore per-session fields")
+	}
+}
+
+// TestPoolInstallAndInvalidate: Install adopts a foreign template without a
+// build; Invalidate drops it so the next run cold-boots and rebuilds.
+func TestPoolInstallAndInvalidate(t *testing.T) {
+	spec := scenario.Spec{App: "linkedlist", Assert: true, Seconds: 5, Seed: 42, Script: "vcap;halt"}
+	tmpl, err := scenario.NewTemplate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := scenario.NewPool(0)
+	if p.Template(spec) != nil {
+		t.Fatal("fresh pool must have no template")
+	}
+	p.Install(tmpl)
+	if p.Template(spec) == nil {
+		t.Fatal("Install must register the template")
+	}
+
+	var out bytes.Buffer
+	if _, err := p.Run(spec, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	m := p.Metrics()
+	if m.WarmForks != 1 || m.ColdBoots != 0 || m.TemplatesInstalled != 1 {
+		t.Fatalf("installed template must serve warm immediately: %+v", m)
+	}
+
+	p.Invalidate(spec)
+	if p.Template(spec) != nil {
+		t.Fatal("Invalidate must drop the template")
+	}
+	out.Reset()
+	if _, err := p.Run(spec, &out, nil); err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+	m = p.Metrics()
+	if m.ColdBoots != 1 {
+		t.Fatalf("run after Invalidate must cold-boot: %+v", m)
+	}
+	if m.TemplatesBuilt != 1 {
+		t.Fatalf("run after Invalidate must trigger a rebuild: %+v", m)
+	}
+}

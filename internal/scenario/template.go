@@ -125,9 +125,10 @@ func templateKey(s Spec) string {
 type PoolMetrics struct {
 	WarmForks      uint64 // sessions served from a template fork
 	SparePops      uint64 // …of which came from a pre-forked spare
-	ColdBoots      uint64 // sessions simulated from cycle 0
-	TemplatesBuilt uint64
-	Untemplatable  uint64 // specs the pool gave up templating
+	ColdBoots          uint64 // sessions simulated from cycle 0
+	TemplatesBuilt     uint64
+	TemplatesInstalled uint64 // externally built templates adopted via Install
+	Untemplatable      uint64 // specs the pool gave up templating
 }
 
 // forkedRig is a pre-built warm fork waiting for a session.

@@ -29,6 +29,7 @@ import (
 	"crypto/tls"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -66,6 +67,11 @@ type Config struct {
 	// DisableSnap refuses the snapshot capability (remote time-travel)
 	// even for clients that advertise it.
 	DisableSnap bool
+	// DisableCluster refuses the cluster capability: Stat probes,
+	// SessResume replays and drain-time SessMigrate hand-offs are then
+	// rejected, and a drain simply waits for busy sessions like a
+	// single-node deployment.
+	DisableCluster bool
 	// DisablePool turns off warm-start session pooling; every session
 	// then simulates its charge phase from cycle 0. Output is identical
 	// either way — the pool is purely a latency optimization.
@@ -142,9 +148,32 @@ type Server struct {
 
 // connState tracks whether a connection is inside a session, so a drain
 // can cut idle connections immediately while busy ones finish their work.
+// The closed flag makes the race between "request just arrived" and "drain
+// decided this conn is idle" deterministic: a drain marks the conns it
+// cuts, and a handler only enters a session if its conn was not cut first —
+// so every connection is either fully served or cleanly closed, never a
+// half-session simulated against a connection the drain already killed.
 type connState struct {
-	mu   sync.Mutex
-	busy bool
+	mu     sync.Mutex
+	busy   bool
+	closed bool
+}
+
+// enterBusy marks the connection busy unless a drain already closed it.
+func (st *connState) enterBusy() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return false
+	}
+	st.busy = true
+	return true
+}
+
+func (st *connState) exitBusy() {
+	st.mu.Lock()
+	st.busy = false
+	st.mu.Unlock()
 }
 
 // New builds a server; zero-valued config fields take their defaults.
@@ -266,6 +295,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for conn, st := range s.conns {
 		st.mu.Lock()
 		if !st.busy {
+			st.closed = true
 			conn.Close()
 		}
 		st.mu.Unlock()
@@ -412,6 +442,9 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 	if s.cfg.DisableSnap {
 		caps &^= wire.FlagSnap
 	}
+	if s.cfg.DisableCluster {
+		caps &^= wire.FlagCluster
+	}
 	// Authentication gate: resolved before the Welcome, and before any
 	// session state exists. FlagAuth is echoed only when a token was
 	// offered and verified.
@@ -445,8 +478,9 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 	}
 	traceZ := caps&wire.FlagTraceZ != 0
 	snap := caps&wire.FlagSnap != 0
-	s.logf("conn %s: handshake ok (%s, tracez=%v, snap=%v, auth=%v)",
-		conn.RemoteAddr(), hello.Client, traceZ, snap, caps&wire.FlagAuth != 0)
+	cluster := caps&wire.FlagCluster != 0
+	s.logf("conn %s: handshake ok (%s, tracez=%v, snap=%v, auth=%v, cluster=%v)",
+		conn.RemoteAddr(), hello.Client, traceZ, snap, caps&wire.FlagAuth != 0, cluster)
 
 	for {
 		m, err := s.recv(conn, s.cfg.IdleTimeout)
@@ -463,19 +497,61 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 			if err := s.send(conn, &wire.Pong{Token: req.Token}); err != nil {
 				return
 			}
+		case *wire.Stat:
+			if !cluster {
+				s.send(conn, &wire.Error{Code: wire.CodeBadRequest,
+					Text: "cluster capability was not negotiated"})
+				return
+			}
+			s.c.statProbes.Add(1)
+			if err := s.send(conn, &wire.StatReply{
+				Sessions:    uint32(s.c.sessionsOpen.Load()),
+				MaxSessions: uint32(s.cfg.MaxSessions),
+				Draining:    s.isDraining(),
+			}); err != nil {
+				return
+			}
 		case *wire.Run:
-			st.mu.Lock()
-			st.busy = true
-			st.mu.Unlock()
-			err := s.session(conn, req, traceZ, snap)
-			st.mu.Lock()
-			st.busy = false
-			st.mu.Unlock()
+			if !st.enterBusy() {
+				return
+			}
+			err := s.session(conn, sessionReq{spec: req.Spec, streamTrace: req.StreamTrace}, traceZ, snap, cluster)
+			st.exitBusy()
 			if err != nil {
 				return
 			}
 			// A drain lets the in-flight session finish, then closes the
 			// connection instead of waiting for another request.
+			if s.isDraining() {
+				return
+			}
+		case *wire.SessResume:
+			if !cluster {
+				s.send(conn, &wire.Error{Code: wire.CodeBadRequest,
+					Text: "cluster capability was not negotiated"})
+				return
+			}
+			if req.SpecHash != scenario.SpecHash(req.Spec) {
+				s.send(conn, &wire.Error{Code: wire.CodeBadRequest,
+					Text: "resume spec hash does not match its spec"})
+				return
+			}
+			if !st.enterBusy() {
+				return
+			}
+			err := s.session(conn, sessionReq{
+				spec:             req.Spec,
+				streamTrace:      req.StreamTrace,
+				journal:          req.Journal,
+				skipOutput:       req.SkipOutput,
+				skipTraceSamples: req.SkipTraceSamples,
+				image:            req.Image,
+				resumed:          true,
+			}, traceZ, snap, cluster)
+			st.exitBusy()
+			if err != nil {
+				return
+			}
 			if s.isDraining() {
 				return
 			}
@@ -487,11 +563,38 @@ func (s *Server) handle(conn net.Conn, st *connState) {
 	}
 }
 
+// errMigrated marks a session the server handed off to a peer mid-run: the
+// local simulation is finished silently (output latched to discard, no Done
+// frame) and the connection closes, because the authoritative continuation
+// now lives elsewhere.
+var errMigrated = errors.New("server: session migrated to a peer")
+
+// sessionReq is a session request in either form: a fresh Run, or a
+// SessResume replay of a migrated session — a fresh run plus the journal of
+// prompt answers already given and the output/trace offsets the peer
+// already holds.
+type sessionReq struct {
+	spec             scenario.Spec
+	streamTrace      bool
+	journal          []wire.JournalEntry
+	skipOutput       uint64
+	skipTraceSamples uint64
+	image            []byte
+	resumed          bool
+}
+
 // session runs one scenario for the connection. The calling goroutine owns
 // the entire simulation; the client only ever observes framed output.
 // traceZ selects the negotiated trace encoding for StreamTrace requests;
-// snap permits SnapSave/SnapRestore answers to prompts.
-func (s *Server) session(conn net.Conn, req *wire.Run, traceZ, snap bool) error {
+// snap permits SnapSave/SnapRestore answers to prompts; cluster permits
+// drain-time migration hand-offs.
+//
+// Resume (req.resumed) leans entirely on determinism: the scenario is
+// re-run from its template (or cycle 0), journal entries answer the prompts
+// the original session already answered, the first skipOutput bytes — which
+// replay reproduces exactly — are discarded, and the session goes live at
+// precisely the byte the peer was owed next.
+func (s *Server) session(conn net.Conn, req sessionReq, traceZ, snap, cluster bool) error {
 	if open := s.c.sessionsOpen.Add(1); open > int64(s.cfg.MaxSessions) {
 		s.c.sessionsOpen.Add(-1)
 		s.c.sessionsRejected.Add(1)
@@ -500,20 +603,71 @@ func (s *Server) session(conn net.Conn, req *wire.Run, traceZ, snap bool) error 
 	defer s.c.sessionsOpen.Add(-1)
 	s.c.sessionsTotal.Add(1)
 
-	if req.Spec.Seconds > s.cfg.MaxSimSeconds {
+	if req.spec.Seconds > s.cfg.MaxSimSeconds {
 		return s.send(conn, &wire.Error{Code: wire.CodeBadRequest,
 			Text: fmt.Sprintf("simulated duration %.1fs exceeds server limit %.1fs",
-				req.Spec.Seconds, s.cfg.MaxSimSeconds)})
+				req.spec.Seconds, s.cfg.MaxSimSeconds)})
 	}
-	if err := scenario.Validate(req.Spec); err != nil {
+	if err := scenario.Validate(req.spec); err != nil {
 		return s.send(conn, &wire.Error{Code: wire.CodeBadRequest, Text: err.Error()})
 	}
 
-	out := &streamWriter{s: s, conn: conn}
+	if req.resumed {
+		s.c.sessionsResumed.Add(1)
+		s.c.migrateBytesIn.Add(int64(len(req.image)))
+		if len(req.image) > 0 && s.pool != nil {
+			// Adopt the origin's template image so the replay warm-forks
+			// instead of re-simulating the charge phase. A bad image is not
+			// fatal — a cold replay is byte-identical, just slower.
+			if tmpl, err := scenario.UnmarshalTemplate(req.image); err == nil && tmpl.Usable(req.spec) {
+				s.pool.Install(tmpl)
+			} else {
+				s.logf("conn %s: resume image rejected (%v); replaying cold", conn.RemoteAddr(), err)
+			}
+		}
+	}
+
+	sw := &streamWriter{s: s, conn: conn}
+	var out io.Writer = sw
+	if req.skipOutput > 0 {
+		out = &skipWriter{w: sw, n: req.skipOutput, c: &s.c}
+	}
+
+	migrated := false
+	replay := req.journal
 	var prompt scenario.PromptFunc
-	if req.Spec.Interactive && req.Spec.Script == "" {
+	if req.spec.Interactive && req.spec.Script == "" {
 		prompt = func() (string, bool) {
-			if out.flush() != nil {
+			// Replay first: answers the original session already consumed,
+			// served without touching the network.
+			if len(replay) > 0 {
+				j := replay[0]
+				replay = replay[1:]
+				switch j.Kind {
+				case wire.JournalLine:
+					return j.Line, true
+				case wire.JournalSnapSave:
+					return "snap", true
+				case wire.JournalSnapRestore:
+					return "restore", true
+				default: // wire.JournalEOF
+					return "", false
+				}
+			}
+			if migrated {
+				// The hand-off happened at an earlier prompt; refuse to
+				// interact so the rig finishes silently.
+				return "", false
+			}
+			// Drain hand-off: a cluster peer gets a SessMigrate in place of
+			// the next Prompt — always between commands, never in the middle
+			// of one, so the in-flight answer's output is already flushed.
+			if cluster && s.isDraining() {
+				s.migrateOut(conn, req.spec, sw)
+				migrated = true
+				return "", false
+			}
+			if sw.flush() != nil {
 				return "", false
 			}
 			if s.send(conn, &wire.Prompt{}) != nil {
@@ -526,7 +680,7 @@ func (s *Server) session(conn net.Conn, req *wire.Run, traceZ, snap bool) error 
 					s.send(conn, &wire.Error{Code: wire.CodeIdle, Text: "idle timeout: session reaped"})
 					s.logf("conn %s: reaped idle session", conn.RemoteAddr())
 				}
-				out.fail(err)
+				sw.fail(err)
 				return "", false
 			}
 			switch cmd := m.(type) {
@@ -557,18 +711,23 @@ func (s *Server) session(conn net.Conn, req *wire.Run, traceZ, snap bool) error 
 	if s.pool != nil {
 		run = s.pool.Run
 	}
-	res, err := run(req.Spec, out, prompt)
+	res, err := run(req.spec, out, prompt)
 	s.c.commandsServed.Add(int64(res.Commands))
 	s.c.simCycles.Add(int64(res.SimCycles))
 	s.c.scriptErrors.Add(int64(res.ScriptErrors))
-	if ferr := out.flush(); ferr != nil {
+	if migrated {
+		// The peer owns the session's continuation now: no trace stream, no
+		// Done. Close the connection so the hand-off is unambiguous.
+		return errMigrated
+	}
+	if ferr := sw.flush(); ferr != nil {
 		return ferr
 	}
 	if err != nil {
 		return s.send(conn, &wire.Error{Code: wire.CodeRunFailed, Text: err.Error()})
 	}
-	if req.StreamTrace && res.Vcap != nil {
-		if err := s.streamTrace(conn, res.Vcap, traceZ); err != nil {
+	if req.streamTrace && res.Vcap != nil {
+		if err := s.streamTrace(conn, res.Vcap, traceZ, req.skipTraceSamples); err != nil {
 			return err
 		}
 	}
@@ -581,6 +740,61 @@ func (s *Server) session(conn net.Conn, req *wire.Run, traceZ, snap bool) error 
 	})
 }
 
+// migrateOut hands the session to a cluster peer: flush what the peer is
+// owed, send SessMigrate (with this server's template image for the spec
+// family when one exists, so the destination can warm-fork the replay), and
+// latch the output stream shut. The peer re-dispatches from its own journal
+// — this side only has to get out of the way deterministically.
+func (s *Server) migrateOut(conn net.Conn, spec scenario.Spec, sw *streamWriter) {
+	if sw.flush() != nil {
+		return
+	}
+	var img []byte
+	if s.pool != nil {
+		if tmpl := s.pool.Template(spec); tmpl != nil && tmpl.Usable(spec) {
+			if b, err := tmpl.Marshal(); err == nil && len(b) <= wire.MaxFrame-128 {
+				img = b
+			}
+		}
+	}
+	if err := s.send(conn, &wire.SessMigrate{SpecHash: scenario.SpecHash(spec), Image: img}); err != nil {
+		sw.fail(err)
+		return
+	}
+	s.c.sessionsMigrated.Add(1)
+	s.c.migrateBytesOut.Add(int64(len(img)))
+	s.logf("conn %s: session migrated out (image %d bytes)", conn.RemoteAddr(), len(img))
+	sw.fail(errMigrated)
+}
+
+// skipWriter discards the first n bytes of the session's output — the
+// bytes the peer already received before a migration — and passes the rest
+// through. Replay is deterministic, so byte n of the resumed run is exactly
+// the byte the peer was owed next.
+type skipWriter struct {
+	w io.Writer
+	n uint64
+	c *counters
+}
+
+func (w *skipWriter) Write(p []byte) (int, error) {
+	if w.n == 0 {
+		return w.w.Write(p)
+	}
+	if uint64(len(p)) <= w.n {
+		w.n -= uint64(len(p))
+		w.c.resumeSkippedBytes.Add(int64(len(p)))
+		return len(p), nil
+	}
+	w.c.resumeSkippedBytes.Add(int64(w.n))
+	tail := p[w.n:]
+	w.n = 0
+	if _, err := w.w.Write(tail); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
 // chunkSamples is the trace-streaming chunk size: 512 samples keep a raw
 // Trace frame around 8 KiB, far below MaxFrame, while amortizing framing
 // overhead.
@@ -591,7 +805,21 @@ const chunkSamples = 512
 // TracePoint chunk, the codec blob, and the frame itself — are reused
 // across chunks, so the hot path is allocation-free after the first chunk;
 // frames are batched through a buffered writer flushed once per chunk.
-func (s *Server) streamTrace(conn net.Conn, series *trace.Series, traceZ bool) error {
+// skipSamples resumes a migrated trace stream: the first skipSamples
+// samples — which the peer already holds as complete chunks — are not
+// re-sent. Because chunk boundaries depend only on the sample index, a
+// chunk-aligned offset reproduces the remaining frames byte-identically.
+func (s *Server) streamTrace(conn net.Conn, series *trace.Series, traceZ bool, skipSamples uint64) error {
+	samples := series.Samples
+	start := 0
+	if skipSamples > 0 {
+		if skipSamples > uint64(len(samples)) ||
+			(skipSamples%chunkSamples != 0 && skipSamples != uint64(len(samples))) {
+			return fmt.Errorf("server: trace resume offset %d is not a chunk boundary of %d samples",
+				skipSamples, len(samples))
+		}
+		start = int(skipSamples)
+	}
 	// The buffered writer sits on a deadlineWriter, not the bare conn: one
 	// Flush can span several underlying writes (and under TLS, several
 	// records), and each must earn a fresh deadline. Arming a single
@@ -604,8 +832,7 @@ func (s *Server) streamTrace(conn net.Conn, series *trace.Series, traceZ bool) e
 		blob  []byte
 		frame []byte
 	)
-	samples := series.Samples
-	for i := 0; i < len(samples); i += chunkSamples {
+	for i := start; i < len(samples); i += chunkSamples {
 		end := i + chunkSamples
 		if end > len(samples) {
 			end = len(samples)

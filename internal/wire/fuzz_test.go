@@ -52,6 +52,19 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte{TypeWelcome, 0xF8, 0, 0, 0, 6, 0, 1, 0, 0, 0, 0})
 	f.Add([]byte{TypeSnapSave, FlagSnap, 0, 0, 0, 0})
 	f.Add([]byte{TypeSnapRestore, 0, 0, 0, 0, 1, 0xAA})
+	// …cluster-tier handshakes and frames (FlagCluster peers)…
+	if fr, err := EncodeMsgFlags(&Hello{Version: Version, Client: "edbd-gw"}, FlagCluster|FlagTraceZ|FlagSnap); err == nil {
+		f.Add(fr)
+	}
+	if fr, err := EncodeMsgFlags(&Welcome{Version: Version, Server: "edbd"}, FlagCluster); err == nil {
+		f.Add(fr)
+	}
+	f.Add([]byte{TypeStat, 0, 0, 0, 0, 0})
+	f.Add([]byte{TypeJoin, 0, 0, 0, 0, 4, 0, 0, 0, 0})
+	// …a truncated SessResume whose journal count promises more entries than
+	// the payload holds (the decoder must reject it before allocating)…
+	f.Add([]byte{TypeSessResume, 0, 0, 0, 0, 4, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{TypeSessMigrate, 0, 0, 0, 0, 4, 0, 0, 0, 9})
 	// …plus classic malformed shapes: empty, garbage, truncated header,
 	// hostile length fields, reserved flags.
 	f.Add([]byte{})

@@ -68,13 +68,18 @@ const (
 	TypeCommand     byte = 0x11 // client → server: one console command (answers Prompt)
 	TypeSnapSave    byte = 0x12 // client → server: arm a snapshot (answers Prompt, FlagSnap only)
 	TypeSnapRestore byte = 0x13 // client → server: revert to the snapshot (answers Prompt, FlagSnap only)
+	TypeSessResume  byte = 0x14 // client → server: resume a migrated session from its journal (FlagCluster only)
 	TypeOutput      byte = 0x20 // server → client: console/run output bytes
 	TypePrompt      byte = 0x21 // server → client: session awaits a Command
 	TypeTrace       byte = 0x22 // server → client: raw energy-trace samples
 	TypeDone        byte = 0x23 // server → client: session finished
 	TypeTraceZ      byte = 0x24 // server → client: codec-compressed energy-trace samples
+	TypeSessMigrate byte = 0x25 // server → client: session should move to another backend (FlagCluster only)
 	TypePing        byte = 0x30 // either direction: liveness probe
 	TypePong        byte = 0x31 // reply to Ping
+	TypeStat        byte = 0x32 // client → server: load/drain probe (FlagCluster only)
+	TypeStatReply   byte = 0x33 // reply to Stat
+	TypeJoin        byte = 0x34 // backend → gateway: register an advertised backend address (FlagCluster only)
 )
 
 // Capability flag bits, valid only on Hello and Welcome frames. A client
@@ -101,13 +106,20 @@ const (
 	// token on a server that requires one is answered with
 	// Error{CodeAuth} before any session state exists.
 	FlagAuth byte = 0x04
+	// FlagCluster negotiates the backend-to-backend cluster protocol: a
+	// peer that sets it may send SessResume/Stat/Join requests and may be
+	// answered with SessMigrate in place of a Prompt when the serving
+	// backend is draining. Peers that never offer the bit see a
+	// byte-identical baseline protocol — cluster support needs no version
+	// bump.
+	FlagCluster byte = 0x08
 )
 
 // KnownCaps is the set of capability bits this build understands.
 // Handshake frames may carry bits outside this mask (a future peer's
 // capabilities); the framing layer passes them through and negotiation
 // masks them off, so old corpus entries and old peers keep working.
-const KnownCaps byte = FlagTraceZ | FlagSnap | FlagAuth
+const KnownCaps byte = FlagTraceZ | FlagSnap | FlagAuth | FlagCluster
 
 // handshakeFrame reports whether frames of type t carry capability flag
 // bits; every other frame type must have a zero flags byte in version 1.
@@ -197,6 +209,90 @@ type SnapSave struct{}
 // armed snapshot. Only valid after FlagSnap was negotiated.
 type SnapRestore struct{}
 
+// Journal-entry kinds: how a session's prompt was answered. The journal is
+// the deterministic-replay half of live migration — a session is fully
+// described by its spec plus the sequence of prompt answers it consumed, so
+// replaying the journal against a fresh rig reproduces the session's state
+// (and every output byte) exactly.
+const (
+	JournalLine        byte = 0 // Line holds a console command
+	JournalEOF         byte = 1 // the client closed the console (stdin EOF)
+	JournalSnapSave    byte = 2 // a SnapSave frame answered the prompt
+	JournalSnapRestore byte = 3 // a SnapRestore frame answered the prompt
+)
+
+// JournalEntry is one recorded prompt answer.
+type JournalEntry struct {
+	Kind byte   // Journal* constant
+	Line string // console command for JournalLine; empty otherwise
+}
+
+// SessResume asks the server to resume a migrated session: re-run the spec,
+// answer its first len(Journal) prompts from the journal, suppress the
+// first SkipOutput output bytes and SkipTraceSamples trace samples (the
+// client already has them), then continue serving the session live. Because
+// sessions are deterministic, the regenerated stream continues byte-exactly
+// where the origin backend's stream stopped. Image optionally carries a
+// serialized warm-start template (scenario.Template image) so the receiving
+// backend can skip the charge-phase simulation; an empty Image means the
+// receiver warm-starts from its own pool or cold-boots — output is
+// identical either way. Only valid after FlagCluster was negotiated.
+type SessResume struct {
+	Spec scenario.Spec
+	// StreamTrace mirrors Run.StreamTrace.
+	StreamTrace bool
+	// SpecHash is scenario.SpecHash(Spec); the receiver verifies it before
+	// adopting Image.
+	SpecHash uint64
+	// SkipOutput is the count of session output bytes the client already
+	// received; the replayed stream's first SkipOutput bytes are dropped
+	// server-side.
+	SkipOutput uint64
+	// SkipTraceSamples is the count of trace samples already streamed; it
+	// is always a whole number of trace chunks, so the resumed stream's
+	// chunk boundaries (and therefore its frames) are byte-identical to an
+	// unmigrated stream's.
+	SkipTraceSamples uint64
+	Journal          []JournalEntry
+	Image            []byte
+}
+
+// SessMigrate is sent by a draining backend in place of a Prompt: the
+// session should finish on another backend. The sender stops streaming the
+// session (anything its simulation still produces is discarded); the
+// gateway re-dispatches the session's journal as a SessResume elsewhere.
+// Image optionally carries the sender's serialized warm-start template for
+// the spec ("fullImage" mode); an empty Image is "delta" mode — the
+// receiver is expected to already hold the template (the RNG stream
+// positions and all other machine state ride inside the image; the journal
+// supplies everything since). Only sent after FlagCluster was negotiated.
+type SessMigrate struct {
+	SpecHash uint64
+	// SimCycles is the origin's simulated clock at the migration point,
+	// for logs and migration-lag metrics.
+	SimCycles uint64
+	Image     []byte
+}
+
+// Stat probes a backend's load for placement and health decisions. Only
+// valid after FlagCluster was negotiated.
+type Stat struct{}
+
+// StatReply answers a Stat (and acknowledges a Join).
+type StatReply struct {
+	Sessions    uint32 // sessions currently running
+	MaxSessions uint32 // the backend's session cap
+	Draining    bool   // true once Shutdown has begun
+}
+
+// Join registers a backend with a gateway: the advertised address is added
+// to the gateway's placement ring. The gateway acknowledges with a
+// StatReply describing its own view. Only valid after FlagCluster was
+// negotiated.
+type Join struct {
+	Addr string
+}
+
 // TracePoint is one raw trace sample.
 type TracePoint struct {
 	At uint64 // target clock cycles
@@ -244,13 +340,18 @@ func (*Run) Type() byte         { return TypeRun }
 func (*Command) Type() byte     { return TypeCommand }
 func (*SnapSave) Type() byte    { return TypeSnapSave }
 func (*SnapRestore) Type() byte { return TypeSnapRestore }
+func (*SessResume) Type() byte  { return TypeSessResume }
 func (*Output) Type() byte      { return TypeOutput }
 func (*Prompt) Type() byte      { return TypePrompt }
 func (*Trace) Type() byte       { return TypeTrace }
 func (*TraceZ) Type() byte      { return TypeTraceZ }
 func (*Done) Type() byte        { return TypeDone }
+func (*SessMigrate) Type() byte { return TypeSessMigrate }
 func (*Ping) Type() byte        { return TypePing }
 func (*Pong) Type() byte        { return TypePong }
+func (*Stat) Type() byte        { return TypeStat }
+func (*StatReply) Type() byte   { return TypeStatReply }
+func (*Join) Type() byte        { return TypeJoin }
 
 // newMsg maps a type code to a zero message.
 func newMsg(t byte) Msg {
@@ -269,6 +370,8 @@ func newMsg(t byte) Msg {
 		return &SnapSave{}
 	case TypeSnapRestore:
 		return &SnapRestore{}
+	case TypeSessResume:
+		return &SessResume{}
 	case TypeOutput:
 		return &Output{}
 	case TypePrompt:
@@ -279,10 +382,18 @@ func newMsg(t byte) Msg {
 		return &TraceZ{}
 	case TypeDone:
 		return &Done{}
+	case TypeSessMigrate:
+		return &SessMigrate{}
 	case TypePing:
 		return &Ping{}
 	case TypePong:
 		return &Pong{}
+	case TypeStat:
+		return &Stat{}
+	case TypeStatReply:
+		return &StatReply{}
+	case TypeJoin:
+		return &Join{}
 	}
 	return nil
 }
@@ -437,8 +548,10 @@ func (m *Welcome) decode(d *decoder) { m.Version = d.u16(); m.Server = d.str() }
 func (m *Error) encode(e *encoder)   { e.u16(m.Code); e.str(m.Text) }
 func (m *Error) decode(d *decoder)   { m.Code = d.u16(); m.Text = d.str() }
 
-func (m *Run) encode(e *encoder) {
-	s := m.Spec
+// encodeSpec/decodeSpec hold the one canonical field layout for a
+// scenario.Spec on the wire; Run and SessResume both ride on it so the two
+// can never drift apart.
+func encodeSpec(e *encoder, s *scenario.Spec) {
 	e.str(s.App)
 	e.str(s.AsmName)
 	e.str(s.AsmSource)
@@ -451,24 +564,107 @@ func (m *Run) encode(e *encoder) {
 	e.bool(s.Trace)
 	e.str(s.Script)
 	e.bool(s.Interactive)
+}
+
+func decodeSpec(d *decoder, s *scenario.Spec) {
+	s.App = d.str()
+	s.AsmName = d.str()
+	s.AsmSource = d.str()
+	s.Assert = d.bool()
+	s.Guards = d.bool()
+	s.Print = d.str()
+	s.Seconds = d.f64()
+	s.Distance = d.f64()
+	s.Seed = int64(d.u64())
+	s.Trace = d.bool()
+	s.Script = d.str()
+	s.Interactive = d.bool()
+}
+
+func (m *Run) encode(e *encoder) {
+	encodeSpec(e, &m.Spec)
 	e.bool(m.StreamTrace)
 }
 
 func (m *Run) decode(d *decoder) {
-	m.Spec.App = d.str()
-	m.Spec.AsmName = d.str()
-	m.Spec.AsmSource = d.str()
-	m.Spec.Assert = d.bool()
-	m.Spec.Guards = d.bool()
-	m.Spec.Print = d.str()
-	m.Spec.Seconds = d.f64()
-	m.Spec.Distance = d.f64()
-	m.Spec.Seed = int64(d.u64())
-	m.Spec.Trace = d.bool()
-	m.Spec.Script = d.str()
-	m.Spec.Interactive = d.bool()
+	decodeSpec(d, &m.Spec)
 	m.StreamTrace = d.bool()
 }
+
+func (m *SessResume) encode(e *encoder) {
+	encodeSpec(e, &m.Spec)
+	e.bool(m.StreamTrace)
+	e.u64(m.SpecHash)
+	e.u64(m.SkipOutput)
+	e.u64(m.SkipTraceSamples)
+	e.u32(uint32(len(m.Journal)))
+	for _, j := range m.Journal {
+		e.u8(j.Kind)
+		e.str(j.Line)
+	}
+	e.bytes(m.Image)
+}
+
+func (m *SessResume) decode(d *decoder) {
+	decodeSpec(d, &m.Spec)
+	m.StreamTrace = d.bool()
+	m.SpecHash = d.u64()
+	m.SkipOutput = d.u64()
+	m.SkipTraceSamples = d.u64()
+	n := d.u32()
+	if d.err != nil {
+		return
+	}
+	// Each journal entry costs at least 5 bytes (kind + line length), so a
+	// count beyond that bound can never decode; reject it before allocating.
+	const entryMin = 5
+	if uint64(n)*entryMin > uint64(len(d.b)-d.off) {
+		d.fail("journal entry count %d exceeds payload", n)
+		return
+	}
+	if n > 0 {
+		m.Journal = make([]JournalEntry, n)
+		for i := range m.Journal {
+			m.Journal[i].Kind = d.u8()
+			if m.Journal[i].Kind > JournalSnapRestore {
+				d.fail("unknown journal entry kind %d", m.Journal[i].Kind)
+				return
+			}
+			m.Journal[i].Line = d.str()
+		}
+	}
+	m.Image = d.bytesField()
+}
+
+func (m *SessMigrate) encode(e *encoder) {
+	e.u64(m.SpecHash)
+	e.u64(m.SimCycles)
+	e.bytes(m.Image)
+}
+
+func (m *SessMigrate) decode(d *decoder) {
+	m.SpecHash = d.u64()
+	m.SimCycles = d.u64()
+	m.Image = d.bytesField()
+}
+
+func (m *Stat) encode(*encoder) {}
+func (m *Stat) decode(*decoder) {}
+
+func (m *StatReply) encode(e *encoder) {
+	e.u32(m.Sessions)
+	e.u32(m.MaxSessions)
+	e.bool(m.Draining)
+}
+
+func (m *StatReply) decode(d *decoder) {
+	m.Sessions = d.u32()
+	m.MaxSessions = d.u32()
+	m.Draining = d.bool()
+}
+
+func (m *Join) encode(e *encoder) { e.str(m.Addr) }
+func (m *Join) decode(d *decoder) { m.Addr = d.str() }
 
 func (m *Command) encode(e *encoder) { e.str(m.Line); e.bool(m.EOF) }
 func (m *Command) decode(d *decoder) { m.Line = d.str(); m.EOF = d.bool() }

@@ -40,6 +40,30 @@ func sampleMsgs() []Msg {
 		&Done{Exit: 1, Halted: "assert 0", SimCycles: 1 << 40, Commands: 3, ScriptErrors: 1},
 		&Ping{Token: 42},
 		&Pong{Token: 42},
+		&SessResume{
+			Spec: scenario.Spec{
+				App: "linkedlist", Assert: true, Print: "none",
+				Seconds: 12.5, Seed: -3, Interactive: true,
+			},
+			StreamTrace:      true,
+			SpecHash:         0xdeadbeefcafe,
+			SkipOutput:       4096,
+			SkipTraceSamples: 1024,
+			Journal: []JournalEntry{
+				{Kind: JournalLine, Line: "vcap"},
+				{Kind: JournalSnapSave},
+				{Kind: JournalLine, Line: "status"},
+				{Kind: JournalSnapRestore},
+				{Kind: JournalEOF},
+			},
+			Image: []byte{0x1f, 0x8b, 0x00},
+		},
+		&SessResume{Spec: scenario.Spec{App: "cem"}, SpecHash: 7},
+		&SessMigrate{SpecHash: 0xdeadbeefcafe, SimCycles: 1 << 33, Image: []byte{0x42}},
+		&SessMigrate{SpecHash: 9},
+		&Stat{},
+		&StatReply{Sessions: 12, MaxSessions: 64, Draining: true},
+		&Join{Addr: "10.0.0.2:7070"},
 	}
 }
 
@@ -148,6 +172,36 @@ func TestDecodeRejects(t *testing.T) {
 	ez.bytes([]byte{0x00})
 	if _, err := DecodePayload(TypeTraceZ, ez.b); err == nil {
 		t.Fatal("hostile tracez count must fail")
+	}
+
+	// SessResume journal count exceeding the payload must fail without
+	// allocating; each entry costs at least five bytes.
+	var ej encoder
+	encodeSpec(&ej, &scenario.Spec{App: "linkedlist"})
+	ej.bool(false) // StreamTrace
+	ej.u64(1)      // SpecHash
+	ej.u64(0)      // SkipOutput
+	ej.u64(0)      // SkipTraceSamples
+	ej.u32(1 << 28)
+	if _, err := DecodePayload(TypeSessResume, ej.b); err == nil ||
+		!strings.Contains(err.Error(), "journal") {
+		t.Fatalf("hostile journal count: got %v", err)
+	}
+
+	// Unknown journal entry kind must fail.
+	var ek encoder
+	encodeSpec(&ek, &scenario.Spec{App: "linkedlist"})
+	ek.bool(false)
+	ek.u64(1)
+	ek.u64(0)
+	ek.u64(0)
+	ek.u32(1)
+	ek.u8(0xFF)
+	ek.str("")
+	ek.bytes(nil)
+	if _, err := DecodePayload(TypeSessResume, ek.b); err == nil ||
+		!strings.Contains(err.Error(), "journal entry kind") {
+		t.Fatalf("unknown journal kind: got %v", err)
 	}
 
 	// Non-canonical bool byte.

@@ -7,8 +7,13 @@ set -eu
 workdir=$(mktemp -d)
 daemon_pid=""
 tls_daemon_pid=""
+backend_a_pid=""
+backend_b_pid=""
+backend_c_pid=""
+gateway_pid=""
 cleanup() {
-    for pid in "$daemon_pid" "$tls_daemon_pid"; do
+    for pid in "$daemon_pid" "$tls_daemon_pid" "$backend_a_pid" \
+               "$backend_b_pid" "$backend_c_pid" "$gateway_pid"; do
         if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
             kill "$pid" 2>/dev/null || true
             wait "$pid" 2>/dev/null || true
@@ -177,6 +182,103 @@ if ! grep -q "drained cleanly" "$workdir/edbd.log"; then
     cat "$workdir/edbd.log" >&2
     exit 1
 fi
+
+echo "smoke: starting a two-backend gateway fleet"
+"$workdir/edbd" -addr 127.0.0.1:0 -v 2>"$workdir/backend-a.log" &
+backend_a_pid=$!
+"$workdir/edbd" -addr 127.0.0.1:0 -v 2>"$workdir/backend-b.log" &
+backend_b_pid=$!
+addr_a=$(wait_addr "$workdir/backend-a.log")
+addr_b=$(wait_addr "$workdir/backend-b.log")
+if [ -z "$addr_a" ] || [ -z "$addr_b" ]; then
+    echo "smoke: FAIL — gateway backends never reported their addresses" >&2
+    cat "$workdir/backend-a.log" "$workdir/backend-b.log" >&2
+    exit 1
+fi
+"$workdir/edbd" -gateway -addr 127.0.0.1:0 -backends "$addr_a,$addr_b" -v \
+    2>"$workdir/gateway.log" &
+gateway_pid=$!
+gw_addr=$(wait_addr "$workdir/gateway.log")
+if [ -z "$gw_addr" ]; then
+    echo "smoke: FAIL — gateway never reported its address" >&2
+    cat "$workdir/gateway.log" >&2
+    exit 1
+fi
+echo "smoke: gateway at $gw_addr routing to $addr_a, $addr_b"
+
+# Golden: the same interactive command sequence against a local rig.
+icommon="-app linkedlist -assert -t 10 -seed 42 -i"
+printf 'vcap\nstatus\nhalt\n' | "$workdir/edb" $icommon >"$workdir/local-i.out"
+
+# Through the gateway, losing both original backends mid-session: first a
+# graceful SIGTERM (the backend hands its sessions back as SessMigrate),
+# then — after a replacement joins — a hard SIGKILL mid-prompt (crash
+# failover via journal replay). The client's bytes must not change.
+fifo="$workdir/cmds"
+mkfifo "$fifo"
+"$workdir/edb" -connect "$gw_addr" $icommon <"$fifo" >"$workdir/gw-i.out" &
+edb_pid=$!
+exec 3>"$fifo"
+printf 'vcap\n' >&3
+sleep 0.5
+kill -TERM "$backend_a_pid"
+sleep 0.3
+# Migration happens at prompt boundaries, so the next command is what
+# drives a session off the draining backend; A can only finish its drain
+# once the client makes progress.
+printf 'status\n' >&3
+wait "$backend_a_pid" || {
+    echo "smoke: FAIL — backend A did not drain cleanly under the gateway" >&2
+    cat "$workdir/backend-a.log" >&2
+    exit 1
+}
+backend_a_pid=""
+"$workdir/edbd" -addr 127.0.0.1:0 -join "$gw_addr" -v 2>"$workdir/backend-c.log" &
+backend_c_pid=$!
+i=0
+while [ $i -lt 100 ]; do
+    grep -q "registered with gateway" "$workdir/backend-c.log" && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if ! grep -q "registered with gateway" "$workdir/backend-c.log"; then
+    echo "smoke: FAIL — replacement backend never joined the gateway" >&2
+    cat "$workdir/backend-c.log" >&2
+    exit 1
+fi
+sleep 0.5
+kill -KILL "$backend_b_pid"
+wait "$backend_b_pid" 2>/dev/null || true
+backend_b_pid=""
+printf 'halt\n' >&3
+exec 3>&-
+edb_rc=0
+wait "$edb_pid" || edb_rc=$?
+if [ "$edb_rc" -ne 0 ]; then
+    echo "smoke: FAIL — gateway session exited $edb_rc after backend loss" >&2
+    cat "$workdir/gateway.log" >&2
+    exit 1
+fi
+if ! diff -u "$workdir/local-i.out" "$workdir/gw-i.out"; then
+    echo "smoke: FAIL — gateway output differs from local after losing both backends" >&2
+    cat "$workdir/gateway.log" >&2
+    exit 1
+fi
+echo "smoke: gateway session survived a drain and a kill, output byte-identical to local"
+
+echo "smoke: stopping the gateway fleet"
+kill -TERM "$gateway_pid"
+gw_rc=0
+wait "$gateway_pid" || gw_rc=$?
+gateway_pid=""
+if [ "$gw_rc" -ne 0 ] || ! grep -q "gateway stopped cleanly" "$workdir/gateway.log"; then
+    echo "smoke: FAIL — gateway did not stop cleanly (rc $gw_rc)" >&2
+    cat "$workdir/gateway.log" >&2
+    exit 1
+fi
+kill -TERM "$backend_c_pid" 2>/dev/null || true
+wait "$backend_c_pid" 2>/dev/null || true
+backend_c_pid=""
 
 echo "smoke: batched-vs-sequential fleet equivalence"
 # The fleet kernel's golden property: a batched run must be byte-identical
