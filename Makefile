@@ -28,10 +28,10 @@ benchcmp:
 	sh scripts/benchcmp.sh $(BASE)
 
 # Regenerate every table, figure, case study, sweep, and ablation, plus
-# the trace-codec, snapshot, fleet, kernel, and cluster benchmarks, into
-# BENCH.json.
+# the trace-codec, snapshot, fleet, kernel, cluster, and exhaustive-
+# exploration benchmarks, into BENCH.json.
 results:
-	$(GO) run ./cmd/edb-bench -exp all -trace -snapshot -fleet -kernel -cluster -csv -out results
+	$(GO) run ./cmd/edb-bench -exp all -trace -snapshot -fleet -kernel -cluster -explore -csv -out results
 
 examples:
 	$(GO) run ./examples/quickstart

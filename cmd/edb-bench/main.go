@@ -14,7 +14,7 @@
 //	edb-bench -json -quick
 //
 // Experiments: table2 table3 table4 fig2 fig7 fig9 fig11 fig12 sweep
-// sec531 sec532 baselines ablations fleet all
+// sec531 sec532 baselines ablations explore fleet all
 package main
 
 import (
@@ -41,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table2|table3|table4|fig2|fig7|fig9|fig11|fig12|sweep|sec531|sec532|baselines|ablations|fleet|all)")
+	exp := flag.String("exp", "all", "experiment id (table2|table3|table4|fig2|fig7|fig9|fig11|fig12|sweep|sec531|sec532|baselines|ablations|explore|fleet|all)")
 	out := flag.String("out", "results", "output directory for result files ('' to skip writing)")
 	quick := flag.Bool("quick", false, "shorter runs (coarser statistics)")
 	csv := flag.Bool("csv", false, "also write figure data as CSV files")
@@ -53,6 +53,7 @@ func main() {
 	fleetTags := flag.Int("fleet-tags", 0, "fleet size for -fleet and the fleet experiment (0 = defaults: 10000)")
 	kernelBench := flag.Bool("kernel", false, "record the sequential simulator kernel baseline as a 'kernel' suite in BENCH.json")
 	clusterBench := flag.Bool("cluster", false, "benchmark the edbd gateway tier: sessions/sec at 1/2/4 backends plus drain-migration latency (writes BENCH_cluster.json)")
+	exploreBench := flag.Bool("explore", false, "benchmark the exhaustive power-failure explorer: states/sec, dedup hit rate, 1/2/4-worker scaling (writes BENCH_explore.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -97,10 +98,10 @@ func main() {
 
 	wanted := strings.Split(*exp, ",")
 	all := *exp == "all"
-	// A benchmark flag (-trace, -snapshot, -fleet, -kernel) alone runs just
-	// that benchmark; combining one with an explicit -exp adds it to that
-	// selection.
-	if *traceBench || *snapBench || *fleetBench || *kernelBench || *clusterBench {
+	// A benchmark flag (-trace, -snapshot, -fleet, -kernel, -explore) alone
+	// runs just that benchmark; combining one with an explicit -exp adds it
+	// to that selection.
+	if *traceBench || *snapBench || *fleetBench || *kernelBench || *clusterBench || *exploreBench {
 		expSet := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "exp" {
@@ -172,6 +173,12 @@ func main() {
 			for _, m := range r.Modes {
 				key := strings.ReplaceAll(strings.ToLower(m.Mode.String()), " ", "_")
 				o.metric(fmt.Sprintf("table4_success_%s_pct", key), 100*m.SuccessRate)
+			}
+			for _, c := range r.Ckpts {
+				key := strings.ReplaceAll(strings.ToLower(c.Strategy), "-", "_")
+				o.metric(fmt.Sprintf("table4_ckpt_%s_success_pct", key), 100*c.SuccessRate)
+				o.metric(fmt.Sprintf("table4_ckpt_%s_checkpoints", key), float64(c.Checkpoints))
+				o.metric(fmt.Sprintf("table4_ckpt_%s_copied_words", key), float64(c.WordsCopied))
 			}
 			if want("fig11") {
 				fig := experiments.Fig11FromTable4(r)
@@ -340,6 +347,30 @@ func main() {
 		})
 	}
 
+	if want("explore") {
+		add("explore", func(o *jobOut) error {
+			cfg := experiments.DefaultExhaustiveConfig()
+			cfg.CheckHashes = true
+			if *quick {
+				cfg.MaxStates = 128
+			}
+			r, err := experiments.RunExhaustive(cfg)
+			if err != nil {
+				return err
+			}
+			if r.Unguarded.Clean() {
+				return fmt.Errorf("explore: unguarded build must exhibit WAR violations")
+			}
+			if !r.Guarded.Clean() {
+				return fmt.Errorf("explore: guarded build must verify clean")
+			}
+			o.text = r.Format()
+			o.metric("explore_unguarded_violations", float64(len(r.Unguarded.Violations)))
+			o.metric("explore_unguarded_states", float64(r.Unguarded.States))
+			o.metric("explore_guarded_states", float64(r.Guarded.States))
+			return nil
+		})
+	}
 	if want("fleet") {
 		add("fleet-table4", func(o *jobOut) error {
 			cfg := experiments.DefaultFleetTable4Config()
@@ -382,6 +413,9 @@ func main() {
 	}
 	if *clusterBench {
 		add("cluster", func(o *jobOut) error { return runClusterBench(o, *quick) })
+	}
+	if *exploreBench {
+		add("explore-bench", func(o *jobOut) error { return runExploreBench(o, *quick) })
 	}
 
 	if len(jobs) == 0 {

@@ -62,6 +62,10 @@ type Activity struct {
 	// ClassifyCycles is the feature-extraction + classification compute
 	// cost per iteration (default 3400, ~0.85 ms at 4 MHz).
 	ClassifyCycles int
+	// Trigger, if set, is polled at the top of every iteration — the hook
+	// a checkpointing runtime's trigger point hangs off (Table 4's
+	// checkpoint-strategy rows). It runs on the firmware's energy budget.
+	Trigger func(env *device.Env, ctx uint16) bool
 
 	accel *periph.Accelerometer
 
@@ -159,6 +163,9 @@ func abs(x int) int {
 func (p *Activity) Main(env *device.Env) {
 	for {
 		env.Branch()
+		if p.Trigger != nil {
+			p.Trigger(env, 0)
+		}
 		p.lib.Watchpoint(env, WPIterStart)
 		// The sensing subsystem rail is up for the whole active portion.
 		env.D.SetLoad("sensor-rail", SensorRailCurrent)

@@ -129,6 +129,20 @@ func (p *SafeLinkedList) Iterations(d *device.Device) int {
 	return int(mustRead(d, p.iterAddr))
 }
 
+// SetCommitHook implements explore.CommitSignaler: the exhaustive checker
+// brackets the task runtime's versioning writes out of its WAR window and
+// treats each committed boundary as a failure candidate. Call after Flash.
+func (p *SafeLinkedList) SetCommitHook(fn func(active bool)) {
+	p.tasks.CommitHook = fn
+}
+
+// VersionedRanges implements explore.VersionSignaler: writes to the task-
+// registered variables are rolled back by Recover, so a power failure
+// after such a write never exposes it to re-execution.
+func (p *SafeLinkedList) VersionedRanges() [][2]memsim.Addr {
+	return p.tasks.VersionedRanges()
+}
+
 // Consistent checks both list invariants on the *committed* state: raw
 // FRAM may legitimately hold a mid-task image if the run was cut between
 // boundaries, so inspection first applies the rollback the next boot's

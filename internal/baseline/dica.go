@@ -1,0 +1,62 @@
+package baseline
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/device"
+	"repro/internal/units"
+)
+
+// DiCA is a differential checkpoint-placement policy (after DiCA's
+// dirty-data-aware checkpointing): instead of checkpointing whenever the
+// supply dips below one fixed threshold — Mementos' voltage check, which
+// prices every checkpoint as if it copied the full volatile image — the
+// trigger scales its threshold by the checkpoint the runtime would
+// actually take *right now*. The pending-copy size comes from the
+// incremental Mementos runtime's dirty-page bitmap (checkpoint.
+// PendingWords), so a loop that has barely touched SRAM keeps running
+// deep into the energy reserve, while one sitting on a large un-
+// checkpointed dirty set saves earlier, while there is still energy to
+// finish the copy.
+//
+// Threshold model: checkpoint when V < VBase + VPerWord·pending. VBase is
+// the floor below which even an empty checkpoint is at risk; VPerWord
+// prices the copy loop's energy per word. Calibrate VPerWord so that a
+// full-image pending set reproduces the static Mementos threshold, making
+// the two strategies directly comparable in Table 4.
+type DiCA struct {
+	// M is the incremental checkpoint runtime being scheduled.
+	M *checkpoint.Mementos
+	// VBase is the checkpoint-now floor (empty checkpoint).
+	VBase units.Volts
+	// VPerWord is the additional voltage margin per pending word.
+	VPerWord units.Volts
+
+	// Triggers counts trigger-point polls (each costs a voltage measure).
+	Triggers int
+}
+
+// NewDiCA calibrates a DiCA policy against a static threshold: a pending
+// set of fullWords words yields exactly staticThreshold, so the policy
+// only ever *relaxes* the static rule, in proportion to the dirty state
+// it is not going to copy.
+func NewDiCA(m *checkpoint.Mementos, staticThreshold units.Volts, vBase units.Volts, fullWords int) *DiCA {
+	perWord := units.Volts(0)
+	if fullWords > 0 && staticThreshold > vBase {
+		perWord = (staticThreshold - vBase) / units.Volts(fullWords)
+	}
+	return &DiCA{M: m, VBase: vBase, VPerWord: perWord}
+}
+
+// TriggerPoint is the Mementos-shaped trigger-point call (drop-in for
+// Activity.Trigger): measure the supply, compare against the size-scaled
+// threshold, checkpoint if below. Reports whether a checkpoint was taken.
+func (c *DiCA) TriggerPoint(env *device.Env, ctx uint16) bool {
+	c.Triggers++
+	v := env.MeasureSelfVoltage()
+	need := c.VBase + c.VPerWord*units.Volts(c.M.PendingWords())
+	if units.Volts(v) >= need {
+		return false
+	}
+	c.M.Checkpoint(env, ctx)
+	return true
+}

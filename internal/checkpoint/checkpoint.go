@@ -60,6 +60,15 @@ type Mementos struct {
 	// together they make the O(dirty) saving measurable.
 	WordsCopied         uint64
 	LastCheckpointWords int
+	// Checkpoints counts committed checkpoints.
+	Checkpoints int
+
+	// CommitHook, if set, brackets the runtime's commit machinery: called
+	// with true when Checkpoint starts writing its buffer and false right
+	// after the commit flag lands. The exhaustive intermittence checker
+	// uses it to tell the runtime's own log writes apart from application
+	// writes and to treat the commit as a WAR-window boundary.
+	CommitHook func(active bool)
 }
 
 // NewMementos allocates the double-buffered checkpoint area. snapBytes is
@@ -116,6 +125,9 @@ func (m *Mementos) TriggerPoint(env *device.Env, ctx uint16) bool {
 // incremental mode only the pages written since the target buffer was
 // last complete are copied.
 func (m *Mementos) Checkpoint(env *device.Env, ctx uint16) {
+	if m.CommitHook != nil {
+		m.CommitHook(true)
+	}
 	active, seq := m.newest(env)
 	ti := (active + 1) % 2
 	target := m.bufs[ti]
@@ -151,6 +163,52 @@ func (m *Mementos) Checkpoint(env *device.Env, ctx uint16) {
 	env.StoreWord(target+cpSeq, seq+1)
 	// Linearization point: the commit flag is the last write.
 	env.StoreWord(target+cpValid, validMagic)
+	m.Checkpoints++
+	if m.CommitHook != nil {
+		m.CommitHook(false)
+	}
+}
+
+// PendingWords estimates, without consuming the dirty bitmap or simulated
+// energy, how many words the next Checkpoint would copy — the "checkpoint
+// size" input to dirty-size-aware placement policies (DiCA-style baselines).
+// In full-copy mode this is constant; in incremental mode it is the union
+// of the previous window and the pages dirtied so far.
+func (m *Mementos) PendingWords() int {
+	full := (m.snap + 1) / 2
+	if !m.inc {
+		return full
+	}
+	ti := (m.newestInspect() + 1) % 2
+	if !m.primed[ti] {
+		return full
+	}
+	now := m.clampPages(m.d.SRAM.DirtyPages())
+	words := 0
+	for _, p := range unionSorted(m.prevPages, now) {
+		start := p * memsim.PageSize
+		end := start + memsim.PageSize
+		if end > m.snap {
+			end = m.snap
+		}
+		words += (end - start + 1) / 2
+	}
+	return words
+}
+
+// newestInspect is newest read directly from device memory, with no
+// simulated energy cost — for policy probes outside the firmware's budget.
+func (m *Mementos) newestInspect() int {
+	bestIdx, bestSeq := 0, uint16(0)
+	for i, b := range m.bufs {
+		if v, err := m.d.Mem.ReadWord(b + cpValid); err != nil || v != validMagic {
+			continue
+		}
+		if s, err := m.d.Mem.ReadWord(b + cpSeq); err == nil && s > bestSeq {
+			bestIdx, bestSeq = i, s
+		}
+	}
+	return bestIdx
 }
 
 // copyFull copies the whole volatile image into target's payload area.
@@ -267,6 +325,13 @@ type Tasks struct {
 	logBase  memsim.Addr // versioned copies, laid out in registration order
 	metaAddr memsim.Addr // seq(2) valid(2) task(2)
 	capacity int
+
+	// Boundaries counts committed task boundaries.
+	Boundaries int
+
+	// CommitHook brackets Boundary's versioning writes, exactly like
+	// Mementos.CommitHook brackets Checkpoint.
+	CommitHook func(active bool)
 }
 
 // NewTasks allocates a versioning log of the given byte capacity.
@@ -298,7 +363,22 @@ func (t *Tasks) RegisterVar(addr memsim.Addr, size int) error {
 
 // Boundary commits a task boundary: version every registered variable,
 // then publish (task id + valid flag last).
+// VersionedRanges lists the [lo, hi) address ranges the recovery protocol
+// rolls back to the last committed boundary. Writes inside them between
+// boundaries are undone by the next boot's Recover, so re-execution never
+// observes them — the exhaustive checker excludes them from its WAR rule.
+func (t *Tasks) VersionedRanges() [][2]memsim.Addr {
+	out := make([][2]memsim.Addr, 0, len(t.vars))
+	for _, v := range t.vars {
+		out = append(out, [2]memsim.Addr{v.addr, v.addr + memsim.Addr(v.size)})
+	}
+	return out
+}
+
 func (t *Tasks) Boundary(env *device.Env, taskID uint16) {
+	if t.CommitHook != nil {
+		t.CommitHook(true)
+	}
 	env.StoreWord(t.metaAddr+2, 0) // invalidate during copy
 	off := memsim.Addr(0)
 	for _, v := range t.vars {
@@ -312,6 +392,10 @@ func (t *Tasks) Boundary(env *device.Env, taskID uint16) {
 	seq := env.LoadWord(t.metaAddr)
 	env.StoreWord(t.metaAddr, seq+1)
 	env.StoreWord(t.metaAddr+2, validMagic)
+	t.Boundaries++
+	if t.CommitHook != nil {
+		t.CommitHook(false)
+	}
 }
 
 // RecoverInspect applies the rollback directly against device memory with

@@ -52,6 +52,11 @@ type Console struct {
 	// lastEvent tracks how much of the event log each trace command has
 	// already printed.
 	lastEvent map[string]int
+
+	// explore, when injected (SetExplore), handles the `explore` command —
+	// the exhaustive power-failure checker lives above the console's
+	// dependency layer, so the scenario wires it in as a closure.
+	explore func(args []string) (string, error)
 }
 
 // New returns a console bound to an EDB board and registers itself as the
@@ -82,6 +87,14 @@ func (c *Console) SetOutput(w io.Writer) {
 	}
 	c.out = w
 	c.buf = nil
+}
+
+// SetExplore injects the handler behind the `explore` command (the
+// exhaustive intermittence checker, internal/explore). The console stays
+// transport-only: it forwards the raw argument list and prints whatever
+// report text comes back.
+func (c *Console) SetExplore(fn func(args []string) (string, error)) {
+	c.explore = fn
 }
 
 // BindSession attaches an open interactive session (called from an
@@ -139,6 +152,11 @@ func (c *Console) Exec(line string) (string, error) {
 			return "", err
 		}
 		return fmt.Sprintf("restored %d dirty pages; resume level %.3f V\n", pages, float64(v)), nil
+	case "explore":
+		if c.explore == nil {
+			return "", fmt.Errorf("console: explore is not available on this rig")
+		}
+		return c.explore(args)
 	case "vcap":
 		return fmt.Sprintf("Vcap = %s (EDB ADC)\n", c.e.LastReading()), nil
 	case "status":
@@ -168,6 +186,8 @@ const helpText = `EDB debug console commands:
   trace iobus             print new UART/I2C/GPIO events
   trace rfid              print new RFID messages
   trace watchpoints       print new watchpoint hits
+  explore [opts]          exhaustively inject power failures (guards, mode=write|page,
+                          depth=N, writes=N, states=N, workers=N, check)
   snap                    arm a state snapshot (memory + resume energy level)
   restore                 revert memory and energy level to the last snap
   read <hexaddr>          read a word of target memory (session only)

@@ -134,6 +134,19 @@ func NewRig(p device.Program, opts ...Option) (*Rig, error) {
 	return rig, nil
 }
 
+// ExploreTarget builds the bare machine the exhaustive intermittence
+// checker (internal/explore) forks: the program flashed onto a WISP-class
+// device with no EDB attached — the explorer installs its own debugger
+// probe — and every stochastic model seeded deterministically. It is the
+// canonical explore.Config.NewRig body.
+func ExploreTarget(p device.Program, seed int64) (*device.Device, device.Program, error) {
+	rig, err := NewRig(p, WithoutEDB(), WithSeed(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return rig.Device, p, nil
+}
+
 // Run executes the program intermittently for the given simulated duration,
 // starting the reader (if any) for the run's extent.
 func (r *Rig) Run(d units.Seconds) (device.RunResult, error) {

@@ -278,6 +278,71 @@ func TestSec532HangPoint(t *testing.T) {
 	}
 }
 
+func TestExhaustiveShape(t *testing.T) {
+	cfg := DefaultExhaustiveConfig()
+	cfg.CheckHashes = true
+	r, err := RunExhaustive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unguarded build must fail with at least one concrete WAR trace,
+	// pinned to a FRAM address and a branch path.
+	if r.Unguarded.Clean() {
+		t.Fatal("unguarded build must exhibit WAR violations")
+	}
+	v := r.Unguarded.Violations[0]
+	if v.Addr == 0 || !strings.HasPrefix(v.Trace, "root") || v.Cand < 1 {
+		t.Fatalf("violation not actionable: %+v", v)
+	}
+	// The guarded build verifies clean over the same bounds.
+	if !r.Guarded.Clean() {
+		t.Fatalf("guarded build must be clean, got %d violations", len(r.Guarded.Violations))
+	}
+	if r.Guarded.States == 0 || r.Guarded.Branches == 0 {
+		t.Fatalf("guarded exploration made no progress: %+v", r.Guarded)
+	}
+	// Every captured state passed the full-image hash cross-check.
+	if r.Unguarded.HashChecks < r.Unguarded.States {
+		t.Fatalf("hash checks %d < states %d", r.Unguarded.HashChecks, r.Unguarded.States)
+	}
+	out := r.Format()
+	for _, want := range []string{"FAIL", "PASS", "non-idempotent re-execution", "no WAR violations detected"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4CkptStrategies(t *testing.T) {
+	r, err := RunPrintCost(PrintCostConfig{Duration: 10, Distance: 1.4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Ckpts) != 2 {
+		t.Fatalf("ckpt rows = %d", len(r.Ckpts))
+	}
+	full, dica := r.Ckpts[0], r.Ckpts[1]
+	if full.Strategy != "Mementos-full" || dica.Strategy != "DiCA-diff" {
+		t.Fatalf("strategies = %q, %q", full.Strategy, dica.Strategy)
+	}
+	if full.Checkpoints == 0 || dica.Checkpoints == 0 {
+		t.Fatalf("both strategies must checkpoint: %d vs %d", full.Checkpoints, dica.Checkpoints)
+	}
+	// Differential placement must cut copy traffic substantially — the
+	// activity loop dirties a small fraction of the modeled image.
+	if dica.WordsCopied*2 > full.WordsCopied {
+		t.Fatalf("dica copied %d words vs full %d, want < half", dica.WordsCopied, full.WordsCopied)
+	}
+	// ...without hurting the application (the relaxed threshold only ever
+	// defers checkpoints the dirty set does not justify).
+	if dica.SuccessRate < full.SuccessRate-0.03 {
+		t.Fatalf("dica success %v vs full %v", dica.SuccessRate, full.SuccessRate)
+	}
+	if !strings.Contains(r.Format(), "checkpoint strategies") {
+		t.Fatal("format")
+	}
+}
+
 func TestPrintModesEnumerate(t *testing.T) {
 	r, err := RunPrintCost(PrintCostConfig{Duration: 5, Distance: 1.4, Seed: 4})
 	if err != nil {

@@ -6,6 +6,8 @@ import (
 	"strings"
 
 	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/checkpoint"
 	"repro/internal/device"
 	"repro/internal/edb"
 	"repro/internal/energy"
@@ -47,10 +49,34 @@ type ModeResult struct {
 	Reboots    int
 }
 
+// CkptResult is one checkpoint-strategy row of the Table 4 extension: the
+// no-print activity build re-run with a checkpointing runtime polling at
+// every loop back-edge, so the checkpoint traffic rides the application's
+// own energy budget. Rows compare static full-image placement (Mementos'
+// fixed voltage threshold) against DiCA-style differential placement
+// (threshold scaled by the dirty set actually pending). The runs measure
+// placement and copy interference — recovery behavior is covered by the
+// task-runtime apps.
+type CkptResult struct {
+	Strategy    string
+	SuccessRate float64
+	Iterations  int
+	Reboots     int
+	// Checkpoints/WordsCopied: committed checkpoints and their total copy
+	// traffic — the O(dirty) saving shows up here.
+	Checkpoints int
+	WordsCopied uint64
+	// Triggers counts trigger-point polls (each costs a voltage measure).
+	Triggers int
+}
+
 // Table4Result reproduces Table 4: cost of debug output and its impact on
-// the activity-recognition application.
+// the activity-recognition application, plus the checkpoint-strategy
+// comparison rows (kept separate from Modes, which is exactly the paper's
+// three print builds).
 type Table4Result struct {
 	Modes []ModeResult
+	Ckpts []CkptResult
 }
 
 // RunPrintCost runs the activity app once per instrumentation mode and
@@ -68,18 +94,38 @@ func RunPrintCost(cfg PrintCostConfig) (Table4Result, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = def.Seed
 	}
+	// The three print builds and the two checkpoint-strategy builds are
+	// independent benches sharing the same seed: one fan-out runs all five.
 	modes := []apps.PrintMode{apps.NoPrint, apps.UARTPrint, apps.EDBPrint}
-	rows, err := parallel.Map(len(modes), func(i int) (ModeResult, error) {
-		mr, err := runPrintMode(cfg, modes[i])
-		if err != nil {
-			return ModeResult{}, fmt.Errorf("mode %v: %w", modes[i], err)
+	type row struct {
+		mode ModeResult
+		ckpt CkptResult
+	}
+	rows, err := parallel.Map(len(modes)+2, func(i int) (row, error) {
+		if i < len(modes) {
+			mr, err := runPrintMode(cfg, modes[i])
+			if err != nil {
+				return row{}, fmt.Errorf("mode %v: %w", modes[i], err)
+			}
+			return row{mode: mr}, nil
 		}
-		return mr, nil
+		cr, err := runCkptStrategy(cfg, i == len(modes)+1)
+		if err != nil {
+			return row{}, fmt.Errorf("ckpt %d: %w", i-len(modes), err)
+		}
+		return row{ckpt: cr}, nil
 	})
 	if err != nil {
 		return Table4Result{}, err
 	}
-	out := Table4Result{Modes: rows}
+	var out Table4Result
+	for i, r := range rows {
+		if i < len(modes) {
+			out.Modes = append(out.Modes, r.mode)
+		} else {
+			out.Ckpts = append(out.Ckpts, r.ckpt)
+		}
+	}
 	// Marginal print costs relative to the no-print build. The EDB
 	// printf's energy cost is what its own compensation left behind —
 	// the save/restore discrepancy — which the iteration deltas also
@@ -125,6 +171,70 @@ func runPrintMode(cfg PrintCostConfig, mode apps.PrintMode) (ModeResult, error) 
 	}
 	mr.IterEnergyPct, mr.IterTimeMs = iterationProfile(d, e)
 	return mr, nil
+}
+
+// ckptSnapBytes is the modeled volatile footprint the checkpoint rows
+// preserve (stack + locals class; the activity app keeps its state in
+// FRAM, so the footprint is fixed rather than measured).
+const ckptSnapBytes = 256
+
+// ckptThreshold is the static Mementos trigger threshold, chosen inside
+// the WISP sawtooth (1.85–2.35 V) so trigger points fire on every
+// discharge ramp.
+const (
+	ckptThreshold units.Volts = 2.05
+	ckptVBase     units.Volts = 1.90
+)
+
+// runCkptStrategy reruns the no-print build with a checkpointing runtime
+// hanging off the app's trigger hook: static full-copy Mementos, or (dica)
+// incremental Mementos scheduled by the differential DiCA policy.
+func runCkptStrategy(cfg PrintCostConfig, dica bool) (CkptResult, error) {
+	h := energy.NewRFHarvester()
+	h.Distance = cfg.Distance
+	d := device.NewWISP5(h, cfg.Seed)
+
+	app := &apps.Activity{Print: apps.NoPrint}
+	r := device.NewRunner(d, app)
+	if err := r.Flash(); err != nil {
+		return CkptResult{}, err
+	}
+
+	cr := CkptResult{Strategy: "Mementos-full"}
+	var m *checkpoint.Mementos
+	var dc *baseline.DiCA
+	var err error
+	if dica {
+		cr.Strategy = "DiCA-diff"
+		if m, err = checkpoint.NewIncrementalMementos(d, ckptThreshold, ckptSnapBytes); err != nil {
+			return CkptResult{}, err
+		}
+		dc = baseline.NewDiCA(m, ckptThreshold, ckptVBase, ckptSnapBytes/2)
+		app.Trigger = dc.TriggerPoint
+	} else {
+		if m, err = checkpoint.NewMementos(d, ckptThreshold, ckptSnapBytes); err != nil {
+			return CkptResult{}, err
+		}
+		app.Trigger = func(env *device.Env, ctx uint16) bool {
+			cr.Triggers++
+			return m.TriggerPoint(env, ctx)
+		}
+	}
+
+	res, err := r.RunFor(cfg.Duration)
+	if err != nil {
+		return CkptResult{}, err
+	}
+	st := app.Stats(d)
+	cr.SuccessRate = st.SuccessRate()
+	cr.Iterations = st.Completed
+	cr.Reboots = res.Reboots
+	cr.Checkpoints = m.Checkpoints
+	cr.WordsCopied = m.WordsCopied
+	if dc != nil {
+		cr.Triggers = dc.Triggers
+	}
+	return cr, nil
 }
 
 // iterationProfile pairs watchpoint 1 (iteration start) with watchpoint 2
@@ -176,6 +286,15 @@ func (r Table4Result) Format() string {
 	}
 	for _, m := range r.Modes {
 		fmt.Fprintf(&b, "(%s: %d iterations, %d reboots)\n", m.Mode, m.Iterations, m.Reboots)
+	}
+	if len(r.Ckpts) > 0 {
+		b.WriteString("checkpoint strategies (no-print build):\n")
+		fmt.Fprintf(&b, "%-14s %10s %10s %12s %10s %10s\n",
+			"", "Success", "Ckpts", "CopiedWords", "Triggers", "Reboots")
+		for _, c := range r.Ckpts {
+			fmt.Fprintf(&b, "%-14s %10.0f %10d %12d %10d %10d\n",
+				c.Strategy, 100*c.SuccessRate, c.Checkpoints, c.WordsCopied, c.Triggers, c.Reboots)
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,294 @@
+// Package explore is a model-checking search kernel for intermittence bugs:
+// instead of sampling power-failure points from the harvester RNG the way a
+// normal simulated run does, it forks the rig at every failure candidate —
+// each unguarded FRAM write (or, in page mode, the first write per clean
+// page) plus every energy-guard and checkpoint-commit exit — and
+// systematically injects a power failure at each one, exhaustively within
+// the configured horizon.
+//
+// Throughput comes from the PR 4 snapshot substrate: non-volatile state is
+// the only state a power failure preserves, so a search state is exactly a
+// FRAM image, encoded as the O(dirty pages) delta against the post-flash
+// baseline (memsim.DiffDirty). The frontier is deduplicated by a 64-bit
+// state hash computed incrementally over the delta's pages only, with an
+// optional full-image recompute as a debug cross-check. Exploration is a
+// breadth-first search whose waves fan out over a work-stealing worker pool
+// (parallel.MapN); results are merged in canonical branch order, so the
+// report — including every WAR-violation branch trace — is bit-for-bit
+// identical at any worker count.
+//
+// The detector half flags non-idempotent re-execution the way Surbatovich
+// et al.'s formal foundation defines it: a WAR violation is a non-volatile
+// location read and then written with no commit point in between, so a
+// failure after the write makes re-execution observe its own output.
+// Energy guards and checkpoint/task-boundary commits end the window.
+package explore
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/memsim"
+	"repro/internal/parallel"
+	"repro/internal/sim"
+)
+
+// Candidate-set modes.
+const (
+	// ModeWrite forks after every unguarded FRAM write plus every guard and
+	// commit exit — the exhaustive setting.
+	ModeWrite = "write"
+	// ModePage forks only after the first write to each per-segment clean
+	// FRAM page plus guard/commit exits — coarser, cheaper, sound for bugs
+	// whose symptom is page-granular.
+	ModePage = "page"
+)
+
+// Config parameterizes an exploration.
+type Config struct {
+	// NewRig builds one fresh, flashed target per worker — most callers
+	// wrap core.ExploreTarget. The device must have no debugger attached
+	// (build the rig core.WithoutEDB()): the explorer installs its own
+	// minimal probe. Every call must produce an identical machine (same
+	// program, same seed) — the engine cross-checks the post-flash FRAM
+	// hash of each worker against the first.
+	NewRig func() (*device.Device, device.Program, error)
+
+	// Mode is ModeWrite (default) or ModePage.
+	Mode string
+	// MaxDepth bounds the number of injected failures along any branch
+	// (root = depth 0). Default 3.
+	MaxDepth int
+	// MaxCandidates caps the failure candidates considered per segment, so
+	// segments of non-terminating firmware stay short. Default 24.
+	MaxCandidates int
+	// MaxStates bounds the number of distinct states explored. Default 512.
+	MaxStates int
+	// SegmentCycles is the simulated-cycle horizon of one segment (a safety
+	// net for candidate-free loops). Default 200000.
+	SegmentCycles sim.Cycles
+	// Workers bounds the worker pool; 0 means parallel.Workers().
+	Workers int
+	// CheckHashes recomputes every state hash from the full FRAM image and
+	// errors on a mismatch with the incremental hash — the debug
+	// cross-check for the incremental hashing scheme.
+	CheckHashes bool
+}
+
+func (c *Config) applyDefaults() error {
+	if c.NewRig == nil {
+		return fmt.Errorf("explore: Config.NewRig is required")
+	}
+	if c.Mode == "" {
+		c.Mode = ModeWrite
+	}
+	if c.Mode != ModeWrite && c.Mode != ModePage {
+		return fmt.Errorf("explore: unknown mode %q", c.Mode)
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 24
+	}
+	if c.MaxStates <= 0 {
+		c.MaxStates = 512
+	}
+	if c.SegmentCycles <= 0 {
+		c.SegmentCycles = 200_000
+	}
+	if c.Workers <= 0 {
+		c.Workers = parallel.Workers()
+	}
+	return nil
+}
+
+// state is one node of the fork tree: a distinct non-volatile memory image,
+// reached by injecting failure candidate k in the parent's segment.
+type state struct {
+	id     int
+	parent int // -1 at the root
+	k      int // candidate index injected in the parent's segment (1-based)
+	depth  int
+	hash   uint64
+	delta  *memsim.Delta // FRAM pages differing from the post-flash baseline
+}
+
+// child is a freshly captured successor before dedup assigns it an id.
+type child struct {
+	k     int
+	hash  uint64
+	delta *memsim.Delta
+}
+
+// hazardInfo is the first WAR hazard observed in a segment's window.
+type hazardInfo struct {
+	addr  memsim.Addr
+	cand  int        // first failure candidate at/after the hazardous write
+	cycle sim.Cycles // segment-relative cycle of the write
+}
+
+// expansion is everything one state's probe + injected runs produced.
+type expansion struct {
+	outcome    string // probe outcome: capped, deadline, fault, returned, halted
+	cands      int
+	asserts    int
+	hazard     *hazardInfo
+	children   []child
+	hashChecks int
+}
+
+// Run explores the fork tree breadth-first and returns the merged report.
+func Run(cfg Config) (*Report, error) {
+	c := cfg
+	if err := c.applyDefaults(); err != nil {
+		return nil, err
+	}
+	pool, err := newRigPool(&c)
+	if err != nil {
+		return nil, err
+	}
+
+	root := &state{id: 0, parent: -1, depth: 0, hash: pool.baseHash,
+		delta: &memsim.Delta{Region: "FRAM"}}
+	states := []*state{root}
+	seen := map[uint64]int{root.hash: 0}
+	frontier := []*state{root}
+
+	rep := &Report{Mode: c.Mode, Outcomes: map[string]int{}}
+	byAddr := map[memsim.Addr]*Violation{}
+
+	for len(frontier) > 0 {
+		exps, err := parallel.MapN(len(frontier), c.Workers, func(i int) (*expansion, error) {
+			w, err := pool.get()
+			if err != nil {
+				return nil, err
+			}
+			defer pool.put(w)
+			return w.expand(frontier[i], frontier[i].depth < c.MaxDepth)
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		// Sequential merge in canonical BFS order: frontier order, then
+		// candidate order within each expansion. This is what makes the
+		// report independent of worker count and scheduling.
+		var next []*state
+		for i, e := range exps {
+			st := frontier[i]
+			rep.Outcomes[e.outcome]++
+			rep.Segments += 1 + len(e.children)
+			rep.HashChecks += e.hashChecks
+			if e.asserts > 0 {
+				rep.AssertStates++
+			}
+			if e.hazard != nil {
+				rep.WARStates++
+				v := byAddr[e.hazard.addr]
+				if v == nil {
+					v = &Violation{
+						Addr:    e.hazard.addr,
+						StateID: st.id,
+						Cand:    e.hazard.cand,
+						Cycle:   e.hazard.cycle,
+						Trace:   tracePath(states, st),
+					}
+					byAddr[e.hazard.addr] = v
+					rep.Violations = append(rep.Violations, v)
+				}
+				v.Count++
+			}
+			if st.depth >= c.MaxDepth && e.cands > 0 {
+				rep.Truncated = true
+			}
+			for _, ch := range e.children {
+				rep.Branches++
+				if _, dup := seen[ch.hash]; dup {
+					rep.DedupHits++
+					continue
+				}
+				if len(states) >= c.MaxStates {
+					rep.Truncated = true
+					continue
+				}
+				ns := &state{id: len(states), parent: st.id, k: ch.k,
+					depth: st.depth + 1, hash: ch.hash, delta: ch.delta}
+				states = append(states, ns)
+				seen[ch.hash] = ns.id
+				next = append(next, ns)
+			}
+		}
+		frontier = next
+	}
+	rep.States = len(states)
+	return rep, nil
+}
+
+// tracePath renders a state's branch trace: the candidate indices injected
+// from the root down to it, e.g. "root/3/1".
+func tracePath(states []*state, st *state) string {
+	if st.parent < 0 {
+		return "root"
+	}
+	var ks []int
+	for s := st; s.parent >= 0; s = states[s.parent] {
+		ks = append(ks, s.k)
+	}
+	out := "root"
+	for i := len(ks) - 1; i >= 0; i-- {
+		out += fmt.Sprintf("/%d", ks[i])
+	}
+	return out
+}
+
+// rigPool hands out workers to the parallel map, creating at most
+// cfg.Workers of them lazily and verifying each against the first worker's
+// post-flash baseline hash.
+type rigPool struct {
+	cfg      *Config
+	ch       chan *worker
+	baseHash uint64
+
+	mu      sync.Mutex
+	created int
+}
+
+func newRigPool(cfg *Config) (*rigPool, error) {
+	p := &rigPool{cfg: cfg, ch: make(chan *worker, cfg.Workers)}
+	w, err := newWorker(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.baseHash = w.baseHash
+	p.created = 1
+	p.ch <- w
+	return p, nil
+}
+
+func (p *rigPool) get() (*worker, error) {
+	select {
+	case w := <-p.ch:
+		return w, nil
+	default:
+	}
+	p.mu.Lock()
+	if p.created < p.cfg.Workers {
+		p.created++
+		p.mu.Unlock()
+		w, err := newWorker(p.cfg)
+		if err != nil {
+			return nil, err
+		}
+		if w.baseHash != p.baseHash {
+			return nil, fmt.Errorf("explore: NewRig is not deterministic: baseline hash %016x != %016x",
+				w.baseHash, p.baseHash)
+		}
+		return w, nil
+	}
+	p.mu.Unlock()
+	return <-p.ch, nil
+}
+
+func (p *rigPool) put(w *worker) { p.ch <- w }

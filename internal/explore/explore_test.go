@@ -1,0 +1,262 @@
+package explore
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/memsim"
+)
+
+// listbugRig is the canonical buggy workload: the unguarded linked list
+// whose remove/append sequence holds the Fig. 3 WAR inconsistency.
+func listbugRig(guards bool) func() (*device.Device, device.Program, error) {
+	return func() (*device.Device, device.Program, error) {
+		return core.ExploreTarget(&apps.LinkedList{GuardIterations: guards}, 42)
+	}
+}
+
+func smallConfig(guards bool) Config {
+	return Config{
+		NewRig:        listbugRig(guards),
+		Mode:          ModeWrite,
+		MaxDepth:      2,
+		MaxCandidates: 8,
+		MaxStates:     64,
+		CheckHashes:   true,
+	}
+}
+
+// TestDeterministicAcrossWorkers is the tentpole invariant: the merged
+// report — states, branches, outcomes, and every violation's branch trace —
+// must be bit-for-bit identical at any worker count. Run under -race this
+// also stresses the pool handoff.
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	var reports []*Report
+	for _, workers := range []int{1, 4} {
+		cfg := smallConfig(false)
+		cfg.Workers = workers
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		reports = append(reports, rep)
+	}
+	if !reflect.DeepEqual(reports[0], reports[1]) {
+		t.Fatalf("reports diverge across worker counts:\n1 worker:\n%s\n4 workers:\n%s",
+			reports[0].Format(), reports[1].Format())
+	}
+	rep := reports[0]
+	if rep.Clean() {
+		t.Fatal("unguarded linked list must exhibit WAR violations")
+	}
+	for _, v := range rep.Violations {
+		if !strings.HasPrefix(v.Trace, "root") || v.Cand < 1 || v.Count < 1 {
+			t.Fatalf("malformed violation: %+v", v)
+		}
+	}
+	if rep.HashChecks == 0 {
+		t.Fatal("CheckHashes performed no cross-checks")
+	}
+	if rep.Format() != reports[1].Format() {
+		t.Fatal("formatted reports differ")
+	}
+}
+
+// TestGuardedBuildClean: wrapping each iteration in an energy guard removes
+// every failure candidate inside the loop body, so no reachable failure
+// point splits the read-modify-write sequences.
+func TestGuardedBuildClean(t *testing.T) {
+	rep, err := Run(smallConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("guarded build must verify clean:\n%s", rep.Format())
+	}
+	if rep.States == 0 || rep.Branches == 0 {
+		t.Fatalf("guarded exploration made no progress: %+v", rep)
+	}
+	if !strings.Contains(rep.Format(), "no WAR violations detected") {
+		t.Fatal("format")
+	}
+}
+
+// TestSafelistCommitBoundaries: the task-runtime build exposes its commit
+// machinery through CommitSignaler, so the runtime's versioning writes stay
+// out of the WAR window and each boundary becomes a failure candidate. The
+// intermittence-safe app must verify clean.
+func TestSafelistCommitBoundaries(t *testing.T) {
+	cfg := smallConfig(false)
+	cfg.NewRig = func() (*device.Device, device.Program, error) {
+		return core.ExploreTarget(&apps.SafeLinkedList{}, 42)
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("task-boundary build must verify clean:\n%s", rep.Format())
+	}
+	if rep.States < 2 {
+		t.Fatalf("commit exits produced no forks: %+v", rep)
+	}
+}
+
+// TestPageModeCoarserButSound: page mode forks at the first write per clean
+// page, so it explores no more branches per segment than write mode but
+// still runs the same WAR detector over every probe.
+func TestPageModeCoarserButSound(t *testing.T) {
+	w := smallConfig(false)
+	rep1, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := smallConfig(false)
+	p.Mode = ModePage
+	rep2, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Clean() {
+		t.Fatal("page mode must still flag the WAR bug (detection is probe-based)")
+	}
+	if rep2.Branches > rep1.Branches {
+		t.Fatalf("page mode explored %d branches vs write mode's %d", rep2.Branches, rep1.Branches)
+	}
+}
+
+// TestColdBootReplayByteIdentity is the fork-tree determinism stress test:
+// a worker that has run arbitrary other segments (deep revert chains, event
+// queue churn, RNG perturbation) must reproduce a branch byte-for-byte
+// identically to a fresh worker replaying the same candidate path from a
+// cold boot — same delta encoding, same state hash, same FRAM image.
+func TestColdBootReplayByteIdentity(t *testing.T) {
+	cfg := smallConfig(false)
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	dirtyW, err := newWorker(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldW, err := newWorker(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirtyW.baseHash != coldW.baseHash {
+		t.Fatal("NewRig is not deterministic")
+	}
+
+	root := &state{id: 0, parent: -1, delta: &memsim.Delta{Region: "FRAM"}, hash: dirtyW.baseHash}
+
+	// Walk three injections deep on the dirty worker, polluting it with
+	// unrelated segments between every step.
+	pollute := func(w *worker, st *state) {
+		for k := 2; k <= 3; k++ {
+			if _, err := w.runSegment(st, k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := w.runSegment(st, 0); err != nil { // full probe run
+			t.Fatal(err)
+		}
+	}
+	path := []int{1, 2, 1}
+	cur := root
+	var wantHashes []uint64
+	var wantDeltas []*memsim.Delta
+	var wantImages [][]byte
+	for _, k := range path {
+		pollute(dirtyW, cur)
+		o, err := dirtyW.runSegment(cur, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o != "injected" {
+			t.Fatalf("candidate %d not reached: outcome %s", k, o)
+		}
+		hash, delta, err := dirtyW.capture()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHashes = append(wantHashes, hash)
+		wantDeltas = append(wantDeltas, delta)
+		wantImages = append(wantImages, dirtyW.fram.Snapshot())
+		cur = &state{id: cur.id + 1, parent: cur.id, k: k, delta: delta, hash: hash}
+	}
+
+	// Cold replay of the same path on the fresh worker.
+	cur = root
+	for i, k := range path {
+		o, err := coldW.runSegment(cur, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o != "injected" {
+			t.Fatalf("cold replay: candidate %d not reached: outcome %s", k, o)
+		}
+		hash, delta, err := coldW.capture()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hash != wantHashes[i] {
+			t.Fatalf("step %d: cold hash %016x != dirty hash %016x", i, hash, wantHashes[i])
+		}
+		if !reflect.DeepEqual(delta, wantDeltas[i]) {
+			t.Fatalf("step %d: delta encodings differ", i)
+		}
+		if img := coldW.fram.Snapshot(); !bytes.Equal(img, wantImages[i]) {
+			t.Fatalf("step %d: FRAM images differ", i)
+		}
+		// The image must equal baseline+delta exactly: the delta derives
+		// from the dirty bitmap, so a write the bitmap missed shows up as
+		// a reconstruction mismatch here.
+		recon := append([]byte(nil), coldW.baseFRAM...)
+		for _, pg := range delta.Pages {
+			copy(recon[pg.Off:pg.Off+len(pg.Data)], pg.Data)
+		}
+		if !bytes.Equal(recon, wantImages[i]) {
+			t.Fatalf("step %d: baseline+delta reconstruction differs from the live image", i)
+		}
+		cur = &state{id: cur.id + 1, parent: cur.id, k: k, delta: delta, hash: hash}
+	}
+}
+
+// TestRigWithDebuggerRejected: the explorer installs its own probe; a rig
+// that already carries EDB is a configuration error, not a silent override.
+func TestRigWithDebuggerRejected(t *testing.T) {
+	cfg := smallConfig(false)
+	cfg.NewRig = func() (*device.Device, device.Program, error) {
+		p := &apps.LinkedList{}
+		rig, err := core.NewRig(p, core.WithSeed(42))
+		if err != nil {
+			return nil, nil, err
+		}
+		return rig.Device, p, nil
+	}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "WithoutEDB") {
+		t.Fatalf("err = %v, want debugger-attached rejection", err)
+	}
+}
+
+// TestTruncationReported: a one-state budget must mark the report truncated
+// rather than silently narrowing the search.
+func TestTruncationReported(t *testing.T) {
+	cfg := smallConfig(false)
+	cfg.MaxStates = 1
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Fatal("MaxStates=1 must truncate")
+	}
+	if rep.States != 1 {
+		t.Fatalf("states = %d, want 1", rep.States)
+	}
+}

@@ -124,6 +124,90 @@ func TestRevertDirtyUndoesWrites(t *testing.T) {
 	}
 }
 
+func TestDiffDirtyCanonical(t *testing.T) {
+	r := NewRegion("FRAM", FRAMBase, FRAMSize, false)
+	m, _ := NewMemory(r)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		m.WriteByteAt(FRAMBase+Addr(rng.Intn(FRAMSize)), byte(rng.Int()))
+	}
+	r.EnableDirtyTracking()
+	r.ResetDirty()
+	baseline := r.Snapshot()
+
+	// Change page 2, and write page 5 back to its baseline values: the
+	// dirty bitmap covers both, the diff must contain only page 2 — the
+	// canonical encoding treats written-then-reverted pages as untouched.
+	m.WriteByteAt(FRAMBase+Addr(2*PageSize), 0x7F)
+	old, _ := m.ReadByteAt(FRAMBase + Addr(5*PageSize))
+	m.WriteByteAt(FRAMBase+Addr(5*PageSize), old)
+	if got := r.DirtyPageCount(); got != 2 {
+		t.Fatalf("dirty pages = %d, want 2", got)
+	}
+	d, err := r.DiffDirty(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Pages) != 1 || d.Pages[0].Off != 2*PageSize {
+		t.Fatalf("diff = %+v, want exactly page 2", d.Pages)
+	}
+	// DiffDirty peeks: the bitmap and contents are untouched.
+	if r.DirtyPageCount() != 2 {
+		t.Fatal("DiffDirty consumed the dirty bitmap")
+	}
+	if got := r.DirtyPages(); len(got) != 2 || got[0] != 2 || got[1] != 5 {
+		t.Fatalf("DirtyPages = %v, want [2 5]", got)
+	}
+
+	// Applying the diff to a baseline copy reproduces the live image.
+	r2 := NewRegion("FRAM", FRAMBase, FRAMSize, false)
+	r2.Restore(baseline)
+	if err := r2.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r2.Snapshot(), r.Snapshot()) {
+		t.Fatal("baseline + diff differs from the live image")
+	}
+
+	// A short baseline is rejected; no tracking is an error.
+	if _, err := r.DiffDirty(baseline[:10]); err == nil {
+		t.Fatal("DiffDirty accepted a truncated baseline")
+	}
+	r3 := NewRegion("FRAM", FRAMBase, FRAMSize, false)
+	if _, err := r3.DiffDirty(baseline); err == nil {
+		t.Fatal("DiffDirty without tracking should error")
+	}
+}
+
+func TestReadHookObservesReads(t *testing.T) {
+	r := NewRegion("FRAM", FRAMBase, FRAMSize, false)
+	m, _ := NewMemory(r)
+	type access struct {
+		a Addr
+		n int
+	}
+	var got []access
+	r.ReadHook = func(a Addr, n int) { got = append(got, access{a, n}) }
+	if _, err := m.ReadByteAt(FRAMBase + 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadWord(FRAMBase + 8); err != nil {
+		t.Fatal(err)
+	}
+	want := []access{{FRAMBase + 3, 1}, {FRAMBase + 8, 2}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("ReadHook saw %v, want %v", got, want)
+	}
+	// Faulting reads never reach the hook.
+	got = got[:0]
+	if _, err := m.ReadByteAt(FRAMBase + Addr(FRAMSize)); err == nil {
+		t.Fatal("out-of-range read must fault")
+	}
+	if len(got) != 0 {
+		t.Fatalf("ReadHook fired on a faulting read: %v", got)
+	}
+}
+
 func TestDirtyTrackingDisabledIsInert(t *testing.T) {
 	r := NewRegion("SRAM", SRAMBase, SRAMSize, true)
 	m, _ := NewMemory(r)

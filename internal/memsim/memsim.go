@@ -15,6 +15,7 @@
 package memsim
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math/bits"
@@ -82,6 +83,11 @@ type Region struct {
 	// The ISA's predecoded-instruction cache hangs its invalidation here so
 	// self-modifying (or self-corrupting) programs stay faithful.
 	WriteHook func(a Addr, n int)
+
+	// ReadHook, if set, observes every load from the region. The exhaustive
+	// intermittence checker hangs its WAR (read-before-write) detector here;
+	// nil keeps the plain read path branch-predictable.
+	ReadHook func(a Addr, n int)
 
 	// dirty, when non-nil, is a write-barrier bitmap with one bit per
 	// PageSize-byte page, set on every store. It makes DeltaSnapshot and
@@ -200,6 +206,52 @@ func (r *Region) TakeDirtyPages() []int {
 	r.forEachDirty(func(p int) { out = append(out, p) })
 	r.ResetDirty()
 	return out
+}
+
+// DirtyPages returns the indices of the pages written since the last reset,
+// in ascending order, without clearing the bitmap — a non-consuming peek for
+// consumers (e.g. dirty-size-aware checkpoint placement) that want to know
+// how much a capture *would* copy. It returns nil when tracking is off.
+func (r *Region) DirtyPages() []int {
+	if r.dirty == nil {
+		return nil
+	}
+	var out []int
+	r.forEachDirty(func(p int) { out = append(out, p) })
+	return out
+}
+
+// DiffDirty captures, without consuming the dirty bitmap, exactly the dirty
+// pages whose contents differ byte-for-byte from a full baseline snapshot,
+// in ascending page order. Because the dirty set is a superset of the pages
+// that differ from the baseline (writes only ever set bits), the result is
+// a canonical representation of the region's divergence from the baseline:
+// two states with equal contents produce identical deltas regardless of the
+// write path that reached them (written-then-reverted pages are excluded).
+// The exhaustive intermittence checker uses this as its state encoding.
+func (r *Region) DiffDirty(baseline []byte) (*Delta, error) {
+	if r.dirty == nil {
+		return nil, fmt.Errorf("memsim: dirty tracking disabled on %s", r.Name)
+	}
+	if len(baseline) != len(r.data) {
+		return nil, fmt.Errorf("memsim: baseline size %d does not match %s size %d",
+			len(baseline), r.Name, len(r.data))
+	}
+	d := &Delta{Region: r.Name}
+	r.forEachDirty(func(p int) {
+		lo := p << pageShift
+		hi := lo + PageSize
+		if hi > len(r.data) {
+			hi = len(r.data)
+		}
+		if bytes.Equal(r.data[lo:hi], baseline[lo:hi]) {
+			return
+		}
+		cp := make([]byte, hi-lo)
+		copy(cp, r.data[lo:hi])
+		d.Pages = append(d.Pages, DeltaPage{Off: lo, Data: cp})
+	})
+	return d, nil
 }
 
 // markAll sets every page dirty (bulk mutations: Clear, Restore).
@@ -407,6 +459,9 @@ func (m *Memory) ReadByteAt(a Addr) (byte, error) {
 		return 0, &Fault{Addr: a}
 	}
 	r.Reads++
+	if r.ReadHook != nil {
+		r.ReadHook(a, 1)
+	}
 	return r.data[a-r.Base], nil
 }
 
@@ -437,6 +492,9 @@ func (m *Memory) ReadWord(a Addr) (uint16, error) {
 		return 0, &Fault{Addr: a}
 	}
 	r.Reads++
+	if r.ReadHook != nil {
+		r.ReadHook(a, 2)
+	}
 	off := a - r.Base
 	return binary.LittleEndian.Uint16(r.data[off : off+2]), nil
 }

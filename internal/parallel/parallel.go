@@ -51,10 +51,18 @@ func SetWorkers(n int) int {
 // With Workers() <= 1, Map degenerates to a plain sequential loop — the
 // golden baseline the parallel path is tested against.
 func Map[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapN(n, Workers(), fn)
+}
+
+// MapN is Map with an explicit worker bound for this call only, leaving the
+// process-wide SetWorkers bound untouched. Callers that carry their own
+// worker-count configuration (the exhaustive explorer's Config.Workers, the
+// worker-scaling legs of benchmarks) use it so concurrent pipelines don't
+// fight over the global bound.
+func MapN[T any](n, w int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
-	w := Workers()
 	if w > n {
 		w = n
 	}

@@ -44,6 +44,57 @@ func TestMapMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestMapNIgnoresGlobalBound(t *testing.T) {
+	prev := SetWorkers(1)
+	defer SetWorkers(prev)
+	var inFlight, peak atomic.Int64
+	barrier := make(chan struct{})
+	got, err := MapN(8, 4, func(i int) (int, error) {
+		if n := inFlight.Add(1); n > peak.Load() {
+			peak.Store(n)
+		}
+		// Rendezvous: with a per-call bound of 4 despite the global bound
+		// of 1, items 0 and 1 must be in flight at the same time for the
+		// unbuffered send/receive pair to complete.
+		switch i {
+		case 0:
+			barrier <- struct{}{}
+		case 1:
+			<-barrier
+		}
+		inFlight.Add(-1)
+		return i * 3, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*3 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("peak concurrency = %d, want >= 2 under MapN(.., 4, ..)", peak.Load())
+	}
+}
+
+func TestMapNSequentialBound(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	_, err := MapN(16, 1, func(i int) (int, error) {
+		if n := inFlight.Add(1); n > peak.Load() {
+			peak.Store(n)
+		}
+		inFlight.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() != 1 {
+		t.Fatalf("peak concurrency = %d, want 1", peak.Load())
+	}
+}
+
 func TestMapLowestError(t *testing.T) {
 	prev := SetWorkers(4)
 	defer SetWorkers(prev)

@@ -12,6 +12,7 @@ package scenario
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"repro/internal/apps"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/edb"
 	"repro/internal/energy"
+	"repro/internal/explore"
 	"repro/internal/isa"
 	"repro/internal/rfid"
 	"repro/internal/trace"
@@ -37,7 +39,8 @@ type Spec struct {
 	AsmSource string
 	// Assert enables the keep-alive assertions (linkedlist/safelist).
 	Assert bool
-	// Guards wraps debug instrumentation in energy guards (fib).
+	// Guards wraps debug instrumentation in energy guards (fib), or whole
+	// loop iterations (linkedlist's §3.3.3 porting starting point).
 	Guards bool
 	// Print selects the activity app's print mode: none|uart|edb.
 	Print string
@@ -176,6 +179,7 @@ func buildRig(spec Spec) (*core.Rig, device.Program, error) {
 func execute(rig *core.Rig, prog device.Program, spec Spec, out io.Writer, prompt PromptFunc) (Result, error) {
 	var res Result
 	rig.Console.SetOutput(out)
+	rig.Console.SetExplore(exploreHandler(spec))
 	var vcap *trace.Series
 	if spec.Trace {
 		// A warm fork arrives with tracing already enabled (and the
@@ -276,12 +280,80 @@ func runPromptConsole(rig *core.Rig, out io.Writer, prompt PromptFunc, res *Resu
 	}
 }
 
+// exploreHandler adapts the console's `explore` command to the exhaustive
+// intermittence checker. Each invocation forks fresh debugger-free rigs
+// from the spec's firmware (the explorer installs its own probe, so it
+// never touches the live rig), runs the bounded search, and returns the
+// report text. Options: guards|noguards override the spec's guard setting;
+// mode=write|page, depth=N, writes=N, states=N, workers=N bound the
+// search; check enables the full-image hash cross-check.
+func exploreHandler(spec Spec) func(args []string) (string, error) {
+	return func(args []string) (string, error) {
+		if spec.AsmSource != "" {
+			return "", fmt.Errorf("explore: built-in apps only")
+		}
+		guards := spec.Guards
+		cfg := explore.Config{Mode: explore.ModeWrite}
+		for _, a := range args {
+			switch a {
+			case "guards":
+				guards = true
+				continue
+			case "noguards":
+				guards = false
+				continue
+			case "check":
+				cfg.CheckHashes = true
+				continue
+			case "mode=write":
+				cfg.Mode = explore.ModeWrite
+				continue
+			case "mode=page":
+				cfg.Mode = explore.ModePage
+				continue
+			}
+			k, v, ok := strings.Cut(a, "=")
+			n, err := strconv.Atoi(v)
+			if !ok || err != nil || n <= 0 {
+				return "", fmt.Errorf("explore: bad option %q (try help)", a)
+			}
+			switch k {
+			case "depth":
+				cfg.MaxDepth = n
+			case "writes":
+				cfg.MaxCandidates = n
+			case "states":
+				cfg.MaxStates = n
+			case "workers":
+				cfg.Workers = n
+			default:
+				return "", fmt.Errorf("explore: unknown option %q (try help)", a)
+			}
+		}
+		cfg.NewRig = func() (*device.Device, device.Program, error) {
+			prog, reader, err := buildProgram(spec.App, spec.Assert, guards, spec.Print)
+			if err != nil {
+				return nil, nil, err
+			}
+			if reader != nil {
+				return nil, nil, fmt.Errorf("explore: the rfid scenario is reader-driven and cannot be forked")
+			}
+			return core.ExploreTarget(prog, spec.Seed)
+		}
+		rep, err := explore.Run(cfg)
+		if err != nil {
+			return "", err
+		}
+		return rep.Format(), nil
+	}
+}
+
 // buildProgram maps an app name to a firmware image (plus a reader for the
 // RFID scenario).
 func buildProgram(name string, withAssert, guards bool, printMode string) (device.Program, *rfid.ReaderConfig, error) {
 	switch name {
 	case "linkedlist":
-		return &apps.LinkedList{WithAssert: withAssert}, nil, nil
+		return &apps.LinkedList{WithAssert: withAssert, GuardIterations: guards}, nil, nil
 	case "safelist":
 		return &apps.SafeLinkedList{WithAssert: withAssert}, nil, nil
 	case "fib":

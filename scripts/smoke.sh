@@ -107,6 +107,30 @@ if "$workdir/edb" -connect "$addr" -app linkedlist -assert -t 10 -seed 42 \
     exit 1
 fi
 
+echo "smoke: bounded exhaustive exploration (unguarded vs guarded)"
+# The console's explore command model-checks the firmware: the unguarded
+# linked list must be flagged with a WAR violation, the guarded build must
+# verify clean over the same bounds, and the report must be byte-identical
+# over the wire (worker-count-independent determinism).
+explore_script="explore depth=2 writes=8 states=64; explore guards depth=2 writes=8 states=64; halt"
+"$workdir/edb" $common "$explore_script" >"$workdir/explore-local.out"
+if ! grep -q "WAR violations:" "$workdir/explore-local.out"; then
+    echo "smoke: FAIL — explore did not flag the unguarded WAR bug" >&2
+    cat "$workdir/explore-local.out" >&2
+    exit 1
+fi
+if ! grep -q "no WAR violations detected" "$workdir/explore-local.out"; then
+    echo "smoke: FAIL — explore flagged the guarded build" >&2
+    cat "$workdir/explore-local.out" >&2
+    exit 1
+fi
+"$workdir/edb" -connect "$addr" $common "$explore_script" >"$workdir/explore-remote.out"
+if ! diff -u "$workdir/explore-local.out" "$workdir/explore-remote.out"; then
+    echo "smoke: FAIL — remote explore output differs from local" >&2
+    exit 1
+fi
+echo "smoke: explore flags the unguarded bug, passes the guarded build, identical over the wire"
+
 echo "smoke: generating an ephemeral TLS keypair"
 go run ./scripts/gencert -out "$workdir/certs" -hosts 127.0.0.1 >/dev/null
 
