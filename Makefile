@@ -29,9 +29,9 @@ benchcmp:
 
 # Regenerate every table, figure, case study, sweep, and ablation, plus
 # the trace-codec, snapshot, fleet, kernel, cluster, and exhaustive-
-# exploration benchmarks, into BENCH.json.
+# exploration benchmarks (single-process and distributed), into BENCH.json.
 results:
-	$(GO) run ./cmd/edb-bench -exp all -trace -snapshot -fleet -kernel -cluster -explore -csv -out results
+	$(GO) run ./cmd/edb-bench -exp all -trace -snapshot -fleet -kernel -cluster -explore -explore-cluster -csv -out results
 
 examples:
 	$(GO) run ./examples/quickstart

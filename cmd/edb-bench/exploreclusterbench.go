@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/scenario"
+	"repro/internal/server"
+)
+
+// runExploreClusterBench measures the distributed exhaustive checker:
+// states/sec through one gateway at 1, 2 and 4 explore backends against the
+// single-process engine, plus shard-transfer volume and dedup partition
+// balance. Every distributed report is deep-compared against the
+// single-process one — the throughput numbers only count searches the
+// cluster got *right*.
+//
+// The host may have a single core, so the scaling story is latency, not
+// CPU: a synthetic per-RPC delay models the backend-link round-trip that
+// dominates a real fleet (the expansion CPU per shard is microseconds;
+// shipping the shard is milliseconds). Each backend expands its shards
+// behind its own link, so a wave's round-trips overlap across the fleet and
+// wall time drops near-linearly with backends — the same regime as real
+// EDB rigs, where the wire, not the gateway host, is the bottleneck.
+func runExploreClusterBench(o *jobOut, quick bool) error {
+	const (
+		netDelay    = 10 * time.Millisecond // synthetic per-RPC backend-link latency
+		shardStates = 16                    // frontier states per shard round-trip
+	)
+	spec := scenario.Spec{App: "linkedlist", Seed: 42}
+	es := scenario.ExploreSpec{Mode: "write", Writes: 5, Depth: 32, States: 8192}
+	legs := []int{1, 2, 4}
+	if quick {
+		es.Writes = 4
+		es.States = 2048
+		legs = []int{1, 2}
+	}
+
+	// Single-process baseline: same (spec, search) pair, no wire at all.
+	start := time.Now()
+	golden, err := scenario.RunExplore(spec, es)
+	if err != nil {
+		return fmt.Errorf("explore-cluster bench: single-process run: %w", err)
+	}
+	singleSecs := time.Since(start).Seconds()
+	if golden.Truncated {
+		return fmt.Errorf("explore-cluster bench: workload truncated (states=%d); the search must close", golden.States)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "distributed exploration bench (unguarded linked list, cap=%d, %d states, %v/RPC link, %d states/shard):\n",
+		es.Writes, golden.States, netDelay, shardStates)
+	fmt.Fprintf(&b, "  single-process: %8.0f states/s  (%.3fs)\n", float64(golden.States)/singleSecs, singleSecs)
+
+	rates := map[int]float64{}
+	for _, n := range legs {
+		es.Backends = n
+		gw, cleanup, err := startExploreFleet(n, netDelay, shardStates)
+		if err != nil {
+			return fmt.Errorf("explore-cluster bench: %d-backend fleet: %w", n, err)
+		}
+		start := time.Now()
+		rep, stats, err := gw.RunExplore(spec, es)
+		secs := time.Since(start).Seconds()
+		m := gw.Metrics()
+		cleanup()
+		if err != nil {
+			return fmt.Errorf("explore-cluster bench: %d-backend run: %w", n, err)
+		}
+		if !reflect.DeepEqual(rep, golden) {
+			return fmt.Errorf("explore-cluster bench: %d-backend report diverges from the single-process report", n)
+		}
+		var queries, hits int64
+		for p := range stats.PartQueries {
+			queries += stats.PartQueries[p]
+			hits += stats.PartHits[p]
+		}
+		hitPct := 100 * float64(hits) / float64(queries)
+		rates[n] = float64(rep.States) / secs
+		o.metric(fmt.Sprintf("explore_cluster_states_per_s_%db", n), rates[n])
+		o.metric(fmt.Sprintf("explore_cluster_bytes_out_%db", n), float64(m.ExploreBytesOut))
+		o.metric(fmt.Sprintf("explore_cluster_bytes_in_%db", n), float64(m.ExploreBytesIn))
+		o.metric(fmt.Sprintf("explore_cluster_dedup_hit_pct_%db", n), hitPct)
+		fmt.Fprintf(&b, "  %d backend(s):   %8.0f states/s  (%.3fs, %d waves, %d shard batches, %d retries, %.1fMB out, %.1fMB in, dedup %.1f%%)\n",
+			n, rates[n], secs, stats.Waves, stats.ShardBatches, stats.Retries,
+			float64(m.ExploreBytesOut)/1e6, float64(m.ExploreBytesIn)/1e6, hitPct)
+	}
+
+	scaling2 := rates[2] / rates[1]
+	o.metric("explore_cluster_scaling_x2", scaling2)
+	fmt.Fprintf(&b, "\n  scaling 1→2 backends: %.2fx\n", scaling2)
+	if r4, ok := rates[4]; ok {
+		scaling4 := r4 / rates[1]
+		o.metric("explore_cluster_scaling_x4", scaling4)
+		fmt.Fprintf(&b, "  scaling 1→4 backends: %.2fx\n", scaling4)
+	}
+	b.WriteString("  reports identical across backend counts and vs single-process\n")
+	o.metric("explore_cluster_states", float64(golden.States))
+	o.metric("explore_cluster_branches", float64(golden.Branches))
+	o.metric("explore_cluster_states_per_s_single", float64(golden.States)/singleSecs)
+	o.metric("explore_cluster_net_ms", 1e3*netDelay.Seconds())
+	o.metric("explore_cluster_shard_states", shardStates)
+	o.text = b.String()
+
+	js, err := json.MarshalIndent(o.metrics, "", "  ")
+	if err != nil {
+		return err
+	}
+	o.file("BENCH_explore_cluster.json", string(js)+"\n")
+	return nil
+}
+
+// startExploreFleet is startBenchFleet with the explore benchmarking knobs:
+// the gateway never serves a client here, so it skips the listener and is
+// driven through RunExplore directly.
+func startExploreFleet(n int, netDelay time.Duration, shardStates int) (*cluster.Gateway, func(), error) {
+	var backends []string
+	var shutdown []func()
+	cleanup := func() {
+		for i := len(shutdown) - 1; i >= 0; i-- {
+			shutdown[i]()
+		}
+	}
+	for i := 0; i < n; i++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		srv := server.New(server.Config{MaxConns: 64})
+		go srv.Serve(lis)
+		backends = append(backends, lis.Addr().String())
+		shutdown = append(shutdown, func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+	}
+	gw := cluster.New(cluster.Config{
+		Backends:           backends,
+		ExploreNetDelay:    netDelay,
+		ExploreShardStates: shardStates,
+	})
+	return gw, cleanup, nil
+}

@@ -54,6 +54,7 @@ func main() {
 	kernelBench := flag.Bool("kernel", false, "record the sequential simulator kernel baseline as a 'kernel' suite in BENCH.json")
 	clusterBench := flag.Bool("cluster", false, "benchmark the edbd gateway tier: sessions/sec at 1/2/4 backends plus drain-migration latency (writes BENCH_cluster.json)")
 	exploreBench := flag.Bool("explore", false, "benchmark the exhaustive power-failure explorer: states/sec, dedup hit rate, 1/2/4-worker scaling (writes BENCH_explore.json)")
+	exploreClusterBench := flag.Bool("explore-cluster", false, "benchmark distributed exploration through the gateway: states/sec at 1/2/4 backends vs single-process (writes BENCH_explore_cluster.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -101,7 +102,7 @@ func main() {
 	// A benchmark flag (-trace, -snapshot, -fleet, -kernel, -explore) alone
 	// runs just that benchmark; combining one with an explicit -exp adds it
 	// to that selection.
-	if *traceBench || *snapBench || *fleetBench || *kernelBench || *clusterBench || *exploreBench {
+	if *traceBench || *snapBench || *fleetBench || *kernelBench || *clusterBench || *exploreBench || *exploreClusterBench {
 		expSet := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "exp" {
@@ -416,6 +417,9 @@ func main() {
 	}
 	if *exploreBench {
 		add("explore-bench", func(o *jobOut) error { return runExploreBench(o, *quick) })
+	}
+	if *exploreClusterBench {
+		add("explore-cluster-bench", func(o *jobOut) error { return runExploreClusterBench(o, *quick) })
 	}
 
 	if len(jobs) == 0 {

@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/scenario"
+	"repro/internal/wire"
+)
+
+// This file is the gateway end of distributed exploration: the console's
+// `explore backends=N` is intercepted on the prompt relay, fanned across N
+// backends as explore.Executor sessions (FlagExplore), and the merged report
+// is streamed back byte-identically to a single-process run.
+
+// countingConn counts the bytes crossing one executor connection into the
+// gateway's explore transfer counters, deadline passthrough included.
+type countingConn struct {
+	net.Conn
+	g *Gateway
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.g.c.exploreBytesIn.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.g.c.exploreBytesOut.Add(int64(n))
+	return n, err
+}
+
+// remoteExecutor implements explore.Executor over one dedicated backend
+// connection. Every method is a strictly serial request/response exchange
+// (the backend's exploreSession mirrors this), so a mutex serializes the
+// coordinator's concurrent dedup partitions onto the single connection. Any
+// transport or protocol error is surfaced to the coordinator, which kills
+// the executor and re-routes its work — exactly the failover the engine's
+// journal re-seeding is built for.
+type remoteExecutor struct {
+	g    *Gateway
+	addr string
+	conn net.Conn
+	base uint64
+
+	mu  sync.Mutex
+	seq uint32
+}
+
+// dialExecutor opens an exploration session on a backend: a FlagExplore
+// handshake, the Explore request, and the executor hello carrying the
+// backend's post-flash baseline hash.
+func (g *Gateway) dialExecutor(addr string, spec scenario.Spec, es scenario.ExploreSpec) (*remoteExecutor, error) {
+	raw, err := g.dialBackend(addr, wire.FlagExplore)
+	if err != nil {
+		return nil, err
+	}
+	conn := &countingConn{Conn: raw, g: g}
+	x := &remoteExecutor{g: g, addr: addr, conn: conn}
+	if err := g.sendBackend(conn, &wire.Explore{Spec: spec, Ex: es}); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	m, err := g.recvBackend(conn, g.cfg.BackendReadTimeout)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	switch r := m.(type) {
+	case *wire.ExploreResult:
+		if r.Kind != wire.ExploreHello {
+			raw.Close()
+			return nil, fmt.Errorf("cluster: backend %s: expected executor hello, got kind %d", addr, r.Kind)
+		}
+		x.base = r.BaseHash
+		return x, nil
+	case *wire.Error:
+		raw.Close()
+		return nil, fmt.Errorf("cluster: backend %s: %w", addr, r)
+	default:
+		raw.Close()
+		return nil, fmt.Errorf("cluster: backend %s: unexpected executor reply %T", addr, m)
+	}
+}
+
+// BaseHash returns the backend's post-flash baseline hash from the hello.
+func (x *remoteExecutor) BaseHash() uint64 { return x.base }
+
+// rpc runs one shard request and collects want result frames. The optional
+// ExploreNetDelay models backend-link latency for loopback benchmarking.
+func (x *remoteExecutor) rpc(req *wire.ExploreShard, want int) ([]*wire.ExploreResult, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if d := x.g.cfg.ExploreNetDelay; d > 0 {
+		time.Sleep(d)
+	}
+	x.seq++
+	req.Seq = x.seq
+	if err := x.g.sendBackend(x.conn, req); err != nil {
+		return nil, err
+	}
+	out := make([]*wire.ExploreResult, 0, want)
+	for len(out) < want {
+		m, err := x.g.recvBackend(x.conn, x.g.cfg.BackendReadTimeout)
+		if err != nil {
+			return nil, err
+		}
+		switch r := m.(type) {
+		case *wire.ExploreResult:
+			if r.Seq != x.seq {
+				return nil, fmt.Errorf("cluster: backend %s: result for shard %d while waiting on %d", x.addr, r.Seq, x.seq)
+			}
+			out = append(out, r)
+		case *wire.Error:
+			return nil, fmt.Errorf("cluster: backend %s: %w", x.addr, r)
+		default:
+			return nil, fmt.Errorf("cluster: backend %s: unexpected shard reply %T", x.addr, m)
+		}
+	}
+	return out, nil
+}
+
+// Expand ships a frontier batch and reassembles the per-state result frames
+// by their Index (the backend bounds each frame to one state's children).
+func (x *remoteExecutor) Expand(states []explore.ShardState) ([]explore.Expansion, error) {
+	results, err := x.rpc(&wire.ExploreShard{Kind: wire.ExploreExpand, States: wire.PackStates(states)}, len(states))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]explore.Expansion, len(states))
+	seen := make([]bool, len(states))
+	for _, r := range results {
+		if r.Kind != wire.ExploreExpanded {
+			return nil, fmt.Errorf("cluster: backend %s: expected expansion result, got kind %d", x.addr, r.Kind)
+		}
+		i := int(r.Index)
+		if i >= len(states) || seen[i] {
+			return nil, fmt.Errorf("cluster: backend %s: expansion index %d out of range or duplicated", x.addr, i)
+		}
+		seen[i] = true
+		out[i] = wire.UnpackExpansion(r)
+	}
+	return out, nil
+}
+
+// Dedup runs one partition's membership-and-insert chunk on the backend.
+func (x *remoteExecutor) Dedup(part int, hashes []uint64) ([]bool, error) {
+	results, err := x.rpc(&wire.ExploreShard{Kind: wire.ExploreDedup, Part: uint32(part), Hashes: hashes}, 1)
+	if err != nil {
+		return nil, err
+	}
+	r := results[0]
+	if r.Kind != wire.ExploreFresh {
+		return nil, fmt.Errorf("cluster: backend %s: expected dedup verdicts, got kind %d", x.addr, r.Kind)
+	}
+	return r.Fresh, nil
+}
+
+// Close hangs up; the backend treats the EOF as a clean end of the search.
+func (x *remoteExecutor) Close() error { return x.conn.Close() }
+
+// RunExplore fans one exhaustive power-failure search across up to
+// es.Backends live backends and returns the merged report plus the
+// coordinator's transfer/partition statistics. The report is
+// reflect.DeepEqual-identical to a single-process explore.Run of the same
+// spec at any backend count — the engine's canonical merge order and
+// hash-sharded dedup make backend count, worker count, and mid-wave backend
+// loss invisible to the verdict stream.
+func (g *Gateway) RunExplore(spec scenario.Spec, es scenario.ExploreSpec) (*explore.Report, *explore.DistStats, error) {
+	if err := scenario.Validate(spec); err != nil {
+		return nil, nil, err
+	}
+	cfg, err := scenario.ExploreConfig(spec, es)
+	if err != nil {
+		return nil, nil, err
+	}
+	if g.cfg.ExploreShardStates > 0 {
+		cfg.ShardStates = g.cfg.ExploreShardStates
+	}
+
+	want := es.Backends
+	if want < 1 {
+		want = 1
+	}
+	g.mu.Lock()
+	addrs := make([]string, 0, len(g.backends))
+	for a, b := range g.backends {
+		if !b.down.Load() && !b.draining.Load() {
+			addrs = append(addrs, a)
+		}
+	}
+	g.mu.Unlock()
+	// Deterministic fan-out: sorted address order, first `want` backends.
+	// Executor identity cannot leak into the report, so any stable choice
+	// works; sorted order makes runs reproducible.
+	sort.Strings(addrs)
+	if len(addrs) > want {
+		addrs = addrs[:want]
+	}
+
+	g.c.exploreRuns.Add(1)
+	var execs []explore.Executor
+	var dialErr error
+	for _, a := range addrs {
+		x, derr := g.dialExecutor(a, spec, es)
+		if derr != nil {
+			// A backend that refuses the session is skipped — the search
+			// runs on the rest — unless nobody accepts.
+			g.c.dialErrors.Add(1)
+			dialErr = derr
+			g.logf("explore: backend %s unavailable: %v", a, derr)
+			continue
+		}
+		execs = append(execs, x)
+	}
+	if len(execs) == 0 {
+		if dialErr != nil {
+			return nil, nil, fmt.Errorf("cluster: explore found no usable backend: %w", dialErr)
+		}
+		return nil, nil, errors.New("cluster: explore found no live backend")
+	}
+	defer func() {
+		for _, x := range execs {
+			x.Close() // idempotent for the executors the coordinator killed
+		}
+	}()
+	stats := &explore.DistStats{}
+	rep, err := explore.RunWithExecutors(cfg, execs, len(execs), stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, stats, nil
+}
+
+// interceptExplore recognizes a distributed-exploration console command
+// (`explore … backends=N`, N>1) in a prompt answer. The command never
+// reaches the session's backend: the gateway runs the fan-out itself and
+// synthesizes exactly the bytes the backend console would have produced —
+// the report, then the next "(edb) " prompt marker — so the client-visible
+// stream is indistinguishable from a local run.
+//
+// On success the command line IS journaled and the synthesized bytes ARE
+// counted in the session's output offset: a later failover replays the line
+// on the replacement backend, which re-runs the search single-process there
+// and regenerates the identical bytes (the engine's invariance guarantee),
+// keeping the skip offset aligned. A failed fan-out is NOT journaled and
+// NOT counted — the error text exists only on this gateway's wire, and a
+// replay would not reproduce it.
+//
+// The returned handled is false when the line is not a distributed explore
+// (forward it to the backend as usual); err is non-nil only when the client
+// connection itself failed.
+func (g *Gateway) interceptExplore(clientConn net.Conn, sess *sessState, line string) (handled bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || fields[0] != "explore" {
+		return false, nil
+	}
+	es, perr := scenario.ParseExploreArgs(fields[1:], sess.spec.Guards)
+	if perr != nil || es.Backends <= 1 {
+		// Malformed lines and single-process explores belong to the
+		// session's own backend, which answers them exactly as off-cluster.
+		return false, nil
+	}
+	g.c.exploreIntercepts.Add(1)
+	rep, _, rerr := g.RunExplore(sess.spec, es)
+	var out string
+	if rerr != nil {
+		out = "error: " + rerr.Error() + "\n(edb) "
+	} else {
+		out = rep.Format() + "(edb) "
+		sess.journal = append(sess.journal, wire.JournalEntry{Kind: wire.JournalLine, Line: line})
+		sess.outputBytes += uint64(len(out))
+	}
+	g.c.bytesRelayed.Add(int64(len(out)))
+	if err := g.send(clientConn, &wire.Output{Data: []byte(out)}); err != nil {
+		return true, err
+	}
+	if err := g.send(clientConn, &wire.Prompt{}); err != nil {
+		return true, err
+	}
+	return true, nil
+}

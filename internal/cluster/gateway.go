@@ -91,6 +91,14 @@ type Config struct {
 	// BackendToken, when non-empty, authenticates the gateway to its
 	// backends via FlagAuth.
 	BackendToken string
+	// ExploreShardStates overrides the frontier states per expand batch on
+	// distributed explore runs (0 = the engine default). Smaller batches
+	// pipeline waves across more backends at the cost of more round-trips.
+	ExploreShardStates int
+	// ExploreNetDelay injects a synthetic pause before every explore
+	// executor round-trip — a benchmarking knob that models backend-link
+	// latency on loopback fleets. Zero (the default) injects nothing.
+	ExploreNetDelay time.Duration
 	// Logf, when set, receives one line per connection-level event.
 	Logf func(format string, args ...any)
 }
@@ -422,10 +430,11 @@ func isTimeout(err error) bool {
 }
 
 // dialBackend opens an authenticated cluster connection to a backend,
-// negotiating FlagCluster plus exactly the session capabilities in caps
-// (FlagTraceZ/FlagSnap): the backend's byte stream is relayed verbatim, so
-// its encoding must match what the client negotiated with the gateway. A
-// backend that refuses any required bit is an error, not a downgrade.
+// negotiating FlagCluster plus exactly the capabilities in caps
+// (FlagTraceZ/FlagSnap for proxied sessions, whose byte stream is relayed
+// verbatim and must match what the client negotiated with the gateway;
+// FlagExplore for executor sessions). A backend that refuses any required
+// bit is an error, not a downgrade.
 func (g *Gateway) dialBackend(addr string, caps byte) (net.Conn, error) {
 	conn, err := net.DialTimeout("tcp", addr, g.cfg.DialTimeout)
 	if err != nil {
@@ -449,7 +458,7 @@ func (g *Gateway) dialBackend(addr string, caps byte) (net.Conn, error) {
 		}
 		conn = tc
 	}
-	want := (caps & (wire.FlagTraceZ | wire.FlagSnap)) | wire.FlagCluster
+	want := (caps & (wire.FlagTraceZ | wire.FlagSnap | wire.FlagExplore)) | wire.FlagCluster
 	hello := &wire.Hello{Version: wire.Version, Client: g.cfg.Name}
 	offer := want
 	if g.cfg.BackendToken != "" {
@@ -524,6 +533,11 @@ func (g *Gateway) handle(conn net.Conn) {
 		return
 	}
 	caps := helloFlags & wire.KnownCaps
+	// The gateway serves no raw Explore frames on the client tier — the
+	// console's `explore backends=N` rides the prompt relay instead — so the
+	// capability is never granted to clients (and thus never demanded from
+	// session backends on dispatch).
+	caps &^= wire.FlagExplore
 	offeredAuth := caps&wire.FlagAuth != 0
 	caps &^= wire.FlagAuth
 	switch {
@@ -859,37 +873,50 @@ func (g *Gateway) pump(clientConn, bconn net.Conn, b *backendState, sess *sessSt
 			if err := g.send(clientConn, t); err != nil {
 				return true, err
 			}
-			am, aerr := g.recv(clientConn, g.cfg.IdleTimeout)
-			if aerr != nil {
-				if isTimeout(aerr) {
-					g.send(clientConn, &wire.Error{Code: wire.CodeIdle, Text: "idle timeout: session reaped"})
+			// The backend's prompt may be answered by several client commands
+			// when the gateway intercepts distributed-exploration lines: each
+			// intercepted line is served by the gateway (which re-prompts),
+			// and only the first non-intercepted answer reaches the backend.
+			for {
+				am, aerr := g.recv(clientConn, g.cfg.IdleTimeout)
+				if aerr != nil {
+					if isTimeout(aerr) {
+						g.send(clientConn, &wire.Error{Code: wire.CodeIdle, Text: "idle timeout: session reaped"})
+					}
+					return true, aerr
 				}
-				return true, aerr
-			}
-			var entry wire.JournalEntry
-			switch a := am.(type) {
-			case *wire.Command:
-				if a.EOF {
-					entry = wire.JournalEntry{Kind: wire.JournalEOF}
-				} else {
-					entry = wire.JournalEntry{Kind: wire.JournalLine, Line: a.Line}
+				var entry wire.JournalEntry
+				switch a := am.(type) {
+				case *wire.Command:
+					if a.EOF {
+						entry = wire.JournalEntry{Kind: wire.JournalEOF}
+					} else {
+						if handled, herr := g.interceptExplore(clientConn, sess, a.Line); handled {
+							if herr != nil {
+								return true, herr
+							}
+							continue
+						}
+						entry = wire.JournalEntry{Kind: wire.JournalLine, Line: a.Line}
+					}
+				case *wire.SnapSave:
+					entry = wire.JournalEntry{Kind: wire.JournalSnapSave}
+				case *wire.SnapRestore:
+					entry = wire.JournalEntry{Kind: wire.JournalSnapRestore}
+				default:
+					err := fmt.Errorf("cluster: unexpected prompt answer %T", am)
+					g.send(clientConn, &wire.Error{Code: wire.CodeBadRequest, Text: err.Error()})
+					return true, err
 				}
-			case *wire.SnapSave:
-				entry = wire.JournalEntry{Kind: wire.JournalSnapSave}
-			case *wire.SnapRestore:
-				entry = wire.JournalEntry{Kind: wire.JournalSnapRestore}
-			default:
-				err := fmt.Errorf("cluster: unexpected prompt answer %T", am)
-				g.send(clientConn, &wire.Error{Code: wire.CodeBadRequest, Text: err.Error()})
-				return true, err
-			}
-			// Journal before forwarding: if the backend dies taking this
-			// answer, the replay serves it instead of re-asking the client.
-			sess.journal = append(sess.journal, entry)
-			g.c.answersRelayed.Add(1)
-			if werr := g.send(bconn, am); werr != nil {
-				g.noteLeave(sess, b, true, werr.Error())
-				return false, werr
+				// Journal before forwarding: if the backend dies taking this
+				// answer, the replay serves it instead of re-asking the client.
+				sess.journal = append(sess.journal, entry)
+				g.c.answersRelayed.Add(1)
+				if werr := g.send(bconn, am); werr != nil {
+					g.noteLeave(sess, b, true, werr.Error())
+					return false, werr
+				}
+				break
 			}
 		case *wire.SessMigrate:
 			// The backend is draining: it already flushed everything the

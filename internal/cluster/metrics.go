@@ -31,6 +31,11 @@ type counters struct {
 	statProbes   atomic.Int64
 	joins        atomic.Int64
 	authFailures atomic.Int64
+
+	exploreRuns       atomic.Int64
+	exploreIntercepts atomic.Int64
+	exploreBytesOut   atomic.Int64
+	exploreBytesIn    atomic.Int64
 }
 
 // BackendMetrics is one backend's view in a metrics snapshot.
@@ -67,6 +72,13 @@ type Metrics struct {
 	StatProbes   int64 // Stat requests answered on the client tier
 	Joins        int64 // Join registrations accepted
 	AuthFailures int64 // client handshakes rejected with Error{CodeAuth}
+
+	// Distributed-exploration counters (all zero until a session runs
+	// `explore backends=N`).
+	ExploreRuns       int64 // fan-outs coordinated by this gateway
+	ExploreIntercepts int64 // console explore lines served gateway-side
+	ExploreBytesOut   int64 // bytes shipped to explore executors (shards)
+	ExploreBytesIn    int64 // bytes received from explore executors (results)
 
 	// Migration-latency distribution: wall time from deciding to move a
 	// session (hand-off frame or dead connection) to its SessResume being
@@ -139,6 +151,11 @@ func (g *Gateway) Metrics() Metrics {
 		StatProbes:   g.c.statProbes.Load(),
 		Joins:        g.c.joins.Load(),
 		AuthFailures: g.c.authFailures.Load(),
+
+		ExploreRuns:       g.c.exploreRuns.Load(),
+		ExploreIntercepts: g.c.exploreIntercepts.Load(),
+		ExploreBytesOut:   g.c.exploreBytesOut.Load(),
+		ExploreBytesIn:    g.c.exploreBytesIn.Load(),
 	}
 	m.MigrationCount, m.MigrationP50, m.MigrationP99 = g.lat.quantiles()
 

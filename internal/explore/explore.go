@@ -12,10 +12,11 @@
 // baseline (memsim.DiffDirty). The frontier is deduplicated by a 64-bit
 // state hash computed incrementally over the delta's pages only, with an
 // optional full-image recompute as a debug cross-check. Exploration is a
-// breadth-first search whose waves fan out over a work-stealing worker pool
-// (parallel.MapN); results are merged in canonical branch order, so the
-// report — including every WAR-violation branch trace — is bit-for-bit
-// identical at any worker count.
+// breadth-first search whose waves fan out over Executors — in-process rig
+// pools (LocalExecutor) or edbd backends over the wire — with results
+// merged in canonical branch order, so the report — including every
+// WAR-violation branch trace — is bit-for-bit identical at any worker
+// count, executor count, and dedup partition count.
 //
 // The detector half flags non-idempotent re-execution the way Surbatovich
 // et al.'s formal foundation defines it: a WAR violation is a non-volatile
@@ -29,7 +30,6 @@ import (
 	"sync"
 
 	"repro/internal/device"
-	"repro/internal/memsim"
 	"repro/internal/parallel"
 	"repro/internal/sim"
 )
@@ -52,7 +52,8 @@ type Config struct {
 	// (build the rig core.WithoutEDB()): the explorer installs its own
 	// minimal probe. Every call must produce an identical machine (same
 	// program, same seed) — the engine cross-checks the post-flash FRAM
-	// hash of each worker against the first.
+	// hash of each worker against the first. RunWithExecutors callers
+	// whose executors are all remote may leave it nil.
 	NewRig func() (*device.Device, device.Program, error)
 
 	// Mode is ModeWrite (default) or ModePage.
@@ -68,8 +69,13 @@ type Config struct {
 	// SegmentCycles is the simulated-cycle horizon of one segment (a safety
 	// net for candidate-free loops). Default 200000.
 	SegmentCycles sim.Cycles
-	// Workers bounds the worker pool; 0 means parallel.Workers().
+	// Workers bounds each executor's worker pool; 0 means
+	// parallel.Workers().
 	Workers int
+	// ShardStates caps the frontier states per Expand batch the
+	// coordinator dispatches to one executor, so remote shard frames stay
+	// bounded and a wave pipelines across executors. Default 64.
+	ShardStates int
 	// CheckHashes recomputes every state hash from the full FRAM image and
 	// errors on a mismatch with the incremental hash — the debug
 	// cross-check for the incremental hashing scheme.
@@ -80,6 +86,13 @@ func (c *Config) applyDefaults() error {
 	if c.NewRig == nil {
 		return fmt.Errorf("explore: Config.NewRig is required")
 	}
+	return c.applyLimits()
+}
+
+// applyLimits is applyDefaults without the NewRig requirement — the
+// distributed coordinator needs the same horizon and batching defaults but
+// builds no local rigs.
+func (c *Config) applyLimits() error {
 	if c.Mode == "" {
 		c.Mode = ModeWrite
 	}
@@ -101,151 +114,30 @@ func (c *Config) applyDefaults() error {
 	if c.Workers <= 0 {
 		c.Workers = parallel.Workers()
 	}
+	if c.ShardStates <= 0 {
+		c.ShardStates = 64
+	}
 	return nil
 }
 
-// state is one node of the fork tree: a distinct non-volatile memory image,
-// reached by injecting failure candidate k in the parent's segment.
-type state struct {
-	id     int
-	parent int // -1 at the root
-	k      int // candidate index injected in the parent's segment (1-based)
-	depth  int
-	hash   uint64
-	delta  *memsim.Delta // FRAM pages differing from the post-flash baseline
-}
-
-// child is a freshly captured successor before dedup assigns it an id.
-type child struct {
-	k     int
-	hash  uint64
-	delta *memsim.Delta
-}
-
-// hazardInfo is the first WAR hazard observed in a segment's window.
-type hazardInfo struct {
-	addr  memsim.Addr
-	cand  int        // first failure candidate at/after the hazardous write
-	cycle sim.Cycles // segment-relative cycle of the write
-}
-
-// expansion is everything one state's probe + injected runs produced.
-type expansion struct {
-	outcome    string // probe outcome: capped, deadline, fault, returned, halted
-	cands      int
-	asserts    int
-	hazard     *hazardInfo
-	children   []child
-	hashChecks int
-}
-
-// Run explores the fork tree breadth-first and returns the merged report.
+// Run explores the fork tree breadth-first on one in-process executor and
+// returns the merged report.
 func Run(cfg Config) (*Report, error) {
 	c := cfg
 	if err := c.applyDefaults(); err != nil {
 		return nil, err
 	}
-	pool, err := newRigPool(&c)
+	ex, err := NewLocalExecutor(c)
 	if err != nil {
 		return nil, err
 	}
-
-	root := &state{id: 0, parent: -1, depth: 0, hash: pool.baseHash,
-		delta: &memsim.Delta{Region: "FRAM"}}
-	states := []*state{root}
-	seen := map[uint64]int{root.hash: 0}
-	frontier := []*state{root}
-
-	rep := &Report{Mode: c.Mode, Outcomes: map[string]int{}}
-	byAddr := map[memsim.Addr]*Violation{}
-
-	for len(frontier) > 0 {
-		exps, err := parallel.MapN(len(frontier), c.Workers, func(i int) (*expansion, error) {
-			w, err := pool.get()
-			if err != nil {
-				return nil, err
-			}
-			defer pool.put(w)
-			return w.expand(frontier[i], frontier[i].depth < c.MaxDepth)
-		})
-		if err != nil {
-			return nil, err
-		}
-
-		// Sequential merge in canonical BFS order: frontier order, then
-		// candidate order within each expansion. This is what makes the
-		// report independent of worker count and scheduling.
-		var next []*state
-		for i, e := range exps {
-			st := frontier[i]
-			rep.Outcomes[e.outcome]++
-			rep.Segments += 1 + len(e.children)
-			rep.HashChecks += e.hashChecks
-			if e.asserts > 0 {
-				rep.AssertStates++
-			}
-			if e.hazard != nil {
-				rep.WARStates++
-				v := byAddr[e.hazard.addr]
-				if v == nil {
-					v = &Violation{
-						Addr:    e.hazard.addr,
-						StateID: st.id,
-						Cand:    e.hazard.cand,
-						Cycle:   e.hazard.cycle,
-						Trace:   tracePath(states, st),
-					}
-					byAddr[e.hazard.addr] = v
-					rep.Violations = append(rep.Violations, v)
-				}
-				v.Count++
-			}
-			if st.depth >= c.MaxDepth && e.cands > 0 {
-				rep.Truncated = true
-			}
-			for _, ch := range e.children {
-				rep.Branches++
-				if _, dup := seen[ch.hash]; dup {
-					rep.DedupHits++
-					continue
-				}
-				if len(states) >= c.MaxStates {
-					rep.Truncated = true
-					continue
-				}
-				ns := &state{id: len(states), parent: st.id, k: ch.k,
-					depth: st.depth + 1, hash: ch.hash, delta: ch.delta}
-				states = append(states, ns)
-				seen[ch.hash] = ns.id
-				next = append(next, ns)
-			}
-		}
-		frontier = next
-	}
-	rep.States = len(states)
-	return rep, nil
+	defer ex.Close()
+	return runWaves(&c, []Executor{ex}, 1, nil)
 }
 
-// tracePath renders a state's branch trace: the candidate indices injected
-// from the root down to it, e.g. "root/3/1".
-func tracePath(states []*state, st *state) string {
-	if st.parent < 0 {
-		return "root"
-	}
-	var ks []int
-	for s := st; s.parent >= 0; s = states[s.parent] {
-		ks = append(ks, s.k)
-	}
-	out := "root"
-	for i := len(ks) - 1; i >= 0; i-- {
-		out += fmt.Sprintf("/%d", ks[i])
-	}
-	return out
-}
-
-// rigPool hands out workers to the parallel map, creating at most
-// cfg.Workers of them lazily and verifying each against the first worker's
-// post-flash baseline hash.
+// rigPool hands out workers to an executor's expansion chunks, creating at
+// most cfg.Workers of them lazily and verifying each against the first
+// worker's post-flash baseline hash.
 type rigPool struct {
 	cfg      *Config
 	ch       chan *worker
@@ -278,12 +170,18 @@ func (p *rigPool) get() (*worker, error) {
 		p.created++
 		p.mu.Unlock()
 		w, err := newWorker(p.cfg)
-		if err != nil {
-			return nil, err
-		}
-		if w.baseHash != p.baseHash {
-			return nil, fmt.Errorf("explore: NewRig is not deterministic: baseline hash %016x != %016x",
+		if err == nil && w.baseHash != p.baseHash {
+			err = fmt.Errorf("explore: NewRig is not deterministic: baseline hash %016x != %016x",
 				w.baseHash, p.baseHash)
+		}
+		if err != nil {
+			// Release the reserved slot: the worker it was counting never
+			// came to exist, and without the decrement every later get
+			// would wait on p.ch for a worker that can never be put back.
+			p.mu.Lock()
+			p.created--
+			p.mu.Unlock()
+			return nil, err
 		}
 		return w, nil
 	}

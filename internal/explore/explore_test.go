@@ -152,11 +152,11 @@ func TestColdBootReplayByteIdentity(t *testing.T) {
 		t.Fatal("NewRig is not deterministic")
 	}
 
-	root := &state{id: 0, parent: -1, delta: &memsim.Delta{Region: "FRAM"}, hash: dirtyW.baseHash}
+	root := ShardState{ID: 0, Delta: &memsim.Delta{Region: "FRAM"}, Hash: dirtyW.baseHash}
 
 	// Walk three injections deep on the dirty worker, polluting it with
 	// unrelated segments between every step.
-	pollute := func(w *worker, st *state) {
+	pollute := func(w *worker, st ShardState) {
 		for k := 2; k <= 3; k++ {
 			if _, err := w.runSegment(st, k); err != nil {
 				t.Fatal(err)
@@ -187,7 +187,7 @@ func TestColdBootReplayByteIdentity(t *testing.T) {
 		wantHashes = append(wantHashes, hash)
 		wantDeltas = append(wantDeltas, delta)
 		wantImages = append(wantImages, dirtyW.fram.Snapshot())
-		cur = &state{id: cur.id + 1, parent: cur.id, k: k, delta: delta, hash: hash}
+		cur = ShardState{ID: cur.ID + 1, Depth: cur.Depth + 1, Delta: delta, Hash: hash}
 	}
 
 	// Cold replay of the same path on the fresh worker.
@@ -223,7 +223,7 @@ func TestColdBootReplayByteIdentity(t *testing.T) {
 		if !bytes.Equal(recon, wantImages[i]) {
 			t.Fatalf("step %d: baseline+delta reconstruction differs from the live image", i)
 		}
-		cur = &state{id: cur.id + 1, parent: cur.id, k: k, delta: delta, hash: hash}
+		cur = ShardState{ID: cur.ID + 1, Depth: cur.Depth + 1, Delta: delta, Hash: hash}
 	}
 }
 

@@ -40,6 +40,7 @@ type Report struct {
 	Branches  int // injected-failure edges explored (including dedup hits)
 	Segments  int // firmware segments executed (probes + injections)
 	DedupHits int // branches whose successor state was already known
+	Capped    int // distinct states dropped by the MaxStates budget
 	Truncated bool
 
 	Outcomes     map[string]int // probe outcomes: capped/deadline/fault/returned/halted

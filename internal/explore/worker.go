@@ -63,7 +63,7 @@ type worker struct {
 	guardDepth  int
 	commitDepth int
 	asserts     int
-	hazard      *hazardInfo
+	hazard      *Hazard
 
 	// WAR window: epoch-stamped first-access state per FRAM byte. Bumping
 	// the epoch resets the window in O(1). protected marks bytes the
@@ -77,6 +77,11 @@ type worker struct {
 	// Page mode: epoch-stamped per-segment "page already forked" set.
 	segEpoch uint32
 	pageEp   []uint32
+
+	// CheckHashes scratch, reused across captures so the cross-check does
+	// not allocate a full image plus page-hash table per child.
+	snapScratch []byte
+	pageScratch []uint64
 }
 
 // probe is the minimal device.Debugger the explorer attaches in EDB's
@@ -254,10 +259,10 @@ func (w *worker) noteWrite(a memsim.Addr, n int) {
 			// Read-before-write with no commit in between: any failure at
 			// or after this write (the next candidate index) re-executes
 			// the read against the written value — non-idempotent.
-			w.hazard = &hazardInfo{
-				addr:  a + memsim.Addr(i),
-				cand:  w.candCount + 1,
-				cycle: w.d.Clock.Now() - w.baseCycles,
+			w.hazard = &Hazard{
+				Addr:  a + memsim.Addr(i),
+				Cand:  w.candCount + 1,
+				Cycle: w.d.Clock.Now() - w.baseCycles,
 			}
 		}
 		w.writeEp[o] = w.epoch
@@ -286,12 +291,12 @@ func (w *worker) freshPages(a memsim.Addr, n int) bool {
 // segment-start machine: cleared SRAM, baseline clock/RNG/supply. Resetting
 // the clock makes a segment's cycle stamps independent of which worker's
 // rig runs it — part of the worker-count determinism argument.
-func (w *worker) load(st *state) error {
+func (w *worker) load(st ShardState) error {
 	if _, err := w.fram.RevertDirty(w.baseFRAM); err != nil {
 		return fmt.Errorf("explore: revert: %w", err)
 	}
-	if err := w.fram.ApplyDelta(st.delta); err != nil {
-		return fmt.Errorf("explore: apply state %d: %w", st.id, err)
+	if err := w.fram.ApplyDelta(st.Delta); err != nil {
+		return fmt.Errorf("explore: apply state %d: %w", st.ID, err)
 	}
 	w.d.Reboot()
 	if err := w.d.Clock.SetNow(w.baseCycles); err != nil {
@@ -306,7 +311,7 @@ func (w *worker) load(st *state) error {
 // runSegment executes one segment of Main on the given state. injectAt == 0
 // is a probe run (collect candidates, hazards, asserts); injectAt == k
 // replays the segment and injects a power failure at candidate k.
-func (w *worker) runSegment(st *state, injectAt int) (outcome string, err error) {
+func (w *worker) runSegment(st ShardState, injectAt int) (outcome string, err error) {
 	if err := w.load(st); err != nil {
 		return "", err
 	}
@@ -356,38 +361,39 @@ func (w *worker) runSegment(st *state, injectAt int) (outcome string, err error)
 // expand runs a state's probe segment and, if wanted, one injected segment
 // per discovered candidate, capturing each successor as an O(dirty) delta
 // plus an incrementally maintained state hash.
-func (w *worker) expand(st *state, wantChildren bool) (*expansion, error) {
+func (w *worker) expand(st ShardState, wantChildren bool) (Expansion, error) {
 	out, err := w.runSegment(st, 0)
 	if err != nil {
-		return nil, err
+		return Expansion{}, err
 	}
 	if out == "injected" {
-		return nil, fmt.Errorf("explore: unexpected brown-out during probe of state %d", st.id)
+		return Expansion{}, fmt.Errorf("explore: unexpected brown-out during probe of state %d", st.ID)
 	}
-	e := &expansion{outcome: out, cands: w.candCount, asserts: w.asserts}
+	e := Expansion{Outcome: out, Cands: w.candCount, Asserts: w.asserts}
 	if w.hazard != nil {
 		h := *w.hazard
-		e.hazard = &h
+		e.Hazard = &h
 	}
 	if !wantChildren {
 		return e, nil
 	}
-	for k := 1; k <= e.cands; k++ {
+	e.Children = make([]Child, 0, e.Cands)
+	for k := 1; k <= e.Cands; k++ {
 		o, err := w.runSegment(st, k)
 		if err != nil {
-			return nil, err
+			return Expansion{}, err
 		}
 		if o != "injected" || w.candCount != k {
-			return nil, fmt.Errorf("explore: replay diverged at state %d candidate %d (outcome %s after %d candidates) — firmware is not segment-deterministic",
-				st.id, k, o, w.candCount)
+			return Expansion{}, fmt.Errorf("explore: replay diverged at state %d candidate %d (outcome %s after %d candidates) — firmware is not segment-deterministic",
+				st.ID, k, o, w.candCount)
 		}
 		hash, delta, err := w.capture()
 		if err != nil {
-			return nil, err
+			return Expansion{}, err
 		}
-		e.children = append(e.children, child{k: k, hash: hash, delta: delta})
+		e.Children = append(e.Children, Child{K: k, Hash: hash, Delta: delta})
 		if w.cfg.CheckHashes {
-			e.hashChecks++
+			e.HashChecks++
 		}
 	}
 	return e, nil
@@ -409,7 +415,9 @@ func (w *worker) capture() (uint64, *memsim.Delta, error) {
 		h ^= mixPage(p, w.basePageHash[p]) ^ mixPage(p, fnv64(pg.Data))
 	}
 	if w.cfg.CheckHashes {
-		full := imageHash(pageHashes(w.fram.Snapshot()))
+		w.snapScratch = w.fram.SnapshotInto(w.snapScratch)
+		w.pageScratch = pageHashesInto(w.pageScratch, w.snapScratch)
+		full := imageHash(w.pageScratch)
 		if full != h {
 			return 0, nil, fmt.Errorf("explore: incremental hash %016x != full-image hash %016x (%d delta pages)",
 				h, full, len(delta.Pages))
@@ -437,9 +445,15 @@ func mixPage(p int, h uint64) uint64 {
 }
 
 // pageHashes hashes every PageSize-byte page of an image.
-func pageHashes(img []byte) []uint64 {
+func pageHashes(img []byte) []uint64 { return pageHashesInto(nil, img) }
+
+// pageHashesInto is pageHashes into a reusable buffer.
+func pageHashesInto(out []uint64, img []byte) []uint64 {
 	n := (len(img) + memsim.PageSize - 1) / memsim.PageSize
-	out := make([]uint64, n)
+	if cap(out) < n {
+		out = make([]uint64, n)
+	}
+	out = out[:n]
 	for p := 0; p < n; p++ {
 		lo := p * memsim.PageSize
 		hi := lo + memsim.PageSize

@@ -162,6 +162,19 @@ func (r *Region) Snapshot() []byte {
 	return cp
 }
 
+// SnapshotInto is Snapshot into a reusable buffer: it copies the region's
+// contents into buf (grown if needed) and returns the resized slice, so
+// hot-loop consumers like the explorer's hash cross-check avoid a full
+// image allocation per capture.
+func (r *Region) SnapshotInto(buf []byte) []byte {
+	if cap(buf) < len(r.data) {
+		buf = make([]byte, len(r.data))
+	}
+	buf = buf[:len(r.data)]
+	copy(buf, r.data)
+	return buf
+}
+
 // pageCount returns the number of PageSize-byte pages covering the region.
 func (r *Region) pageCount() int { return (len(r.data) + PageSize - 1) / PageSize }
 

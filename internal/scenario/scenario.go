@@ -280,67 +280,149 @@ func runPromptConsole(rig *core.Rig, out io.Writer, prompt PromptFunc, res *Resu
 	}
 }
 
+// ExploreSpec captures the console `explore` command's options in a form
+// that crosses the wire verbatim: the distributed checker ships one to
+// every enlisted backend alongside the scenario Spec, so the coordinator,
+// a backend, and the local CLI all build the identical explore.Config.
+// Zero-valued bounds mean the checker defaults.
+type ExploreSpec struct {
+	// Guards is the resolved guard setting for the forked firmware — the
+	// session spec's default unless a guards/noguards option overrode it.
+	Guards bool
+	// Mode is the fork granularity: write|page.
+	Mode string
+	// Check enables the full-image hash cross-check.
+	Check bool
+	// Depth/Writes/States/Workers bound the search (0 = checker default).
+	Depth   int
+	Writes  int
+	States  int
+	Workers int
+	// Backends fans the search across a cluster: through a gateway console
+	// it is the number of backends to enlist; locally it partitions the
+	// dedup set Backends ways. The report is identical either way — which
+	// is what makes the local command the byte-diff oracle for the
+	// distributed run. 0 means plain single-process exploration.
+	Backends int
+}
+
+// ParseExploreArgs parses the console `explore` command's options into an
+// ExploreSpec. defGuards seeds the guard setting a guards/noguards option
+// overrides.
+func ParseExploreArgs(args []string, defGuards bool) (ExploreSpec, error) {
+	es := ExploreSpec{Guards: defGuards, Mode: explore.ModeWrite}
+	for _, a := range args {
+		switch a {
+		case "guards":
+			es.Guards = true
+			continue
+		case "noguards":
+			es.Guards = false
+			continue
+		case "check":
+			es.Check = true
+			continue
+		case "mode=write":
+			es.Mode = explore.ModeWrite
+			continue
+		case "mode=page":
+			es.Mode = explore.ModePage
+			continue
+		}
+		k, v, ok := strings.Cut(a, "=")
+		n, err := strconv.Atoi(v)
+		if !ok || err != nil || n <= 0 {
+			return ExploreSpec{}, fmt.Errorf("explore: bad option %q (try help)", a)
+		}
+		switch k {
+		case "depth":
+			es.Depth = n
+		case "writes":
+			es.Writes = n
+		case "states":
+			es.States = n
+		case "workers":
+			es.Workers = n
+		case "backends":
+			es.Backends = n
+		default:
+			return ExploreSpec{}, fmt.Errorf("explore: unknown option %q (try help)", a)
+		}
+	}
+	return es, nil
+}
+
+// ExploreConfig builds the checker Config an ExploreSpec describes for the
+// given scenario Spec (which supplies the firmware and seed). Identical
+// (Spec, ExploreSpec) pairs build identical configs on every host — the
+// foundation the distributed checker's baseline-hash cross-check rests on.
+func ExploreConfig(spec Spec, es ExploreSpec) (explore.Config, error) {
+	spec = spec.withDefaults()
+	if spec.AsmSource != "" {
+		return explore.Config{}, fmt.Errorf("explore: built-in apps only")
+	}
+	mode := es.Mode
+	if mode == "" {
+		mode = explore.ModeWrite
+	}
+	cfg := explore.Config{
+		Mode:          mode,
+		CheckHashes:   es.Check,
+		MaxDepth:      es.Depth,
+		MaxCandidates: es.Writes,
+		MaxStates:     es.States,
+		Workers:       es.Workers,
+	}
+	guards := es.Guards
+	cfg.NewRig = func() (*device.Device, device.Program, error) {
+		prog, reader, err := buildProgram(spec.App, spec.Assert, guards, spec.Print)
+		if err != nil {
+			return nil, nil, err
+		}
+		if reader != nil {
+			return nil, nil, fmt.Errorf("explore: the rfid scenario is reader-driven and cannot be forked")
+		}
+		return core.ExploreTarget(prog, spec.Seed)
+	}
+	return cfg, nil
+}
+
+// RunExplore runs the exhaustive checker in-process. A Backends option
+// above one drives the distributed wave engine with the dedup set
+// partitioned that many ways — byte-identical output by construction, so
+// smoke tests diff it against a gateway's genuinely distributed run.
+func RunExplore(spec Spec, es ExploreSpec) (*explore.Report, error) {
+	cfg, err := ExploreConfig(spec, es)
+	if err != nil {
+		return nil, err
+	}
+	if es.Backends <= 1 {
+		return explore.Run(cfg)
+	}
+	ex, err := explore.NewLocalExecutor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer ex.Close()
+	return explore.RunWithExecutors(cfg, []explore.Executor{ex}, es.Backends, nil)
+}
+
 // exploreHandler adapts the console's `explore` command to the exhaustive
 // intermittence checker. Each invocation forks fresh debugger-free rigs
 // from the spec's firmware (the explorer installs its own probe, so it
 // never touches the live rig), runs the bounded search, and returns the
 // report text. Options: guards|noguards override the spec's guard setting;
 // mode=write|page, depth=N, writes=N, states=N, workers=N bound the
-// search; check enables the full-image hash cross-check.
+// search; check enables the full-image hash cross-check; backends=N
+// partitions the dedup set (a gateway intercepts the option to fan the
+// search across real backends — same report either way).
 func exploreHandler(spec Spec) func(args []string) (string, error) {
 	return func(args []string) (string, error) {
-		if spec.AsmSource != "" {
-			return "", fmt.Errorf("explore: built-in apps only")
+		es, err := ParseExploreArgs(args, spec.Guards)
+		if err != nil {
+			return "", err
 		}
-		guards := spec.Guards
-		cfg := explore.Config{Mode: explore.ModeWrite}
-		for _, a := range args {
-			switch a {
-			case "guards":
-				guards = true
-				continue
-			case "noguards":
-				guards = false
-				continue
-			case "check":
-				cfg.CheckHashes = true
-				continue
-			case "mode=write":
-				cfg.Mode = explore.ModeWrite
-				continue
-			case "mode=page":
-				cfg.Mode = explore.ModePage
-				continue
-			}
-			k, v, ok := strings.Cut(a, "=")
-			n, err := strconv.Atoi(v)
-			if !ok || err != nil || n <= 0 {
-				return "", fmt.Errorf("explore: bad option %q (try help)", a)
-			}
-			switch k {
-			case "depth":
-				cfg.MaxDepth = n
-			case "writes":
-				cfg.MaxCandidates = n
-			case "states":
-				cfg.MaxStates = n
-			case "workers":
-				cfg.Workers = n
-			default:
-				return "", fmt.Errorf("explore: unknown option %q (try help)", a)
-			}
-		}
-		cfg.NewRig = func() (*device.Device, device.Program, error) {
-			prog, reader, err := buildProgram(spec.App, spec.Assert, guards, spec.Print)
-			if err != nil {
-				return nil, nil, err
-			}
-			if reader != nil {
-				return nil, nil, fmt.Errorf("explore: the rfid scenario is reader-driven and cannot be forked")
-			}
-			return core.ExploreTarget(prog, spec.Seed)
-		}
-		rep, err := explore.Run(cfg)
+		rep, err := RunExplore(spec, es)
 		if err != nil {
 			return "", err
 		}

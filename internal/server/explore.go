@@ -1,0 +1,81 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+
+	"repro/internal/explore"
+	"repro/internal/scenario"
+	"repro/internal/wire"
+)
+
+// exploreSession serves one distributed-exploration executor: the backend
+// end of explore.Executor over the wire. It builds a local rig pool for the
+// requested firmware, answers with the post-flash baseline hash (the
+// coordinator cross-checks it against every other backend's), then expands
+// frontier batches and filters dedup chunks until the coordinator hangs up.
+// Requests on one connection are strictly serial, mirroring the
+// coordinator's per-executor request/response pairing.
+func (s *Server) exploreSession(conn net.Conn, req *wire.Explore) error {
+	if err := scenario.Validate(req.Spec); err != nil {
+		return s.send(conn, &wire.Error{Code: wire.CodeBadRequest, Text: err.Error()})
+	}
+	cfg, err := scenario.ExploreConfig(req.Spec, req.Ex)
+	if err != nil {
+		return s.send(conn, &wire.Error{Code: wire.CodeBadRequest, Text: err.Error()})
+	}
+	ex, err := explore.NewLocalExecutor(cfg)
+	if err != nil {
+		return s.send(conn, &wire.Error{Code: wire.CodeRunFailed, Text: err.Error()})
+	}
+	defer ex.Close()
+	s.c.exploreSessions.Add(1)
+	if err := s.send(conn, &wire.ExploreResult{Kind: wire.ExploreHello, BaseHash: ex.BaseHash()}); err != nil {
+		return err
+	}
+	for {
+		m, err := s.recv(conn, s.cfg.IdleTimeout)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // the coordinator hung up: search finished
+			}
+			if isTimeout(err) {
+				s.c.idleReaped.Add(1)
+				s.send(conn, &wire.Error{Code: wire.CodeIdle, Text: "idle timeout: explore session reaped"})
+			}
+			return err
+		}
+		shard, ok := m.(*wire.ExploreShard)
+		if !ok {
+			return s.send(conn, &wire.Error{Code: wire.CodeBadRequest,
+				Text: "expected ExploreShard"})
+		}
+		switch shard.Kind {
+		case wire.ExploreExpand:
+			states := wire.UnpackStates(shard.States)
+			exps, err := ex.Expand(states)
+			if err != nil {
+				return s.send(conn, &wire.Error{Code: wire.CodeRunFailed, Text: err.Error()})
+			}
+			s.c.exploreBatches.Add(1)
+			s.c.exploreStates.Add(int64(len(states)))
+			// One result frame per state bounds frame sizes to a single
+			// state's children; the coordinator reassembles by Index.
+			for i := range exps {
+				if err := s.send(conn, wire.PackExpansion(shard.Seq, i, &exps[i])); err != nil {
+					return err
+				}
+			}
+		case wire.ExploreDedup:
+			fresh, err := ex.Dedup(int(shard.Part), shard.Hashes)
+			if err != nil {
+				return s.send(conn, &wire.Error{Code: wire.CodeRunFailed, Text: err.Error()})
+			}
+			s.c.exploreDedupQueries.Add(int64(len(shard.Hashes)))
+			if err := s.send(conn, &wire.ExploreResult{Kind: wire.ExploreFresh, Seq: shard.Seq, Fresh: fresh}); err != nil {
+				return err
+			}
+		}
+	}
+}

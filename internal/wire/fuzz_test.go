@@ -61,6 +61,19 @@ func FuzzWireDecode(f *testing.F) {
 	}
 	f.Add([]byte{TypeStat, 0, 0, 0, 0, 0})
 	f.Add([]byte{TypeJoin, 0, 0, 0, 0, 4, 0, 0, 0, 0})
+	// …explore-tier handshakes and frames (FlagExplore peers)…
+	if fr, err := EncodeMsgFlags(&Hello{Version: Version, Client: "edbd-gw"}, FlagExplore|FlagCluster); err == nil {
+		f.Add(fr)
+	}
+	if fr, err := EncodeMsgFlags(&Welcome{Version: Version, Server: "edbd"}, FlagExplore); err == nil {
+		f.Add(fr)
+	}
+	// …a dedup shard, a hostile state count (rejected before allocating),
+	// an expansion result, and an unknown shard kind…
+	f.Add([]byte{TypeExploreShard, 0, 0, 0, 0, 21, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 42})
+	f.Add([]byte{TypeExploreShard, 0, 0, 0, 0, 9, 0, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{TypeExploreResult, 0, 0, 0, 0, 9, 0, 0xde, 0xca, 0xfb, 0xad, 0, 0, 0, 0})
+	f.Add([]byte{TypeExploreShard, 0, 0, 0, 0, 5, 9, 0, 0, 0, 1})
 	// …a truncated SessResume whose journal count promises more entries than
 	// the payload holds (the decoder must reject it before allocating)…
 	f.Add([]byte{TypeSessResume, 0, 0, 0, 0, 4, 0xFF, 0xFF, 0xFF, 0xFF})

@@ -234,6 +234,26 @@ echo "smoke: gateway at $gw_addr routing to $addr_a, $addr_b"
 icommon="-app linkedlist -assert -t 10 -seed 42 -i"
 printf 'vcap\nstatus\nhalt\n' | "$workdir/edb" $icommon >"$workdir/local-i.out"
 
+echo "smoke: distributed explore across both backends"
+# The gateway intercepts `explore ... backends=2`, fans the search across
+# backends A and B, and must hand back bytes identical to a single-process
+# run of the same search — the report is a pure function of the bounds,
+# never of the fleet shape.
+explore_i="explore depth=2 writes=8 states=64"
+printf '%s\nhalt\n' "$explore_i" | "$workdir/edb" $icommon >"$workdir/explore-1p.out"
+printf '%s backends=2\nhalt\n' "$explore_i" | "$workdir/edb" -connect "$gw_addr" $icommon >"$workdir/explore-2b.out"
+if ! diff -u "$workdir/explore-1p.out" "$workdir/explore-2b.out"; then
+    echo "smoke: FAIL — two-backend explore output differs from single-process" >&2
+    cat "$workdir/gateway.log" >&2
+    exit 1
+fi
+if ! grep -q "WAR violations:" "$workdir/explore-2b.out"; then
+    echo "smoke: FAIL — distributed explore did not flag the unguarded WAR bug" >&2
+    cat "$workdir/explore-2b.out" >&2
+    exit 1
+fi
+echo "smoke: two-backend explore byte-identical to single-process, bug flagged"
+
 # Through the gateway, losing both original backends mid-session: first a
 # graceful SIGTERM (the backend hands its sessions back as SessMigrate),
 # then — after a replacement joins — a hard SIGKILL mid-prompt (crash
