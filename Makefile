@@ -28,10 +28,11 @@ benchcmp:
 	sh scripts/benchcmp.sh $(BASE)
 
 # Regenerate every table, figure, case study, sweep, and ablation, plus
-# the trace-codec, snapshot, fleet, kernel, cluster, and exhaustive-
-# exploration benchmarks (single-process and distributed), into BENCH.json.
+# the trace-codec, snapshot, fleet, kernel, cluster, gateway-failover, and
+# exhaustive-exploration benchmarks (single-process and distributed), into
+# BENCH.json.
 results:
-	$(GO) run ./cmd/edb-bench -exp all -trace -snapshot -fleet -kernel -cluster -explore -explore-cluster -csv -out results
+	$(GO) run ./cmd/edb-bench -exp all -trace -snapshot -fleet -kernel -cluster -gateway-failover -explore -explore-cluster -csv -out results
 
 examples:
 	$(GO) run ./examples/quickstart

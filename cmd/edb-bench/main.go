@@ -53,6 +53,7 @@ func main() {
 	fleetTags := flag.Int("fleet-tags", 0, "fleet size for -fleet and the fleet experiment (0 = defaults: 10000)")
 	kernelBench := flag.Bool("kernel", false, "record the sequential simulator kernel baseline as a 'kernel' suite in BENCH.json")
 	clusterBench := flag.Bool("cluster", false, "benchmark the edbd gateway tier: sessions/sec at 1/2/4 backends plus drain-migration latency (writes BENCH_cluster.json)")
+	failoverBench := flag.Bool("gateway-failover", false, "benchmark replicated-gateway hand-off: kill the serving gateway under live sessions, measure client-observed resume latency and sessions lost (writes BENCH_gateway_failover.json)")
 	exploreBench := flag.Bool("explore", false, "benchmark the exhaustive power-failure explorer: states/sec, dedup hit rate, 1/2/4-worker scaling (writes BENCH_explore.json)")
 	exploreClusterBench := flag.Bool("explore-cluster", false, "benchmark distributed exploration through the gateway: states/sec at 1/2/4 backends vs single-process (writes BENCH_explore_cluster.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -102,7 +103,7 @@ func main() {
 	// A benchmark flag (-trace, -snapshot, -fleet, -kernel, -explore) alone
 	// runs just that benchmark; combining one with an explicit -exp adds it
 	// to that selection.
-	if *traceBench || *snapBench || *fleetBench || *kernelBench || *clusterBench || *exploreBench || *exploreClusterBench {
+	if *traceBench || *snapBench || *fleetBench || *kernelBench || *clusterBench || *failoverBench || *exploreBench || *exploreClusterBench {
 		expSet := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "exp" {
@@ -414,6 +415,9 @@ func main() {
 	}
 	if *clusterBench {
 		add("cluster", func(o *jobOut) error { return runClusterBench(o, *quick) })
+	}
+	if *failoverBench {
+		add("gateway-failover", func(o *jobOut) error { return runGatewayFailoverBench(o, *quick) })
 	}
 	if *exploreBench {
 		add("explore-bench", func(o *jobOut) error { return runExploreBench(o, *quick) })

@@ -24,6 +24,12 @@
 //	    run the same scripted session on an edbd daemon; the output is
 //	    byte-identical to the local run
 //
+//	edb -connect gw1:3490,gw2:3490 -app linkedlist -assert -script "vcap;halt"
+//	    the same against a replicated gateway pair: the first live address
+//	    wins, and if that gateway dies mid-session the client resumes on
+//	    the other, byte-identically (a multi-address list implies
+//	    -reconnect)
+//
 //	edb -connect host:3490 -tls -tls-ca cert.pem -auth-token s3cret ...
 //	    the same against a TLS daemon that checks a shared-secret token
 //	    (the token also reads from $EDB_AUTH_TOKEN; add -tls-cert/-tls-key
@@ -41,6 +47,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/internal/client"
 	"repro/internal/scenario"
@@ -64,7 +71,8 @@ func main() {
 		noSnap   = flag.Bool("no-snap", false, "with -connect: do not negotiate the snapshot (remote time-travel) capability")
 		script   = flag.String("script", "", "semicolon-separated console commands run in each session")
 		interact = flag.Bool("i", false, "interactive stdin console when a session opens")
-		connect  = flag.String("connect", "", "host:port of an edbd daemon; run the session remotely")
+		connect  = flag.String("connect", "", "host:port of an edbd daemon (comma-separated list for a replicated gateway pair); run the session remotely")
+		reconn   = flag.Bool("reconnect", false, "with -connect: resume the session transparently if the connection drops (implied by a multi-address -connect)")
 		useTLS   = flag.Bool("tls", false, "with -connect: dial the daemon over TLS")
 		tlsCA    = flag.String("tls-ca", "", "PEM CA bundle to verify the daemon's certificate (implies -tls)")
 		tlsCert  = flag.String("tls-cert", "", "PEM client certificate for mTLS (implies -tls, requires -tls-key)")
@@ -117,9 +125,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		// A multi-address dial list only helps if the client may resume on
+		// the surviving peer, so it switches reconnect on.
+		reconnect := *reconn || strings.Contains(*connect, ",")
 		cl, err := client.Dial(*connect, client.Options{
 			Name: "edb-cli", Attempts: 5, RawTrace: *rawTrace, NoSnap: *noSnap,
-			TLS: tlsCfg, AuthToken: *token,
+			TLS: tlsCfg, AuthToken: *token, Reconnect: reconnect,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

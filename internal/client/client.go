@@ -70,14 +70,21 @@ type Options struct {
 	// Reconnect offers the cluster capability and makes Run resume its
 	// session transparently when the connection drops mid-run or the server
 	// migrates it away: the client keeps a journal of the prompt answers it
-	// gave plus the output/trace offsets it holds, redials the same
-	// address, and replays via SessResume. Behind a gateway (or any
-	// load-balanced address) this hides backend drains and crashes
-	// entirely; against a single direct backend it still rides out
-	// connection blips. Output remains byte-identical either way.
+	// gave plus the output/trace offsets it holds, redials (rotating
+	// through the dial list when one was given), and replays via
+	// SessResume. Behind a gateway (or any load-balanced address) this
+	// hides backend drains and crashes entirely; with a multi-gateway dial
+	// list it also hides the death of the gateway itself. Output remains
+	// byte-identical either way.
 	Reconnect bool
 	// MaxResumes caps reconnect-and-resume attempts per Run (default 3).
 	MaxResumes int
+	// OnResume, when set, is called after each successful
+	// reconnect-and-resume with the address the session landed on and the
+	// wall time from detecting the loss to the resume request being
+	// accepted by the new connection — the client-observed hand-off
+	// latency.
+	OnResume func(addr string, took time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -122,7 +129,9 @@ type Client struct {
 	// out if they must outlive the callback.
 	OnTrace func(*wire.Trace)
 
-	addr       string
+	addr       string   // the address this client is connected to
+	addrs      []string // the full dial list; len 1 without failover peers
+	addrIdx    int      // index of addr in addrs
 	serverName string
 	traceZ     bool
 	snap       bool
@@ -137,6 +146,13 @@ type Client struct {
 // (e.g. a version mismatch or a bad auth token) are returned immediately
 // without retrying — they will not fix themselves. Opts.Context, when set,
 // cancels the retry loop; see DialContext.
+//
+// addr may be a comma-separated dial list ("gw1:3535,gw2:3535"): each
+// attempt tries every address in order before backing off, so the first
+// live endpoint wins without burning the retry schedule on a dead one.
+// With Options.Reconnect, Run keeps the list and rotates it on resume —
+// the address that just failed is retried last — which is how a client
+// rides out the death of a replicated gateway.
 func Dial(addr string, opts Options) (*Client, error) {
 	ctx := opts.Context
 	if ctx == nil {
@@ -158,6 +174,10 @@ func Dial(addr string, opts Options) (*Client, error) {
 // remain.
 func DialContext(ctx context.Context, addr string, opts Options) (*Client, error) {
 	o := opts.withDefaults()
+	addrs := splitAddrs(addr)
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("client: no address to dial in %q", addr)
+	}
 	backoff := o.Backoff
 	var lastErr error
 	for attempt := 0; attempt < o.Attempts; attempt++ {
@@ -174,35 +194,51 @@ func DialContext(ctx context.Context, addr string, opts Options) (*Client, error
 				backoff = o.MaxBackoff
 			}
 		}
-		conn, err := o.dialOnce(ctx, addr)
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, fmt.Errorf("client: dial %s: %w", addr, ctx.Err())
-			}
-			if errors.Is(err, errTLSHandshake) {
-				// A reachable server whose TLS handshake fails (bad cert,
-				// protocol mismatch) will not fix itself; surface it now.
-				return nil, err
-			}
-			lastErr = err
-			continue
-		}
-		c := &Client{conn: conn, opts: o, addr: addr}
-		if err := c.handshake(); err != nil {
-			conn.Close()
-			var werr *wire.Error
-			if errors.As(err, &werr) && werr.Code == wire.CodeBusy {
-				// A full server drains; the next attempt may be admitted.
+		// Try every address in the dial list before sleeping out a backoff:
+		// a dead first gateway must not delay failover to its live peer.
+		for i, a := range addrs {
+			conn, err := o.dialOnce(ctx, a)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, fmt.Errorf("client: dial %s: %w", a, ctx.Err())
+				}
+				if errors.Is(err, errTLSHandshake) {
+					// A reachable server whose TLS handshake fails (bad cert,
+					// protocol mismatch) will not fix itself; surface it now.
+					return nil, err
+				}
 				lastErr = err
 				continue
 			}
-			// Every other typed rejection — CodeAuth, CodeVersion, a
-			// malformed handshake — cannot succeed on retry: fail fast.
-			return nil, err
+			c := &Client{conn: conn, opts: o, addr: a, addrs: addrs, addrIdx: i}
+			if err := c.handshake(); err != nil {
+				conn.Close()
+				var werr *wire.Error
+				if errors.As(err, &werr) && werr.Code == wire.CodeBusy {
+					// A full server drains; the next candidate (or the next
+					// attempt) may be admitted.
+					lastErr = err
+					continue
+				}
+				// Every other typed rejection — CodeAuth, CodeVersion, a
+				// malformed handshake — cannot succeed on retry: fail fast.
+				return nil, err
+			}
+			return c, nil
 		}
-		return c, nil
 	}
 	return nil, fmt.Errorf("client: dial %s failed after %d attempts: %w", addr, o.Attempts, lastErr)
+}
+
+// splitAddrs parses a comma-separated dial list, dropping empty elements.
+func splitAddrs(addr string) []string {
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
 }
 
 // errTLSHandshake marks TLS setup failures so the retry loop can tell them
@@ -467,9 +503,10 @@ func (c *Client) Run(spec scenario.Spec, out io.Writer, prompt scenario.PromptFu
 	}
 }
 
-// resume redials and replays the session from the journal. It returns an
-// error when reconnect is off, the resume budget is spent, or the redial
-// fails — callers then surface the original failure.
+// resume redials and replays the session from the journal, rotating the
+// dial list so the surviving peer of a dead gateway is tried first. It
+// returns an error when reconnect is off, the resume budget is spent, or
+// the redial fails — callers then surface the original failure.
 func (c *Client) resume(spec scenario.Spec, streamTrace bool, st *runState) error {
 	if !c.opts.Reconnect || !c.cluster {
 		return errors.New("client: reconnect not enabled")
@@ -478,11 +515,17 @@ func (c *Client) resume(spec scenario.Spec, streamTrace bool, st *runState) erro
 		return fmt.Errorf("client: resume budget (%d) exhausted", c.opts.MaxResumes)
 	}
 	st.resumes++
+	start := time.Now()
 	ctx := c.opts.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	nc, err := DialContext(ctx, c.addr, c.opts)
+	// Rotate the dial list past the address that just failed: its peers
+	// get the first shot, and it goes last in case it is all there is.
+	rot := make([]string, 0, len(c.addrs))
+	rot = append(rot, c.addrs[c.addrIdx+1:]...)
+	rot = append(rot, c.addrs[:c.addrIdx+1]...)
+	nc, err := DialContext(ctx, strings.Join(rot, ","), c.opts)
 	if err != nil {
 		return err
 	}
@@ -492,6 +535,7 @@ func (c *Client) resume(spec scenario.Spec, streamTrace bool, st *runState) erro
 	}
 	c.conn.Close()
 	c.conn = nc.conn
+	c.addr, c.addrIdx = nc.addr, indexOf(c.addrs, nc.addr)
 	c.serverName, c.traceZ, c.snap, c.authed, c.cluster =
 		nc.serverName, nc.traceZ, nc.snap, nc.authed, nc.cluster
 	err = c.send(&wire.SessResume{
@@ -505,8 +549,20 @@ func (c *Client) resume(spec scenario.Spec, streamTrace bool, st *runState) erro
 	})
 	if err == nil {
 		st.image = nil // delivered; don't re-ship on a later resume
+		if c.opts.OnResume != nil {
+			c.opts.OnResume(c.addr, time.Since(start))
+		}
 	}
 	return err
+}
+
+func indexOf(addrs []string, addr string) int {
+	for i, a := range addrs {
+		if a == addr {
+			return i
+		}
+	}
+	return 0
 }
 
 // Session is an open remote interactive debugging session. Its Exec method

@@ -278,6 +278,11 @@ func (g *Gateway) interceptExplore(clientConn net.Conn, sess *sessState, line st
 		out = rep.Format() + "(edb) "
 		sess.journal = append(sess.journal, wire.JournalEntry{Kind: wire.JournalLine, Line: line})
 		sess.outputBytes += uint64(len(out))
+		// Replicate the journaled explore line (plus the advanced output
+		// offset) so a peer-gateway resume replays the whole explore
+		// atomically — the peer either re-runs it to the same report or,
+		// on failure, never emits a torn one.
+		g.replAppend(sess)
 	}
 	g.c.bytesRelayed.Add(int64(len(out)))
 	if err := g.send(clientConn, &wire.Output{Data: []byte(out)}); err != nil {

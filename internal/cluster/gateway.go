@@ -99,6 +99,19 @@ type Config struct {
 	// executor round-trip — a benchmarking knob that models backend-link
 	// latency on loopback fleets. Zero (the default) injects nothing.
 	ExploreNetDelay time.Duration
+	// Peer, when set, names the replica gateway this gateway streams its
+	// fleet state to: backend join/leave, the template-image cache, and
+	// per-session journals ride a FlagGossip connection so the peer can
+	// resume every live session if this gateway dies. The peer dial
+	// authenticates with AuthToken (the peer's client tier) and encrypts
+	// with BackendTLS when set.
+	Peer string
+	// PeerRetry is the redial backoff after a failed or lost peer
+	// connection (default 1s).
+	PeerRetry time.Duration
+	// PeerHeartbeat is the keepalive period on an idle peer stream; the
+	// receiving side reaps a peer silent for several heartbeats (default 2s).
+	PeerHeartbeat time.Duration
 	// Logf, when set, receives one line per connection-level event.
 	Logf func(format string, args ...any)
 }
@@ -137,6 +150,12 @@ func (c Config) withDefaults() Config {
 	if c.DefaultBackendSessions <= 0 {
 		c.DefaultBackendSessions = 128
 	}
+	if c.PeerRetry <= 0 {
+		c.PeerRetry = time.Second
+	}
+	if c.PeerHeartbeat <= 0 {
+		c.PeerHeartbeat = 2 * time.Second
+	}
 	return c
 }
 
@@ -148,6 +167,11 @@ type backendState struct {
 	maxSessions atomic.Int64
 	down        atomic.Bool
 	draining    atomic.Bool
+	// epoch counts the backend's lives: it advances when a backend this
+	// gateway believed dead re-joins. Per-session failure marks record the
+	// epoch they were made in, so a restarted backend sheds the blacklists
+	// its previous life earned.
+	epoch atomic.Int64
 }
 
 // Gateway is one gateway instance.
@@ -164,19 +188,39 @@ type Gateway struct {
 	draining bool
 
 	// images caches warm-start template images observed in SessMigrate
-	// frames, keyed by scenario.SpecHash, so a later failover of the same
-	// firmware family can ship a warm start even if its own hand-off
-	// carried none.
-	imgMu  sync.Mutex
-	images map[uint64][]byte
+	// frames (or gossiped by the peer gateway), keyed by scenario.SpecHash,
+	// so a later failover of the same firmware family can ship a warm start
+	// even if its own hand-off carried none. Entries are LRU-evicted past
+	// imageCacheCap.
+	imgMu    sync.Mutex
+	images   map[uint64]*imageEntry
+	imgClock int64
 
+	// repl streams this gateway's fleet state to Config.Peer; nil when no
+	// peer is configured (every hook then short-circuits).
+	repl *replicator
+
+	// replica mirrors the peer gateway's live sessions, applied from its
+	// inbound gossip stream; a client that loses the peer and re-dials here
+	// reclaims its session from this store.
+	replicaMu sync.Mutex
+	replica   map[uint64]*replSess
+
+	sessSeq    atomic.Uint64
 	stopHealth chan struct{}
 	wg         sync.WaitGroup
 }
 
-// imageCacheCap bounds the template-image cache; entries are evicted
-// arbitrarily beyond it (the cache is an optimization, not a correctness
-// requirement — a resume without an image cold-replays byte-identically).
+// imageEntry is one cached template image plus its last-use stamp.
+type imageEntry struct {
+	data []byte
+	use  int64
+}
+
+// imageCacheCap bounds the template-image cache; the least-recently-used
+// entry is evicted beyond it (the cache is an optimization, not a
+// correctness requirement — a resume without an image cold-replays
+// byte-identically).
 const imageCacheCap = 16
 
 // New builds a gateway; zero-valued config fields take their defaults.
@@ -185,13 +229,17 @@ func New(cfg Config) *Gateway {
 		cfg:        cfg.withDefaults(),
 		conns:      make(map[net.Conn]struct{}),
 		backends:   make(map[string]*backendState),
-		images:     make(map[uint64][]byte),
+		images:     make(map[uint64]*imageEntry),
+		replica:    make(map[uint64]*replSess),
 		stopHealth: make(chan struct{}),
 	}
 	for _, a := range g.cfg.Backends {
 		g.addBackendLocked(a)
 	}
 	g.rebuildRingLocked()
+	if g.cfg.Peer != "" {
+		g.repl = newReplicator(g)
+	}
 	return g
 }
 
@@ -220,15 +268,51 @@ func (g *Gateway) rebuildRingLocked() {
 }
 
 // AddBackend registers a backend address at runtime (idempotent). The ring
-// is rebuilt; existing sessions keep their placement.
+// is rebuilt; existing sessions keep their placement. A Join for a backend
+// this gateway believed dead proves a restart: the backend comes back up
+// and its epoch advances, so per-session failure marks from its previous
+// life stop blacklisting it.
 func (g *Gateway) AddBackend(addr string) {
+	g.addBackend(addr, true)
+}
+
+func (g *Gateway) addBackend(addr string, gossip bool) {
 	g.mu.Lock()
+	announce := false
 	if _, ok := g.backends[addr]; !ok {
 		g.addBackendLocked(addr)
 		g.rebuildRingLocked()
+		announce = true
 		g.logf("backend %s: joined (%d backends)", addr, len(g.backends))
+	} else if b := g.backends[addr]; b.down.Swap(false) {
+		b.epoch.Add(1)
+		announce = true
+		g.logf("backend %s: re-joined; session blacklists cleared", addr)
 	}
 	g.mu.Unlock()
+	if announce && gossip {
+		g.replBackend(addr, true)
+	}
+}
+
+// RemoveBackend drops a backend from the placement ring. Sessions in
+// flight on it keep running until their leg ends; new placements skip it.
+func (g *Gateway) RemoveBackend(addr string) {
+	g.removeBackend(addr, true)
+}
+
+func (g *Gateway) removeBackend(addr string, gossip bool) {
+	g.mu.Lock()
+	_, ok := g.backends[addr]
+	if ok {
+		delete(g.backends, addr)
+		g.rebuildRingLocked()
+		g.logf("backend %s: left (%d backends)", addr, len(g.backends))
+	}
+	g.mu.Unlock()
+	if ok && gossip {
+		g.replBackend(addr, false)
+	}
 }
 
 func (g *Gateway) backend(addr string) *backendState {
@@ -273,6 +357,10 @@ func (g *Gateway) Serve(lis net.Listener) error {
 
 	g.wg.Add(1)
 	go g.healthLoop()
+	if g.repl != nil {
+		g.wg.Add(1)
+		go g.repl.loop()
+	}
 
 	for {
 		conn, err := lis.Accept()
@@ -393,9 +481,38 @@ type deadlineWriter struct {
 	d    time.Duration
 }
 
+// writeChunk bounds the bytes a deadlineWriter sends under one deadline
+// arm. A whole wire frame can be ~1 MiB (a SessResume template image, a
+// gossip snapshot); arming one absolute deadline for the full frame would
+// cut off a slow-but-draining peer that simply needs longer than d in
+// aggregate. Chunking re-arms per 64 KiB, so the deadline bounds *stall*,
+// not total transfer time.
+const writeChunk = 64 << 10
+
 func (w *deadlineWriter) Write(p []byte) (int, error) {
-	w.conn.SetWriteDeadline(time.Now().Add(w.d))
-	return w.conn.Write(p)
+	if len(p) <= writeChunk {
+		w.conn.SetWriteDeadline(time.Now().Add(w.d))
+		return w.conn.Write(p)
+	}
+	total := 0
+	for len(p) > 0 {
+		c := p
+		if len(c) > writeChunk {
+			c = c[:writeChunk]
+		}
+		w.conn.SetWriteDeadline(time.Now().Add(w.d))
+		n, err := w.conn.Write(c)
+		total += n
+		if err != nil {
+			return total, err
+		}
+		p = p[n:]
+	}
+	// Clear the last chunk's deadline: frames written after this one may
+	// be preceded by arbitrary idle time, and a stale absolute deadline
+	// would fail them spuriously (the PR 5 class of bug).
+	w.conn.SetWriteDeadline(time.Time{})
+	return total, nil
 }
 
 func (g *Gateway) send(conn net.Conn, m wire.Msg) error {
@@ -429,13 +546,9 @@ func isTimeout(err error) bool {
 	return errors.As(err, &ne) && ne.Timeout()
 }
 
-// dialBackend opens an authenticated cluster connection to a backend,
-// negotiating FlagCluster plus exactly the capabilities in caps
-// (FlagTraceZ/FlagSnap for proxied sessions, whose byte stream is relayed
-// verbatim and must match what the client negotiated with the gateway;
-// FlagExplore for executor sessions). A backend that refuses any required
-// bit is an error, not a downgrade.
-func (g *Gateway) dialBackend(addr string, caps byte) (net.Conn, error) {
+// dialRaw opens a TCP connection to an intra-fleet address (a backend or
+// the peer gateway), wrapping it in BackendTLS when configured.
+func (g *Gateway) dialRaw(addr string) (net.Conn, error) {
 	conn, err := net.DialTimeout("tcp", addr, g.cfg.DialTimeout)
 	if err != nil {
 		return nil, err
@@ -454,9 +567,23 @@ func (g *Gateway) dialBackend(addr string, caps byte) (net.Conn, error) {
 		cancel()
 		if err != nil {
 			conn.Close()
-			return nil, fmt.Errorf("cluster: backend %s tls: %w", addr, err)
+			return nil, fmt.Errorf("cluster: %s tls: %w", addr, err)
 		}
 		conn = tc
+	}
+	return conn, nil
+}
+
+// dialBackend opens an authenticated cluster connection to a backend,
+// negotiating FlagCluster plus exactly the capabilities in caps
+// (FlagTraceZ/FlagSnap for proxied sessions, whose byte stream is relayed
+// verbatim and must match what the client negotiated with the gateway;
+// FlagExplore for executor sessions). A backend that refuses any required
+// bit is an error, not a downgrade.
+func (g *Gateway) dialBackend(addr string, caps byte) (net.Conn, error) {
+	conn, err := g.dialRaw(addr)
+	if err != nil {
+		return nil, err
 	}
 	want := (caps & (wire.FlagTraceZ | wire.FlagSnap | wire.FlagExplore)) | wire.FlagCluster
 	hello := &wire.Hello{Version: wire.Version, Client: g.cfg.Name}
@@ -559,6 +686,13 @@ func (g *Gateway) handle(conn net.Conn) {
 	cluster := caps&wire.FlagCluster != 0
 	g.logf("conn %s: handshake ok (%s, caps %#02x)", conn.RemoteAddr(), hello.Client, caps)
 
+	if caps&wire.FlagGossip != 0 {
+		// A peer gateway's replication stream: nothing but Gossip frames
+		// rides this connection from here on.
+		g.servePeer(conn)
+		return
+	}
+
 	for {
 		m, err := g.recv(conn, g.cfg.IdleTimeout)
 		if err != nil {
@@ -627,6 +761,11 @@ func (g *Gateway) handle(conn net.Conn) {
 				image:        req.Image,
 				resumed:      true,
 			}
+			// If the peer gateway replicated this session to us before it
+			// died, reclaim the replica: it confirms the hand-off (and
+			// feeds the sessions-lost accounting) and can fill a warm-start
+			// image the client doesn't carry.
+			g.reclaimReplica(sess)
 			if err := g.proxySession(conn, caps, sess); err != nil {
 				return
 			}
@@ -669,10 +808,23 @@ type sessState struct {
 	image        []byte
 	resumed      bool // dispatch as SessResume instead of Run
 
-	failed map[string]bool // backends that failed this session
+	// id names this session on the replication stream; assigned by
+	// replOpen, zero on non-replicated gateways.
+	id uint64
+	// failed maps a backend that failed this session to the backend epoch
+	// the failure was observed in; the mark expires when the backend
+	// re-joins (its epoch advances).
+	failed map[string]int64
 	// redispatchStart stamps the moment a hand-off or failure was detected;
 	// the next successful dispatch closes the migration-latency sample.
 	redispatchStart time.Time
+}
+
+// failedNow reports whether b is blacklisted for this session *in its
+// current life* — a mark made before the backend re-joined does not count.
+func (sess *sessState) failedNow(b *backendState) bool {
+	ep, ok := sess.failed[b.addr]
+	return ok && ep == b.epoch.Load()
 }
 
 // place picks a backend for the session: walk the ring from the spec's
@@ -696,7 +848,7 @@ func (g *Gateway) place(sess *sessState) (*backendState, error) {
 		if b == nil {
 			continue
 		}
-		if b.down.Load() || sess.failed[addr] {
+		if b.down.Load() || sess.failedNow(b) {
 			continue
 		}
 		if fallback == nil || b.inflight.Load() < fallback.inflight.Load() {
@@ -718,7 +870,7 @@ func (g *Gateway) place(sess *sessState) (*backendState, error) {
 	// Everything is down or already failed: retry failed backends rather
 	// than give up — a crashed backend may have restarted.
 	for _, addr := range order {
-		if b := g.backend(addr); b != nil && sess.failed[addr] && !b.down.Load() {
+		if b := g.backend(addr); b != nil && sess.failedNow(b) && !b.down.Load() {
 			return b, nil
 		}
 	}
@@ -777,30 +929,61 @@ func (g *Gateway) dispatch(sess *sessState, caps byte) (net.Conn, *backendState,
 
 func (g *Gateway) markFailed(sess *sessState, addr string) {
 	if sess.failed == nil {
-		sess.failed = make(map[string]bool)
+		sess.failed = make(map[string]int64)
 	}
-	sess.failed[addr] = true
+	var ep int64
+	if b := g.backend(addr); b != nil {
+		ep = b.epoch.Load()
+	}
+	sess.failed[addr] = ep
 }
 
 func (g *Gateway) cachedImage(specHash uint64) []byte {
 	g.imgMu.Lock()
 	defer g.imgMu.Unlock()
-	return g.images[specHash]
+	e := g.images[specHash]
+	if e == nil {
+		return nil
+	}
+	g.imgClock++
+	e.use = g.imgClock
+	return e.data
 }
 
+// cacheImage stores a template image, LRU-evicting beyond imageCacheCap,
+// and gossips new entries to the peer gateway.
 func (g *Gateway) cacheImage(specHash uint64, img []byte) {
+	g.storeImage(specHash, img, true)
+}
+
+func (g *Gateway) storeImage(specHash uint64, img []byte, gossip bool) {
 	if len(img) == 0 {
 		return
 	}
 	g.imgMu.Lock()
-	if _, ok := g.images[specHash]; !ok && len(g.images) >= imageCacheCap {
-		for k := range g.images { // evict an arbitrary entry
-			delete(g.images, k)
-			break
+	e, ok := g.images[specHash]
+	if !ok {
+		if len(g.images) >= imageCacheCap {
+			var lruKey uint64
+			var lru *imageEntry
+			for k, v := range g.images {
+				if lru == nil || v.use < lru.use {
+					lruKey, lru = k, v
+				}
+			}
+			delete(g.images, lruKey)
+			g.c.imageEvictions.Add(1)
 		}
+		e = &imageEntry{}
+		g.images[specHash] = e
 	}
-	g.images[specHash] = img
+	e.data = img
+	g.imgClock++
+	e.use = g.imgClock
 	g.imgMu.Unlock()
+	if !ok && gossip {
+		g.replImage(specHash, img)
+	}
 }
 
 // proxySession relays one session between the client and a backend,
@@ -812,6 +995,8 @@ func (g *Gateway) proxySession(clientConn net.Conn, caps byte, sess *sessState) 
 	g.c.sessionsTotal.Add(1)
 	g.c.sessionsActive.Add(1)
 	defer g.c.sessionsActive.Add(-1)
+	g.replOpen(sess)
+	defer g.replClose(sess)
 
 	var lastErr error
 	for attempt := 0; attempt < g.cfg.MaxDispatches; attempt++ {
@@ -910,7 +1095,10 @@ func (g *Gateway) pump(clientConn, bconn net.Conn, b *backendState, sess *sessSt
 				}
 				// Journal before forwarding: if the backend dies taking this
 				// answer, the replay serves it instead of re-asking the client.
+				// The replication hook rides the same ordering, so the peer's
+				// copy is never ahead of what the client was asked.
 				sess.journal = append(sess.journal, entry)
+				g.replAppend(sess)
 				g.c.answersRelayed.Add(1)
 				if werr := g.send(bconn, am); werr != nil {
 					g.noteLeave(sess, b, true, werr.Error())

@@ -36,6 +36,15 @@ type counters struct {
 	exploreIntercepts atomic.Int64
 	exploreBytesOut   atomic.Int64
 	exploreBytesIn    atomic.Int64
+
+	imageEvictions atomic.Int64
+
+	gossipConnects   atomic.Int64
+	gossipDialErrors atomic.Int64
+	gossipOverflows  atomic.Int64
+	gossipFramesOut  atomic.Int64
+	gossipFramesIn   atomic.Int64
+	replicaReclaims  atomic.Int64
 }
 
 // BackendMetrics is one backend's view in a metrics snapshot.
@@ -79,6 +88,18 @@ type Metrics struct {
 	ExploreIntercepts int64 // console explore lines served gateway-side
 	ExploreBytesOut   int64 // bytes shipped to explore executors (shards)
 	ExploreBytesIn    int64 // bytes received from explore executors (results)
+
+	ImageEvictions int64 // template images LRU-evicted from the cache
+
+	// Gateway-replication counters (all zero without Config.Peer and with
+	// no peer streaming in).
+	GossipConnects   int64 // outbound peer connections established
+	GossipDialErrors int64 // outbound peer dials that failed
+	GossipOverflows  int64 // peer connections dropped for outbound backlog
+	GossipFramesOut  int64 // gossip frames streamed to the peer
+	GossipFramesIn   int64 // gossip frames applied from the peer
+	ReplicaSessions  int64 // peer sessions currently mirrored here
+	ReplicaReclaims  int64 // client resumes matched to a mirrored peer session
 
 	// Migration-latency distribution: wall time from deciding to move a
 	// session (hand-off frame or dead connection) to its SessResume being
@@ -156,7 +177,19 @@ func (g *Gateway) Metrics() Metrics {
 		ExploreIntercepts: g.c.exploreIntercepts.Load(),
 		ExploreBytesOut:   g.c.exploreBytesOut.Load(),
 		ExploreBytesIn:    g.c.exploreBytesIn.Load(),
+
+		ImageEvictions: g.c.imageEvictions.Load(),
+
+		GossipConnects:   g.c.gossipConnects.Load(),
+		GossipDialErrors: g.c.gossipDialErrors.Load(),
+		GossipOverflows:  g.c.gossipOverflows.Load(),
+		GossipFramesOut:  g.c.gossipFramesOut.Load(),
+		GossipFramesIn:   g.c.gossipFramesIn.Load(),
+		ReplicaReclaims:  g.c.replicaReclaims.Load(),
 	}
+	g.replicaMu.Lock()
+	m.ReplicaSessions = int64(len(g.replica))
+	g.replicaMu.Unlock()
 	m.MigrationCount, m.MigrationP50, m.MigrationP99 = g.lat.quantiles()
 
 	g.mu.Lock()

@@ -1,0 +1,485 @@
+// Gateway replication: the FlagGossip peer protocol that removes the
+// gateway as a single point of failure.
+//
+// A gateway configured with Config.Peer streams its fleet state to the
+// peer gateway over one outbound connection negotiated with FlagGossip on
+// the peer's ordinary client listener: backend join/leave events, the
+// template-image cache, and — per proxied session — the replay journal
+// plus delivered-to-client offsets. The peer applies the stream into a
+// replica store. When this gateway dies, its clients re-dial the peer
+// (internal/client's multi-address dial list) and resume via the existing
+// SessResume path; the peer reclaims the matching replica, warms the
+// resume from the gossiped image cache, and routes the session onto a
+// backend it already knows about, so the hand-off needs no cold discovery.
+//
+// Replication is asynchronous and crash-tolerant rather than transactional:
+// the client's own journal is the authority for its byte stream (it
+// journals each answer before sending), so a gossip frame lost with the
+// dying gateway costs nothing — the replica exists to keep the surviving
+// gateway warm (backends, images, session accounting), not to be the only
+// copy. Orderings that matter are preserved: a session's journal entries
+// are gossiped in journal order (GossipSessAppend.First makes appends
+// idempotent), and a journal entry is enqueued only after the primary
+// journaled it, never before.
+//
+// The outbound side never blocks a session: hooks append to a bounded
+// pending queue drained by one writer goroutine. If the peer is absent the
+// mirror alone carries the state and the next connect starts with
+// GossipReset plus a full snapshot; if the queue overflows, the connection
+// is dropped and rebuilt the same way.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/wire"
+)
+
+// maxPendingGossip bounds the outbound event queue; past it the peer
+// connection is dropped and resynchronized from a snapshot, so a stalled
+// peer costs bounded memory, not unbounded backlog.
+const maxPendingGossip = 4096
+
+// maxReplicaSessions bounds the inbound replica store against a runaway
+// or hostile peer.
+const maxReplicaSessions = 4096
+
+// replSess is one replicated session: the sender's mirror of its live
+// sessState, and the receiver's replica of the peer's.
+type replSess struct {
+	spec         scenario.Spec
+	specHash     uint64
+	streamTrace  bool
+	journal      []wire.JournalEntry
+	outputBytes  uint64
+	traceSamples uint64
+}
+
+// replicator owns the outbound half of gateway replication.
+type replicator struct {
+	g *Gateway
+
+	mu        sync.Mutex
+	sessions  map[uint64]*replSess // mirror of this gateway's live sessions
+	pending   []*wire.Gossip       // events awaiting the writer goroutine
+	connected bool                 // a peer connection is live and snapshotted
+
+	notify chan struct{} // cap 1; wakes the writer
+}
+
+func newReplicator(g *Gateway) *replicator {
+	return &replicator{
+		g:        g,
+		sessions: make(map[uint64]*replSess),
+		notify:   make(chan struct{}, 1),
+	}
+}
+
+func (r *replicator) kick() {
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+}
+
+// enqueueLocked queues events for the writer; with no live connection the
+// mirror alone carries the state (the next connect snapshots it). Callers
+// hold r.mu and must kick() after releasing it.
+func (r *replicator) enqueueLocked(evs ...*wire.Gossip) {
+	if !r.connected {
+		return
+	}
+	if len(r.pending)+len(evs) > maxPendingGossip {
+		// The peer cannot keep up: drop the connection rather than grow
+		// without bound; the reconnect resyncs from a snapshot.
+		r.connected = false
+		r.pending = nil
+		r.g.c.gossipOverflows.Add(1)
+		return
+	}
+	r.pending = append(r.pending, evs...)
+}
+
+func (r *replicator) disconnect() {
+	r.mu.Lock()
+	r.connected = false
+	r.pending = nil
+	r.mu.Unlock()
+}
+
+// loop dials Config.Peer until Shutdown, streaming events while a
+// connection lasts and backing off PeerRetry between attempts.
+func (r *replicator) loop() {
+	g := r.g
+	defer g.wg.Done()
+	for {
+		select {
+		case <-g.stopHealth:
+			return
+		default:
+		}
+		conn, err := g.dialPeer()
+		if err != nil {
+			g.c.gossipDialErrors.Add(1)
+		} else {
+			g.c.gossipConnects.Add(1)
+			g.logf("peer %s: replication stream connected", g.cfg.Peer)
+			r.run(conn)
+			conn.Close()
+			g.logf("peer %s: replication stream closed", g.cfg.Peer)
+		}
+		select {
+		case <-g.stopHealth:
+			return
+		case <-time.After(g.cfg.PeerRetry):
+		}
+	}
+}
+
+// run services one peer connection: snapshot, then stream events and
+// heartbeats until an error, an overflow, or Shutdown.
+func (r *replicator) run(conn net.Conn) {
+	g := r.g
+	defer r.disconnect()
+
+	// Mark connected and build the snapshot in one critical section, so a
+	// hook firing concurrently either lands in the snapshot or in pending —
+	// never in neither. (g.mu/imgMu nest inside r.mu here; hooks release
+	// them before taking r.mu, so the order is acyclic.)
+	r.mu.Lock()
+	r.pending = r.snapshotLocked()
+	r.connected = true
+	r.mu.Unlock()
+
+	hb := time.NewTicker(g.cfg.PeerHeartbeat)
+	defer hb.Stop()
+	for {
+		r.mu.Lock()
+		batch := r.pending
+		r.pending = nil
+		alive := r.connected
+		r.mu.Unlock()
+		if !alive {
+			return // overflow dropped this connection
+		}
+		for _, ev := range batch {
+			if err := g.send(conn, ev); err != nil {
+				g.logf("peer %s: replication send failed: %v", g.cfg.Peer, err)
+				return
+			}
+			g.c.gossipFramesOut.Add(1)
+		}
+		select {
+		case <-g.stopHealth:
+			return
+		case <-r.notify:
+		case <-hb.C:
+			if err := g.send(conn, &wire.Gossip{Kind: wire.GossipHeartbeat}); err != nil {
+				return
+			}
+			g.c.gossipFramesOut.Add(1)
+		}
+	}
+}
+
+// snapshotLocked renders the gateway's whole replicable state as an event
+// stream: a Reset, the live backends, the image cache, and every mirrored
+// session. Caller holds r.mu.
+func (r *replicator) snapshotLocked() []*wire.Gossip {
+	g := r.g
+	evs := []*wire.Gossip{{Kind: wire.GossipReset}}
+	g.mu.Lock()
+	for addr, b := range g.backends {
+		if !b.down.Load() {
+			evs = append(evs, &wire.Gossip{Kind: wire.GossipBackendJoin, Addr: addr})
+		}
+	}
+	g.mu.Unlock()
+	g.imgMu.Lock()
+	for h, e := range g.images {
+		evs = append(evs, &wire.Gossip{Kind: wire.GossipImage, SpecHash: h, Image: e.data})
+	}
+	g.imgMu.Unlock()
+	for id, rs := range r.sessions {
+		evs = append(evs, sessOpenEvent(id, rs))
+		if len(rs.journal) > 0 || rs.outputBytes > 0 || rs.traceSamples > 0 {
+			evs = append(evs, sessAppendEvent(id, 0, rs))
+		}
+	}
+	return evs
+}
+
+func sessOpenEvent(id uint64, rs *replSess) *wire.Gossip {
+	return &wire.Gossip{Kind: wire.GossipSessOpen, Sess: id, Spec: rs.spec, StreamTrace: rs.streamTrace}
+}
+
+func sessAppendEvent(id uint64, first int, rs *replSess) *wire.Gossip {
+	return &wire.Gossip{
+		Kind:         wire.GossipSessAppend,
+		Sess:         id,
+		First:        uint32(first),
+		Journal:      rs.journal[first:],
+		OutputBytes:  rs.outputBytes,
+		TraceSamples: rs.traceSamples,
+	}
+}
+
+// dialPeer opens the outbound replication connection: BackendTLS when
+// configured, the peer's client-tier AuthToken, and a handshake demanding
+// FlagGossip.
+func (g *Gateway) dialPeer() (net.Conn, error) {
+	conn, err := g.dialRaw(g.cfg.Peer)
+	if err != nil {
+		return nil, err
+	}
+	hello := &wire.Hello{Version: wire.Version, Client: g.cfg.Name}
+	offer := wire.FlagGossip
+	if g.cfg.AuthToken != "" {
+		offer |= wire.FlagAuth
+		hello.Token = g.cfg.AuthToken
+	}
+	if err := g.sendf(conn, hello, offer); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	m, flags, err := g.recvf(conn, g.cfg.ReadTimeout)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	switch w := m.(type) {
+	case *wire.Welcome:
+		if flags&wire.FlagGossip == 0 {
+			conn.Close()
+			return nil, fmt.Errorf("cluster: peer %s does not speak gossip (caps %#02x)", g.cfg.Peer, flags)
+		}
+		return conn, nil
+	case *wire.Error:
+		conn.Close()
+		return nil, fmt.Errorf("cluster: peer %s: %w", g.cfg.Peer, w)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("cluster: peer %s: unexpected handshake reply %T", g.cfg.Peer, m)
+	}
+}
+
+// ---- outbound hooks (no-ops without Config.Peer) ----
+
+// replOpen mirrors a starting session and announces it to the peer. A
+// client-resumed session carries journal and offsets already; those ride
+// an immediate append so the replica starts complete.
+func (g *Gateway) replOpen(sess *sessState) {
+	r := g.repl
+	if r == nil {
+		return
+	}
+	sess.id = g.sessSeq.Add(1)
+	rs := &replSess{
+		spec:         sess.spec,
+		specHash:     scenario.SpecHash(sess.spec),
+		streamTrace:  sess.streamTrace,
+		journal:      append([]wire.JournalEntry(nil), sess.journal...),
+		outputBytes:  sess.outputBytes,
+		traceSamples: sess.traceSamples,
+	}
+	r.mu.Lock()
+	r.sessions[sess.id] = rs
+	evs := []*wire.Gossip{sessOpenEvent(sess.id, rs)}
+	if len(rs.journal) > 0 || rs.outputBytes > 0 || rs.traceSamples > 0 {
+		evs = append(evs, sessAppendEvent(sess.id, 0, rs))
+	}
+	r.enqueueLocked(evs...)
+	r.mu.Unlock()
+	r.kick()
+}
+
+// replAppend ships the session's journal entries past the mirrored prefix
+// plus its current delivered-to-client offsets. Called by the session's
+// own goroutine right after it extends sess.journal.
+func (g *Gateway) replAppend(sess *sessState) {
+	r := g.repl
+	if r == nil || sess.id == 0 {
+		return
+	}
+	r.mu.Lock()
+	rs := r.sessions[sess.id]
+	if rs == nil {
+		r.mu.Unlock()
+		return
+	}
+	first := len(rs.journal)
+	rs.journal = append(rs.journal, sess.journal[first:]...)
+	rs.outputBytes = sess.outputBytes
+	rs.traceSamples = sess.traceSamples
+	r.enqueueLocked(sessAppendEvent(sess.id, first, rs))
+	r.mu.Unlock()
+	r.kick()
+}
+
+// replClose drops the mirror and tells the peer the session concluded.
+func (g *Gateway) replClose(sess *sessState) {
+	r := g.repl
+	if r == nil || sess.id == 0 {
+		return
+	}
+	r.mu.Lock()
+	delete(r.sessions, sess.id)
+	r.enqueueLocked(&wire.Gossip{Kind: wire.GossipSessClose, Sess: sess.id})
+	r.mu.Unlock()
+	r.kick()
+}
+
+// replBackend announces a backend join (or leave) to the peer.
+func (g *Gateway) replBackend(addr string, join bool) {
+	r := g.repl
+	if r == nil {
+		return
+	}
+	kind := wire.GossipBackendLeave
+	if join {
+		kind = wire.GossipBackendJoin
+	}
+	r.mu.Lock()
+	r.enqueueLocked(&wire.Gossip{Kind: kind, Addr: addr})
+	r.mu.Unlock()
+	r.kick()
+}
+
+// replImage announces a new template-image cache entry to the peer.
+func (g *Gateway) replImage(specHash uint64, img []byte) {
+	r := g.repl
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.enqueueLocked(&wire.Gossip{Kind: wire.GossipImage, SpecHash: specHash, Image: img})
+	r.mu.Unlock()
+	r.kick()
+}
+
+// ---- inbound: the peer's stream applied into this gateway ----
+
+// servePeer owns one inbound replication connection after its FlagGossip
+// handshake: nothing but Gossip frames ride it, and a peer silent for
+// several heartbeats is reaped.
+func (g *Gateway) servePeer(conn net.Conn) {
+	idle := 4 * g.cfg.PeerHeartbeat
+	for {
+		m, err := g.recv(conn, idle)
+		if err != nil {
+			return
+		}
+		ev, ok := m.(*wire.Gossip)
+		if !ok {
+			g.send(conn, &wire.Error{Code: wire.CodeBadRequest,
+				Text: fmt.Sprintf("unexpected frame %#02x on replication stream", m.Type())})
+			return
+		}
+		g.c.gossipFramesIn.Add(1)
+		g.applyGossip(ev)
+	}
+}
+
+// applyGossip folds one peer event into this gateway's state. Every case
+// is idempotent: the sender may replay events around a snapshot, and
+// replays must converge, never regress (appends extend, never truncate;
+// offsets are monotone).
+func (g *Gateway) applyGossip(ev *wire.Gossip) {
+	switch ev.Kind {
+	case wire.GossipHeartbeat:
+		// Nothing to apply; receiving it refreshed the read deadline.
+	case wire.GossipReset:
+		g.replicaMu.Lock()
+		g.replica = make(map[uint64]*replSess)
+		g.replicaMu.Unlock()
+	case wire.GossipBackendJoin:
+		if ev.Addr != "" {
+			g.addBackend(ev.Addr, false)
+		}
+	case wire.GossipBackendLeave:
+		if ev.Addr != "" {
+			g.removeBackend(ev.Addr, false)
+		}
+	case wire.GossipImage:
+		g.storeImage(ev.SpecHash, ev.Image, false)
+	case wire.GossipSessOpen:
+		g.replicaMu.Lock()
+		if _, ok := g.replica[ev.Sess]; !ok && len(g.replica) < maxReplicaSessions {
+			g.replica[ev.Sess] = &replSess{
+				spec:        ev.Spec,
+				specHash:    scenario.SpecHash(ev.Spec),
+				streamTrace: ev.StreamTrace,
+			}
+		}
+		g.replicaMu.Unlock()
+	case wire.GossipSessAppend:
+		g.replicaMu.Lock()
+		if rs := g.replica[ev.Sess]; rs != nil {
+			if first := int(ev.First); first <= len(rs.journal) {
+				if skip := len(rs.journal) - first; skip < len(ev.Journal) {
+					rs.journal = append(rs.journal, ev.Journal[skip:]...)
+				}
+			}
+			if ev.OutputBytes > rs.outputBytes {
+				rs.outputBytes = ev.OutputBytes
+			}
+			if ev.TraceSamples > rs.traceSamples {
+				rs.traceSamples = ev.TraceSamples
+			}
+		}
+		g.replicaMu.Unlock()
+	case wire.GossipSessClose:
+		g.replicaMu.Lock()
+		delete(g.replica, ev.Sess)
+		g.replicaMu.Unlock()
+	}
+}
+
+// reclaimReplica matches a client-tier SessResume against the replica
+// store: same spec template, journals prefix-compatible. A match confirms
+// the hand-off of a session the dead peer was proxying (the
+// sessions-lost accounting the failover bench reports) and releases the
+// replica. The client's own journal stays authoritative for the resume —
+// it journals every answer before sending, so it is never behind the
+// replica by more than in-flight frames the replay regenerates anyway.
+func (g *Gateway) reclaimReplica(sess *sessState) {
+	h := scenario.SpecHash(sess.spec)
+	var id uint64
+	found := false
+	g.replicaMu.Lock()
+	for rid, rs := range g.replica {
+		if rs.specHash != h || !journalsCompatible(rs.journal, sess.journal) {
+			continue
+		}
+		id, found = rid, true
+		break
+	}
+	if found {
+		delete(g.replica, id)
+	}
+	g.replicaMu.Unlock()
+	if found {
+		g.c.replicaReclaims.Add(1)
+		g.logf("resume: reclaimed replicated peer session %d", id)
+	}
+}
+
+// journalsCompatible reports whether one journal is a prefix of the other
+// — the invariant linking a client's journal to the dead gateway's replica
+// of the same session.
+func journalsCompatible(a, b []wire.JournalEntry) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i].Kind != b[i].Kind || a[i].Line != b[i].Line {
+			return false
+		}
+	}
+	return true
+}

@@ -74,6 +74,19 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte{TypeExploreShard, 0, 0, 0, 0, 9, 0, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add([]byte{TypeExploreResult, 0, 0, 0, 0, 9, 0, 0xde, 0xca, 0xfb, 0xad, 0, 0, 0, 0})
 	f.Add([]byte{TypeExploreShard, 0, 0, 0, 0, 5, 9, 0, 0, 0, 1})
+	// …gossip-tier handshakes and frames (FlagGossip gateway peers): a
+	// replicated-gateway hello, a backend-join event, a hostile journal
+	// count in a session append (rejected before allocating), and an
+	// unknown gossip kind…
+	if fr, err := EncodeMsgFlags(&Hello{Version: Version, Client: "edbd-gw"}, FlagGossip|FlagCluster); err == nil {
+		f.Add(fr)
+	}
+	if fr, err := EncodeMsgFlags(&Welcome{Version: Version, Server: "edbd-gw"}, FlagGossip); err == nil {
+		f.Add(fr)
+	}
+	f.Add([]byte{TypeGossip, 0, 0, 0, 0, 10, 2, 0, 0, 0, 5, ':', '3', '4', '9', '0'})
+	f.Add([]byte{TypeGossip, 0, 0, 0, 0, 17, 6, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{TypeGossip, 0, 0, 0, 0, 1, 99})
 	// …a truncated SessResume whose journal count promises more entries than
 	// the payload holds (the decoder must reject it before allocating)…
 	f.Add([]byte{TypeSessResume, 0, 0, 0, 0, 4, 0xFF, 0xFF, 0xFF, 0xFF})

@@ -87,6 +87,8 @@ const (
 	TypeExplore       byte = 0x40 // coordinator → backend: open an exploration session (FlagExplore only)
 	TypeExploreShard  byte = 0x41 // coordinator → backend: expand a frontier batch / filter a dedup chunk (FlagExplore only)
 	TypeExploreResult byte = 0x42 // backend → coordinator: baseline hello, one state's expansion, or dedup verdicts (FlagExplore only)
+
+	TypeGossip byte = 0x50 // gateway → gateway: one replication-stream event (FlagGossip only)
 )
 
 // Capability flag bits, valid only on Hello and Welcome frames. A client
@@ -126,13 +128,20 @@ const (
 	// frames back. Peers that never offer the bit see a byte-identical
 	// baseline protocol — the checker fan-out needs no version bump.
 	FlagExplore byte = 0x10
+	// FlagGossip negotiates the gateway-to-gateway replication stream: a
+	// peer gateway that sets it may send Gossip frames (backend join/leave,
+	// per-session journal appends, template-image gossip) so a replica
+	// gateway holds the fleet state needed to resume every live session if
+	// the primary dies. Peers that never offer the bit see a byte-identical
+	// baseline protocol — gateway replication needs no version bump.
+	FlagGossip byte = 0x20
 )
 
 // KnownCaps is the set of capability bits this build understands.
 // Handshake frames may carry bits outside this mask (a future peer's
 // capabilities); the framing layer passes them through and negotiation
 // masks them off, so old corpus entries and old peers keep working.
-const KnownCaps byte = FlagTraceZ | FlagSnap | FlagAuth | FlagCluster | FlagExplore
+const KnownCaps byte = FlagTraceZ | FlagSnap | FlagAuth | FlagCluster | FlagExplore | FlagGossip
 
 // handshakeFrame reports whether frames of type t carry capability flag
 // bits; every other frame type must have a zero flags byte in version 1.
@@ -306,6 +315,55 @@ type Join struct {
 	Addr string
 }
 
+// Gossip event kinds: one per replication-stream event a gateway ships to
+// its peer. The stream is ordered per TCP connection; a reconnecting
+// sender opens with GossipReset and a full snapshot, so a receiver never
+// has to reconcile partial histories.
+const (
+	GossipHeartbeat    byte = 0 // keepalive; the receiver's read deadline rides on it
+	GossipReset        byte = 1 // drop all replica state from this peer; a snapshot follows
+	GossipBackendJoin  byte = 2 // Addr joined the sender's placement ring
+	GossipBackendLeave byte = 3 // Addr left the sender's placement ring
+	GossipImage        byte = 4 // template image for SpecHash entered the sender's cache
+	GossipSessOpen     byte = 5 // proxied session Sess opened with Spec/StreamTrace
+	GossipSessAppend   byte = 6 // session Sess journaled entries; offsets updated
+	GossipSessClose    byte = 7 // session Sess concluded; drop its replica
+)
+
+// Gossip is one gateway-to-gateway replication event. A replicated gateway
+// pair streams these over a dedicated peer connection so each side mirrors
+// the other's fleet state — the backend registry, the template-image
+// cache, and, per live proxied session, the prompt-answer journal plus
+// output/trace offsets (exactly the state SessResume carries). Only valid
+// after FlagGossip was negotiated.
+type Gossip struct {
+	Kind byte // Gossip* constant
+
+	// Addr is the backend address (GossipBackendJoin/GossipBackendLeave).
+	Addr string
+
+	// SpecHash/Image carry one template-image cache entry (GossipImage).
+	SpecHash uint64
+	Image    []byte
+
+	// Sess identifies the proxied session on the sending gateway
+	// (GossipSessOpen/GossipSessAppend/GossipSessClose).
+	Sess uint64
+	// Spec/StreamTrace open the session's replica (GossipSessOpen).
+	Spec        scenario.Spec
+	StreamTrace bool
+	// First is the journal index of Journal[0] — appends are idempotent, so
+	// a replica can detect gaps or replays (GossipSessAppend).
+	First uint32
+	// Journal holds the newly appended entries; it may be empty when only
+	// the offsets moved (GossipSessAppend).
+	Journal []JournalEntry
+	// OutputBytes/TraceSamples are the session's absolute delivered-to-client
+	// offsets after the append (GossipSessAppend).
+	OutputBytes  uint64
+	TraceSamples uint64
+}
+
 // ExploreShard request kinds.
 const (
 	ExploreExpand byte = 0 // expand a batch of frontier states
@@ -462,6 +520,7 @@ func (*Explore) Type() byte     { return TypeExplore }
 
 func (*ExploreShard) Type() byte  { return TypeExploreShard }
 func (*ExploreResult) Type() byte { return TypeExploreResult }
+func (*Gossip) Type() byte        { return TypeGossip }
 
 // newMsg maps a type code to a zero message.
 func newMsg(t byte) Msg {
@@ -510,6 +569,8 @@ func newMsg(t byte) Msg {
 		return &ExploreShard{}
 	case TypeExploreResult:
 		return &ExploreResult{}
+	case TypeGossip:
+		return &Gossip{}
 	}
 	return nil
 }
@@ -707,17 +768,51 @@ func (m *Run) decode(d *decoder) {
 	m.StreamTrace = d.bool()
 }
 
+// encodeJournal/decodeJournal hold the one canonical field layout for a
+// prompt-answer journal on the wire; SessResume and Gossip both ride on it
+// so the two can never drift apart.
+func encodeJournal(e *encoder, journal []JournalEntry) {
+	e.u32(uint32(len(journal)))
+	for _, j := range journal {
+		e.u8(j.Kind)
+		e.str(j.Line)
+	}
+}
+
+func decodeJournal(d *decoder) []JournalEntry {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	// Each journal entry costs at least 5 bytes (kind + line length), so a
+	// count beyond that bound can never decode; reject it before allocating.
+	const entryMin = 5
+	if uint64(n)*entryMin > uint64(len(d.b)-d.off) {
+		d.fail("journal entry count %d exceeds payload", n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	journal := make([]JournalEntry, n)
+	for i := range journal {
+		journal[i].Kind = d.u8()
+		if journal[i].Kind > JournalSnapRestore {
+			d.fail("unknown journal entry kind %d", journal[i].Kind)
+			return nil
+		}
+		journal[i].Line = d.str()
+	}
+	return journal
+}
+
 func (m *SessResume) encode(e *encoder) {
 	encodeSpec(e, &m.Spec)
 	e.bool(m.StreamTrace)
 	e.u64(m.SpecHash)
 	e.u64(m.SkipOutput)
 	e.u64(m.SkipTraceSamples)
-	e.u32(uint32(len(m.Journal)))
-	for _, j := range m.Journal {
-		e.u8(j.Kind)
-		e.str(j.Line)
-	}
+	encodeJournal(e, m.Journal)
 	e.bytes(m.Image)
 }
 
@@ -727,29 +822,64 @@ func (m *SessResume) decode(d *decoder) {
 	m.SpecHash = d.u64()
 	m.SkipOutput = d.u64()
 	m.SkipTraceSamples = d.u64()
-	n := d.u32()
+	m.Journal = decodeJournal(d)
 	if d.err != nil {
 		return
 	}
-	// Each journal entry costs at least 5 bytes (kind + line length), so a
-	// count beyond that bound can never decode; reject it before allocating.
-	const entryMin = 5
-	if uint64(n)*entryMin > uint64(len(d.b)-d.off) {
-		d.fail("journal entry count %d exceeds payload", n)
-		return
-	}
-	if n > 0 {
-		m.Journal = make([]JournalEntry, n)
-		for i := range m.Journal {
-			m.Journal[i].Kind = d.u8()
-			if m.Journal[i].Kind > JournalSnapRestore {
-				d.fail("unknown journal entry kind %d", m.Journal[i].Kind)
-				return
-			}
-			m.Journal[i].Line = d.str()
-		}
-	}
 	m.Image = d.bytesField()
+}
+
+func (m *Gossip) encode(e *encoder) {
+	e.u8(m.Kind)
+	switch m.Kind {
+	case GossipHeartbeat, GossipReset:
+	case GossipBackendJoin, GossipBackendLeave:
+		e.str(m.Addr)
+	case GossipImage:
+		e.u64(m.SpecHash)
+		e.bytes(m.Image)
+	case GossipSessOpen:
+		e.u64(m.Sess)
+		encodeSpec(e, &m.Spec)
+		e.bool(m.StreamTrace)
+	case GossipSessAppend:
+		e.u64(m.Sess)
+		e.u32(m.First)
+		encodeJournal(e, m.Journal)
+		e.u64(m.OutputBytes)
+		e.u64(m.TraceSamples)
+	case GossipSessClose:
+		e.u64(m.Sess)
+	}
+}
+
+func (m *Gossip) decode(d *decoder) {
+	m.Kind = d.u8()
+	switch m.Kind {
+	case GossipHeartbeat, GossipReset:
+	case GossipBackendJoin, GossipBackendLeave:
+		m.Addr = d.str()
+	case GossipImage:
+		m.SpecHash = d.u64()
+		m.Image = d.bytesField()
+	case GossipSessOpen:
+		m.Sess = d.u64()
+		decodeSpec(d, &m.Spec)
+		m.StreamTrace = d.bool()
+	case GossipSessAppend:
+		m.Sess = d.u64()
+		m.First = d.u32()
+		m.Journal = decodeJournal(d)
+		if d.err != nil {
+			return
+		}
+		m.OutputBytes = d.u64()
+		m.TraceSamples = d.u64()
+	case GossipSessClose:
+		m.Sess = d.u64()
+	default:
+		d.fail("unknown gossip kind %d", m.Kind)
+	}
 }
 
 func (m *SessMigrate) encode(e *encoder) {

@@ -90,6 +90,24 @@ func sampleMsgs() []Msg {
 		},
 		&ExploreResult{Kind: ExploreExpanded, Seq: 7, Outcome: "returned"},
 		&ExploreResult{Kind: ExploreFresh, Seq: 8, Fresh: []bool{true, false, true}},
+		&Gossip{Kind: GossipHeartbeat},
+		&Gossip{Kind: GossipReset},
+		&Gossip{Kind: GossipBackendJoin, Addr: "10.0.0.2:3490"},
+		&Gossip{Kind: GossipBackendLeave, Addr: "10.0.0.2:3490"},
+		&Gossip{Kind: GossipImage, SpecHash: 0xfeedface, Image: []byte{0x1f, 0x8b}},
+		&Gossip{Kind: GossipImage, SpecHash: 3},
+		&Gossip{
+			Kind: GossipSessOpen, Sess: 9,
+			Spec:        scenario.Spec{App: "linkedlist", Assert: true, Seconds: 5, Seed: 42, Interactive: true},
+			StreamTrace: true,
+		},
+		&Gossip{
+			Kind: GossipSessAppend, Sess: 9, First: 2,
+			Journal:     []JournalEntry{{Kind: JournalLine, Line: "vcap"}, {Kind: JournalSnapSave}},
+			OutputBytes: 4096, TraceSamples: 1024,
+		},
+		&Gossip{Kind: GossipSessAppend, Sess: 9, First: 4, OutputBytes: 5000},
+		&Gossip{Kind: GossipSessClose, Sess: 9},
 	}
 }
 

@@ -10,10 +10,15 @@ tls_daemon_pid=""
 backend_a_pid=""
 backend_b_pid=""
 backend_c_pid=""
+backend_d_pid=""
+backend_e_pid=""
 gateway_pid=""
+gw1_pid=""
+gw2_pid=""
 cleanup() {
     for pid in "$daemon_pid" "$tls_daemon_pid" "$backend_a_pid" \
-               "$backend_b_pid" "$backend_c_pid" "$gateway_pid"; do
+               "$backend_b_pid" "$backend_c_pid" "$backend_d_pid" \
+               "$backend_e_pid" "$gateway_pid" "$gw1_pid" "$gw2_pid"; do
         if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
             kill "$pid" 2>/dev/null || true
             wait "$pid" 2>/dev/null || true
@@ -323,6 +328,113 @@ fi
 kill -TERM "$backend_c_pid" 2>/dev/null || true
 wait "$backend_c_pid" 2>/dev/null || true
 backend_c_pid=""
+
+echo "smoke: starting a replicated two-gateway fleet"
+# Replica gateway first (so the active one can stream to it from birth),
+# then the active gateway with -peer, then two backends that register with
+# BOTH gateways through one comma-separated -join.
+"$workdir/edbd" -gateway -addr 127.0.0.1:0 -v 2>"$workdir/gw2.log" &
+gw2_pid=$!
+gw2_addr=$(wait_addr "$workdir/gw2.log")
+if [ -z "$gw2_addr" ]; then
+    echo "smoke: FAIL — replica gateway never reported its address" >&2
+    cat "$workdir/gw2.log" >&2
+    exit 1
+fi
+"$workdir/edbd" -gateway -addr 127.0.0.1:0 -peer "$gw2_addr" -v 2>"$workdir/gw1.log" &
+gw1_pid=$!
+gw1_addr=$(wait_addr "$workdir/gw1.log")
+if [ -z "$gw1_addr" ]; then
+    echo "smoke: FAIL — active gateway never reported its address" >&2
+    cat "$workdir/gw1.log" >&2
+    exit 1
+fi
+"$workdir/edbd" -addr 127.0.0.1:0 -join "$gw1_addr,$gw2_addr" -v 2>"$workdir/backend-d.log" &
+backend_d_pid=$!
+"$workdir/edbd" -addr 127.0.0.1:0 -join "$gw1_addr,$gw2_addr" -v 2>"$workdir/backend-e.log" &
+backend_e_pid=$!
+for blog in backend-d backend-e; do
+    for gw in "$gw1_addr" "$gw2_addr"; do
+        i=0
+        while [ $i -lt 100 ]; do
+            grep -q "registered with gateway $gw" "$workdir/$blog.log" && break
+            sleep 0.1
+            i=$((i + 1))
+        done
+        if ! grep -q "registered with gateway $gw" "$workdir/$blog.log"; then
+            echo "smoke: FAIL — $blog never joined gateway $gw" >&2
+            cat "$workdir/$blog.log" >&2
+            exit 1
+        fi
+    done
+done
+i=0
+while [ $i -lt 100 ]; do
+    grep -q "replication stream connected" "$workdir/gw1.log" && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if ! grep -q "replication stream connected" "$workdir/gw1.log"; then
+    echo "smoke: FAIL — gateways never connected their replication stream" >&2
+    cat "$workdir/gw1.log" >&2
+    exit 1
+fi
+echo "smoke: gateways $gw1_addr (active) -> $gw2_addr (replica), two backends joined both"
+
+echo "smoke: SIGKILL of the active gateway mid-session"
+# The client's dial list names both gateways; it connects to gw1 (listed
+# first). Mid-session, gw1 is killed outright — no drain, no hand-off
+# frames. The client must resume on gw2, which holds the session's
+# replica, and the transcript must be byte-identical to the earlier
+# single-gateway and local runs.
+fifo2="$workdir/cmds2"
+mkfifo "$fifo2"
+"$workdir/edb" -connect "$gw1_addr,$gw2_addr" $icommon <"$fifo2" >"$workdir/repl-i.out" &
+edb2_pid=$!
+exec 4>"$fifo2"
+printf 'vcap\n' >&4
+sleep 1
+kill -KILL "$gw1_pid"
+wait "$gw1_pid" 2>/dev/null || true
+gw1_pid=""
+printf 'status\n' >&4
+printf 'halt\n' >&4
+exec 4>&-
+edb2_rc=0
+wait "$edb2_pid" || edb2_rc=$?
+if [ "$edb2_rc" -ne 0 ]; then
+    echo "smoke: FAIL — session exited $edb2_rc after the active gateway was killed" >&2
+    cat "$workdir/gw2.log" >&2
+    exit 1
+fi
+if ! diff -u "$workdir/local-i.out" "$workdir/repl-i.out"; then
+    echo "smoke: FAIL — replicated-gateway transcript differs from the single-gateway run" >&2
+    cat "$workdir/gw2.log" >&2
+    exit 1
+fi
+if ! grep -q "reclaimed replicated peer session" "$workdir/gw2.log"; then
+    echo "smoke: FAIL — surviving gateway did not reclaim the session from its replica store" >&2
+    cat "$workdir/gw2.log" >&2
+    exit 1
+fi
+echo "smoke: active-gateway SIGKILL survived; transcript byte-identical, replica reclaimed"
+
+echo "smoke: stopping the replicated fleet"
+kill -TERM "$gw2_pid"
+gw2_rc=0
+wait "$gw2_pid" || gw2_rc=$?
+gw2_pid=""
+if [ "$gw2_rc" -ne 0 ]; then
+    echo "smoke: FAIL — surviving gateway exited $gw2_rc on SIGTERM" >&2
+    cat "$workdir/gw2.log" >&2
+    exit 1
+fi
+for pidvar in backend_d_pid backend_e_pid; do
+    eval "pid=\$$pidvar"
+    kill -TERM "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    eval "$pidvar=''"
+done
 
 echo "smoke: batched-vs-sequential fleet equivalence"
 # The fleet kernel's golden property: a batched run must be byte-identical
